@@ -1,0 +1,412 @@
+(* rd2 — command-line front end for the commutativity race detector.
+
+   Subcommands:
+     rd2 specs                 list / print built-in specifications
+     rd2 translate FILE        specification -> access point representation
+     rd2 check FILE            run detectors over a textual trace
+     rd2 simulate NAME         run a built-in workload under the analyzer
+     rd2 table2                reproduce the paper's Table 2 *)
+
+open Cmdliner
+open Crd
+
+let exits = Cmd.Exit.defaults
+
+(* ------------------------------------------------------------------ *)
+(* specs                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let specs_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Print this built-in specification.")
+  in
+  let run name =
+    match name with
+    | None ->
+        List.iter
+          (fun s -> print_endline (Spec.name s))
+          (Stdspecs.all ());
+        `Ok ()
+    | Some n -> (
+        match Stdspecs.find n with
+        | Some s ->
+            Fmt.pr "%a@." Spec.pp s;
+            `Ok ()
+        | None -> `Error (false, Printf.sprintf "no built-in spec named %s" n))
+  in
+  Cmd.v
+    (Cmd.info "specs" ~exits
+       ~doc:"List built-in commutativity specifications, or print one.")
+    Term.(ret (const run $ name_arg))
+
+(* ------------------------------------------------------------------ *)
+(* translate                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let spec_file =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"SPEC" ~doc:"Specification file (DSL syntax).")
+
+let translate_cmd =
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Skip the simplification passes (dropping, cleanup, congruence \
+             replacement) and print the raw Section 6.2 translation.")
+  in
+  let run file raw =
+    match Spec_parser.parse_file file with
+    | Error e -> `Error (false, e)
+    | Ok specs ->
+        List.iter
+          (fun spec ->
+            match Repr.of_spec ~optimize:(not raw) spec with
+            | Error e ->
+                Fmt.epr "%s: %s@." (Spec.name spec) e
+            | Ok repr -> Fmt.pr "%a@.@." Repr.pp repr)
+          specs;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "translate" ~exits
+       ~doc:
+         "Translate an ECL commutativity specification into its access \
+          point representation.")
+    Term.(ret (const run $ spec_file $ raw))
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let trace_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file (textual format).")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "s"; "spec" ] ~docv:"SPEC"
+          ~doc:
+            "Specification file. Objects are matched to specifications by \
+             name: an object named name or name:suffix uses the \
+             specification object name. Without this option the built-in \
+             specifications are used.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("constant", `Constant); ("linear", `Linear) ]) `Constant
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Conflict lookup strategy: constant (default) or linear.")
+  in
+  let direct =
+    Arg.(
+      value & flag
+      & info [ "direct" ]
+          ~doc:"Also run the naive specification-level detector.")
+  in
+  let fasttrack =
+    Arg.(
+      value & flag
+      & info [ "fasttrack" ]
+          ~doc:"Also run FastTrack on the trace's reads and writes.")
+  in
+  let atomicity =
+    Arg.(
+      value & flag
+      & info [ "atomicity" ]
+          ~doc:
+            "Also run the atomicity checker (transactions are the \
+             begin/end blocks of the trace).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every race.")
+  in
+  let run trace_file spec_file mode direct fasttrack atomicity verbose =
+    let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
+    let* specs =
+      match spec_file with
+      | None -> Ok (Stdspecs.all ())
+      | Some f -> Spec_parser.parse_file f
+    in
+    let spec_for o =
+      let name = Obj_id.name o in
+      let base =
+        match String.index_opt name ':' with
+        | Some i -> String.sub name 0 i
+        | None -> name
+      in
+      List.find_opt (fun s -> String.equal (Spec.name s) base) specs
+    in
+    let* trace = Trace_text.parse_file trace_file in
+    let config =
+      { Analyzer.rd2 = mode; direct; fasttrack; djit = false; atomicity }
+    in
+    let* an = Analyzer.create ~config ~spec_for () in
+    (try Analyzer.run_trace an trace
+     with Invalid_argument e -> failwith e);
+    Fmt.pr "%a@." Analyzer.pp_summary an;
+    if verbose then begin
+      List.iter (fun r -> Fmt.pr "%a@." Report.pp r) (Analyzer.rd2_races an);
+      List.iter
+        (fun r -> Fmt.pr "%a@." Rw_report.pp r)
+        (Analyzer.fasttrack_races an);
+      List.iter
+        (fun v -> Fmt.pr "%a@." Atomicity.pp_violation v)
+        (Analyzer.atomicity_violations an)
+    end;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "check" ~exits
+       ~doc:"Check a recorded trace for commutativity races.")
+    Term.(
+      ret
+        (const run $ trace_file $ spec_arg $ mode $ direct $ fasttrack
+       $ atomicity $ verbose))
+
+
+(* ------------------------------------------------------------------ *)
+(* shared workload runner                                              *)
+(* ------------------------------------------------------------------ *)
+
+let workload_names =
+  [ "fig1"; "snitch" ]
+  @ List.map Crd_workloads.Polepos.name Crd_workloads.Polepos.all
+
+let run_fig1 seed sink =
+  Sched.run ~seed ~sink (fun () ->
+      let o = Monitored.Dict.create ~name:"dictionary:o" () in
+      let hosts = [ "a.com"; "a.com"; "b.com"; "c.com" ] in
+      List.iteri
+        (fun i host ->
+          ignore
+            (Sched.fork (fun () ->
+                 ignore
+                   (Monitored.Dict.put o (Value.Str host) (Value.Ref (100 + i))))))
+        hosts;
+      Sched.join_all ();
+      ignore (Monitored.Dict.size o))
+
+(* Returns false for an unknown workload name. *)
+let run_workload workload ~seed ~scale sink =
+  if String.equal workload "fig1" then begin
+    run_fig1 seed sink;
+    true
+  end
+  else if String.equal workload "snitch" then begin
+    ignore (Crd_workloads.Snitch.run ~seed ~sink ());
+    true
+  end
+  else
+    match Crd_workloads.Polepos.of_name workload with
+    | Some c ->
+        ignore (Crd_workloads.Polepos.run c ~seed ~scale ~sink ());
+        true
+    | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let workloads = workload_names in
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:
+            (Printf.sprintf "One of: %s." (String.concat ", " workloads)))
+  in
+  let seed =
+    Arg.(
+      value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+  in
+  let scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc:"Workload scale.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every race.")
+  in
+  let run workload seed scale verbose =
+    let an = Analyzer.with_stdspecs () in
+    let sink = Analyzer.sink an in
+    let ok = run_workload workload ~seed ~scale sink in
+    if not ok then
+      `Error (false, Printf.sprintf "unknown workload %s" workload)
+    else begin
+      Fmt.pr "%a@." Analyzer.pp_summary an;
+      if verbose then
+        List.iter (fun r -> Fmt.pr "%a@." Report.pp r) (Analyzer.rd2_races an);
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~exits
+       ~doc:"Run a built-in workload under the analyzer and report races.")
+    Term.(ret (const run $ workload $ seed $ scale $ verbose))
+
+(* ------------------------------------------------------------------ *)
+(* record                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(
+    value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+
+let scale_arg =
+  Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc:"Workload scale.")
+
+let record_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:(Printf.sprintf "One of: %s." (String.concat ", " workload_names)))
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the trace here (default: stdout).")
+  in
+  let run workload seed scale output =
+    let trace = Trace.create () in
+    if not (run_workload workload ~seed ~scale (Trace.append trace)) then
+      `Error (false, Printf.sprintf "unknown workload %s" workload)
+    else begin
+      let text = Trace_text.to_string trace in
+      (match output with
+      | None -> print_string text
+      | Some path -> Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc text));
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "record" ~exits
+       ~doc:
+         "Run a built-in workload and dump its event trace in the textual \
+          format (replayable with 'rd2 check').")
+    Term.(ret (const run $ workload $ seed_arg $ scale_arg $ output))
+
+(* ------------------------------------------------------------------ *)
+(* explore                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let explore_cmd =
+  let workload =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD"
+          ~doc:(Printf.sprintf "One of: %s." (String.concat ", " workload_names)))
+  in
+  let seeds =
+    Arg.(
+      value & opt int 10
+      & info [ "seeds" ] ~docv:"N" ~doc:"Number of schedules to explore.")
+  in
+  let scale = scale_arg in
+  let run workload seeds scale =
+    (* Aggregate distinct races across schedules; a race is fingerprinted
+       by its object and the conflicting access-point pair. *)
+    let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    let new_per_seed = ref [] in
+    let ok = ref true in
+    for seed = 1 to seeds do
+      if !ok then begin
+        let an = Analyzer.with_stdspecs () in
+        if not (run_workload workload ~seed:(Int64.of_int seed) ~scale
+                  (Analyzer.sink an))
+        then ok := false
+        else begin
+          let fresh = ref 0 in
+          List.iter
+            (fun (r : Report.t) ->
+              let key =
+                Printf.sprintf "%s|%s|%s" (Obj_id.name r.Report.obj)
+                  r.Report.point r.Report.conflicting
+              in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.replace seen key ();
+                incr fresh
+              end)
+            (Analyzer.rd2_races an);
+          new_per_seed := (seed, !fresh) :: !new_per_seed
+        end
+      end
+    done;
+    if not !ok then `Error (false, Printf.sprintf "unknown workload %s" workload)
+    else begin
+      Fmt.pr "%6s %18s %20s@." "seed" "new race patterns" "cumulative distinct";
+      let total = ref 0 in
+      List.iter
+        (fun (seed, fresh) ->
+          total := !total + fresh;
+          Fmt.pr "%6d %18d %20d@." seed fresh !total)
+        (List.rev !new_per_seed);
+      Fmt.pr "@.%d distinct race pattern(s) across %d schedule(s)@."
+        (Hashtbl.length seen) seeds;
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "explore" ~exits
+       ~doc:
+         "Run a workload under many scheduler seeds and aggregate the \
+          distinct commutativity-race patterns discovered.")
+    Term.(ret (const run $ workload $ seeds $ scale))
+
+(* ------------------------------------------------------------------ *)
+(* table2                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let table2_cmd =
+  let seed =
+    Arg.(
+      value & opt int64 1L & info [ "seed" ] ~docv:"SEED" ~doc:"Scheduler seed.")
+  in
+  let scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~docv:"N" ~doc:"Workload scale.")
+  in
+  let repeats =
+    Arg.(
+      value & opt int 3
+      & info [ "repeats" ] ~docv:"N"
+          ~doc:"Timing repetitions (best-of-N wall clock).")
+  in
+  let run seed scale repeats =
+    let t = Crd_workloads.Table2.collect ~seed ~scale ~repeats () in
+    Fmt.pr "%a@." Crd_workloads.Table2.print t
+  in
+  Cmd.v
+    (Cmd.info "table2" ~exits ~doc:"Reproduce the paper's Table 2.")
+    Term.(const run $ seed $ scale $ repeats)
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  Cmd.group
+    (Cmd.info "rd2" ~version:"1.0.0" ~exits
+       ~doc:"Dynamic commutativity race detection (PLDI 2014 reproduction).")
+    [
+      specs_cmd; translate_cmd; check_cmd; simulate_cmd; record_cmd;
+      explore_cmd; table2_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

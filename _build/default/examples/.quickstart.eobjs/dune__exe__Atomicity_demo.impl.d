@@ -1,0 +1,1 @@
+examples/atomicity_demo.ml: Analyzer Atomicity Crd Fmt Int64 List Monitored Sched Value

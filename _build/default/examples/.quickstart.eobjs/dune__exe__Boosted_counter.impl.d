@@ -1,0 +1,1 @@
+examples/boosted_counter.ml: Analyzer Crd Crd_boost Fmt Int64 List Monitored Option Repr Result Sched Stdspecs Value

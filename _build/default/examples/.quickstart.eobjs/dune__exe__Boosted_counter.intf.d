@@ -1,0 +1,1 @@
+examples/boosted_counter.mli:

@@ -1,0 +1,1 @@
+examples/custom_spec.ml: Action Analyzer Crd Direct Event Fmt List Obj_id Option Rd2 Report Repr Spec Spec_parser Tid Trace Value

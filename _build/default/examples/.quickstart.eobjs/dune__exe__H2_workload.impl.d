@@ -1,0 +1,1 @@
+examples/h2_workload.ml: Analyzer Crd Crd_workloads Fmt Hashtbl List Monitored Obj_id Option Printf Report Sched Value

@@ -1,0 +1,1 @@
+examples/h2_workload.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analyzer Crd Fmt List Monitored Report Sched Value

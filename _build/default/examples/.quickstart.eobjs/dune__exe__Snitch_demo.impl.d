@@ -1,0 +1,1 @@
+examples/snitch_demo.ml: Analyzer Crd Crd_workloads Fmt List Report String

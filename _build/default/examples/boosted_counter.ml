@@ -1,0 +1,70 @@
+(* Transactional boosting: fixing the lost-update counter with abstract
+   locks derived from the commutativity specification.
+
+   The same program as examples/atomicity_demo.ml, but the increments run
+   as boosted transactions: each operation acquires its access points as
+   abstract locks (r:k shared, w:k exclusive — modes derived from Fig 6,
+   not hand-written), writes are buffered, conflicts abort and retry.
+   The counter is now always correct, and the emitted trace is
+   conflict-serializable (the atomicity checker stays silent).
+
+   Run with:  dune exec examples/boosted_counter.exe *)
+
+open Crd
+module Boost = Crd_boost.Boost
+
+let increments = 8
+
+let run_with_seed seed =
+  let an =
+    Analyzer.with_stdspecs
+      ~config:
+        {
+          Analyzer.rd2 = `Off;
+          direct = false;
+          fasttrack = false;
+          djit = false;
+          atomicity = true;
+        }
+      ()
+  in
+  let final = ref 0 in
+  let mgr = ref None in
+  Sched.run ~seed ~sink:(Analyzer.sink an) (fun () ->
+      let repr = Result.get_ok (Repr.of_spec (Stdspecs.dictionary ())) in
+      let m = Boost.create ~repr () in
+      mgr := Some m;
+      let d = Monitored.Dict.create ~name:"dictionary:counters" () in
+      for _ = 1 to increments do
+        ignore
+          (Sched.fork (fun () ->
+               Boost.atomic m (fun txn ->
+                   let v = Boost.get txn d (Value.Str "hits") in
+                   let n = match v with Value.Int n -> n | _ -> 0 in
+                   ignore (Boost.put txn d (Value.Str "hits") (Value.Int (n + 1))))))
+      done;
+      Sched.join_all ();
+      (match Monitored.Dict.raw_get d (Value.Str "hits") with
+      | Value.Int n -> final := n
+      | _ -> ()));
+  (an, Option.get !mgr, !final)
+
+let () =
+  Fmt.pr "%d threads each run a *boosted* atomic { hits := hits + 1 }@.@."
+    increments;
+  Fmt.pr "%6s %12s %10s %10s %22s@." "seed" "final hits" "commits" "aborts"
+    "atomicity violations";
+  List.iter
+    (fun seed ->
+      let an, mgr, final = run_with_seed (Int64.of_int seed) in
+      let s = Boost.stats mgr in
+      Fmt.pr "%6d %12d %10d %10d %22d@." seed final s.Boost.commits
+        s.Boost.aborts
+        (List.length (Analyzer.atomicity_violations an)))
+    [ 1; 2; 3; 4; 11 ];
+  Fmt.pr
+    "@.Every run keeps all %d increments: conflicting transactions abort \
+     and retry@.instead of tangling. The abstract-lock modes come straight \
+     from the translated@.commutativity specification — the same \
+     representation the race detector uses.@."
+    increments

@@ -1,0 +1,1 @@
+lib/apoint/point.ml: Crd_base Fmt Hashtbl Int Value

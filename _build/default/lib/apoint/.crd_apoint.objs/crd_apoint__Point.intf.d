@@ -1,0 +1,1 @@
+lib/apoint/point.mli: Crd_base Fmt Hashtbl Value

@@ -1,0 +1,1 @@
+lib/apoint/repr.ml: Action Array Atom Buffer Crd_base Crd_spec Crd_trace Fmt Hashtbl List Point Printf Signature Spec Translate Value

@@ -1,0 +1,1 @@
+lib/apoint/repr.mli: Action Crd_spec Crd_trace Fmt Point Spec

@@ -1,0 +1,1 @@
+lib/apoint/residual.ml: Atom Crd_spec Ecl Fmt Formula List

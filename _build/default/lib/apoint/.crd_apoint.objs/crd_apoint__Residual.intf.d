@@ -1,0 +1,1 @@
+lib/apoint/residual.mli: Atom Crd_spec Fmt Formula

@@ -1,0 +1,1 @@
+lib/apoint/translate.ml: Array Atom Crd_spec Ecl Fmt Formula Hashtbl List Option Printf Residual Signature Spec String

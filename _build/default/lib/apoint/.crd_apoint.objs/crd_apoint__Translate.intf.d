@@ -1,0 +1,1 @@
+lib/apoint/translate.mli: Atom Crd_base Crd_spec Fmt Hashtbl Signature Spec Value

@@ -1,0 +1,35 @@
+open Crd_base
+
+type t = Ds of int | Keyed of int * Value.t
+
+let shape = function Ds s -> s | Keyed (s, _) -> s
+
+let equal a b =
+  match (a, b) with
+  | Ds a, Ds b -> Int.equal a b
+  | Keyed (a, u), Keyed (b, v) -> Int.equal a b && Value.equal u v
+  | (Ds _ | Keyed _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Ds a, Ds b -> Int.compare a b
+  | Ds _, Keyed _ -> -1
+  | Keyed _, Ds _ -> 1
+  | Keyed (a, u), Keyed (b, v) ->
+      let c = Int.compare a b in
+      if c <> 0 then c else Value.compare u v
+
+let hash = function
+  | Ds s -> Hashtbl.hash (0, s)
+  | Keyed (s, v) -> Hashtbl.hash (1, s, Value.hash v)
+
+let pp ppf = function
+  | Ds s -> Fmt.pf ppf "#%d:ds" s
+  | Keyed (s, v) -> Fmt.pf ppf "#%d:%a" s Value.pp v
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,21 @@
+(** Runtime access points.
+
+    An access point is identified by a {e shape} (a static identifier
+    assigned by the translation: method + beta vector + ds/argument-slot
+    kind, possibly merged by the optimization passes) plus, for
+    argument-slot points, the concrete value witnessed ([o.m:beta:i:w] in
+    the paper). Ds points ([o.m:beta:ds]) carry no value. *)
+
+open Crd_base
+
+type t =
+  | Ds of int  (** shape id *)
+  | Keyed of int * Value.t  (** shape id, witnessed value *)
+
+val shape : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t
+
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,79 @@
+open Crd_spec
+
+type t = Rfalse | Rconj of (int * int) list
+
+let rtrue = Rconj []
+
+let equal a b =
+  match (a, b) with
+  | Rfalse, Rfalse -> true
+  | Rconj a, Rconj b -> List.equal (fun (a, b) (c, d) -> a = c && b = d) a b
+  | (Rfalse | Rconj _), _ -> false
+
+let pp ppf = function
+  | Rfalse -> Fmt.string ppf "false"
+  | Rconj [] -> Fmt.string ppf "true"
+  | Rconj cs ->
+      Fmt.pf ppf "%a"
+        Fmt.(list ~sep:(any " && ") (fun ppf (i, j) -> pf ppf "$1.%d != $2.%d" i j))
+        cs
+
+exception Not_ecl of string
+
+let not_ecl fmt = Fmt.kstr (fun s -> raise (Not_ecl s)) fmt
+
+let conj a b =
+  match (a, b) with
+  | Rfalse, _ | _, Rfalse -> Rfalse
+  | Rconj x, Rconj y -> Rconj (List.sort_uniq compare (x @ y))
+
+let disj a b =
+  match (a, b) with
+  | Rconj [], _ | _, Rconj [] -> rtrue
+  | Rfalse, x | x, Rfalse -> x
+  | Rconj _, Rconj _ ->
+      not_ecl "disjunction of two non-trivial SIMPLE residues"
+
+let residuate phi ~beta1 ~beta2 =
+  let rec go (f : Formula.t) =
+    match f with
+    | Formula.True -> rtrue
+    | Formula.False -> Rfalse
+    | Formula.Atom a -> (
+        match Ecl.classify_atom a with
+        | Some (Ecl.Lb_atom side) ->
+            let truth =
+              if Atom.vars a = [] then
+                (* Variable-free atoms are decided outright; they never
+                   enter B(Phi, m). *)
+                Atom.eval a (fun _ -> assert false)
+              else
+                let beta =
+                  match side with
+                  | Atom.Side.Fst -> beta1
+                  | Atom.Side.Snd -> beta2
+                in
+                let norm, sign = Atom.normalize a in
+                if sign then beta norm else not (beta norm)
+            in
+            if truth then rtrue else Rfalse
+        | Some Ecl.Ls_atom -> (
+            match (a.lhs, a.rhs) with
+            | Atom.Var v1, Atom.Var v2 ->
+                let i, j =
+                  match v1.side with
+                  | Atom.Side.Fst -> (v1.slot, v2.slot)
+                  | Atom.Side.Snd -> (v2.slot, v1.slot)
+                in
+                Rconj [ (i, j) ]
+            | _ -> not_ecl "malformed SIMPLE atom %a" Atom.pp a)
+        | None -> not_ecl "atom %a is outside ECL" Atom.pp a)
+    | Formula.Not f -> (
+        match go f with
+        | Rfalse -> rtrue
+        | Rconj [] -> Rfalse
+        | Rconj _ -> not_ecl "negation over a non-LB formula")
+    | Formula.And (f, g) -> conj (go f) (go g)
+    | Formula.Or (f, g) -> disj (go f) (go g)
+  in
+  go phi

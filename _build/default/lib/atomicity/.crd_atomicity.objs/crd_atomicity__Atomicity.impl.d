@@ -1,0 +1,1 @@
+lib/atomicity/atomicity.ml: Action Crd_apoint Crd_base Crd_trace Event Fmt Hashtbl List Lock_id Mem_loc Obj_id Point Repr Tid

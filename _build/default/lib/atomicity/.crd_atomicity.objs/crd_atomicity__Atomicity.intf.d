@@ -1,0 +1,1 @@
+lib/atomicity/atomicity.mli: Action Crd_apoint Crd_base Crd_trace Event Fmt Obj_id Repr Tid

@@ -1,0 +1,325 @@
+open Crd_base
+open Crd_trace
+open Crd_apoint
+
+type violation = {
+  index : int;
+  obj : Obj_id.t;
+  tid : Tid.t;
+  action : Action.t;
+  cycle : int list;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf
+    "atomicity violation at event %d: %a: %a on %a closes the cycle %a" v.index
+    Tid.pp v.tid Action.pp v.action Obj_id.pp v.obj
+    Fmt.(list ~sep:(any " -> ") (fun ppf i -> pf ppf "tx%d" i))
+    v.cycle
+
+type thread_state = {
+  mutable current : int option;  (* transaction in progress *)
+  mutable in_block : bool;  (* inside Begin/End *)
+  mutable last : int option;  (* most recent transaction (for program order) *)
+}
+
+type obj_state = {
+  repr : Repr.t;
+  (* Last transaction per thread to touch each access point. *)
+  touchers : (int * int) list Point.Tbl.t;  (* point -> (tid, txn) list *)
+}
+
+module LocTbl = Hashtbl.Make (struct
+  type t = Mem_loc.t
+
+  let equal = Mem_loc.equal
+  let hash = Mem_loc.hash
+end)
+
+type loc_state = {
+  mutable readers : (int * int) list;  (* (tid, txn) last reader per thread *)
+  mutable writer : int option;  (* last writing transaction *)
+}
+
+type t = {
+  repr_for : Obj_id.t -> Repr.t option;
+  threads : (int, thread_state) Hashtbl.t;
+  objects : (int, obj_state option) Hashtbl.t;
+  locs : loc_state LocTbl.t;
+  (* The transactional happens-before graph. *)
+  succs : (int, int list ref) Hashtbl.t;
+  locks : (int, int) Hashtbl.t;  (* lock id -> last releasing txn *)
+  pending_fork : (int, int) Hashtbl.t;  (* child tid -> forking txn *)
+  mutable next_txn : int;
+  mutable reported : (int * int) list;  (* suppressed violation pairs *)
+  mutable violations : violation list;
+}
+
+let create ~repr_for () =
+  {
+    repr_for;
+    threads = Hashtbl.create 16;
+    objects = Hashtbl.create 32;
+    locs = LocTbl.create 64;
+    succs = Hashtbl.create 64;
+    locks = Hashtbl.create 8;
+    pending_fork = Hashtbl.create 8;
+    next_txn = 0;
+    reported = [];
+    violations = [];
+  }
+
+let transactions t = t.next_txn
+let violations t = List.rev t.violations
+
+let thread t tid =
+  let key = Tid.to_int tid in
+  match Hashtbl.find_opt t.threads key with
+  | Some st -> st
+  | None ->
+      let st = { current = None; in_block = false; last = None } in
+      Hashtbl.add t.threads key st;
+      st
+
+let obj_state t (o : Obj_id.t) =
+  let key = Obj_id.id o in
+  match Hashtbl.find_opt t.objects key with
+  | Some st -> st
+  | None ->
+      let st =
+        match t.repr_for o with
+        | None -> None
+        | Some repr -> Some { repr; touchers = Point.Tbl.create 16 }
+      in
+      Hashtbl.add t.objects key st;
+      st
+
+let loc_state t loc =
+  match LocTbl.find_opt t.locs loc with
+  | Some s -> s
+  | None ->
+      let s = { readers = []; writer = None } in
+      LocTbl.add t.locs loc s;
+      s
+
+(* ------------------------------------------------------------------ *)
+(* Graph                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let succs_of t a =
+  match Hashtbl.find_opt t.succs a with
+  | Some l -> !l
+  | None -> []
+
+(* Path from [src] to [dst], if any (DFS). *)
+let path t ~src ~dst =
+  let visited = Hashtbl.create 16 in
+  let rec go node acc =
+    if node = dst then Some (List.rev (node :: acc))
+    else if Hashtbl.mem visited node then None
+    else begin
+      Hashtbl.add visited node ();
+      List.find_map (fun next -> go next (node :: acc)) (succs_of t node)
+    end
+  in
+  go src []
+
+(* Add edge a -> b; if b already reaches a, this closes a cycle. *)
+let add_edge t a b =
+  if a = b then None
+  else begin
+    let outs =
+      match Hashtbl.find_opt t.succs a with
+      | Some l -> l
+      | None ->
+          let l = ref [] in
+          Hashtbl.add t.succs a l;
+          l
+    in
+    if List.mem b !outs then None
+    else begin
+      let cycle = path t ~src:b ~dst:a in
+      outs := b :: !outs;
+      cycle
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Transactions                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_txn t tid =
+  let id = t.next_txn in
+  t.next_txn <- id + 1;
+  let st = thread t tid in
+  (* Program order: the thread's previous transaction precedes this one. *)
+  (match st.last with Some prev -> ignore (add_edge t prev id) | None -> ());
+  (* Fork edge: the forker's transaction precedes the child's first. *)
+  (match Hashtbl.find_opt t.pending_fork (Tid.to_int tid) with
+  | Some parent ->
+      Hashtbl.remove t.pending_fork (Tid.to_int tid);
+      ignore (add_edge t parent id)
+  | None -> ());
+  st.last <- Some id;
+  id
+
+(* The transaction an operation of [tid] belongs to. *)
+let current_txn t tid =
+  let st = thread t tid in
+  match st.current with
+  | Some txn -> (txn, st.in_block)
+  | None ->
+      let txn = fresh_txn t tid in
+      if st.in_block then st.current <- Some txn;
+      (txn, st.in_block)
+
+(* A synchronization operation of a thread outside a block is attached to
+   a fresh unary transaction so sync edges are still recorded. *)
+let sync_txn t tid =
+  let st = thread t tid in
+  match st.current with Some txn -> txn | None -> fresh_txn t tid
+
+(* ------------------------------------------------------------------ *)
+(* Conflict recording                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let record_conflicts t ~index ~tid ~action txn (st : obj_state) =
+  let points = Repr.eta st.repr action in
+  let found = ref None in
+  List.iter
+    (fun pt ->
+      List.iter
+        (fun pt' ->
+          match Point.Tbl.find_opt st.touchers pt' with
+          | None -> ()
+          | Some entries ->
+              List.iter
+                (fun (_, prior) ->
+                  if prior <> txn && !found = None then
+                    match add_edge t prior txn with
+                    | Some cycle when not (List.mem (prior, txn) t.reported) ->
+                        t.reported <- (prior, txn) :: t.reported;
+                        found :=
+                          Some
+                            {
+                              index;
+                              obj = action.Action.obj;
+                              tid;
+                              action;
+                              cycle;
+                            }
+                    | _ -> ()
+                  else if prior <> txn then ignore (add_edge t prior txn))
+                entries)
+        (Repr.conflicts st.repr pt))
+    points;
+  (* Update the touch tables. *)
+  List.iter
+    (fun pt ->
+      let entries =
+        match Point.Tbl.find_opt st.touchers pt with
+        | Some l -> List.filter (fun (tid', _) -> tid' <> Tid.to_int tid) l
+        | None -> []
+      in
+      Point.Tbl.replace st.touchers pt ((Tid.to_int tid, txn) :: entries))
+    points;
+  !found
+
+let record_rw t ~tid txn loc ~is_write =
+  let s = loc_state t loc in
+  let cycles = ref None in
+  let note = function
+    | Some cycle when !cycles = None -> cycles := Some cycle
+    | _ -> ()
+  in
+  if is_write then begin
+    (match s.writer with
+    | Some w when w <> txn -> note (add_edge t w txn)
+    | _ -> ());
+    List.iter (fun (_, r) -> if r <> txn then note (add_edge t r txn)) s.readers;
+    s.writer <- Some txn
+  end
+  else begin
+    (match s.writer with
+    | Some w when w <> txn -> note (add_edge t w txn)
+    | _ -> ());
+    s.readers <-
+      (Tid.to_int tid, txn)
+      :: List.filter (fun (tid', _) -> tid' <> Tid.to_int tid) s.readers
+  end;
+  !cycles
+
+(* ------------------------------------------------------------------ *)
+(* Event dispatch                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let step t ~index (e : Event.t) =
+  let tid = e.Event.tid in
+  match e.Event.op with
+  | Event.Begin ->
+      let st = thread t tid in
+      st.in_block <- true;
+      st.current <- None;
+      None
+  | Event.End ->
+      let st = thread t tid in
+      st.in_block <- false;
+      st.current <- None;
+      None
+  | Event.Call action -> (
+      match obj_state t action.Action.obj with
+      | None -> None
+      | Some ost ->
+          let txn, _ = current_txn t tid in
+          let v = record_conflicts t ~index ~tid ~action txn ost in
+          (match v with
+          | Some violation -> t.violations <- violation :: t.violations
+          | None -> ());
+          v)
+  | Event.Read loc ->
+      let txn, _ = current_txn t tid in
+      (match record_rw t ~tid txn loc ~is_write:false with
+      | Some cycle ->
+          let action =
+            Action.make
+              ~obj:(Obj_id.make ~name:(Fmt.str "%a" Mem_loc.pp loc) (-2))
+              ~meth:"read" ()
+          in
+          let v = { index; obj = action.Action.obj; tid; action; cycle } in
+          t.violations <- v :: t.violations;
+          Some v
+      | None -> None)
+  | Event.Write loc ->
+      let txn, _ = current_txn t tid in
+      (match record_rw t ~tid txn loc ~is_write:true with
+      | Some cycle ->
+          let action =
+            Action.make
+              ~obj:(Obj_id.make ~name:(Fmt.str "%a" Mem_loc.pp loc) (-2))
+              ~meth:"write" ()
+          in
+          let v = { index; obj = action.Action.obj; tid; action; cycle } in
+          t.violations <- v :: t.violations;
+          Some v
+      | None -> None)
+  | Event.Fork child ->
+      let txn = sync_txn t tid in
+      Hashtbl.replace t.pending_fork (Tid.to_int child) txn;
+      None
+  | Event.Join child ->
+      let txn = sync_txn t tid in
+      let child_st = thread t child in
+      (match child_st.last with
+      | Some last -> ignore (add_edge t last txn)
+      | None -> ());
+      None
+  | Event.Acquire l ->
+      let txn = sync_txn t tid in
+      (match Hashtbl.find_opt t.locks (Lock_id.id l) with
+      | Some releaser when releaser <> txn -> ignore (add_edge t releaser txn)
+      | _ -> ());
+      None
+  | Event.Release l ->
+      let txn = sync_txn t tid in
+      Hashtbl.replace t.locks (Lock_id.id l) txn;
+      None

@@ -1,0 +1,49 @@
+(** A dynamic atomicity (conflict-serializability) checker generalized to
+    commutativity conflicts.
+
+    Velodrome (Flanagan, Freund & Yi, PLDI'08) checks that the
+    transactional happens-before graph of an execution is acyclic, using
+    a low-level read/write notion of conflict. The paper argues
+    (Sections 2 and 8) that the access-point representation generalizes
+    such analyses to library-level conflicts; this module is that
+    generalization:
+
+    - events between [Begin] and [End] markers of a thread form one
+      transaction; actions outside any block are unary transactions;
+    - transactions are ordered by program order, fork/join, lock
+      release/acquire, and — the commutativity part — whenever two
+      transactions touch {e conflicting access points};
+    - a cycle in this graph witnesses a non-serializable execution: the
+      atomic block cannot be understood as executing at one point.
+
+    Two non-commuting operations inside atomic blocks thus do not, by
+    themselves, constitute a violation — only a cyclic conflict pattern
+    does, which is exactly what distinguishes atomicity checking from
+    (commutativity) race detection. *)
+
+open Crd_base
+open Crd_trace
+open Crd_apoint
+
+type violation = {
+  index : int;  (** trace position of the edge that closed the cycle *)
+  obj : Obj_id.t;  (** object whose conflict closed the cycle *)
+  tid : Tid.t;
+  action : Action.t;
+  cycle : int list;  (** transaction ids along the cycle *)
+}
+
+val pp_violation : violation Fmt.t
+
+type t
+
+val create : repr_for:(Obj_id.t -> Repr.t option) -> unit -> t
+
+val step : t -> index:int -> Event.t -> violation option
+(** Feed one event; returns the violation closed by this event, if any.
+    The checker keeps running after a violation (subsequent duplicates
+    of the same cyclic pattern are suppressed per transaction pair). *)
+
+val violations : t -> violation list
+val transactions : t -> int
+(** Number of transactions created so far (for tests and stats). *)

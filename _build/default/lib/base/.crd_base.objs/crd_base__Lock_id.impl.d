@@ -1,0 +1,1 @@
+lib/base/lock_id.ml: Fmt Hashtbl Int Printf

@@ -1,0 +1,1 @@
+lib/base/lock_id.mli: Fmt

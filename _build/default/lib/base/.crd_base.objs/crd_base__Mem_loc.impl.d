@@ -1,0 +1,1 @@
+lib/base/mem_loc.ml: Fmt Hashtbl Obj_id String Value

@@ -1,0 +1,1 @@
+lib/base/mem_loc.mli: Fmt Obj_id Value

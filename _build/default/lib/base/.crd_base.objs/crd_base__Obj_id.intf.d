@@ -1,0 +1,1 @@
+lib/base/obj_id.mli: Fmt

@@ -1,0 +1,1 @@
+lib/base/tid.ml: Fmt Hashtbl Int

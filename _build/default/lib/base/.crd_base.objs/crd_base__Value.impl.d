@@ -1,0 +1,1 @@
+lib/base/value.ml: Bool Fmt Hashtbl Int Printf Scanf String

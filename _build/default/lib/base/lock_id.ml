@@ -1,0 +1,19 @@
+type t = { id : int; name : string }
+
+let make ?name id =
+  let name = match name with Some n -> n | None -> Printf.sprintf "l%d" id in
+  { id; name }
+
+let counter = ref 0
+
+let fresh ?name () =
+  let id = !counter in
+  incr counter;
+  make ?name id
+
+let id t = t.id
+let name t = t.name
+let equal a b = Int.equal a.id b.id
+let compare a b = Int.compare a.id b.id
+let hash t = Hashtbl.hash t.id
+let pp ppf t = Fmt.string ppf t.name

@@ -1,0 +1,12 @@
+(** Lock identifiers for acquire/release synchronization events. *)
+
+type t
+
+val make : ?name:string -> int -> t
+val fresh : ?name:string -> unit -> t
+val id : t -> int
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,39 @@
+type t =
+  | Global of string
+  | Field of Obj_id.t * string
+  | Slot of Obj_id.t * string * Value.t
+
+let equal a b =
+  match (a, b) with
+  | Global a, Global b -> String.equal a b
+  | Field (o1, f1), Field (o2, f2) -> Obj_id.equal o1 o2 && String.equal f1 f2
+  | Slot (o1, f1, v1), Slot (o2, f2, v2) ->
+      Obj_id.equal o1 o2 && String.equal f1 f2 && Value.equal v1 v2
+  | (Global _ | Field _ | Slot _), _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Global a, Global b -> String.compare a b
+  | Global _, _ -> -1
+  | _, Global _ -> 1
+  | Field (o1, f1), Field (o2, f2) ->
+      let c = Obj_id.compare o1 o2 in
+      if c <> 0 then c else String.compare f1 f2
+  | Field _, _ -> -1
+  | _, Field _ -> 1
+  | Slot (o1, f1, v1), Slot (o2, f2, v2) ->
+      let c = Obj_id.compare o1 o2 in
+      if c <> 0 then c
+      else
+        let c = String.compare f1 f2 in
+        if c <> 0 then c else Value.compare v1 v2
+
+let hash = function
+  | Global g -> Hashtbl.hash (0, g)
+  | Field (o, f) -> Hashtbl.hash (1, Obj_id.hash o, f)
+  | Slot (o, f, v) -> Hashtbl.hash (2, Obj_id.hash o, f, Value.hash v)
+
+let pp ppf = function
+  | Global g -> Fmt.string ppf g
+  | Field (o, f) -> Fmt.pf ppf "%a.%s" Obj_id.pp o f
+  | Slot (o, f, v) -> Fmt.pf ppf "%a.%s[%a]" Obj_id.pp o f Value.pp v

@@ -1,0 +1,17 @@
+(** Low-level memory locations, the conflict unit of read-write race
+    detectors (FastTrack, DJIT+).
+
+    The paper's RoadRunner substrate instruments every field and array
+    element of the target program; our runtime substrate mirrors this by
+    emitting [Read]/[Write] events on values of this type. *)
+
+type t =
+  | Global of string  (** a global or static field *)
+  | Field of Obj_id.t * string  (** an instance field *)
+  | Slot of Obj_id.t * string * Value.t
+      (** a keyed slot inside an object, e.g. a hash-table bucket *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,18 @@
+(** Identities of shared (monitored) objects.
+
+    An object identity pairs a unique integer with a human-readable name
+    used in race reports (e.g. the [freedPageSpace] map of the H2
+    workload). Equality and hashing are by the integer only. *)
+
+type t
+
+val make : ?name:string -> int -> t
+val fresh : ?name:string -> unit -> t
+(** [fresh ()] allocates a new identity from a global counter. *)
+
+val id : t -> int
+val name : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t

@@ -1,0 +1,16 @@
+(** Thread identifiers.
+
+    Threads are numbered densely from 0 so that vector clocks can be
+    array-backed. Thread 0 is conventionally the main thread. *)
+
+type t = private int
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+val main : t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : t Fmt.t

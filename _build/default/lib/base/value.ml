@@ -1,0 +1,72 @@
+type t =
+  | Nil
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Ref of int
+
+let equal a b =
+  match (a, b) with
+  | Nil, Nil -> true
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Str a, Str b -> String.equal a b
+  | Ref a, Ref b -> a = b
+  | (Nil | Bool _ | Int _ | Str _ | Ref _), _ -> false
+
+let rank = function
+  | Nil -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Str _ -> 3
+  | Ref _ -> 4
+
+let compare a b =
+  match (a, b) with
+  | Nil, Nil -> 0
+  | Bool a, Bool b -> Bool.compare a b
+  | Int a, Int b -> Int.compare a b
+  | Str a, Str b -> String.compare a b
+  | Ref a, Ref b -> Int.compare a b
+  | _ -> Int.compare (rank a) (rank b)
+
+let hash = function
+  | Nil -> 0x9e37
+  | Bool b -> if b then 0x5bd1 else 0x85eb
+  | Int i -> Hashtbl.hash (2, i)
+  | Str s -> Hashtbl.hash (3, s)
+  | Ref r -> Hashtbl.hash (4, r)
+
+let is_nil = function Nil -> true | _ -> false
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+
+let pp ppf = function
+  | Nil -> Fmt.string ppf "nil"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Str s -> Fmt.pf ppf "%S" s
+  | Ref r -> Fmt.pf ppf "@@%d" r
+
+let to_string v = Fmt.str "%a" pp v
+
+let parse s =
+  let n = String.length s in
+  if n = 0 then Error "empty value"
+  else if String.equal s "nil" then Ok Nil
+  else if String.equal s "true" then Ok (Bool true)
+  else if String.equal s "false" then Ok (Bool false)
+  else if s.[0] = '"' then
+    if n >= 2 && s.[n - 1] = '"' then
+      match Scanf.sscanf_opt s "%S" (fun str -> str) with
+      | Some str -> Ok (Str str)
+      | None -> Error (Printf.sprintf "malformed string literal %s" s)
+    else Error (Printf.sprintf "unterminated string literal %s" s)
+  else if s.[0] = '@' then
+    match int_of_string_opt (String.sub s 1 (n - 1)) with
+    | Some r -> Ok (Ref r)
+    | None -> Error (Printf.sprintf "malformed reference %s" s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Ok (Int i)
+    | None -> Error (Printf.sprintf "unrecognized value %s" s)

@@ -1,0 +1,35 @@
+(** Universal value domain [U] for method arguments and return values.
+
+    The paper's actions are method invocations [o.m(u~)/v~] whose arguments
+    and returns range over an unspecified domain with a distinguished
+    no-value [nil] (Section 3.1). We use a small dynamically-typed domain
+    large enough for all the specifications and workloads in the paper:
+    integers, booleans, strings, opaque references (e.g. the connection
+    objects of Fig. 1), and [nil]. *)
+
+type t =
+  | Nil  (** the distinguished no-value *)
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Ref of int  (** an opaque heap reference, compared by identity *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val is_nil : t -> bool
+
+(** Total order used by ordered predicates ([<], [<=], ...) in
+    specification atoms. Values of different constructors are ordered by
+    constructor rank; this keeps the logic total without meaning anything
+    semantically across kinds. *)
+val lt : t -> t -> bool
+
+val le : t -> t -> bool
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** [parse s] reconstructs a value from its [to_string] rendering.
+    Inverse of [to_string] on all values. *)
+val parse : string -> (t, string) result

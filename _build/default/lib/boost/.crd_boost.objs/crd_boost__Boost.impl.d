@@ -1,0 +1,1 @@
+lib/boost/boost.ml: Action Crd_apoint Crd_base Crd_runtime Crd_trace Hashtbl List Monitored Obj_id Sched Value

@@ -1,0 +1,1 @@
+lib/boost/boost.mli: Crd_apoint Crd_base Crd_runtime Monitored Value

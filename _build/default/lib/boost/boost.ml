@@ -1,0 +1,200 @@
+open Crd_base
+open Crd_trace
+open Crd_runtime
+module Repr = Crd_apoint.Repr
+module Point = Crd_apoint.Point
+
+type stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable acquisitions : int;
+}
+
+module VTbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+(* Abstract lock table: which transactions hold which (object, point). *)
+module PTbl = Hashtbl.Make (struct
+  type t = int * Point.t (* object id, point *)
+
+  let equal (o1, p1) (o2, p2) = o1 = o2 && Point.equal p1 p2
+  let hash (o, p) = Hashtbl.hash (o, Point.hash p)
+end)
+
+type t = {
+  repr : Repr.t;
+  holders : int list ref PTbl.t;
+  stats : stats;
+  mutable next_txn : int;
+}
+
+exception Abort
+
+type txn = {
+  mgr : t;
+  id : int;
+  mutable held : (int * Point.t) list;
+  (* Per object: the dictionary handle plus this transaction's write
+     buffer (committed values are read through the real object). *)
+  buffers : (int, Monitored.Dict.t * Value.t VTbl.t) Hashtbl.t;
+}
+
+let create ~repr () =
+  {
+    repr;
+    holders = PTbl.create 64;
+    stats = { commits = 0; aborts = 0; acquisitions = 0 };
+    next_txn = 0;
+  }
+
+let stats t = t.stats
+
+(* ------------------------------------------------------------------ *)
+(* Abstract locking                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let holders_of t key =
+  match PTbl.find_opt t.holders key with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      PTbl.add t.holders key l;
+      l
+
+let holds txn key =
+  List.exists (fun k -> k = (fst key, snd key)) txn.held
+
+(* Acquire the abstract lock for [pt] on object [oid]: fails (aborts the
+   transaction) if any *other* transaction holds a conflicting point. *)
+let acquire txn oid pt =
+  let t = txn.mgr in
+  let key = (oid, pt) in
+  if holds txn key then ()
+  else begin
+    let conflicting =
+      List.exists
+        (fun pt' ->
+          match PTbl.find_opt t.holders (oid, pt') with
+          | Some l -> List.exists (fun id -> id <> txn.id) !l
+          | None -> false)
+        (Repr.conflicts t.repr pt)
+    in
+    if conflicting then raise Abort;
+    t.stats.acquisitions <- t.stats.acquisitions + 1;
+    let l = holders_of t key in
+    l := txn.id :: !l;
+    txn.held <- key :: txn.held
+  end
+
+let release_all txn =
+  let t = txn.mgr in
+  List.iter
+    (fun key ->
+      match PTbl.find_opt t.holders key with
+      | Some l -> l := List.filter (fun id -> id <> txn.id) !l
+      | None -> ())
+    txn.held;
+  txn.held <- []
+
+(* ------------------------------------------------------------------ *)
+(* Transactional operations                                            *)
+(* ------------------------------------------------------------------ *)
+
+let buffer txn (d : Monitored.Dict.t) =
+  let oid = Obj_id.id (Monitored.Dict.obj_id d) in
+  match Hashtbl.find_opt txn.buffers oid with
+  | Some (_, buf) -> (oid, buf)
+  | None ->
+      let buf = VTbl.create 8 in
+      Hashtbl.add txn.buffers oid (d, buf);
+      (oid, buf)
+
+(* Read through the buffer; uncommitted writes win. Reads of the real
+   object go through the *uninstrumented* accessors — the transaction's
+   linearized effect is emitted at commit. *)
+let peek txn d k =
+  let _, buf = buffer txn d in
+  match VTbl.find_opt buf k with
+  | Some v -> v
+  | None -> Monitored.Dict.raw_get d k
+
+let action_for txn (d : Monitored.Dict.t) meth args rets =
+  ignore txn;
+  Action.make ~obj:(Monitored.Dict.obj_id d) ~meth ~args ~rets ()
+
+let lock_action txn d a =
+  let oid = Obj_id.id (Monitored.Dict.obj_id d) in
+  List.iter (fun pt -> acquire txn oid pt) (Repr.eta txn.mgr.repr a)
+
+let get txn d k =
+  let v = peek txn d k in
+  lock_action txn d (action_for txn d "get" [ k ] [ v ]);
+  v
+
+let put txn d k v =
+  let p = peek txn d k in
+  lock_action txn d (action_for txn d "put" [ k; v ] [ p ]);
+  let _, buf = buffer txn d in
+  VTbl.replace buf k v;
+  p
+
+let size txn d =
+  (* The buffered size: real size adjusted by buffered inserts/removes. *)
+  let _, buf = buffer txn d in
+  let n = ref (Monitored.Dict.raw_size d) in
+  VTbl.iter
+    (fun k v ->
+      let before = Monitored.Dict.raw_get d k in
+      if Value.is_nil before && not (Value.is_nil v) then incr n
+      else if (not (Value.is_nil before)) && Value.is_nil v then decr n)
+    buf;
+  lock_action txn d (action_for txn d "size" [] [ Value.Int !n ]);
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* The transaction loop                                                *)
+(* ------------------------------------------------------------------ *)
+
+let max_retries = 10_000
+
+let commit txn =
+  (* Apply buffered writes to the real objects while every abstract lock
+     is still held; the emitted Call events form one contiguous,
+     conflict-isolated block. *)
+  Sched.atomic (fun () ->
+      Hashtbl.iter
+        (fun _ (d, buf) ->
+          VTbl.iter (fun k v -> ignore (Monitored.Dict.put d k v)) buf)
+        txn.buffers);
+  txn.mgr.stats.commits <- txn.mgr.stats.commits + 1
+
+let atomic t f =
+  let rec attempt n =
+    if n > max_retries then
+      failwith "Boost.atomic: too many retries (livelock?)";
+    let txn =
+      t.next_txn <- t.next_txn + 1;
+      { mgr = t; id = t.next_txn; held = []; buffers = Hashtbl.create 4 }
+    in
+    match f txn with
+    | result ->
+        commit txn;
+        release_all txn;
+        result
+    | exception Abort ->
+        release_all txn;
+        t.stats.aborts <- t.stats.aborts + 1;
+        (* Back off increasingly: let competing transactions finish. *)
+        for _ = 1 to min n 8 do
+          Sched.yield ()
+        done;
+        attempt (n + 1)
+    | exception e ->
+        release_all txn;
+        raise e
+  in
+  attempt 1

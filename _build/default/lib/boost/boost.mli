@@ -1,0 +1,56 @@
+(** Transactional boosting over access points — the paper's "optimistic
+    concurrency" application of the representation (Sections 1, 2 and 8;
+    cf. Herlihy & Koskinen's transactional boosting and Kulkarni et al.'s
+    abstract locks, whose SIMPLE fragment ECL extends).
+
+    A boosted transaction operates on monitored dictionaries through a
+    transaction handle. Each operation:
+
+    + computes the access points it would touch (via the translated
+      representation — the same [eta] the race detector uses);
+    + acquires them as {e abstract locks}: two transactions may hold
+      points concurrently iff the points do not conflict ([o:r:k] is
+      effectively a per-key shared mode, [o:w:k] exclusive, [o:size] /
+      [o:resize] a size-structure mode — all derived from the
+      specification, not hand-written);
+    + buffers writes; nothing touches the shared object until commit.
+
+    On a lock conflict the transaction aborts (buffers dropped — there is
+    nothing to undo), backs off and retries. At commit the buffered
+    writes are applied to the real objects, between [Begin]/[End]
+    markers, while all locks are still held — so the emitted trace is
+    conflict-serializable by construction (two-phase locking over a
+    conflict relation that is sound for commutativity). The test suite
+    checks exactly that: boosted counters never lose updates and the
+    {!Crd_atomicity} checker finds no violations in boosted traces. *)
+
+open Crd_base
+open Crd_runtime
+
+type t
+
+val create : repr:Crd_apoint.Repr.t -> unit -> t
+(** One manager per object family; [repr] must cover the methods used
+    (use the dictionary representation for {!Monitored.Dict}). *)
+
+type txn
+
+val atomic : t -> (txn -> 'a) -> 'a
+(** Run a boosted transaction, retrying on abort.
+    @raise Failure after an excessive number of retries (livelock
+    guard). Must run inside {!Sched.run}; the function may be re-executed
+    and so must be idempotent apart from its transactional effects. *)
+
+val get : txn -> Monitored.Dict.t -> Value.t -> Value.t
+val put : txn -> Monitored.Dict.t -> Value.t -> Value.t -> Value.t
+(** Returns the previous value as observed by this transaction. *)
+
+val size : txn -> Monitored.Dict.t -> int
+
+type stats = {
+  mutable commits : int;
+  mutable aborts : int;
+  mutable acquisitions : int;
+}
+
+val stats : t -> stats

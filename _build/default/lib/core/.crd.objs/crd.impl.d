@@ -1,0 +1,1 @@
+lib/core/crd.ml: Analyzer Crd_apoint Crd_atomicity Crd_base Crd_detector Crd_fasttrack Crd_runtime Crd_semantics Crd_spec Crd_spec_parser Crd_stdspecs Crd_trace Crd_vclock

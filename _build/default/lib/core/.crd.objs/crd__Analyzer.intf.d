@@ -1,0 +1,1 @@
+lib/core/analyzer.mli: Crd_atomicity Crd_base Crd_detector Crd_fasttrack Crd_spec Crd_trace Direct Event Fasttrack Fmt Obj_id Rd2 Report Rw_report Spec Trace

@@ -1,0 +1,57 @@
+(** Commutativity race detection — public umbrella.
+
+    This module re-exports the whole library surface under one name, so
+    applications can [open Crd] (or use [Crd.X]) without tracking the
+    individual sub-libraries:
+
+    - values, identities, clocks: {!Value}, {!Tid}, {!Obj_id}, {!Lock_id},
+      {!Mem_loc}, {!Prng}, {!Vclock};
+    - traces and happens-before: {!Action}, {!Event}, {!Trace},
+      {!Trace_text}, {!Hb};
+    - specification logic: {!Atom}, {!Formula}, {!Ecl}, {!Signature},
+      {!Spec}, the surface-syntax {!Spec_parser} and built-in
+      {!Stdspecs};
+    - access points: {!Point}, {!Residual}, {!Translate}, {!Repr};
+    - detectors: {!Rd2}, {!Direct}, {!Report} (commutativity),
+      {!Fasttrack}, {!Djit}, {!Rw_report} (read-write);
+    - semantics and validation: {!Model}, {!Models}, {!Soundness};
+    - the execution substrate: {!Sched}, {!Monitored};
+    - and the end-to-end {!Analyzer}. *)
+
+module Value = Crd_base.Value
+module Tid = Crd_base.Tid
+module Obj_id = Crd_base.Obj_id
+module Lock_id = Crd_base.Lock_id
+module Mem_loc = Crd_base.Mem_loc
+module Prng = Crd_base.Prng
+module Vclock = Crd_vclock.Vclock
+module Action = Crd_trace.Action
+module Event = Crd_trace.Event
+module Trace = Crd_trace.Trace
+module Trace_text = Crd_trace.Trace_text
+module Hb = Crd_trace.Hb
+module Atom = Crd_spec.Atom
+module Formula = Crd_spec.Formula
+module Ecl = Crd_spec.Ecl
+module Signature = Crd_spec.Signature
+module Spec = Crd_spec.Spec
+module Spec_parser = Crd_spec_parser.Parser
+module Stdspecs = Crd_stdspecs.Stdspecs
+module Point = Crd_apoint.Point
+module Residual = Crd_apoint.Residual
+module Translate = Crd_apoint.Translate
+module Repr = Crd_apoint.Repr
+module Report = Crd_detector.Report
+module Rd2 = Crd_detector.Rd2
+module Direct = Crd_detector.Direct
+module Rw_report = Crd_fasttrack.Rw_report
+module Fasttrack = Crd_fasttrack.Fasttrack
+module Djit = Crd_fasttrack.Djit
+module Lockset = Crd_fasttrack.Lockset
+module Model = Crd_semantics.Model
+module Models = Crd_semantics.Models
+module Soundness = Crd_semantics.Soundness
+module Sched = Crd_runtime.Sched
+module Monitored = Crd_runtime.Monitored
+module Atomicity = Crd_atomicity.Atomicity
+module Analyzer = Analyzer

@@ -1,0 +1,1 @@
+lib/detector/direct.ml: Action Crd_base Crd_spec Crd_trace Crd_vclock Hashtbl List Obj_id Report Spec Tid Vclock

@@ -1,0 +1,1 @@
+lib/detector/direct.mli: Action Crd_base Crd_spec Crd_trace Crd_vclock Obj_id Report Spec Tid Vclock

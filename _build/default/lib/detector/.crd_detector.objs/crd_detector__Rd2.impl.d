@@ -1,0 +1,1 @@
+lib/detector/rd2.ml: Action Crd_apoint Crd_base Crd_trace Crd_vclock Hashtbl List Obj_id Point Printf Report Repr Tid Value Vclock

@@ -1,0 +1,1 @@
+lib/detector/rd2.mli: Action Crd_apoint Crd_base Crd_trace Crd_vclock Obj_id Report Repr Tid Vclock

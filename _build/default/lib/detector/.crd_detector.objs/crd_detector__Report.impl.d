@@ -1,0 +1,1 @@
+lib/detector/report.ml: Action Crd_base Crd_trace Fmt Int List Obj_id Tid

@@ -1,0 +1,1 @@
+lib/detector/report.mli: Action Crd_base Crd_trace Fmt Obj_id Tid

@@ -1,0 +1,79 @@
+open Crd_base
+open Crd_vclock
+open Crd_trace
+open Crd_spec
+
+type stats = {
+  mutable actions : int;
+  mutable lookups : int;
+  mutable races : int;
+}
+
+type past = { action : Action.t; tid : Tid.t; vc : Vclock.t }
+
+type obj_state = { spec : Spec.t; mutable history : past list }
+
+type t = {
+  spec_for : Obj_id.t -> Spec.t option;
+  objects : (int, obj_state option) Hashtbl.t;
+  stats : stats;
+  mutable reports : Report.t list;
+}
+
+let create ~spec_for () =
+  {
+    spec_for;
+    objects = Hashtbl.create 64;
+    stats = { actions = 0; lookups = 0; races = 0 };
+    reports = [];
+  }
+
+let obj_state t (o : Obj_id.t) =
+  let key = Obj_id.id o in
+  match Hashtbl.find_opt t.objects key with
+  | Some st -> st
+  | None ->
+      let st =
+        match t.spec_for o with
+        | None -> None
+        | Some spec -> Some { spec; history = [] }
+      in
+      Hashtbl.add t.objects key st;
+      st
+
+let release_object t o = Hashtbl.remove t.objects (Obj_id.id o)
+
+let on_action t ~index tid (action : Action.t) vc =
+  match obj_state t action.Action.obj with
+  | None -> []
+  | Some st ->
+      t.stats.actions <- t.stats.actions + 1;
+      let found = ref [] in
+      List.iter
+        (fun (p : past) ->
+          t.stats.lookups <- t.stats.lookups + 1;
+          if
+            (not (Spec.commute st.spec p.action action))
+            && not (Vclock.leq p.vc vc)
+          then begin
+            t.stats.races <- t.stats.races + 1;
+            let r =
+              {
+                Report.index;
+                obj = action.Action.obj;
+                tid;
+                action;
+                point = Action.to_string action;
+                conflicting = Action.to_string p.action;
+                prior = Some (p.tid, p.action);
+              }
+            in
+            t.reports <- r :: t.reports;
+            found := r :: !found
+          end)
+        st.history;
+      st.history <- { action; tid; vc = Vclock.copy vc } :: st.history;
+      List.rev !found
+
+let stats t = t.stats
+let races t = List.rev t.reports

@@ -1,0 +1,133 @@
+open Crd_base
+open Crd_vclock
+open Crd_trace
+open Crd_apoint
+
+type mode = [ `Constant | `Linear ]
+
+type stats = {
+  mutable actions : int;
+  mutable lookups : int;
+  mutable races : int;
+}
+
+type entry = {
+  mutable vc : Vclock.t;  (* join of clocks of all touchers *)
+  mutable last_tid : Tid.t;
+  mutable last_action : Action.t;
+}
+
+type obj_state = { repr : Repr.t; active : entry Point.Tbl.t }
+
+type t = {
+  mode : mode;
+  repr_for : Obj_id.t -> Repr.t option;
+  objects : (int, obj_state option) Hashtbl.t;
+  stats : stats;
+  mutable reports : Report.t list;  (* newest first *)
+}
+
+let create ?(mode = `Constant) ~repr_for () =
+  {
+    mode;
+    repr_for;
+    objects = Hashtbl.create 64;
+    stats = { actions = 0; lookups = 0; races = 0 };
+    reports = [];
+  }
+
+let obj_state t (o : Obj_id.t) =
+  let key = Obj_id.id o in
+  match Hashtbl.find_opt t.objects key with
+  | Some st -> st
+  | None ->
+      let st =
+        match t.repr_for o with
+        | None -> None
+        | Some repr -> Some { repr; active = Point.Tbl.create 16 }
+      in
+      Hashtbl.add t.objects key st;
+      st
+
+let release_object t o = Hashtbl.remove t.objects (Obj_id.id o)
+
+let active_points t o =
+  match Hashtbl.find_opt t.objects (Obj_id.id o) with
+  | Some (Some st) -> Point.Tbl.length st.active
+  | _ -> 0
+
+let report t ~index ~tid ~(action : Action.t) ~repr ~pt ~pt' ~(entry : entry) =
+  let desc p =
+    match (p : Point.t) with
+    | Point.Ds id -> Repr.shape_desc repr id
+    | Point.Keyed (id, v) ->
+        Printf.sprintf "%s[%s]" (Repr.shape_desc repr id) (Value.to_string v)
+  in
+  t.stats.races <- t.stats.races + 1;
+  let r =
+    {
+      Report.index;
+      obj = action.Action.obj;
+      tid;
+      action;
+      point = desc pt;
+      conflicting = desc pt';
+      prior = Some (entry.last_tid, entry.last_action);
+    }
+  in
+  t.reports <- r :: t.reports;
+  r
+
+let on_action t ~index tid (action : Action.t) vc =
+  match obj_state t action.Action.obj with
+  | None -> []
+  | Some st ->
+      t.stats.actions <- t.stats.actions + 1;
+      let points = Repr.eta st.repr action in
+      (* Phase 1: check for commutativity races. *)
+      let found = ref [] in
+      List.iter
+        (fun pt ->
+          match t.mode with
+          | `Constant ->
+              List.iter
+                (fun pt' ->
+                  t.stats.lookups <- t.stats.lookups + 1;
+                  match Point.Tbl.find_opt st.active pt' with
+                  | Some entry when not (Vclock.leq entry.vc vc) ->
+                      found :=
+                        report t ~index ~tid ~action ~repr:st.repr ~pt ~pt'
+                          ~entry
+                        :: !found
+                  | _ -> ())
+                (Repr.conflicts st.repr pt)
+          | `Linear ->
+              Point.Tbl.iter
+                (fun pt' entry ->
+                  t.stats.lookups <- t.stats.lookups + 1;
+                  if
+                    Repr.conflict st.repr pt pt'
+                    && not (Vclock.leq entry.vc vc)
+                  then
+                    found :=
+                      report t ~index ~tid ~action ~repr:st.repr ~pt ~pt'
+                        ~entry
+                      :: !found)
+                st.active)
+        points;
+      (* Phase 2: update the auxiliary state. *)
+      List.iter
+        (fun pt ->
+          match Point.Tbl.find_opt st.active pt with
+          | Some entry ->
+              Vclock.join_into ~into:entry.vc vc;
+              entry.last_tid <- tid;
+              entry.last_action <- action
+          | None ->
+              Point.Tbl.add st.active pt
+                { vc = Vclock.copy vc; last_tid = tid; last_action = action })
+        points;
+      List.rev !found
+
+let stats t = t.stats
+let races t = List.rev t.reports

@@ -1,0 +1,23 @@
+open Crd_base
+open Crd_trace
+
+type t = {
+  index : int;
+  obj : Obj_id.t;
+  tid : Tid.t;
+  action : Action.t;
+  point : string;
+  conflicting : string;
+  prior : (Tid.t * Action.t) option;
+}
+
+let pp ppf t =
+  Fmt.pf ppf "commutativity race at event %d: %a: %a [%s conflicts with %s]"
+    t.index Tid.pp t.tid Action.pp t.action t.point t.conflicting;
+  match t.prior with
+  | None -> ()
+  | Some (tid, a) -> Fmt.pf ppf " last touched by %a: %a" Tid.pp tid Action.pp a
+
+let distinct_objects reports =
+  let ids = List.sort_uniq Int.compare (List.map (fun r -> Obj_id.id r.obj) reports) in
+  List.length ids

@@ -1,0 +1,30 @@
+(** Commutativity race reports.
+
+    A report is emitted at the event that closes the race: the current
+    action touched an access point that conflicts with an access point
+    previously touched by a concurrent action (Definition 4.3).
+
+    Algorithm 1 joins the clocks of all previous touchers of a point into
+    one vector clock, so the precise identity of the earlier racing action
+    is not retained by the algorithm; [prior] is the {e most recent}
+    toucher of the conflicting point, which is the exact racing action in
+    the common case and a representative hint otherwise. *)
+
+open Crd_base
+open Crd_trace
+
+type t = {
+  index : int;  (** trace position of the event that closed the race *)
+  obj : Obj_id.t;
+  tid : Tid.t;
+  action : Action.t;
+  point : string;  (** description of the access point touched *)
+  conflicting : string;  (** description of the conflicting point *)
+  prior : (Tid.t * Action.t) option;
+}
+
+val pp : t Fmt.t
+
+val distinct_objects : t list -> int
+(** Number of distinct objects racing — the "(distinct)" column of
+    Table 2. *)

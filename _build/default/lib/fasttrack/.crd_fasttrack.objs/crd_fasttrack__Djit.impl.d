@@ -1,0 +1,1 @@
+lib/fasttrack/djit.ml: Crd_base Crd_vclock Hashtbl List Mem_loc Rw_report Vclock

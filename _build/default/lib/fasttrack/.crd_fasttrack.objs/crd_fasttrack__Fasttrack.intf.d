@@ -1,0 +1,1 @@
+lib/fasttrack/fasttrack.mli: Crd_base Crd_vclock Mem_loc Rw_report Tid Vclock

@@ -1,0 +1,1 @@
+lib/fasttrack/lockset.ml: Crd_base Hashtbl Int List Lock_id Mem_loc Option Rw_report Set Tid

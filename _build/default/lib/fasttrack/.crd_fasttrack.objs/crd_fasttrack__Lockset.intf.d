@@ -1,0 +1,1 @@
+lib/fasttrack/lockset.mli: Crd_base Lock_id Mem_loc Rw_report Tid

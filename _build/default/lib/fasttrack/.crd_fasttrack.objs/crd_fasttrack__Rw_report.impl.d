@@ -1,0 +1,1 @@
+lib/fasttrack/rw_report.ml: Crd_base Fmt List Mem_loc Tid

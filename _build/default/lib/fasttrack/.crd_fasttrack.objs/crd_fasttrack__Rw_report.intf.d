@@ -1,0 +1,1 @@
+lib/fasttrack/rw_report.mli: Crd_base Fmt Mem_loc Tid

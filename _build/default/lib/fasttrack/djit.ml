@@ -1,0 +1,50 @@
+open Crd_base
+open Crd_vclock
+
+type shadow = { rvc : Vclock.t; wvc : Vclock.t }
+
+module LocTbl = Hashtbl.Make (struct
+  type t = Mem_loc.t
+
+  let equal = Mem_loc.equal
+  let hash = Mem_loc.hash
+end)
+
+type t = { shadows : shadow LocTbl.t; mutable reports : Rw_report.t list }
+
+let create () = { shadows = LocTbl.create 1024; reports = [] }
+
+let shadow t loc =
+  match LocTbl.find_opt t.shadows loc with
+  | Some s -> s
+  | None ->
+      let s = { rvc = Vclock.bot (); wvc = Vclock.bot () } in
+      LocTbl.add t.shadows loc s;
+      s
+
+let report t ~index ~tid ~loc kind =
+  let r = { Rw_report.index; loc; tid; kind } in
+  t.reports <- r :: t.reports;
+  r
+
+let on_read t ~index tid loc clock =
+  let s = shadow t loc in
+  let race =
+    if not (Vclock.leq s.wvc clock) then
+      Some (report t ~index ~tid ~loc Rw_report.Write_read)
+    else None
+  in
+  Vclock.set s.rvc tid (Vclock.get clock tid);
+  race
+
+let on_write t ~index tid loc clock =
+  let s = shadow t loc in
+  let races = ref [] in
+  if not (Vclock.leq s.wvc clock) then
+    races := report t ~index ~tid ~loc Rw_report.Write_write :: !races;
+  if not (Vclock.leq s.rvc clock) then
+    races := report t ~index ~tid ~loc Rw_report.Read_write :: !races;
+  Vclock.set s.wvc tid (Vclock.get clock tid);
+  List.rev !races
+
+let races t = List.rev t.reports

@@ -1,0 +1,18 @@
+open Crd_base
+
+type kind = Write_write | Write_read | Read_write
+
+type t = { index : int; loc : Mem_loc.t; tid : Tid.t; kind : kind }
+
+let kind_name = function
+  | Write_write -> "write-write"
+  | Write_read -> "write-read"
+  | Read_write -> "read-write"
+
+let pp ppf t =
+  Fmt.pf ppf "%s race at event %d: %a accesses %a" (kind_name t.kind) t.index
+    Tid.pp t.tid Mem_loc.pp t.loc
+
+let distinct_locations reports =
+  List.length
+    (List.sort_uniq Mem_loc.compare (List.map (fun r -> r.loc) reports))

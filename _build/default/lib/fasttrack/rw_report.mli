@@ -1,0 +1,15 @@
+(** Low-level (read-write) race reports, as produced by FastTrack and
+    DJIT+. These are the "FASTTRACK" columns of Table 2. *)
+
+open Crd_base
+
+type kind = Write_write | Write_read | Read_write
+
+type t = { index : int; loc : Mem_loc.t; tid : Tid.t; kind : kind }
+
+val kind_name : kind -> string
+val pp : t Fmt.t
+
+val distinct_locations : t list -> int
+(** The "(distinct)" count of Table 2: number of distinct memory
+    locations (variables) with at least one race. *)

@@ -1,0 +1,1 @@
+lib/runtime/monitored.ml: Action Crd_base Crd_trace Event Hashtbl List Mem_loc Obj_id Option Printf Sched Value

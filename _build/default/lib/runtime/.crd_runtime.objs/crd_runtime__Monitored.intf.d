@@ -1,0 +1,1 @@
+lib/runtime/monitored.mli: Crd_base Mem_loc Obj_id Value

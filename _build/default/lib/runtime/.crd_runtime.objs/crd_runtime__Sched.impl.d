@@ -1,0 +1,1 @@
+lib/runtime/sched.ml: Array Crd_base Crd_trace Effect Event Fmt Fun Hashtbl List Lock_id Option Printf Prng Tid

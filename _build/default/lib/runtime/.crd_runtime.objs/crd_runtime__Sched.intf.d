@@ -1,0 +1,1 @@
+lib/runtime/sched.mli: Crd_base Crd_trace Event Lock_id Tid

@@ -1,0 +1,200 @@
+open Crd_base
+open Crd_trace
+
+module VTbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+let call obj meth args rets =
+  Sched.emit (Event.Call (Action.make ~obj ~meth ~args ~rets ()))
+
+module Dict = struct
+  type t = { obj : Obj_id.t; data : Value.t VTbl.t }
+
+  let create ?name () = { obj = Obj_id.fresh ?name (); data = VTbl.create 16 }
+  let obj_id t = t.obj
+
+  let current t k =
+    match VTbl.find_opt t.data k with Some v -> v | None -> Value.Nil
+
+  let put t k v =
+    let p = current t k in
+    if Value.is_nil v then VTbl.remove t.data k else VTbl.replace t.data k v;
+    call t.obj "put" [ k; v ] [ p ];
+    p
+
+  let get t k =
+    let v = current t k in
+    call t.obj "get" [ k ] [ v ];
+    v
+
+  let size t =
+    let r = VTbl.length t.data in
+    call t.obj "size" [] [ Value.Int r ];
+    r
+
+  let raw_get t k = current t k
+  let raw_size t = VTbl.length t.data
+end
+
+module Set_obj = struct
+  type t = { obj : Obj_id.t; data : unit VTbl.t }
+
+  let create ?name () = { obj = Obj_id.fresh ?name (); data = VTbl.create 16 }
+  let obj_id t = t.obj
+
+  let add t x =
+    let was = VTbl.mem t.data x in
+    if not was then VTbl.replace t.data x ();
+    call t.obj "add" [ x ] [ Value.Bool was ];
+    was
+
+  let remove t x =
+    let was = VTbl.mem t.data x in
+    if was then VTbl.remove t.data x;
+    call t.obj "remove" [ x ] [ Value.Bool was ];
+    was
+
+  let contains t x =
+    let b = VTbl.mem t.data x in
+    call t.obj "contains" [ x ] [ Value.Bool b ];
+    b
+
+  let size t =
+    let r = VTbl.length t.data in
+    call t.obj "size" [] [ Value.Int r ];
+    r
+end
+
+module Counter = struct
+  type t = { obj : Obj_id.t; mutable n : int }
+
+  let create ?name () = { obj = Obj_id.fresh ?name (); n = 0 }
+  let obj_id t = t.obj
+
+  let add t d =
+    t.n <- t.n + d;
+    call t.obj "add" [ Value.Int d ] []
+
+  let read t =
+    let v = t.n in
+    call t.obj "read" [] [ Value.Int v ];
+    v
+end
+
+module Register = struct
+  type t = { obj : Obj_id.t; mutable v : Value.t }
+
+  let create ?name () = { obj = Obj_id.fresh ?name (); v = Value.Nil }
+  let obj_id t = t.obj
+
+  let write t v =
+    t.v <- v;
+    call t.obj "write" [ v ] []
+
+  let read t =
+    let v = t.v in
+    call t.obj "read" [] [ v ];
+    v
+end
+
+module Fifo = struct
+  type t = { obj : Obj_id.t; mutable front : Value.t list; mutable back : Value.t list }
+
+  let create ?name () = { obj = Obj_id.fresh ?name (); front = []; back = [] }
+  let obj_id t = t.obj
+
+  let enq t x =
+    t.back <- x :: t.back;
+    call t.obj "enq" [ x ] []
+
+  let normalize t =
+    match t.front with
+    | [] ->
+        t.front <- List.rev t.back;
+        t.back <- []
+    | _ -> ()
+
+  let deq t =
+    normalize t;
+    let x =
+      match t.front with
+      | [] -> Value.Nil
+      | x :: rest ->
+          t.front <- rest;
+          x
+    in
+    call t.obj "deq" [] [ x ];
+    x
+
+  let peek t =
+    normalize t;
+    let x = match t.front with [] -> Value.Nil | x :: _ -> x in
+    call t.obj "peek" [] [ x ];
+    x
+end
+
+module Bag = struct
+  type t = { obj : Obj_id.t; data : int VTbl.t; mutable total : int }
+
+  let create ?name () =
+    { obj = Obj_id.fresh ?name (); data = VTbl.create 16; total = 0 }
+
+  let obj_id t = t.obj
+
+  let mult t x = Option.value ~default:0 (VTbl.find_opt t.data x)
+
+  let add t x =
+    VTbl.replace t.data x (mult t x + 1);
+    t.total <- t.total + 1;
+    call t.obj "add" [ x ] []
+
+  let remove t x =
+    let m = mult t x in
+    let ok = m > 0 in
+    if ok then begin
+      if m = 1 then VTbl.remove t.data x else VTbl.replace t.data x (m - 1);
+      t.total <- t.total - 1
+    end;
+    call t.obj "remove" [ x ] [ Value.Bool ok ];
+    ok
+
+  let count t x =
+    let n = mult t x in
+    call t.obj "count" [ x ] [ Value.Int n ];
+    n
+
+  let size t =
+    let r = t.total in
+    call t.obj "size" [] [ Value.Int r ];
+    r
+end
+
+module Shared = struct
+  type 'a t = { loc : Mem_loc.t; mutable v : 'a }
+
+  let counter = ref 0
+
+  let create ~name v =
+    let id = !counter in
+    incr counter;
+    { loc = Mem_loc.Global (Printf.sprintf "%s#%d" name id); v }
+
+  let loc t = t.loc
+
+  let get t =
+    let v = t.v in
+    Sched.emit (Event.Read t.loc);
+    v
+
+  let set t v =
+    t.v <- v;
+    Sched.emit (Event.Write t.loc)
+
+  let update t f =
+    let v = get t in
+    set t (f v)
+end

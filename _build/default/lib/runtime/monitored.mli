@@ -1,0 +1,120 @@
+(** Monitored (instrumented) shared objects.
+
+    These are the library objects whose invocations become [Call] events —
+    the analogue of the instrumented [ConcurrentHashMap]s of the paper's
+    evaluation. Every operation is linearizable by construction (state
+    mutation and event emission happen without an intervening preemption
+    point) and emits exactly one action event carrying its arguments and
+    return value.
+
+    Monitored objects add {e no} happens-before edges: like the paper, we
+    treat the library as internally thread-safe and analyze interference
+    at its interface.
+
+    {!Shared} cells are different: they model ordinary, unsynchronized
+    application fields; their accesses emit low-level [Read]/[Write]
+    events, the food of the FastTrack baseline. *)
+
+open Crd_base
+
+module Dict : sig
+  (** A dictionary with the Fig 5 interface. All keys initially map to
+      [Value.Nil]. *)
+
+  type t
+
+  val create : ?name:string -> unit -> t
+  val obj_id : t -> Obj_id.t
+
+  val put : t -> Value.t -> Value.t -> Value.t
+  (** [put d k v] associates [k] with [v], returning the previous value
+      ([Nil] if absent). [put d k Nil] removes the key. *)
+
+  val get : t -> Value.t -> Value.t
+  val size : t -> int
+
+  val raw_get : t -> Value.t -> Value.t
+  (** Uninstrumented read (no event); for assertions in tests and for
+      transactional wrappers that linearize their effects at commit. *)
+
+  val raw_size : t -> int
+  (** Uninstrumented size (no event). *)
+end
+
+module Set_obj : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val obj_id : t -> Obj_id.t
+
+  val add : t -> Value.t -> bool
+  (** Returns prior membership. *)
+
+  val remove : t -> Value.t -> bool
+  val contains : t -> Value.t -> bool
+  val size : t -> int
+end
+
+module Counter : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val obj_id : t -> Obj_id.t
+  val add : t -> int -> unit
+  val read : t -> int
+end
+
+module Register : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val obj_id : t -> Obj_id.t
+  val write : t -> Value.t -> unit
+  val read : t -> Value.t
+end
+
+module Fifo : sig
+  type t
+
+  val create : ?name:string -> unit -> t
+  val obj_id : t -> Obj_id.t
+  val enq : t -> Value.t -> unit
+  val deq : t -> Value.t
+  (** [Nil] when empty. *)
+
+  val peek : t -> Value.t
+end
+
+module Bag : sig
+  (** A multiset; [add] reports nothing, so concurrent insertions
+      commute. *)
+
+  type t
+
+  val create : ?name:string -> unit -> t
+  val obj_id : t -> Obj_id.t
+  val add : t -> Value.t -> unit
+
+  val remove : t -> Value.t -> bool
+  (** Remove one occurrence; reports whether one was present. *)
+
+  val count : t -> Value.t -> int
+  val size : t -> int
+  (** Total number of occurrences. *)
+end
+
+module Shared : sig
+  (** An unsynchronized shared field; reads and writes emit low-level
+      [Read]/[Write] events on a [Mem_loc.Global], exactly what a
+      read-write race detector instruments. *)
+
+  type 'a t
+
+  val create : name:string -> 'a -> 'a t
+  val loc : 'a t -> Mem_loc.t
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val update : 'a t -> ('a -> 'a) -> unit
+  (** Read-modify-write as two events (a read then a write) — racy by
+      design, like an unguarded [x += 1] in the target program. *)
+end

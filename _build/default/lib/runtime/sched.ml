@@ -1,0 +1,307 @@
+open Crd_base
+open Crd_trace
+
+exception Deadlock of string
+exception Thread_failure of Tid.t * exn
+
+type _ Effect.t +=
+  | E_fork : (unit -> unit) -> Tid.t Effect.t
+  | E_join : Tid.t -> unit Effect.t
+  | E_join_all : unit Effect.t
+  | E_yield : unit Effect.t
+  | E_self : Tid.t Effect.t
+  | E_lock : Lock_id.t -> unit Effect.t
+  | E_unlock : Lock_id.t -> unit Effect.t
+  | E_emit : Event.op -> unit Effect.t
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler state                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type lock_state = {
+  mutable holder : Tid.t option;
+  mutable waiters : (Tid.t * (unit -> unit)) list;  (* FIFO: oldest last *)
+}
+
+type state = {
+  prng : Prng.t;
+  sink : Event.t -> unit;
+  mutable runnable : (unit -> unit) array;
+  mutable nrun : int;
+  mutable next_tid : int;
+  mutable live : int;  (* spawned and not yet finished *)
+  mutable blocked : int;
+  finished : (int, unit) Hashtbl.t;
+  join_waiters : (int, (unit -> unit) list) Hashtbl.t;
+  children : (int, Tid.t list) Hashtbl.t;
+  locks : (int, lock_state) Hashtbl.t;
+}
+
+let current : state option ref = ref None
+
+let state () =
+  match !current with
+  | Some st -> st
+  | None -> failwith "Sched: thread operation used outside Sched.run"
+
+let enqueue st f =
+  if st.nrun = Array.length st.runnable then begin
+    let bigger = Array.make (max 8 (2 * st.nrun)) f in
+    Array.blit st.runnable 0 bigger 0 st.nrun;
+    st.runnable <- bigger
+  end;
+  st.runnable.(st.nrun) <- f;
+  st.nrun <- st.nrun + 1
+
+(* Swap-remove a uniformly random runnable task. *)
+let pick st =
+  let i = if st.nrun = 1 then 0 else Prng.int st.prng st.nrun in
+  let f = st.runnable.(i) in
+  st.runnable.(i) <- st.runnable.(st.nrun - 1);
+  st.nrun <- st.nrun - 1;
+  f
+
+let schedule st =
+  if st.nrun > 0 then (pick st) ()
+  else if st.blocked > 0 then
+    raise
+      (Deadlock
+         (Printf.sprintf "%d thread(s) blocked with no runnable thread"
+            st.blocked))
+
+let lock_state st l =
+  let key = Lock_id.id l in
+  match Hashtbl.find_opt st.locks key with
+  | Some ls -> ls
+  | None ->
+      let ls = { holder = None; waiters = [] } in
+      Hashtbl.add st.locks key ls;
+      ls
+
+(* ------------------------------------------------------------------ *)
+(* Thread execution                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec exec st (tid : Tid.t) (f : unit -> unit) : unit =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> finish st tid);
+      exnc = (fun e -> raise (Thread_failure (tid, e)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_self ->
+              Some (fun (k : (a, unit) continuation) -> continue k tid)
+          | E_yield ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  enqueue st (fun () -> continue k ());
+                  schedule st)
+          | E_fork g ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let child = Tid.of_int st.next_tid in
+                  st.next_tid <- st.next_tid + 1;
+                  st.live <- st.live + 1;
+                  let kids =
+                    Option.value ~default:[]
+                      (Hashtbl.find_opt st.children (Tid.to_int tid))
+                  in
+                  Hashtbl.replace st.children (Tid.to_int tid) (child :: kids);
+                  st.sink { Event.tid; op = Event.Fork child };
+                  enqueue st (fun () -> exec st child g);
+                  enqueue st (fun () -> continue k child);
+                  schedule st)
+          | E_join u ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resume () =
+                    st.sink { Event.tid; op = Event.Join u };
+                    continue k ()
+                  in
+                  if Hashtbl.mem st.finished (Tid.to_int u) then begin
+                    enqueue st resume;
+                    schedule st
+                  end
+                  else begin
+                    st.blocked <- st.blocked + 1;
+                    let ws =
+                      Option.value ~default:[]
+                        (Hashtbl.find_opt st.join_waiters (Tid.to_int u))
+                    in
+                    Hashtbl.replace st.join_waiters (Tid.to_int u)
+                      (resume :: ws);
+                    schedule st
+                  end)
+          | E_join_all ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let kids =
+                    Option.value ~default:[]
+                      (Hashtbl.find_opt st.children (Tid.to_int tid))
+                  in
+                  (* Join children one at a time, oldest first. *)
+                  let rec join_seq kids () =
+                    match kids with
+                    | [] -> continue k ()
+                    | u :: rest ->
+                        join_one st tid u (fun () -> join_seq rest ())
+                  in
+                  join_seq (List.rev kids) ())
+          | E_lock l ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let ls = lock_state st l in
+                  (match ls.holder with
+                  | None ->
+                      ls.holder <- Some tid;
+                      st.sink { Event.tid; op = Event.Acquire l };
+                      enqueue st (fun () -> continue k ())
+                  | Some _ ->
+                      st.blocked <- st.blocked + 1;
+                      ls.waiters <-
+                        (tid, fun () -> continue k ()) :: ls.waiters);
+                  schedule st)
+          | E_unlock l ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let ls = lock_state st l in
+                  (match ls.holder with
+                  | Some h when Tid.equal h tid -> ()
+                  | _ ->
+                      failwith
+                        (Printf.sprintf "Sched.unlock: %s does not hold %s"
+                           (Fmt.str "%a" Tid.pp tid)
+                           (Lock_id.name l)));
+                  st.sink { Event.tid; op = Event.Release l };
+                  (match List.rev ls.waiters with
+                  | [] -> ls.holder <- None
+                  | (wtid, wk) :: _ ->
+                      ls.waiters <-
+                        List.filter (fun (t, _) -> not (Tid.equal t wtid))
+                          ls.waiters;
+                      st.blocked <- st.blocked - 1;
+                      ls.holder <- Some wtid;
+                      enqueue st (fun () ->
+                          st.sink { Event.tid = wtid; op = Event.Acquire l };
+                          wk ()));
+                  enqueue st (fun () -> continue k ());
+                  schedule st)
+          | E_emit op ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  st.sink { Event.tid; op };
+                  enqueue st (fun () -> continue k ());
+                  schedule st)
+          | _ -> None);
+    }
+
+and join_one st tid u cont =
+  if Hashtbl.mem st.finished (Tid.to_int u) then begin
+    st.sink { Event.tid; op = Event.Join u };
+    cont ()
+  end
+  else begin
+    st.blocked <- st.blocked + 1;
+    let resume () =
+      st.sink { Event.tid; op = Event.Join u };
+      cont ()
+    in
+    let ws =
+      Option.value ~default:[] (Hashtbl.find_opt st.join_waiters (Tid.to_int u))
+    in
+    Hashtbl.replace st.join_waiters (Tid.to_int u) (resume :: ws);
+    schedule st
+  end
+
+and finish st tid =
+  Hashtbl.replace st.finished (Tid.to_int tid) ();
+  st.live <- st.live - 1;
+  (match Hashtbl.find_opt st.join_waiters (Tid.to_int tid) with
+  | Some waiters ->
+      Hashtbl.remove st.join_waiters (Tid.to_int tid);
+      List.iter
+        (fun w ->
+          st.blocked <- st.blocked - 1;
+          enqueue st w)
+        (List.rev waiters)
+  | None -> ());
+  schedule st
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(seed = 1L) ?(sink = fun _ -> ()) main =
+  (match !current with
+  | Some _ -> failwith "Sched.run: nested runs are not supported"
+  | None -> ());
+  let st =
+    {
+      prng = Prng.make seed;
+      sink;
+      runnable = Array.make 8 (fun () -> ());
+      nrun = 0;
+      next_tid = 1;
+      live = 1;
+      blocked = 0;
+      finished = Hashtbl.create 64;
+      join_waiters = Hashtbl.create 16;
+      children = Hashtbl.create 16;
+      locks = Hashtbl.create 16;
+    }
+  in
+  current := Some st;
+  Fun.protect
+    ~finally:(fun () -> current := None)
+    (fun () -> exec st Tid.main main)
+
+let fork f = Effect.perform (E_fork f)
+let join u = Effect.perform (E_join u)
+let join_all () = Effect.perform E_join_all
+let yield () = Effect.perform E_yield
+let self () = Effect.perform E_self
+
+let lock_counter = ref 0
+
+let new_lock ?name () =
+  ignore (state ());
+  let id = !lock_counter in
+  incr lock_counter;
+  Lock_id.make ?name id
+
+let lock l = Effect.perform (E_lock l)
+let unlock l = Effect.perform (E_unlock l)
+
+let with_lock l f =
+  lock l;
+  match f () with
+  | v ->
+      unlock l;
+      v
+  | exception e ->
+      unlock l;
+      raise e
+
+let emit op = Effect.perform (E_emit op)
+
+(* Nesting depth of atomic blocks, per thread. *)
+let atomic_depth : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let atomic f =
+  let tid = Tid.to_int (self ()) in
+  let depth = Option.value ~default:0 (Hashtbl.find_opt atomic_depth tid) in
+  Hashtbl.replace atomic_depth tid (depth + 1);
+  if depth = 0 then emit Event.Begin;
+  let finish () =
+    Hashtbl.replace atomic_depth tid depth;
+    if depth = 0 then emit Event.End
+  in
+  match f () with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e

@@ -1,0 +1,69 @@
+(** Deterministic cooperative scheduler — the instrumentation substrate.
+
+    The paper's tool observes a Java program through RoadRunner's bytecode
+    instrumentation; here, concurrent programs are written against this
+    scheduler (OCaml effect handlers underneath) and every observable
+    operation — fork, join, lock, monitored-object call, shared-memory
+    access — both {e is} a preemption point and {e emits} a trace event to
+    the sink. Scheduling decisions are drawn from a seeded PRNG, so a
+    (program, seed) pair always produces the identical trace: every race
+    count in EXPERIMENTS.md is reproducible.
+
+    Threads are preempted only at instrumented operations, which matches
+    the paper's execution model: library actions are atomic transitions
+    (Section 3.1). *)
+
+open Crd_base
+open Crd_trace
+
+exception Deadlock of string
+(** Raised by {!run} when no thread is runnable but some are blocked. *)
+
+exception Thread_failure of Tid.t * exn
+(** An exception escaped a forked thread. *)
+
+val run : ?seed:int64 -> ?sink:(Event.t -> unit) -> (unit -> unit) -> unit
+(** [run main] executes [main] as thread [T0] until every thread has
+    finished. Not reentrant: nested [run]s are rejected. *)
+
+(** {1 Thread operations}
+
+    All of the following must be called from inside a thread running
+    under {!run}; calling them outside raises [Failure]. *)
+
+val fork : (unit -> unit) -> Tid.t
+(** Fork a child thread; emits a [Fork] event. *)
+
+val join : Tid.t -> unit
+(** Block until the thread finishes; emits a [Join] event {e when the
+    join completes} (the point where the clocks merge). *)
+
+val join_all : unit -> unit
+(** Join every child forked so far by the calling thread (Fig 1's
+    [joinall]). *)
+
+val yield : unit -> unit
+(** Reschedule without emitting an event. *)
+
+val self : unit -> Tid.t
+
+val new_lock : ?name:string -> unit -> Lock_id.t
+
+val lock : Lock_id.t -> unit
+(** Acquire (blocking); emits [Acquire]. Locks are not reentrant. *)
+
+val unlock : Lock_id.t -> unit
+(** @raise Failure if the caller does not hold the lock. *)
+
+val with_lock : Lock_id.t -> (unit -> 'a) -> 'a
+
+val emit : Event.op -> unit
+(** Emit an arbitrary event in the current thread (used by monitored
+    objects); also a preemption point. *)
+
+val atomic : (unit -> 'a) -> 'a
+(** [atomic f] brackets [f] with [Begin]/[End] transaction markers for
+    the atomicity checker. The markers are purely declarative — they do
+    {e not} suspend preemption; whether the block actually behaves
+    atomically is exactly what {!Crd_atomicity} checks. Nesting is
+    flattened (only the outermost block emits markers). *)

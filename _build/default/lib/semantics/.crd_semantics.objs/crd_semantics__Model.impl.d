@@ -1,0 +1,1 @@
+lib/semantics/model.ml: Crd_base Fmt List Value

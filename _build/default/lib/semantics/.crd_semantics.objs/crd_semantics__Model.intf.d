@@ -1,0 +1,1 @@
+lib/semantics/model.mli: Crd_base Fmt Value

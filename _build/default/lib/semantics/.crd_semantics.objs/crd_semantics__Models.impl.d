@@ -1,0 +1,1 @@
+lib/semantics/models.ml: Crd_base Fun List Model Value

@@ -1,0 +1,1 @@
+lib/semantics/models.mli: Crd_base Model Value

@@ -1,0 +1,1 @@
+lib/semantics/soundness.ml: Action Array Crd_base Crd_spec Crd_trace Fmt List Model Obj_id Spec

@@ -1,0 +1,1 @@
+lib/semantics/soundness.mli: Crd_spec Fmt Model Spec

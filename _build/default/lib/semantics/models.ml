@@ -1,0 +1,255 @@
+open Crd_base
+
+(* Cartesian products for state/action enumeration. *)
+let rec product = function
+  | [] -> [ [] ]
+  | choices :: rest ->
+      let tails = product rest in
+      List.concat_map (fun c -> List.map (fun t -> c :: t) tails) choices
+
+let default_keys = [ Value.Int 0; Value.Int 1 ]
+let default_values = [ Value.Nil; Value.Int 1; Value.Int 2 ]
+
+let dictionary ?(keys = default_keys) ?(values = default_values) () =
+  let values = if List.exists Value.is_nil values then values else Value.Nil :: values in
+  let states =
+    product (List.map (fun k -> List.map (fun v -> (k, v)) values) keys)
+    |> List.map (fun kvs ->
+           Model.Map
+             (List.filter (fun (_, v) -> not (Value.is_nil v)) kvs
+             |> List.sort (fun (a, _) (b, _) -> Value.compare a b)))
+  in
+  let sizes = List.init (List.length keys + 1) (fun i -> Value.Int i) in
+  let shapes =
+    List.concat_map
+      (fun k ->
+        List.concat_map
+          (fun v ->
+            List.map
+              (fun p -> { Model.meth = "put"; args = [ k; v ]; rets = [ p ] })
+              values)
+          values
+        @ List.map
+            (fun v -> { Model.meth = "get"; args = [ k ]; rets = [ v ] })
+            values)
+      keys
+    @ List.map (fun r -> { Model.meth = "size"; args = []; rets = [ r ] }) sizes
+  in
+  let apply s (shape : Model.shape) =
+    match s with
+    | Model.Map kvs -> (
+        match (shape.meth, shape.args, shape.rets) with
+        | "put", [ k; v ], [ p ] ->
+            if Value.equal (Model.map_get kvs k) p then
+              Some (Model.Map (Model.map_put kvs k v))
+            else None
+        | "get", [ k ], [ v ] ->
+            if Value.equal (Model.map_get kvs k) v then Some s else None
+        | "size", [], [ r ] ->
+            if Value.equal (Value.Int (List.length kvs)) r then Some s
+            else None
+        | _ -> None)
+    | _ -> None
+  in
+  {
+    Model.name = "dictionary";
+    initial = Model.Map [];
+    states;
+    shapes;
+    apply;
+  }
+
+let set ?(elems = [ Value.Int 1; Value.Int 2 ]) () =
+  let bools = [ Value.Bool false; Value.Bool true ] in
+  let member kvs x = List.exists (Value.equal x) kvs in
+  let states =
+    product (List.map (fun x -> [ None; Some x ]) elems)
+    |> List.map (fun choice ->
+           Model.Seq
+             (List.filter_map Fun.id choice |> List.sort Value.compare))
+  in
+  let sizes = List.init (List.length elems + 1) (fun i -> Value.Int i) in
+  let shapes =
+    List.concat_map
+      (fun x ->
+        List.concat_map
+          (fun b ->
+            [
+              { Model.meth = "add"; args = [ x ]; rets = [ b ] };
+              { Model.meth = "remove"; args = [ x ]; rets = [ b ] };
+              { Model.meth = "contains"; args = [ x ]; rets = [ b ] };
+            ])
+          bools)
+      elems
+    @ List.map (fun r -> { Model.meth = "size"; args = []; rets = [ r ] }) sizes
+  in
+  let apply s (shape : Model.shape) =
+    match s with
+    | Model.Seq xs -> (
+        let was_of x = Value.Bool (member xs x) in
+        match (shape.meth, shape.args, shape.rets) with
+        | "add", [ x ], [ b ] ->
+            if Value.equal (was_of x) b then
+              Some
+                (Model.Seq
+                   (if member xs x then xs
+                    else List.sort Value.compare (x :: xs)))
+            else None
+        | "remove", [ x ], [ b ] ->
+            if Value.equal (was_of x) b then
+              Some (Model.Seq (List.filter (fun y -> not (Value.equal x y)) xs))
+            else None
+        | "contains", [ x ], [ b ] ->
+            if Value.equal (was_of x) b then Some s else None
+        | "size", [], [ r ] ->
+            if Value.equal (Value.Int (List.length xs)) r then Some s else None
+        | _ -> None)
+    | _ -> None
+  in
+  { Model.name = "set"; initial = Model.Seq []; states; shapes; apply }
+
+let counter ?(range = 2) () =
+  (* Addition is modular so the state space is closed and additions
+     genuinely commute (a bounded window would make composition
+     definedness asymmetric at the boundary). *)
+  let modulus = (4 * range) + 1 in
+  let states = List.init modulus (fun i -> Model.Num i) in
+  let deltas = List.init (2 * range + 1) (fun i -> i - range) in
+  let shapes =
+    List.map (fun d -> { Model.meth = "add"; args = [ Value.Int d ]; rets = [] }) deltas
+    @ List.filter_map
+        (function
+          | Model.Num n ->
+              Some { Model.meth = "read"; args = []; rets = [ Value.Int n ] }
+          | _ -> None)
+        states
+  in
+  let apply s (shape : Model.shape) =
+    match s with
+    | Model.Num n -> (
+        match (shape.meth, shape.args, shape.rets) with
+        | "add", [ Value.Int d ], [] ->
+            Some (Model.Num (((n + d) mod modulus + modulus) mod modulus))
+        | "read", [], [ Value.Int r ] -> if r = n then Some s else None
+        | _ -> None)
+    | _ -> None
+  in
+  { Model.name = "counter"; initial = Model.Num 0; states; shapes; apply }
+
+let register ?(values = [ Value.Nil; Value.Int 1; Value.Int 2 ]) () =
+  let states = List.map (fun v -> Model.Reg v) values in
+  let shapes =
+    List.map (fun v -> { Model.meth = "write"; args = [ v ]; rets = [] }) values
+    @ List.map (fun v -> { Model.meth = "read"; args = []; rets = [ v ] }) values
+  in
+  let apply s (shape : Model.shape) =
+    match s with
+    | Model.Reg cur -> (
+        match (shape.meth, shape.args, shape.rets) with
+        | "write", [ v ], [] -> Some (Model.Reg v)
+        | "read", [], [ v ] -> if Value.equal cur v then Some s else None
+        | _ -> None)
+    | _ -> None
+  in
+  { Model.name = "register"; initial = Model.Reg Value.Nil; states; shapes; apply }
+
+let fifo ?(elems = [ Value.Int 1; Value.Int 2 ]) ?(depth = 2) () =
+  let rec seqs d = if d = 0 then [ [] ] else
+      [] :: List.concat_map (fun x -> List.map (fun t -> x :: t) (seqs (d - 1))) elems
+  in
+  let states =
+    List.sort_uniq compare (seqs depth) |> List.map (fun l -> Model.Seq l)
+  in
+  let rets = Value.Nil :: elems in
+  let shapes =
+    List.map (fun x -> { Model.meth = "enq"; args = [ x ]; rets = [] }) elems
+    @ List.map (fun x -> { Model.meth = "deq"; args = []; rets = [ x ] }) rets
+    @ List.map (fun x -> { Model.meth = "peek"; args = []; rets = [ x ] }) rets
+  in
+  let apply s (shape : Model.shape) =
+    match s with
+    | Model.Seq xs -> (
+        match (shape.meth, shape.args, shape.rets) with
+        | "enq", [ x ], [] ->
+            if List.length xs < depth then Some (Model.Seq (xs @ [ x ]))
+            else None
+        | "deq", [], [ r ] -> (
+            match xs with
+            | [] -> if Value.is_nil r then Some s else None
+            | x :: rest ->
+                if Value.equal x r then Some (Model.Seq rest) else None)
+        | "peek", [], [ r ] -> (
+            match xs with
+            | [] -> if Value.is_nil r then Some s else None
+            | x :: _ -> if Value.equal x r then Some s else None)
+        | _ -> None)
+    | _ -> None
+  in
+  { Model.name = "fifo"; initial = Model.Seq []; states; shapes; apply }
+
+let bag ?(elems = [ Value.Int 1; Value.Int 2 ]) ?(max_mult = 2) () =
+  (* State: multiplicity map, encoded as a Map from element to Int count
+     (zero counts absent). *)
+  let mults = List.init (max_mult + 1) (fun i -> i) in
+  let states =
+    product (List.map (fun x -> List.map (fun m -> (x, m)) mults) elems)
+    |> List.map (fun kvs ->
+           Model.Map
+             (List.filter_map
+                (fun (x, m) -> if m = 0 then None else Some (x, Value.Int m))
+                kvs
+             |> List.sort (fun (a, _) (b, _) -> Value.compare a b)))
+  in
+  let mult kvs x =
+    match Model.map_get kvs x with Value.Int n -> n | _ -> 0
+  in
+  let total kvs =
+    List.fold_left
+      (fun acc (_, v) -> match v with Value.Int n -> acc + n | _ -> acc)
+      0 kvs
+  in
+  let bools = [ Value.Bool false; Value.Bool true ] in
+  let counts = List.map (fun m -> Value.Int m) mults in
+  let sizes =
+    List.init ((max_mult * List.length elems) + 1) (fun i -> Value.Int i)
+  in
+  let shapes =
+    List.concat_map
+      (fun x ->
+        ({ Model.meth = "add"; args = [ x ]; rets = [] }
+        :: List.map
+             (fun ok -> { Model.meth = "remove"; args = [ x ]; rets = [ ok ] })
+             bools)
+        @ List.map
+            (fun n -> { Model.meth = "count"; args = [ x ]; rets = [ n ] })
+            counts)
+      elems
+    @ List.map (fun r -> { Model.meth = "size"; args = []; rets = [ r ] }) sizes
+  in
+  let apply s (shape : Model.shape) =
+    match s with
+    | Model.Map kvs -> (
+        match (shape.meth, shape.args, shape.rets) with
+        | "add", [ x ], [] ->
+            let m = mult kvs x in
+            if m >= max_mult then None (* bounded model *)
+            else Some (Model.Map (Model.map_put kvs x (Value.Int (m + 1))))
+        | "remove", [ x ], [ Value.Bool ok ] ->
+            let m = mult kvs x in
+            if ok <> (m > 0) then None
+            else if m = 0 then Some s
+            else
+              Some
+                (Model.Map
+                   (Model.map_put kvs x
+                      (if m = 1 then Value.Nil else Value.Int (m - 1))))
+        | "count", [ x ], [ Value.Int n ] ->
+            if n = mult kvs x then Some s else None
+        | "size", [], [ Value.Int r ] -> if r = total kvs then Some s else None
+        | _ -> None)
+    | _ -> None
+  in
+  { Model.name = "bag"; initial = Model.Map []; states; shapes; apply }
+
+let all () =
+  [ dictionary (); set (); counter (); register (); fifo (); bag () ]

@@ -1,0 +1,36 @@
+(** Concrete object models over small finite domains.
+
+    Each model enumerates its complete state space and action universe
+    over the listed keys/values, so commutativity ground truth
+    (Definition 3.1) and specification soundness (Definition 4.2) are
+    decided exhaustively. *)
+
+open Crd_base
+
+val dictionary : ?keys:Value.t list -> ?values:Value.t list -> unit -> Model.t
+(** The dictionary of Fig 5: [put(k,v)/p], [get(k)/v], [size()/r]; states
+    are all key-value mappings, [nil] meaning absent. Defaults: two keys,
+    values [{nil, 1, 2}]. *)
+
+val set : ?elems:Value.t list -> unit -> Model.t
+(** Mathematical set: [add(x)/was], [remove(x)/was], [contains(x)/b],
+    [size()/r]; [was] reports prior membership. *)
+
+val counter : ?range:int -> unit -> Model.t
+(** Saturating-free integer counter: [add(n)/()] (with [n] in a small
+    range), [read()/v]. Additions commute with each other. *)
+
+val register : ?values:Value.t list -> unit -> Model.t
+(** Atomic register: [write(v)/()], [read()/v] — the object whose
+    commutativity races are exactly the classical read-write races. *)
+
+val fifo : ?elems:Value.t list -> ?depth:int -> unit -> Model.t
+(** Bounded FIFO queue: [enq(x)/()], [deq()/x] ([x = nil] on empty),
+    [peek()/x]. *)
+
+val bag : ?elems:Value.t list -> ?max_mult:int -> unit -> Model.t
+(** Bounded multiset: [add(x)], [remove(x)/ok], [count(x)/n], [size()/r];
+    multiplicities range over [0..max_mult]. *)
+
+val all : unit -> Model.t list
+(** One instance of each model with default domains. *)

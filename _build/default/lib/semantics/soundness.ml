@@ -1,0 +1,50 @@
+open Crd_base
+open Crd_trace
+open Crd_spec
+
+type verdict = {
+  pairs_checked : int;
+  unsound : (Model.shape * Model.shape) list;
+  imprecise : int;
+}
+
+let probe_obj = Obj_id.make ~name:"probe" (-1)
+
+let action_of_shape (s : Model.shape) =
+  Action.make ~obj:probe_obj ~meth:s.Model.meth ~args:s.Model.args
+    ~rets:s.Model.rets ()
+
+let check spec (model : Model.t) =
+  let shapes = Array.of_list model.Model.shapes in
+  let n = Array.length shapes in
+  let pairs_checked = ref 0 in
+  let unsound = ref [] in
+  let imprecise = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let a = shapes.(i) and b = shapes.(j) in
+      incr pairs_checked;
+      let specified =
+        Spec.commute spec (action_of_shape a) (action_of_shape b)
+      in
+      let actual = Model.commute model a b in
+      if specified && not actual then unsound := (a, b) :: !unsound
+      else if actual && not specified then incr imprecise
+    done
+  done;
+  {
+    pairs_checked = !pairs_checked;
+    unsound = List.rev !unsound;
+    imprecise = !imprecise;
+  }
+
+let is_sound spec model = (check spec model).unsound = []
+
+let pp_verdict ppf v =
+  Fmt.pf ppf "%d pairs checked, %d unsound, %d imprecise" v.pairs_checked
+    (List.length v.unsound) v.imprecise;
+  List.iteri
+    (fun i (a, b) ->
+      if i < 10 then
+        Fmt.pf ppf "@,  unsound: %a vs %a" Model.pp_shape a Model.pp_shape b)
+    v.unsound

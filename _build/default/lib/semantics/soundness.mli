@@ -1,0 +1,27 @@
+(** Exhaustive soundness (and precision) checking of commutativity
+    specifications against executable models.
+
+    Definition 4.2: a specification [Phi] is sound iff [phi (a, b)]
+    implies [a] and [b] commute. Over a model's finite action universe and
+    state space this is decidable outright; [check] enumerates every
+    action pair. Imprecision — actions that commute although the
+    specification says they may not — is legal (Definition 4.2 allows it)
+    and is reported separately. *)
+
+open Crd_spec
+
+type verdict = {
+  pairs_checked : int;
+  unsound : (Model.shape * Model.shape) list;
+      (** specified to commute, but do not (must be empty for a sound
+          specification) *)
+  imprecise : int;
+      (** commute, but the specification does not say so (allowed) *)
+}
+
+val check : Spec.t -> Model.t -> verdict
+(** @raise Invalid_argument if a model shape does not match the
+    specification's signatures. *)
+
+val is_sound : Spec.t -> Model.t -> bool
+val pp_verdict : verdict Fmt.t

@@ -1,0 +1,1 @@
+lib/spec/atom.ml: Crd_base Fmt List String Value

@@ -1,0 +1,1 @@
+lib/spec/atom.mli: Crd_base Fmt Value

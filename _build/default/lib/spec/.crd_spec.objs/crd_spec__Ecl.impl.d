@@ -1,0 +1,1 @@
+lib/spec/ecl.ml: Atom Fmt Formula List

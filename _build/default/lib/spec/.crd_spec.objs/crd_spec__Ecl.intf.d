@@ -1,0 +1,1 @@
+lib/spec/ecl.mli: Atom Formula

@@ -1,0 +1,1 @@
+lib/spec/formula.ml: Array Atom Fmt List Printf

@@ -1,0 +1,1 @@
+lib/spec/formula.mli: Atom Crd_base Fmt Value

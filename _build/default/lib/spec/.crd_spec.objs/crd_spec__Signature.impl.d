@@ -1,0 +1,1 @@
+lib/spec/signature.ml: Action Crd_trace Fmt List String

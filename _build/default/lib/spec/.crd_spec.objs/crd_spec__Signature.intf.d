@@ -1,0 +1,1 @@
+lib/spec/signature.mli: Action Crd_trace Fmt

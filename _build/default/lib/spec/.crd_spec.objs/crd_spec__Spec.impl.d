@@ -1,0 +1,1 @@
+lib/spec/spec.ml: Action Array Atom Crd_base Crd_trace Ecl Float Fmt Formula Hashtbl List Option Printf Prng Signature String Value

@@ -1,0 +1,1 @@
+lib/spec/spec.mli: Action Crd_trace Fmt Formula Signature

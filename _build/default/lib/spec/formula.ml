@@ -1,0 +1,87 @@
+
+type t =
+  | True
+  | False
+  | Atom of Atom.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let rec equal a b =
+  match (a, b) with
+  | True, True | False, False -> true
+  | Atom x, Atom y -> Atom.equal x y
+  | Not x, Not y -> equal x y
+  | And (x1, y1), And (x2, y2) | Or (x1, y1), Or (x2, y2) ->
+      equal x1 x2 && equal y1 y2
+  | (True | False | Atom _ | Not _ | And _ | Or _), _ -> false
+
+let rec atoms = function
+  | True | False -> []
+  | Atom a -> [ a ]
+  | Not f -> atoms f
+  | And (f, g) | Or (f, g) -> atoms f @ atoms g
+
+let vars t = List.concat_map Atom.vars (atoms t)
+
+let rec map_atoms fn = function
+  | True -> True
+  | False -> False
+  | Atom a -> fn a
+  | Not f -> Not (map_atoms fn f)
+  | And (f, g) -> And (map_atoms fn f, map_atoms fn g)
+  | Or (f, g) -> Or (map_atoms fn f, map_atoms fn g)
+
+let flip_sides t = map_atoms (fun a -> Atom (Atom.flip_sides a)) t
+
+let conj = function
+  | [] -> True
+  | f :: fs -> List.fold_left (fun acc g -> And (acc, g)) f fs
+
+let disj = function
+  | [] -> False
+  | f :: fs -> List.fold_left (fun acc g -> Or (acc, g)) f fs
+
+let rec size = function
+  | True | False | Atom _ -> 1
+  | Not f -> 1 + size f
+  | And (f, g) | Or (f, g) -> 1 + size f + size g
+
+let rec eval t env =
+  match t with
+  | True -> true
+  | False -> false
+  | Atom a -> Atom.eval a env
+  | Not f -> not (eval f env)
+  | And (f, g) -> eval f env && eval g env
+  | Or (f, g) -> eval f env || eval g env
+
+let eval_pair t w1 w2 =
+  eval t (fun (v : Atom.var) ->
+      let arr = match v.side with Atom.Side.Fst -> w1 | Atom.Side.Snd -> w2 in
+      if v.slot < 0 || v.slot >= Array.length arr then
+        invalid_arg
+          (Printf.sprintf "Formula.eval_pair: slot %d out of range" v.slot)
+      else arr.(v.slot))
+
+let rec pp ppf t =
+  (* Precedence: ! > && > ||.  We print with minimal parentheses. *)
+  pp_or ppf t
+
+and pp_or ppf = function
+  | Or (f, g) -> Fmt.pf ppf "%a || %a" pp_or f pp_and g
+  | t -> pp_and ppf t
+
+and pp_and ppf = function
+  | And (f, g) -> Fmt.pf ppf "%a && %a" pp_and f pp_not g
+  | t -> pp_not ppf t
+
+and pp_not ppf = function
+  | Not f -> Fmt.pf ppf "!%a" pp_not f
+  | t -> pp_base ppf t
+
+and pp_base ppf = function
+  | True -> Fmt.string ppf "true"
+  | False -> Fmt.string ppf "false"
+  | Atom a -> Atom.pp ppf a
+  | (Or _ | And _ | Not _) as t -> Fmt.pf ppf "(%a)" pp t

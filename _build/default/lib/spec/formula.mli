@@ -1,0 +1,43 @@
+(** Commutativity formulas (Definition 4.1).
+
+    A formula's free variables are split between the two sides; [eval]
+    against a pair of actions decides whether the actions are specified to
+    commute. The ECL membership test lives in {!Ecl}. *)
+
+open Crd_base
+
+type t =
+  | True
+  | False
+  | Atom of Atom.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val equal : t -> t -> bool
+val atoms : t -> Atom.t list
+(** All atoms, in occurrence order, duplicates kept. *)
+
+val vars : t -> Atom.var list
+val flip_sides : t -> t
+(** Exchange the two variable supplies — [phi (x~2; x~1)]. *)
+
+val map_atoms : (Atom.t -> t) -> t -> t
+
+val conj : t list -> t
+val disj : t list -> t
+
+val size : t -> int
+(** Number of connectives and atoms (for generators and complexity
+    accounting). *)
+
+val eval : t -> (Atom.var -> Value.t) -> bool
+(** Evaluate a closed formula under a slot valuation. *)
+
+val eval_pair : t -> Value.t array -> Value.t array -> bool
+(** [eval_pair phi w1 w2] evaluates with [Fst] variables bound to slots of
+    [w1] and [Snd] variables to slots of [w2].
+    @raise Invalid_argument if a variable's slot is out of range. *)
+
+val pp : t Fmt.t
+(** Prints in the specification-DSL syntax ([&&], [||], [!], [==] ...). *)

@@ -1,0 +1,227 @@
+open Crd_base
+open Crd_trace
+
+type t = {
+  name : string;
+  methods : Signature.t list;
+  default : Formula.t;
+  (* Key: (m1, m2) with m1 <= m2 lexicographically; the stored formula has
+     Fst referring to m1. *)
+  table : (string * string, Formula.t) Hashtbl.t;
+}
+
+let name t = t.name
+let methods t = t.methods
+let default t = t.default
+
+let signature t m =
+  List.find_opt (fun (s : Signature.t) -> String.equal s.meth m) t.methods
+
+let canonical m1 m2 phi =
+  if String.compare m1 m2 <= 0 then (m1, m2, phi)
+  else (m2, m1, Formula.flip_sides phi)
+
+let pairs t =
+  Hashtbl.fold (fun (m1, m2) phi acc -> (m1, m2, phi) :: acc) t.table []
+  |> List.sort compare
+
+let formula t m1 m2 =
+  let key = if String.compare m1 m2 <= 0 then (m1, m2) else (m2, m1) in
+  match Hashtbl.find_opt t.table key with
+  | Some phi -> if String.compare m1 m2 <= 0 then phi else Formula.flip_sides phi
+  | None -> t.default
+
+(* --------------------------------------------------------------- *)
+(* Validation                                                      *)
+(* --------------------------------------------------------------- *)
+
+let check_slots sig1 sig2 phi =
+  let ok (v : Atom.var) =
+    let s = match v.side with Atom.Side.Fst -> sig1 | Atom.Side.Snd -> sig2 in
+    v.slot >= 0 && v.slot < Signature.arity s
+  in
+  match List.find_opt (fun v -> not (ok v)) (Formula.vars phi) with
+  | None -> Ok ()
+  | Some v ->
+      Error
+        (Printf.sprintf "variable %s (slot %d, side %s) is out of range"
+           v.name v.slot
+           (match v.side with Atom.Side.Fst -> "1" | Atom.Side.Snd -> "2"))
+
+(* A small value domain that distinguishes all equality patterns among up
+   to 8 variables and exercises nil-ness and ordering. *)
+let probe_domain =
+  [| Value.Nil; Value.Int 0; Value.Int 1; Value.Int 2; Value.Int 3;
+     Value.Int 4; Value.Int 5; Value.Int 6 |]
+
+(* Exhaustively (or by sampling when too large) check that
+   phi (x~1; x~2) <=> phi (x~2; x~1) for a self-pair of arity [n]. *)
+let check_symmetric n phi =
+  let flipped = Formula.flip_sides phi in
+  let w1 = Array.make n Value.Nil and w2 = Array.make n Value.Nil in
+  let d = Array.length probe_domain in
+  let total_vars = 2 * n in
+  let exhaustive = total_vars <= 4 in
+  let trials =
+    if exhaustive then
+      int_of_float (Float.pow (float_of_int d) (float_of_int total_vars))
+    else 4_000
+  in
+  let prng = Prng.make 0x5eedL in
+  let ok = ref true in
+  let witness = ref None in
+  let i = ref 0 in
+  while !ok && !i < trials do
+    (* Decode trial index (or randomness) into the two valuations. *)
+    let pick k =
+      if exhaustive then
+        let rec digit idx k = if k = 0 then idx mod d else digit (idx / d) (k - 1) in
+        probe_domain.(digit !i k)
+      else probe_domain.(Prng.int prng d)
+    in
+    for j = 0 to n - 1 do
+      w1.(j) <- pick j;
+      w2.(j) <- pick (n + j)
+    done;
+    if Formula.eval_pair phi w1 w2 <> Formula.eval_pair flipped w1 w2 then begin
+      ok := false;
+      witness := Some (Array.copy w1, Array.copy w2)
+    end;
+    incr i
+  done;
+  match !witness with
+  | None -> Ok ()
+  | Some (w1, w2) ->
+      Error
+        (Fmt.str "not symmetric: differs on (%a ; %a)"
+           Fmt.(array ~sep:(any ", ") Value.pp)
+           w1
+           Fmt.(array ~sep:(any ", ") Value.pp)
+           w2)
+
+let make ~name ~methods ?(default = Formula.False) entries =
+  let table = Hashtbl.create 16 in
+  let exception Bad of string in
+  let find_sig m =
+    match
+      List.find_opt (fun (s : Signature.t) -> String.equal s.meth m) methods
+    with
+    | Some s -> s
+    | None -> raise (Bad (Printf.sprintf "method %s is not declared" m))
+  in
+  match
+    List.iter
+      (fun (m1, m2, phi) ->
+        let sig1 = find_sig m1 and sig2 = find_sig m2 in
+        (match check_slots sig1 sig2 phi with
+        | Ok () -> ()
+        | Error e ->
+            raise (Bad (Printf.sprintf "pair (%s, %s): %s" m1 m2 e)));
+        (if String.equal m1 m2 then
+           match check_symmetric (Signature.arity sig1) phi with
+           | Ok () -> ()
+           | Error e ->
+               raise (Bad (Printf.sprintf "pair (%s, %s): %s" m1 m2 e)));
+        let k1, k2, phi = canonical m1 m2 phi in
+        if Hashtbl.mem table (k1, k2) then
+          raise (Bad (Printf.sprintf "pair (%s, %s) specified twice" m1 m2));
+        Hashtbl.add table (k1, k2) phi)
+      entries
+  with
+  | () -> Ok { name; methods; default; table }
+  | exception Bad msg -> Error msg
+
+(* --------------------------------------------------------------- *)
+(* Evaluation                                                      *)
+(* --------------------------------------------------------------- *)
+
+let slots_of t (a : Action.t) =
+  match signature t a.meth with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Spec.commute: method %s not declared in spec %s"
+           a.meth t.name)
+  | Some s ->
+      if not (Signature.matches s a) then
+        invalid_arg
+          (Printf.sprintf
+             "Spec.commute: action %s does not match signature %s"
+             (Action.to_string a) (Fmt.str "%a" Signature.pp s))
+      else Array.of_list (Action.slots a)
+
+let commute t a b =
+  let w1 = slots_of t a and w2 = slots_of t b in
+  Formula.eval_pair (formula t a.Action.meth b.Action.meth) w1 w2
+
+(* --------------------------------------------------------------- *)
+(* ECL membership                                                  *)
+(* --------------------------------------------------------------- *)
+
+let ecl_check t =
+  let rec go = function
+    | [] -> Ecl.check t.default
+    | (m1, m2, phi) :: rest -> (
+        match Ecl.check phi with
+        | Ok () -> go rest
+        | Error e -> Error (Printf.sprintf "pair (%s, %s): %s" m1 m2 e))
+  in
+  go (pairs t)
+
+let is_ecl t = match ecl_check t with Ok () -> true | Error _ -> false
+
+(* --------------------------------------------------------------- *)
+(* Printing                                                        *)
+(* --------------------------------------------------------------- *)
+
+let pp_header ppf (s : Signature.t) sideno =
+  let suffix n = n ^ string_of_int sideno in
+  let args = List.map suffix s.args and rets = List.map suffix s.rets in
+  Fmt.pf ppf "%s(%a)" s.meth Fmt.(list ~sep:(any ", ") string) args;
+  match rets with
+  | [] -> ()
+  | [ r ] -> Fmt.pf ppf " / %s" r
+  | rs -> Fmt.pf ppf " / (%a)" Fmt.(list ~sep:(any ", ") string) rs
+
+(* Rename formula variables to the canonical names used by [pp_header]. *)
+let canonical_vars t m1 m2 phi =
+  let sig1 = signature t m1 and sig2 = signature t m2 in
+  Formula.map_atoms
+    (fun a ->
+      let fix = function
+        | Atom.Var (v : Atom.var) ->
+            let s, n =
+              match v.side with
+              | Atom.Side.Fst -> (sig1, 1)
+              | Atom.Side.Snd -> (sig2, 2)
+            in
+            let name =
+              match s with
+              | Some s -> (
+                  match List.nth_opt (Signature.slot_names s) v.slot with
+                  | Some base -> base ^ string_of_int n
+                  | None -> v.name)
+              | None -> v.name
+            in
+            Atom.Var { v with name }
+        | Atom.Const c -> Atom.Const c
+      in
+      Formula.Atom { a with lhs = fix a.lhs; rhs = fix a.rhs })
+    phi
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>object %s {@," t.name;
+  List.iter (fun s -> Fmt.pf ppf "  method %a;@," Signature.pp s) t.methods;
+  Fmt.pf ppf "@,";
+  List.iter
+    (fun (m1, m2, phi) ->
+      let s1 = Option.get (signature t m1) and s2 = Option.get (signature t m2) in
+      Fmt.pf ppf "  commutes %a <> %a when %a;@," (fun ppf -> pp_header ppf s1)
+        1
+        (fun ppf -> pp_header ppf s2)
+        2 Formula.pp
+        (canonical_vars t m1 m2 phi))
+    (pairs t);
+  (match t.default with
+  | Formula.False -> ()
+  | d -> Fmt.pf ppf "  default %a;@," Formula.pp d);
+  Fmt.pf ppf "}@]"

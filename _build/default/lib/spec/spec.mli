@@ -1,0 +1,51 @@
+(** Whole-object commutativity specifications (Definition 4.1).
+
+    A specification [Phi] for an object type collects one formula
+    [phi_m1_m2 (x~1; x~2)] per unordered pair of methods. Pairs left
+    unspecified fall back to [default] (conservatively [False] — never
+    commute — unless configured otherwise). Formulas for a pair [{m, m}]
+    must be symmetric; [make] verifies this by exhaustive evaluation over
+    a small value domain (exact for the equality-based specifications of
+    the paper). *)
+
+open Crd_trace
+
+type t
+
+val make :
+  name:string ->
+  methods:Signature.t list ->
+  ?default:Formula.t ->
+  (string * string * Formula.t) list ->
+  (t, string) result
+(** [make ~name ~methods pairs] builds and validates a specification.
+    In each [(m1, m2, phi)], [Fst] variables of [phi] refer to slots of
+    [m1] and [Snd] variables to slots of [m2]. Validation checks that
+    methods are declared, slots are in range, no pair is given twice, and
+    self-pairs are symmetric. *)
+
+val name : t -> string
+val methods : t -> Signature.t list
+val default : t -> Formula.t
+val signature : t -> string -> Signature.t option
+
+val pairs : t -> (string * string * Formula.t) list
+(** Canonically ordered pairs, as stored. *)
+
+val formula : t -> string -> string -> Formula.t
+(** [formula t m1 m2] with [Fst] referring to [m1]. Falls back to
+    [default t] for unspecified pairs (with sides matching argument
+    order). *)
+
+val commute : t -> Action.t -> Action.t -> bool
+(** Evaluate the specification on two concrete actions — [phi (a, b)].
+    @raise Invalid_argument if an action does not match its declared
+    signature. *)
+
+val is_ecl : t -> bool
+(** All pair formulas (and the default) lie in the ECL fragment. *)
+
+val ecl_check : t -> (unit, string) result
+val pp : t Fmt.t
+(** Prints the specification in the surface DSL syntax; parseable by
+    {!Crd_spec_parser}. *)

@@ -1,0 +1,1 @@
+lib/spec_parser/lexer.ml: Array Buffer Crd_base Fmt List Printf String Value

@@ -1,0 +1,1 @@
+lib/spec_parser/lexer.mli: Crd_base Fmt Value

@@ -1,0 +1,1 @@
+lib/spec_parser/parser.ml: Array Atom Crd_base Crd_spec Fmt Formula In_channel Lexer List Printf Signature Spec String Value

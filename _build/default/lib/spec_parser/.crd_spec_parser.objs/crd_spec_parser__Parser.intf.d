@@ -1,0 +1,1 @@
+lib/spec_parser/parser.mli: Crd_spec

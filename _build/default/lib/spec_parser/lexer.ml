@@ -1,0 +1,197 @@
+open Crd_base
+
+type pos = { line : int; col : int }
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | VALUE of Value.t
+  | KW_OBJECT
+  | KW_METHOD
+  | KW_COMMUTES
+  | KW_WHEN
+  | KW_DEFAULT
+  | KW_TRUE
+  | KW_FALSE
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | SLASH
+  | PAIRSEP
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let token_name = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT i -> Printf.sprintf "integer %d" i
+  | STRING s -> Printf.sprintf "string %S" s
+  | VALUE v -> Printf.sprintf "value %s" (Value.to_string v)
+  | KW_OBJECT -> "'object'"
+  | KW_METHOD -> "'method'"
+  | KW_COMMUTES -> "'commutes'"
+  | KW_WHEN -> "'when'"
+  | KW_DEFAULT -> "'default'"
+  | KW_TRUE -> "'true'"
+  | KW_FALSE -> "'false'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | SLASH -> "'/'"
+  | PAIRSEP -> "'<>'"
+  | EQ -> "'=='"
+  | NE -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | EOF -> "end of input"
+
+type t = { token : token; pos : pos }
+
+let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col
+
+let keyword = function
+  | "object" -> Some KW_OBJECT
+  | "method" -> Some KW_METHOD
+  | "commutes" -> Some KW_COMMUTES
+  | "when" -> Some KW_WHEN
+  | "default" -> Some KW_DEFAULT
+  | "true" -> Some KW_TRUE
+  | "false" -> Some KW_FALSE
+  | "nil" -> Some (VALUE Value.Nil)
+  | _ -> None
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+exception Err of pos * string
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let i = ref 0 in
+  let pos () = { line = !line; col = !i - !bol + 1 } in
+  let push p tok = toks := { token = tok; pos = p } :: !toks in
+  let err p fmt = Fmt.kstr (fun s -> raise (Err (p, s))) fmt in
+  try
+    while !i < n do
+      let p = pos () in
+      let c = src.[!i] in
+      if c = '\n' then begin
+        incr line;
+        incr i;
+        bol := !i
+      end
+      else if c = ' ' || c = '\t' || c = '\r' then incr i
+      else if c = '#' || (c = '/' && !i + 1 < n && src.[!i + 1] = '/') then begin
+        while !i < n && src.[!i] <> '\n' do
+          incr i
+        done
+      end
+      else if is_ident_start c then begin
+        let start = !i in
+        while !i < n && is_ident src.[!i] do
+          incr i
+        done;
+        let word = String.sub src start (!i - start) in
+        match keyword word with
+        | Some tok -> push p tok
+        | None -> push p (IDENT word)
+      end
+      else if is_digit c || (c = '-' && !i + 1 < n && is_digit src.[!i + 1])
+      then begin
+        let start = !i in
+        incr i;
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        push p (INT (int_of_string (String.sub src start (!i - start))))
+      end
+      else if c = '@' then begin
+        incr i;
+        let start = !i in
+        while !i < n && is_digit src.[!i] do
+          incr i
+        done;
+        if !i = start then err p "malformed reference literal";
+        push p (VALUE (Value.Ref (int_of_string (String.sub src start (!i - start)))))
+      end
+      else if c = '"' then begin
+        incr i;
+        let buf = Buffer.create 8 in
+        let closed = ref false in
+        while (not !closed) && !i < n do
+          let c = src.[!i] in
+          if c = '"' then begin
+            closed := true;
+            incr i
+          end
+          else if c = '\n' then err p "newline in string literal"
+          else if c = '\\' && !i + 1 < n then begin
+            (match src.[!i + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | c -> Buffer.add_char buf c);
+            i := !i + 2
+          end
+          else begin
+            Buffer.add_char buf c;
+            incr i
+          end
+        done;
+        if not !closed then err p "unterminated string literal";
+        push p (STRING (Buffer.contents buf))
+      end
+      else begin
+        let two =
+          if !i + 1 < n then Some (String.sub src !i 2) else None
+        in
+        match two with
+        | Some "<>" -> push p PAIRSEP; i := !i + 2
+        | Some "==" -> push p EQ; i := !i + 2
+        | Some "!=" -> push p NE; i := !i + 2
+        | Some "<=" -> push p LE; i := !i + 2
+        | Some ">=" -> push p GE; i := !i + 2
+        | Some "&&" -> push p ANDAND; i := !i + 2
+        | Some "||" -> push p OROR; i := !i + 2
+        | _ -> (
+            (match c with
+            | '{' -> push p LBRACE
+            | '}' -> push p RBRACE
+            | '(' -> push p LPAREN
+            | ')' -> push p RPAREN
+            | ',' -> push p COMMA
+            | ';' -> push p SEMI
+            | '/' -> push p SLASH
+            | '<' -> push p LT
+            | '>' -> push p GT
+            | '!' -> push p BANG
+            | c -> err p "unexpected character %C" c);
+            incr i)
+      end
+    done;
+    push (pos ()) EOF;
+    Ok (Array.of_list (List.rev !toks))
+  with Err (p, msg) -> Error (Fmt.str "%a: %s" pp_pos p msg)

@@ -1,0 +1,49 @@
+(** Lexer for the commutativity-specification DSL.
+
+    Tokens carry source positions for error reporting. Comments run from
+    [//] or [#] to end of line. *)
+
+open Crd_base
+
+type pos = { line : int; col : int }
+
+type token =
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | VALUE of Value.t  (** [nil] and [@n] reference literals *)
+  | KW_OBJECT
+  | KW_METHOD
+  | KW_COMMUTES
+  | KW_WHEN
+  | KW_DEFAULT
+  | KW_TRUE
+  | KW_FALSE
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | SLASH
+  | PAIRSEP  (** [<>] *)
+  | EQ  (** [==] *)
+  | NE  (** [!=] *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+val token_name : token -> string
+
+type t = { token : token; pos : pos }
+
+val tokenize : string -> (t array, string) result
+(** The result always ends with an [EOF] token. Errors carry
+    "line:col: message". *)
+
+val pp_pos : pos Fmt.t

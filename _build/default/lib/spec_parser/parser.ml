@@ -1,0 +1,324 @@
+open Crd_base
+open Crd_spec
+
+type state = { toks : Lexer.t array; mutable pos : int }
+
+exception Err of Lexer.pos * string
+
+let err pos fmt = Fmt.kstr (fun s -> raise (Err (pos, s))) fmt
+let peek st = st.toks.(st.pos)
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let t = peek st in
+  if t.Lexer.token = tok then advance st
+  else
+    err t.Lexer.pos "expected %s but found %s" (Lexer.token_name tok)
+      (Lexer.token_name t.Lexer.token)
+
+let expect_ident st what =
+  match next st with
+  | { Lexer.token = Lexer.IDENT s; _ } -> s
+  | t -> err t.Lexer.pos "expected %s but found %s" what (Lexer.token_name t.Lexer.token)
+
+(* ------------------------------------------------------------------ *)
+(* Surface AST                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type sterm = SVar of string * Lexer.pos | SConst of Value.t
+
+type sform =
+  | STrue
+  | SFalse
+  | SAtom of Atom.pred * sterm * sterm
+  | SNot of sform
+  | SAnd of sform * sform
+  | SOr of sform * sform
+
+type header = { hmeth : string; hargs : string list; hrets : string list; hpos : Lexer.pos }
+
+type item =
+  | Method of Signature.t
+  | Commutes of header * header * sform * Lexer.pos
+  | Default of sform * Lexer.pos
+
+(* ------------------------------------------------------------------ *)
+(* Headers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_name_list st =
+  let rec go acc =
+    match peek st with
+    | { Lexer.token = Lexer.RPAREN; _ } -> List.rev acc
+    | _ -> (
+        let n = expect_ident st "a parameter name" in
+        match peek st with
+        | { Lexer.token = Lexer.COMMA; _ } ->
+            advance st;
+            go (n :: acc)
+        | _ -> List.rev (n :: acc))
+  in
+  go []
+
+let parse_rets st =
+  match peek st with
+  | { Lexer.token = Lexer.SLASH; _ } -> (
+      advance st;
+      match peek st with
+      | { Lexer.token = Lexer.LPAREN; _ } ->
+          advance st;
+          let names = parse_name_list st in
+          expect st Lexer.RPAREN;
+          names
+      | _ -> [ expect_ident st "a return name" ])
+  | _ -> []
+
+let parse_header st =
+  let hpos = (peek st).Lexer.pos in
+  let hmeth = expect_ident st "a method name" in
+  expect st Lexer.LPAREN;
+  let hargs = parse_name_list st in
+  expect st Lexer.RPAREN;
+  let hrets = parse_rets st in
+  { hmeth; hargs; hrets; hpos }
+
+(* ------------------------------------------------------------------ *)
+(* Formulas                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let relop_of_token = function
+  | Lexer.EQ -> Some Atom.Eq
+  | Lexer.NE -> Some Atom.Ne
+  | Lexer.LT -> Some Atom.Lt
+  | Lexer.LE -> Some Atom.Le
+  | Lexer.GT -> Some Atom.Gt
+  | Lexer.GE -> Some Atom.Ge
+  | _ -> None
+
+let parse_term st =
+  match next st with
+  | { Lexer.token = Lexer.IDENT s; pos } -> SVar (s, pos)
+  | { Lexer.token = Lexer.INT i; _ } -> SConst (Value.Int i)
+  | { Lexer.token = Lexer.STRING s; _ } -> SConst (Value.Str s)
+  | { Lexer.token = Lexer.VALUE v; _ } -> SConst v
+  | { Lexer.token = Lexer.KW_TRUE; _ } -> SConst (Value.Bool true)
+  | { Lexer.token = Lexer.KW_FALSE; _ } -> SConst (Value.Bool false)
+  | t -> err t.Lexer.pos "expected a term but found %s" (Lexer.token_name t.Lexer.token)
+
+let rec parse_formula st = parse_disj st
+
+and parse_disj st =
+  (* Left-associative, matching the pretty-printer. *)
+  let lhs = ref (parse_conj st) in
+  while (peek st).Lexer.token = Lexer.OROR do
+    advance st;
+    lhs := SOr (!lhs, parse_conj st)
+  done;
+  !lhs
+
+and parse_conj st =
+  let lhs = ref (parse_neg st) in
+  while (peek st).Lexer.token = Lexer.ANDAND do
+    advance st;
+    lhs := SAnd (!lhs, parse_neg st)
+  done;
+  !lhs
+
+and parse_neg st =
+  match peek st with
+  | { Lexer.token = Lexer.BANG; _ } ->
+      advance st;
+      SNot (parse_neg st)
+  | _ -> parse_atomic st
+
+and parse_atomic st =
+  let finish_atom lhs =
+    let t = next st in
+    match relop_of_token t.Lexer.token with
+    | Some pred ->
+        let rhs = parse_term st in
+        SAtom (pred, lhs, rhs)
+    | None ->
+        err t.Lexer.pos "expected a comparison operator but found %s"
+          (Lexer.token_name t.Lexer.token)
+  in
+  match peek st with
+  | { Lexer.token = Lexer.LPAREN; _ } -> (
+      advance st;
+      let f = parse_formula st in
+      expect st Lexer.RPAREN;
+      (* A parenthesized formula may still be the left operand of a
+         comparison only if it were a term, which the grammar forbids —
+         parentheses always group formulas. *)
+      f)
+  | { Lexer.token = Lexer.KW_TRUE; _ }
+    when relop_of_token st.toks.(st.pos + 1).Lexer.token = None ->
+      advance st;
+      STrue
+  | { Lexer.token = Lexer.KW_FALSE; _ }
+    when relop_of_token st.toks.(st.pos + 1).Lexer.token = None ->
+      advance st;
+      SFalse
+  | _ ->
+      let lhs = parse_term st in
+      finish_atom lhs
+
+(* ------------------------------------------------------------------ *)
+(* Items and objects                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let parse_item st =
+  let t = peek st in
+  match t.Lexer.token with
+  | Lexer.KW_METHOD ->
+      advance st;
+      let h = parse_header st in
+      expect st Lexer.SEMI;
+      Method (Signature.make ~meth:h.hmeth ~args:h.hargs ~rets:h.hrets ())
+  | Lexer.KW_COMMUTES ->
+      advance st;
+      let pos = t.Lexer.pos in
+      let h1 = parse_header st in
+      expect st Lexer.PAIRSEP;
+      let h2 = parse_header st in
+      expect st Lexer.KW_WHEN;
+      let f = parse_formula st in
+      expect st Lexer.SEMI;
+      Commutes (h1, h2, f, pos)
+  | Lexer.KW_DEFAULT ->
+      advance st;
+      let pos = t.Lexer.pos in
+      let f = parse_formula st in
+      expect st Lexer.SEMI;
+      Default (f, pos)
+  | tok ->
+      err t.Lexer.pos "expected 'method', 'commutes', 'default' or '}' but found %s"
+        (Lexer.token_name tok)
+
+(* Resolve a surface formula under a variable environment mapping names
+   to (side, slot). *)
+let resolve_formula env f =
+  let rec go = function
+    | STrue -> Formula.True
+    | SFalse -> Formula.False
+    | SNot f -> Formula.Not (go f)
+    | SAnd (f, g) -> Formula.And (go f, go g)
+    | SOr (f, g) -> Formula.Or (go f, go g)
+    | SAtom (pred, lhs, rhs) ->
+        Formula.Atom { Atom.pred; lhs = term lhs; rhs = term rhs }
+  and term = function
+    | SConst v -> Atom.Const v
+    | SVar (name, pos) -> (
+        match env name with
+        | Some (side, slot) -> Atom.Var { Atom.side; slot; name }
+        | None -> err pos "unbound variable %s" name)
+  in
+  go f
+
+let header_env (sigs : Signature.t list) (h1 : header) (h2 : header) =
+  let check (h : header) =
+    match List.find_opt (fun (s : Signature.t) -> String.equal s.meth h.hmeth) sigs with
+    | None -> err h.hpos "method %s is not declared" h.hmeth
+    | Some s ->
+        if
+          List.length h.hargs <> List.length s.args
+          || List.length h.hrets <> List.length s.rets
+        then
+          err h.hpos "header of %s does not match its signature %s" h.hmeth
+            (Fmt.str "%a" Signature.pp s)
+  in
+  check h1;
+  check h2;
+  let bind side (h : header) =
+    List.mapi (fun i n -> (n, (side, i))) (h.hargs @ h.hrets)
+  in
+  let b1 = bind Atom.Side.Fst h1 and b2 = bind Atom.Side.Snd h2 in
+  List.iter
+    (fun (n, _) ->
+      if List.mem_assoc n b2 then
+        err h1.hpos "variable %s is bound by both headers" n)
+    b1;
+  let all = b1 @ b2 in
+  fun name -> List.assoc_opt name all
+
+let parse_object st =
+  expect st Lexer.KW_OBJECT;
+  let name = expect_ident st "an object name" in
+  expect st Lexer.LBRACE;
+  let items = ref [] in
+  while (peek st).Lexer.token <> Lexer.RBRACE do
+    items := parse_item st :: !items
+  done;
+  expect st Lexer.RBRACE;
+  let items = List.rev !items in
+  let sigs =
+    List.filter_map (function Method s -> Some s | _ -> None) items
+  in
+  (match
+     List.fold_left
+       (fun seen (s : Signature.t) ->
+         if List.mem s.meth seen then
+           err { Lexer.line = 0; col = 0 } "method %s declared twice" s.meth
+         else s.meth :: seen)
+       [] sigs
+   with
+  | _ -> ());
+  let entries =
+    List.filter_map
+      (function
+        | Commutes (h1, h2, f, _) ->
+            let env = header_env sigs h1 h2 in
+            Some (h1.hmeth, h2.hmeth, resolve_formula env f)
+        | _ -> None)
+      items
+  in
+  let default =
+    List.fold_left
+      (fun acc item ->
+        match item with
+        | Default (f, pos) -> (
+            match acc with
+            | Some _ -> err pos "duplicate default clause"
+            | None -> Some (resolve_formula (fun _ -> None) f, pos))
+        | _ -> acc)
+      None items
+  in
+  let default, dpos =
+    match default with
+    | Some (f, pos) -> (Some f, Some pos)
+    | None -> (None, None)
+  in
+  ignore dpos;
+  match Spec.make ~name ~methods:sigs ?default entries with
+  | Ok spec -> spec
+  | Error msg -> err { Lexer.line = 0; col = 0 } "object %s: %s" name msg
+
+let parse src =
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok toks -> (
+      let st = { toks; pos = 0 } in
+      try
+        let specs = ref [] in
+        while (peek st).Lexer.token <> Lexer.EOF do
+          specs := parse_object st :: !specs
+        done;
+        Ok (List.rev !specs)
+      with Err (pos, msg) -> Error (Fmt.str "%a: %s" Lexer.pp_pos pos msg))
+
+let parse_one src =
+  match parse src with
+  | Ok [ spec ] -> Ok spec
+  | Ok specs ->
+      Error (Printf.sprintf "expected exactly one object, found %d" (List.length specs))
+  | Error e -> Error e
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg

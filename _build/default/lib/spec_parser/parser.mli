@@ -1,0 +1,34 @@
+(** Recursive-descent parser for the commutativity-specification DSL.
+
+    Surface syntax (one or more objects per file):
+
+    {v
+    object dictionary {
+      method put(k, v) / p;
+      method get(k) / v;
+      method size() / r;
+
+      commutes put(k1, v1) / p1 <> put(k2, v2) / p2
+        when k1 != k2 || (v1 == p1 && v2 == p2);
+      commutes put(k1, v1) / p1 <> get(k2) / v2
+        when k1 != k2 || v1 == p1;
+      commutes put(k1, v1) / p1 <> size() / r2
+        when (v1 == nil && p1 == nil) || (v1 != nil && p1 != nil);
+      commutes get(k1) / v1 <> get(k2) / v2 when true;
+      commutes get(k1) / v1 <> size() / r2  when true;
+      commutes size() / r1  <> size() / r2  when true;
+    }
+    v}
+
+    In a [commutes] clause the first header binds its variable names to
+    the {e Fst} side and the second to the {e Snd} side; names must not
+    collide across the two headers. Literals are integers, strings,
+    [nil], [true], [false] and [@n] references. An optional
+    [default <formula>;] item overrides the conservative [false] default
+    for unspecified method pairs (its variables cannot refer to slots). *)
+
+val parse : string -> (Crd_spec.Spec.t list, string) result
+val parse_one : string -> (Crd_spec.Spec.t, string) result
+(** Expects exactly one [object] block. *)
+
+val parse_file : string -> (Crd_spec.Spec.t list, string) result

@@ -1,0 +1,1 @@
+lib/stdspecs/stdspecs.ml: Crd_spec Crd_spec_parser Lazy List Spec String

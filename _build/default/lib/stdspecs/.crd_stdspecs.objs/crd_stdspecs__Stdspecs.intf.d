@@ -1,0 +1,1 @@
+lib/stdspecs/stdspecs.mli: Crd_spec Spec

@@ -1,0 +1,134 @@
+open Crd_spec
+
+let dictionary_src =
+  {|
+object dictionary {
+  method put(k, v) / p;
+  method get(k) / v;
+  method size() / r;
+
+  commutes put(k1, v1) / p1 <> put(k2, v2) / p2
+    when k1 != k2 || (v1 == p1 && v2 == p2);
+  commutes put(k1, v1) / p1 <> get(k2) / v2
+    when k1 != k2 || v1 == p1;
+  commutes put(k1, v1) / p1 <> size() / r2
+    when (v1 == nil && p1 == nil) || (v1 != nil && p1 != nil);
+  commutes get(k1) / v1 <> get(k2) / v2 when true;
+  commutes get(k1) / v1 <> size() / r2  when true;
+  commutes size() / r1  <> size() / r2  when true;
+}
+|}
+
+let set_src =
+  {|
+object set {
+  method add(x) / was;
+  method remove(x) / was;
+  method contains(x) / b;
+  method size() / r;
+
+  commutes add(x1) / w1 <> add(x2) / w2
+    when x1 != x2 || (w1 == true && w2 == true);
+  commutes add(x1) / w1 <> remove(x2) / w2
+    when x1 != x2;
+  commutes add(x1) / w1 <> contains(x2) / b2
+    when x1 != x2 || (w1 == true && b2 == true);
+  commutes add(x1) / w1 <> size() / r2
+    when w1 == true;
+  commutes remove(x1) / w1 <> remove(x2) / w2
+    when x1 != x2 || (w1 == false && w2 == false);
+  commutes remove(x1) / w1 <> contains(x2) / b2
+    when x1 != x2 || (w1 == false && b2 == false);
+  commutes remove(x1) / w1 <> size() / r2
+    when w1 == false;
+  commutes contains(x1) / b1 <> contains(x2) / b2 when true;
+  commutes contains(x1) / b1 <> size() / r2 when true;
+  commutes size() / r1 <> size() / r2 when true;
+}
+|}
+
+let counter_src =
+  {|
+object counter {
+  method add(n);
+  method read() / v;
+
+  commutes add(n1) <> add(n2) when true;
+  commutes add(n1) <> read() / v2 when false;
+  commutes read() / v1 <> read() / v2 when true;
+}
+|}
+
+let register_src =
+  {|
+object register {
+  method write(v);
+  method read() / v;
+
+  commutes write(v1) <> write(v2) when false;
+  commutes write(v1) <> read() / v2 when false;
+  commutes read() / v1 <> read() / v2 when true;
+}
+|}
+
+let fifo_src =
+  {|
+object fifo {
+  method enq(x);
+  method deq() / x;
+  method peek() / x;
+
+  commutes enq(x1) <> enq(x2) when false;
+  commutes enq(x1) <> deq() / x2 when false;
+  commutes enq(x1) <> peek() / x2 when x1 != x2 && x2 != nil;
+  commutes deq() / x1 <> deq() / x2 when x1 == nil && x2 == nil;
+  commutes deq() / x1 <> peek() / x2 when x1 == nil && x2 == nil;
+  commutes peek() / x1 <> peek() / x2 when true;
+}
+|}
+
+let bag_src =
+  {|
+object bag {
+  method add(x);
+  method remove(x) / ok;
+  method count(x) / n;
+  method size() / r;
+
+  // Multiset insertions always commute (unlike set insertions, which
+  // observe prior membership through their return value).
+  commutes add(x1) <> add(x2) when true;
+  commutes add(x1) <> remove(x2) / ok2 when x1 != x2;
+  commutes add(x1) <> count(x2) / n2 when x1 != x2;
+  commutes add(x1) <> size() / r2 when false;
+  commutes remove(x1) / ok1 <> remove(x2) / ok2
+    when x1 != x2 || (ok1 == false && ok2 == false);
+  commutes remove(x1) / ok1 <> count(x2) / n2
+    when x1 != x2 || ok1 == false;
+  commutes remove(x1) / ok1 <> size() / r2 when ok1 == false;
+  commutes count(x1) / n1 <> count(x2) / n2 when true;
+  commutes count(x1) / n1 <> size() / r2 when true;
+  commutes size() / r1 <> size() / r2 when true;
+}
+|}
+
+let memo src =
+  let cell = lazy (
+    match Crd_spec_parser.Parser.parse_one src with
+    | Ok spec -> spec
+    | Error e -> failwith ("Stdspecs: builtin specification is broken: " ^ e))
+  in
+  fun () -> Lazy.force cell
+
+let dictionary = memo dictionary_src
+let set = memo set_src
+let counter = memo counter_src
+let register = memo register_src
+let fifo = memo fifo_src
+let bag = memo bag_src
+
+let all () =
+  [ dictionary (); set (); counter (); register (); fifo (); bag () ]
+
+let find name =
+  List.find_opt (fun s -> String.equal (Spec.name s) name) (all ())

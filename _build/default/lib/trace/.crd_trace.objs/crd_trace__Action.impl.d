@@ -1,0 +1,1 @@
+lib/trace/action.ml: Crd_base Fmt List Obj_id String Value

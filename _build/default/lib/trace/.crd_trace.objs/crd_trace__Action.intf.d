@@ -1,0 +1,1 @@
+lib/trace/action.mli: Crd_base Fmt Obj_id Value

@@ -1,0 +1,1 @@
+lib/trace/event.ml: Action Crd_base Fmt Lock_id Mem_loc Tid

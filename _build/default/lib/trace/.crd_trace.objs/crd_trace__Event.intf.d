@@ -1,0 +1,1 @@
+lib/trace/event.mli: Action Crd_base Fmt Lock_id Mem_loc Tid

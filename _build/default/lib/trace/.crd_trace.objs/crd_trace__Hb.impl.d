@@ -1,0 +1,1 @@
+lib/trace/hb.ml: Crd_base Crd_vclock Event Hashtbl Lock_id Tid Vclock

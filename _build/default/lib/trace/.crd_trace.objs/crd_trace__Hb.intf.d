@@ -1,0 +1,1 @@
+lib/trace/hb.mli: Crd_base Crd_vclock Event Tid Vclock

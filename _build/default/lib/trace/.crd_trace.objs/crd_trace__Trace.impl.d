@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Crd_base Event Fmt List Tid

@@ -1,0 +1,1 @@
+lib/trace/trace_text.ml: Action Buffer Crd_base Event Fmt Hashtbl In_channel List Lock_id Mem_loc Obj_id Printf Stdlib String Tid Trace Value

@@ -1,0 +1,1 @@
+lib/trace/trace_text.mli: Fmt Trace

@@ -1,0 +1,23 @@
+open Crd_base
+
+type t = { obj : Obj_id.t; meth : string; args : Value.t list; rets : Value.t list }
+
+let make ~obj ~meth ?(args = []) ?(rets = []) () = { obj; meth; args; rets }
+let slots t = t.args @ t.rets
+let arity t = List.length t.args + List.length t.rets
+
+let equal a b =
+  Obj_id.equal a.obj b.obj
+  && String.equal a.meth b.meth
+  && List.equal Value.equal a.args b.args
+  && List.equal Value.equal a.rets b.rets
+
+let pp ppf t =
+  let pp_vals = Fmt.(list ~sep:(any ", ") Value.pp) in
+  Fmt.pf ppf "%a.%s(%a)" Obj_id.pp t.obj t.meth pp_vals t.args;
+  match t.rets with
+  | [] -> ()
+  | [ r ] -> Fmt.pf ppf "/%a" Value.pp r
+  | rs -> Fmt.pf ppf "/(%a)" pp_vals rs
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,33 @@
+(** The happens-before engine of Table 1.
+
+    Maintains the auxiliary maps [T : Tid -> VC] and [L : Lock -> VC] and
+    updates them at every synchronization event. Action (and read/write)
+    events are assigned the current clock [T tau] of their thread.
+
+    [snapshot] returns a clock that is guaranteed not to be mutated by
+    later [step]s: internally the engine hands out one shared copy per
+    thread segment (the stretch of events between two synchronization
+    points of that thread), which is both safe and cheap — all events in a
+    segment carry the same clock. *)
+
+open Crd_base
+open Crd_vclock
+
+type t
+
+val create : unit -> t
+
+val step : t -> Event.t -> Vclock.t
+(** Process one event. For [Call]/[Read]/[Write] events the result is the
+    event's clock [vc e] (a stable snapshot). For synchronization events
+    the result is the issuing thread's clock *before* the update; it is
+    rarely needed but handy for logging. *)
+
+val snapshot : t -> Tid.t -> Vclock.t
+(** The current (stable) clock of a thread. *)
+
+val raw_clock : t -> Tid.t -> Vclock.t
+(** The live, mutable clock [T tau]. Do not retain across [step]s. *)
+
+val epoch : t -> Tid.t -> Vclock.Epoch.t
+(** [c(tau)@tau] where [c = T tau] — the FastTrack epoch of the thread. *)

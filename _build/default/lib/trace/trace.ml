@@ -1,0 +1,50 @@
+open Crd_base
+
+type t = { mutable data : Event.t array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let append t e =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let data = Array.make (max 8 (2 * cap)) e in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- e;
+  t.len <- t.len + 1
+
+let of_list l =
+  let t = create () in
+  List.iter (append t) l;
+  t
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: out of bounds";
+  t.data.(i)
+
+let iter t ~f =
+  for i = 0 to t.len - 1 do
+    f i t.data.(i)
+  done
+
+let iter_events t ~f = iter t ~f:(fun _ e -> f e)
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t ~f:(fun i e -> acc := f !acc i e);
+  !acc
+
+let to_list t = List.init t.len (fun i -> t.data.(i))
+
+let num_threads t =
+  fold t ~init:0 ~f:(fun m _ (e : Event.t) ->
+      let m = max m (Tid.to_int e.tid + 1) in
+      match e.op with
+      | Fork u | Join u -> max m (Tid.to_int u + 1)
+      | Call _ | Read _ | Write _ | Acquire _ | Release _ | Begin | End -> m)
+
+let pp ppf t =
+  iter t ~f:(fun i e -> Fmt.pf ppf "%4d  %a@." i Event.pp e)

@@ -1,0 +1,20 @@
+(** Finite traces: sequences of events with positions.
+
+    A trace models one observed execution [s0 -a1-> s1 -a2-> ...]
+    (Section 3.1); the event at index [i] is the i-th transition label. *)
+
+type t
+
+val create : unit -> t
+val of_list : Event.t list -> t
+val to_list : t -> Event.t list
+val append : t -> Event.t -> unit
+val length : t -> int
+val get : t -> int -> Event.t
+val iter : t -> f:(int -> Event.t -> unit) -> unit
+val iter_events : t -> f:(Event.t -> unit) -> unit
+val fold : t -> init:'a -> f:('a -> int -> Event.t -> 'a) -> 'a
+val num_threads : t -> int
+(** One more than the largest thread id mentioned. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/vclock/vclock.ml: Array Crd_base Fmt Stdlib Tid

@@ -1,0 +1,1 @@
+lib/vclock/vclock.mli: Crd_base Fmt Tid

@@ -1,0 +1,74 @@
+open Crd_base
+
+type t = { mutable data : int array }
+
+let bot () = { data = [||] }
+let of_list l = { data = Array.of_list l }
+
+let to_list t =
+  let last = ref 0 in
+  Array.iteri (fun i c -> if c <> 0 then last := i + 1) t.data;
+  Array.to_list (Array.sub t.data 0 !last)
+
+let copy t = { data = Array.copy t.data }
+
+let get t tid =
+  let i = Tid.to_int tid in
+  if i < Array.length t.data then t.data.(i) else 0
+
+let ensure t n =
+  let len = Array.length t.data in
+  if n > len then begin
+    let cap = max n (max 4 (2 * len)) in
+    let data = Array.make cap 0 in
+    Array.blit t.data 0 data 0 len;
+    t.data <- data
+  end
+
+let set t tid v =
+  let i = Tid.to_int tid in
+  ensure t (i + 1);
+  t.data.(i) <- v
+
+let incr t tid = set t tid (get t tid + 1)
+
+let join_into ~into c =
+  ensure into (Array.length c.data);
+  Array.iteri
+    (fun i v -> if v > into.data.(i) then into.data.(i) <- v)
+    c.data
+
+let join a b =
+  let r = copy a in
+  join_into ~into:r b;
+  r
+
+let leq a b =
+  let la = Array.length a.data and lb = Array.length b.data in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < la do
+    let bv = if !i < lb then b.data.(!i) else 0 in
+    if a.data.(!i) > bv then ok := false;
+    Stdlib.incr i
+  done;
+  !ok
+
+let equal a b = leq a b && leq b a
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let pp ppf t =
+  Fmt.pf ppf "<%a>" Fmt.(list ~sep:(any ",") int) (to_list t)
+
+module Epoch = struct
+  type t = { tid : Tid.t; clock : int }
+
+  let make tid clock = { tid; clock }
+  let none = { tid = Tid.main; clock = 0 }
+  let tid e = e.tid
+  let clock e = e.clock
+  let equal a b = Tid.equal a.tid b.tid && a.clock = b.clock
+  let leq e c = e.clock <= get c e.tid
+  let of_vclock c tid = { tid; clock = get c tid }
+  let pp ppf e = Fmt.pf ppf "%d@@%a" e.clock Tid.pp e.tid
+end

@@ -1,0 +1,71 @@
+(** Vector clocks (Section 3.2).
+
+    A vector clock is a map [Tid.t -> nat], here backed by a growable
+    integer array with an implicit zero tail, ordered pointwise. The set of
+    clocks forms a lattice with bottom [bot], join [join], and the pointwise
+    order [leq]; [incr] performs the [inc_tau] timestep of the paper.
+
+    Clocks are mutable for performance (the detectors join millions of
+    clocks); use [copy] when a snapshot must survive later mutation. *)
+
+open Crd_base
+
+type t
+
+val bot : unit -> t
+(** The clock [tau |-> 0]. *)
+
+val of_list : int list -> t
+(** [of_list [c0; c1; ...]] maps thread [i] to [ci] and all others to 0. *)
+
+val to_list : t -> int list
+(** Entries up to the last nonzero one. *)
+
+val copy : t -> t
+val get : t -> Tid.t -> int
+val set : t -> Tid.t -> int -> unit
+
+val incr : t -> Tid.t -> unit
+(** [incr c tau] is the paper's [inc_tau]: bump [tau]'s component. *)
+
+val join_into : into:t -> t -> unit
+(** [join_into ~into c] sets [into <- into join c] (pointwise max). *)
+
+val join : t -> t -> t
+(** Functional join; allocates. *)
+
+val leq : t -> t -> bool
+(** Pointwise order: [leq a b] iff [a(tau) <= b(tau)] for all [tau]. *)
+
+val equal : t -> t -> bool
+
+val concurrent : t -> t -> bool
+(** [concurrent a b] iff neither [leq a b] nor [leq b a] — the events may
+    happen in parallel ([a || b] in the paper). *)
+
+val pp : t Fmt.t
+
+module Epoch : sig
+  (** FastTrack epochs [c@tau]: the scalar clock [c] of a single thread
+      [tau], a compact stand-in for a full vector clock when the last
+      access is totally ordered. *)
+
+  type vclock := t
+  type t
+
+  val make : Tid.t -> int -> t
+  val none : t
+  (** The minimal epoch [0@T0]; [leq none c] for every clock [c]. *)
+
+  val tid : t -> Tid.t
+  val clock : t -> int
+  val equal : t -> t -> bool
+
+  val leq : t -> vclock -> bool
+  (** [leq e c] iff [clock e <= c (tid e)] — the FastTrack [e <= c] test. *)
+
+  val of_vclock : vclock -> Tid.t -> t
+  (** [of_vclock c tau] is [c(tau)@tau]. *)
+
+  val pp : t Fmt.t
+end

@@ -1,0 +1,1 @@
+lib/workloads/mvstore.ml: Array Crd_base Crd_runtime Hashtbl List Monitored Option Printf Sched Sqlmini String Tid Value

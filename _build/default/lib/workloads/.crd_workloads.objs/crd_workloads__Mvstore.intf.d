@@ -1,0 +1,1 @@
+lib/workloads/mvstore.mli: Crd_base Crd_runtime Sqlmini Stdlib Value

@@ -1,0 +1,1 @@
+lib/workloads/polepos.ml: Crd_base Crd_runtime Int64 List Monitored Mvstore Printf Prng Sched String

@@ -1,0 +1,1 @@
+lib/workloads/polepos.mli: Crd_trace

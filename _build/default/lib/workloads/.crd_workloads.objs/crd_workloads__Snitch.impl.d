@@ -1,0 +1,1 @@
+lib/workloads/snitch.ml: Array Crd_base Crd_runtime Hashtbl Monitored Option Printf Sched Value

@@ -1,0 +1,1 @@
+lib/workloads/snitch.mli: Crd_trace

@@ -1,0 +1,1 @@
+lib/workloads/sqlmini.ml: Crd_base Fmt List Option String Value

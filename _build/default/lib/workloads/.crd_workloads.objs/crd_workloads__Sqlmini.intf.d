@@ -1,0 +1,1 @@
+lib/workloads/sqlmini.mli: Crd_base Fmt Value

@@ -1,0 +1,1 @@
+lib/workloads/table2.ml: Analyzer Crd Fmt List Option Polepos Report Rw_report Snitch String Unix

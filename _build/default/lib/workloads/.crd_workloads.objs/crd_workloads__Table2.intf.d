@@ -1,0 +1,1 @@
+lib/workloads/table2.mli: Fmt

@@ -1,0 +1,399 @@
+open Crd_base
+open Crd_runtime
+
+module Dict = Monitored.Dict
+module Shared = Monitored.Shared
+
+type table = {
+  cols : string array;
+  data : Dict.t;  (* Int rowid -> Ref rowid (tombstoned via nil) *)
+  arena : (int, Value.t array) Hashtbl.t;  (* row payloads, unmonitored *)
+  hwm : int Shared.t;  (* racy high-water mark, read by scans *)
+  cache_hits : int Shared.t;  (* racy per-table statistics field *)
+  pages : int Shared.t array;  (* racy per-page dirty flags *)
+  (* Primary-key index: first column value -> rowid (unmonitored, like
+     H2's in-memory b-tree nodes). Point queries on the first column use
+     it instead of a full scan. *)
+  index : (Value.t, int) Hashtbl.t;
+}
+
+let n_pages = 16
+
+type t = {
+  chunks : Dict.t;
+  freed : Dict.t;
+  version : int Shared.t;
+  stats_queries : int Shared.t;
+  stats_writes : int Shared.t;
+  tables : (string, table) Hashtbl.t;
+  (* Per-thread row id allocation: collision-free by construction, so
+     concurrent inserts write distinct dictionary keys (and commute). *)
+  next_row : (int, int ref) Hashtbl.t;
+  mutable executed : int;
+}
+
+let create () =
+  {
+    chunks = Dict.create ~name:"dictionary:chunks" ();
+    freed = Dict.create ~name:"dictionary:freedPageSpace" ();
+    version = Shared.create ~name:"currentVersion" 0;
+    stats_queries = Shared.create ~name:"statsQueries" 0;
+    stats_writes = Shared.create ~name:"statsWrites" 0;
+    tables = Hashtbl.create 8;
+    next_row = Hashtbl.create 8;
+    executed = 0;
+  }
+
+let chunks t = t.chunks
+let freed_page_space t = t.freed
+let queries_executed t = t.executed
+
+type result =
+  | Rows of Value.t array list
+  | Count of int
+  | Affected of int
+
+(* ------------------------------------------------------------------ *)
+(* Chunk bookkeeping: the two harmful H2 races                         *)
+(* ------------------------------------------------------------------ *)
+
+let n_chunks = 16
+
+(* Race #1 (freedPageSpace): unsynchronized read-modify-write; two
+   concurrent frees to the same chunk lose updates. *)
+let free_space t ~chunk ~bytes =
+  let cur =
+    match Dict.get t.freed (Value.Int chunk) with
+    | Value.Int n -> n
+    | _ -> 0
+  in
+  Dict.put t.freed (Value.Int chunk) (Value.Int (cur + bytes)) |> ignore
+
+(* Race #2 (chunks): check-then-act; two threads may both compute the
+   metadata for the same version. *)
+let ensure_chunk t ~version =
+  match Dict.get t.chunks (Value.Int version) with
+  | Value.Nil ->
+      (* "Expensive" metadata computation happens here in H2. *)
+      Dict.put t.chunks (Value.Int version) (Value.Ref (1000 + version))
+      |> ignore
+  | _ -> ()
+
+let commit t =
+  let v = Shared.get t.version in
+  Shared.set t.version (v + 1);
+  ensure_chunk t ~version:(v + 1);
+  free_space t ~chunk:(v mod n_chunks) ~bytes:64
+
+let maintenance_step t =
+  let v = Shared.get t.version in
+  ensure_chunk t ~version:v;
+  free_space t ~chunk:(v mod n_chunks) ~bytes:16
+
+(* ------------------------------------------------------------------ *)
+(* Tables                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let alloc_rowid t =
+  let tid = Tid.to_int (Sched.self ()) in
+  let counter =
+    match Hashtbl.find_opt t.next_row tid with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t.next_row tid r;
+        r
+  in
+  let local = !counter in
+  incr counter;
+  (tid * 1_000_000) + local
+
+let table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tbl -> Ok tbl
+  | None -> Error (Printf.sprintf "no such table: %s" name)
+
+let col_index (tbl : table) name =
+  let rec go i =
+    if i >= Array.length tbl.cols then None
+    else if String.equal tbl.cols.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let row_lookup (tbl : table) (row : Value.t array) col =
+  Option.map (fun i -> row.(i)) (col_index tbl col)
+
+(* Scan a table: snapshot the candidate row ids (no events), then read
+   each candidate through the monitored dictionary, checking liveness
+   and the WHERE clause. The racy [hwm] read models H2 reading its
+   row-count field. *)
+(* A WHERE clause of the shape [pk = const AND ...] can be answered
+   through the primary-key index with a single point read. *)
+let point_candidate (tbl : table) (where : Sqlmini.cond list) =
+  if Array.length tbl.cols = 0 then None
+  else
+    List.find_map
+      (fun (c : Sqlmini.cond) ->
+        if String.equal c.Sqlmini.col tbl.cols.(0) && c.Sqlmini.cmp = Sqlmini.Ceq
+        then Hashtbl.find_opt tbl.index c.Sqlmini.value
+        else None)
+      where
+
+let scan ?(stats = true) t (tbl : table) where ~f =
+  ignore (Shared.get tbl.hwm);
+  if stats then begin
+    (* Page-cache probe: reads a dirty flag that writers update racily. *)
+    ignore (Shared.get tbl.pages.(Hashtbl.hash where mod n_pages));
+    Shared.update t.stats_queries succ
+  end;
+  let ids =
+    match point_candidate tbl where with
+    | Some id -> [ id ]
+    | None ->
+        List.sort compare
+          (Hashtbl.fold (fun id _ acc -> id :: acc) tbl.arena [])
+  in
+  List.iter
+    (fun id ->
+      match Dict.get tbl.data (Value.Int id) with
+      | Value.Ref rid -> (
+          match Hashtbl.find_opt tbl.arena rid with
+          | Some row ->
+              if
+                List.for_all
+                  (fun c -> Sqlmini.cond_holds c (row_lookup tbl row))
+                  where
+              then f id row
+          | None -> ())
+      | _ -> () (* tombstone or missing *))
+    ids
+
+let exec t stmt =
+  t.executed <- t.executed + 1;
+  match (stmt : Sqlmini.stmt) with
+  | Sqlmini.Create { table = name; cols } ->
+      if Hashtbl.mem t.tables name then
+        Error (Printf.sprintf "table %s already exists" name)
+      else begin
+        Hashtbl.replace t.tables name
+          {
+            cols = Array.of_list cols;
+            data = Dict.create ~name:("dictionary:tbl_" ^ name) ();
+            arena = Hashtbl.create 64;
+            hwm = Shared.create ~name:(name ^ ".hwm") 0;
+            cache_hits = Shared.create ~name:(name ^ ".cacheHits") 0;
+            pages =
+              Array.init n_pages (fun i ->
+                  Shared.create ~name:(Printf.sprintf "%s.page%d" name i) 0);
+            index = Hashtbl.create 64;
+          };
+        Ok (Affected 0)
+      end
+  | Sqlmini.Insert { table = name; values } -> (
+      match table t name with
+      | Error e -> Error e
+      | Ok tbl ->
+          if List.length values <> Array.length tbl.cols then
+            Error (Printf.sprintf "arity mismatch inserting into %s" name)
+          else begin
+            let id = alloc_rowid t in
+            Hashtbl.replace tbl.arena id (Array.of_list values);
+            (match values with
+            | pk :: _ -> Hashtbl.replace tbl.index pk id
+            | [] -> ());
+            ignore (Dict.put tbl.data (Value.Int id) (Value.Ref id));
+            (* Racy high-water mark maintenance (check-then-act). *)
+            let hwm = Shared.get tbl.hwm in
+            if id >= hwm then Shared.set tbl.hwm (id + 1);
+            Shared.set tbl.pages.(id mod n_pages) 1;
+            Shared.update t.stats_writes succ;
+            Ok (Affected 1)
+          end)
+  | Sqlmini.Select { table = name; cols; where; order_by; limit } -> (
+      match table t name with
+      | Error e -> Error e
+      | Ok tbl ->
+          let project (row : Value.t array) =
+            match cols with
+            | [ "*" ] -> row
+            | cols ->
+                Array.of_list
+                  (List.map
+                     (fun c ->
+                       Option.value ~default:Value.Nil (row_lookup tbl row c))
+                     cols)
+          in
+          let out = ref [] in
+          (* Sort/limit operate on full rows (projection happens last) so
+             ORDER BY may use non-projected columns. *)
+          let rows_acc = ref [] in
+          scan t tbl where ~f:(fun _ row -> rows_acc := row :: !rows_acc);
+          let rows = List.rev !rows_acc in
+          let rows =
+            match order_by with
+            | None -> rows
+            | Some { Sqlmini.by; desc } ->
+                let key row =
+                  Option.value ~default:Value.Nil (row_lookup tbl row by)
+                in
+                let cmp a b = Value.compare (key a) (key b) in
+                let sorted = List.stable_sort cmp rows in
+                if desc then List.rev sorted else sorted
+          in
+          let rows =
+            match limit with
+            | None -> rows
+            | Some n -> List.filteri (fun i _ -> i < n) rows
+          in
+          out := List.rev_map project rows;
+          Shared.update tbl.cache_hits succ;
+          Ok (Rows (List.rev !out)))
+  | Sqlmini.Select_count { table = name; where } -> (
+      match table t name with
+      | Error e -> Error e
+      | Ok tbl ->
+          if where = [] then begin
+            (* COUNT( * ) without a filter uses the dictionary's size
+               operation — the paper's size/resize conflict. *)
+            Shared.update t.stats_queries succ;
+            Ok (Count (Dict.size tbl.data))
+          end
+          else begin
+            let n = ref 0 in
+            scan t tbl where ~f:(fun _ _ -> incr n);
+            Ok (Count !n)
+          end)
+  | Sqlmini.Select_agg { table = name; agg; col; where } -> (
+      match table t name with
+      | Error e -> Error e
+      | Ok tbl -> (
+          match col_index tbl col with
+          | None -> Error (Printf.sprintf "no such column: %s.%s" name col)
+          | Some ci ->
+              let acc = ref [] in
+              scan t tbl where ~f:(fun _ row ->
+                  match row.(ci) with
+                  | Value.Int n -> acc := n :: !acc
+                  | _ -> ());
+              let xs = !acc in
+              let result =
+                match (agg, xs) with
+                | _, [] -> 0
+                | Sqlmini.Sum, xs -> List.fold_left ( + ) 0 xs
+                | Sqlmini.Min, x :: xs -> List.fold_left min x xs
+                | Sqlmini.Max, x :: xs -> List.fold_left max x xs
+                | Sqlmini.Avg, xs ->
+                    List.fold_left ( + ) 0 xs / List.length xs
+              in
+              Ok (Count result)))
+  | Sqlmini.Select_join { left; right; on_left; on_right; cols; where } -> (
+      match (table t left, table t right) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok ltbl, Ok rtbl -> (
+          match (col_index ltbl on_left, col_index rtbl on_right) with
+          | None, _ -> Error (Printf.sprintf "no such column: %s.%s" left on_left)
+          | _, None ->
+              Error (Printf.sprintf "no such column: %s.%s" right on_right)
+          | Some li, Some _ri ->
+              (* Qualified lookup over the joined row. *)
+              let qualified_lookup lrow rrow colname =
+                match String.index_opt colname '.' with
+                | Some i ->
+                    let tname = String.sub colname 0 i in
+                    let cname =
+                      String.sub colname (i + 1) (String.length colname - i - 1)
+                    in
+                    if String.equal tname left then row_lookup ltbl lrow cname
+                    else if String.equal tname right then
+                      row_lookup rtbl rrow cname
+                    else None
+                | None -> (
+                    (* Unqualified: left table wins, then right. *)
+                    match row_lookup ltbl lrow colname with
+                    | Some v -> Some v
+                    | None -> row_lookup rtbl rrow colname)
+              in
+              let out = ref [] in
+              scan t ltbl [] ~f:(fun _ lrow ->
+                  let join_key = lrow.(li) in
+                  (* Index-assisted inner loop: probe the right table's
+                     primary index when the join column is its key;
+                     otherwise fall back to a scan. *)
+                  let probe =
+                    [ { Sqlmini.col = rtbl.cols.(0); cmp = Sqlmini.Ceq;
+                        value = join_key } ]
+                  in
+                  let right_where =
+                    if String.equal on_right rtbl.cols.(0) then probe else []
+                  in
+                  (* The inner loop is an index probe, not a separate
+                     query: skip the per-query statistics updates. *)
+                  scan ~stats:false t rtbl right_where ~f:(fun _ rrow ->
+                      let matches =
+                        Value.equal join_key
+                          (Option.value ~default:Value.Nil
+                             (row_lookup rtbl rrow on_right))
+                        && List.for_all
+                             (fun c ->
+                               Sqlmini.cond_holds c (qualified_lookup lrow rrow))
+                             where
+                      in
+                      if matches then begin
+                        let projected =
+                          match cols with
+                          | [ "*" ] -> Array.append lrow rrow
+                          | cols ->
+                              Array.of_list
+                                (List.map
+                                   (fun c ->
+                                     Option.value ~default:Value.Nil
+                                       (qualified_lookup lrow rrow c))
+                                   cols)
+                        in
+                        out := projected :: !out
+                      end));
+              Shared.update ltbl.cache_hits succ;
+              Shared.update rtbl.cache_hits succ;
+              Ok (Rows (List.rev !out))))
+  | Sqlmini.Update { table = name; col; value; where } -> (
+      match table t name with
+      | Error e -> Error e
+      | Ok tbl -> (
+          match col_index tbl col with
+          | None -> Error (Printf.sprintf "no such column: %s.%s" name col)
+          | Some ci ->
+              let hits = ref [] in
+              scan t tbl where ~f:(fun id row -> hits := (id, row) :: !hits);
+              List.iter
+                (fun (id, row) ->
+                  let row' = Array.copy row in
+                  row'.(ci) <- value;
+                  let rid = alloc_rowid t in
+                  Hashtbl.replace tbl.arena rid row';
+                  ignore (Dict.put tbl.data (Value.Int id) (Value.Ref rid));
+                  Shared.set tbl.pages.(id mod n_pages) 1;
+                  (* Page space freed by superseded row versions is
+                     accounted lazily, at commit time. *)
+                  ())
+                !hits;
+              Shared.update t.stats_writes succ;
+              Ok (Affected (List.length !hits))))
+  | Sqlmini.Delete { table = name; where } -> (
+      match table t name with
+      | Error e -> Error e
+      | Ok tbl ->
+          let hits = ref [] in
+          scan t tbl where ~f:(fun id row -> hits := (id, row) :: !hits);
+          List.iter
+            (fun (id, (row : Value.t array)) ->
+              ignore (Dict.put tbl.data (Value.Int id) Value.Nil);
+              Hashtbl.remove tbl.arena id;
+              if Array.length row > 0 then Hashtbl.remove tbl.index row.(0);
+              Shared.set tbl.pages.(id mod n_pages) 1)
+            !hits;
+          Shared.update t.stats_writes succ;
+          Ok (Affected (List.length !hits)))
+
+let exec_sql t src =
+  match Sqlmini.parse src with Error e -> Error e | Ok stmt -> exec t stmt

@@ -1,0 +1,51 @@
+(** An H2-shaped multi-version store — the substrate of the Table 2
+    workload.
+
+    H2's MVStore keeps its bookkeeping in [ConcurrentHashMap]s; the two
+    harmful commutativity races the paper reports live in its [chunks]
+    and [freedPageSpace] maps. This store mirrors that architecture:
+
+    - each table's rows live in a monitored dictionary
+      ([dictionary:tbl_<name>]) mapping row ids to row references;
+    - [chunks] ([dictionary:chunks]) maps a version to its chunk
+      metadata, populated with a check-then-act ([get] then [put]) — the
+      paper's race #2 (same result computed multiple times);
+    - [freedPageSpace] ([dictionary:freedPageSpace]) accumulates freed
+      bytes per chunk with an unsynchronized read-modify-write — the
+      paper's race #1 (lost updates corrupt the server state);
+    - assorted application fields (query counters, high-water marks,
+      cache fields) are unsynchronized {!Crd_runtime.Monitored.Shared}
+      cells — the food of the FastTrack baseline.
+
+    All operations must run inside {!Crd_runtime.Sched.run}. *)
+
+open Crd_base
+
+type t
+
+val create : unit -> t
+val chunks : t -> Crd_runtime.Monitored.Dict.t
+val freed_page_space : t -> Crd_runtime.Monitored.Dict.t
+
+type result =
+  | Rows of Value.t array list
+  | Count of int
+  | Affected of int
+
+val exec : t -> Sqlmini.stmt -> (result, string) Stdlib.result
+(** Execute one statement. Row scans read each live row through the
+    table's monitored dictionary. *)
+
+val exec_sql : t -> string -> (result, string) Stdlib.result
+
+val commit : t -> unit
+(** Bump the store version, ensure the new version's chunk metadata
+    exists (race #2) and account freed pages (race #1). *)
+
+val maintenance_step : t -> unit
+(** One step of the background compaction thread: re-derives chunk
+    metadata and rebalances freed-page accounting. Runs the same
+    check-then-act code paths as {!commit}. *)
+
+val queries_executed : t -> int
+(** Uninstrumented counter (reliable, unlike the racy stats fields). *)

@@ -1,0 +1,247 @@
+open Crd_base
+open Crd_runtime
+
+module Shared = Monitored.Shared
+
+type circuit =
+  | Complex_concurrency
+  | Complex_concurrency_alt
+  | Query_centric
+  | Insert_centric
+  | Complex
+  | Nested_lists
+
+let all =
+  [
+    Complex_concurrency;
+    Complex_concurrency_alt;
+    Query_centric;
+    Insert_centric;
+    Complex;
+    Nested_lists;
+  ]
+
+let name = function
+  | Complex_concurrency -> "ComplexConcurrency"
+  | Complex_concurrency_alt -> "ComplexConcurrency-alt"
+  | Query_centric -> "QueryCentricConcurrency"
+  | Insert_centric -> "InsertCentricConcurrency"
+  | Complex -> "Complex"
+  | Nested_lists -> "NestedLists"
+
+let of_name s =
+  List.find_opt (fun c -> String.equal (name c) s) all
+
+let must = function
+  | Ok r -> r
+  | Error e -> failwith ("Polepos: query failed: " ^ e)
+
+let sql store src = ignore (must (Mvstore.exec_sql store src))
+
+(* ------------------------------------------------------------------ *)
+(* Common setup: a small order-management schema                       *)
+(* ------------------------------------------------------------------ *)
+
+let setup store ~customers =
+  sql store "CREATE TABLE customers (id, name, tier)";
+  sql store "CREATE TABLE orders (id, cust, amount)";
+  for i = 0 to customers - 1 do
+    sql store
+      (Printf.sprintf "INSERT INTO customers VALUES (%d, 'cust%d', %d)" i i
+         (i mod 3))
+  done
+
+(* One mixed transaction, driven by a per-thread PRNG. The [writes]
+   weight tunes the query distribution (per mille). *)
+let mixed_step store prng ~writes ~customers =
+  let roll = Prng.int prng 1000 in
+  if roll < writes / 2 then begin
+    let c = Prng.int prng customers in
+    sql store
+      (Printf.sprintf "INSERT INTO orders VALUES (%d, %d, %d)"
+         (Prng.int prng 1_000_000) c
+         (10 + Prng.int prng 90));
+    if Prng.int prng 4 = 0 then Mvstore.commit store
+  end
+  else if roll < writes then begin
+    let tier = Prng.int prng 3 in
+    sql store
+      (Printf.sprintf "UPDATE customers SET tier = %d WHERE id = %d"
+         ((tier + 1) mod 3)
+         (Prng.int prng customers));
+    if Prng.int prng 4 = 0 then Mvstore.commit store
+  end
+  else if roll < 1000 - 100 then
+    sql store
+      (Printf.sprintf "SELECT name, tier FROM customers WHERE id = %d"
+         (Prng.int prng customers))
+  else
+    sql store
+      (Printf.sprintf "SELECT COUNT(*) FROM customers WHERE tier = %d"
+         (Prng.int prng 3))
+
+let concurrency_circuit ~writes ?(seed = 1L) ?(scale = 1) ~sink () =
+  let store = Mvstore.create () in
+  let customers = 24 in
+  let workers = 6 in
+  let per_worker = 40 * scale in
+  Sched.run ~seed ~sink (fun () ->
+      setup store ~customers;
+      for w = 0 to workers - 1 do
+        ignore
+          (Sched.fork (fun () ->
+               let prng = Prng.make (Int64.of_int (0x9E37 + w)) in
+               for _ = 1 to per_worker do
+                 mixed_step store prng ~writes ~customers
+               done))
+      done;
+      (* Background compaction shares the chunk bookkeeping code paths
+         with the workers' commits. *)
+      ignore
+        (Sched.fork (fun () ->
+             for _ = 1 to 12 * scale do
+               Mvstore.maintenance_step store
+             done));
+      Sched.join_all ();
+      sql store "SELECT COUNT(*) FROM orders");
+  Mvstore.queries_executed store
+
+let query_centric ?(seed = 1L) ?(scale = 1) ~sink () =
+  let store = Mvstore.create () in
+  let customers = 32 in
+  let workers = 6 in
+  let per_worker = 60 * scale in
+  Sched.run ~seed ~sink (fun () ->
+      setup store ~customers;
+      for i = 0 to 63 do
+        sql store
+          (Printf.sprintf "INSERT INTO orders VALUES (%d, %d, %d)" i
+             (i mod customers) (10 + i))
+      done;
+      for w = 0 to workers - 1 do
+        ignore
+          (Sched.fork (fun () ->
+               let prng = Prng.make (Int64.of_int (0xA11CE + w)) in
+               for _ = 1 to per_worker do
+                 let roll = Prng.int prng 100 in
+                 if roll < 50 then
+                   sql store
+                     (Printf.sprintf
+                        "SELECT name FROM customers WHERE id = %d"
+                        (Prng.int prng customers))
+                 else if roll < 70 then
+                   sql store
+                     (Printf.sprintf
+                        "SELECT amount FROM orders WHERE cust = %d \
+                         ORDER BY amount DESC LIMIT 3"
+                        (Prng.int prng customers))
+                 else if roll < 80 then
+                   sql store
+                     (Printf.sprintf
+                        "SELECT SUM(amount) FROM orders WHERE cust = %d"
+                        (Prng.int prng customers))
+                 else if roll < 90 then
+                   sql store
+                     "SELECT name, amount FROM orders JOIN customers ON \
+                      orders.cust = customers.id WHERE amount >= 40"
+                 else
+                   sql store
+                     (Printf.sprintf
+                        "SELECT COUNT(*) FROM orders WHERE amount >= %d"
+                        (10 + Prng.int prng 60))
+               done))
+      done;
+      Sched.join_all ());
+  Mvstore.queries_executed store
+
+let insert_centric ?(seed = 1L) ?(scale = 1) ~sink () =
+  let store = Mvstore.create () in
+  let workers = 6 in
+  let per_worker = 50 * scale in
+  Sched.run ~seed ~sink (fun () ->
+      sql store "CREATE TABLE events (id, kind, payload)";
+      for w = 0 to workers - 1 do
+        ignore
+          (Sched.fork (fun () ->
+               let prng = Prng.make (Int64.of_int (0xBEE + w)) in
+               for i = 1 to per_worker do
+                 sql store
+                   (Printf.sprintf
+                      "INSERT INTO events VALUES (%d, %d, 'p%d')"
+                      ((w * 1_000_000) + i)
+                      (Prng.int prng 5) i);
+                 if i mod 8 = 0 then Mvstore.commit store
+               done))
+      done;
+      Sched.join_all ();
+      sql store "SELECT COUNT(*) FROM events");
+  Mvstore.queries_executed store
+
+(* Sequential circuits: one client, plus a monitor thread that polls the
+   racy statistics fields (H2's own background threads do the same). *)
+let sequential_circuit ~steps ~monitor_polls ?(seed = 1L) ?(scale = 1) ~sink
+    ~body () =
+  let store = Mvstore.create () in
+  Sched.run ~seed ~sink (fun () ->
+      setup store ~customers:16;
+      let polls = Shared.create ~name:"monitorPolls" 0 in
+      let mon =
+        Sched.fork (fun () ->
+            for _ = 1 to monitor_polls * scale do
+              Shared.update polls succ;
+              Sched.yield ()
+            done)
+      in
+      body store (steps * scale) polls;
+      Sched.join mon);
+  Mvstore.queries_executed store
+
+let complex ?(seed = 1L) ?(scale = 1) ~sink () =
+  sequential_circuit ~steps:60 ~monitor_polls:20 ~seed ~scale ~sink
+    ~body:(fun store steps polls ->
+      let prng = Prng.make 0xC0FFEEL in
+      for i = 1 to steps do
+        (* The client also touches the polled statistics field. *)
+        if i mod 5 = 0 then Shared.update polls succ;
+        mixed_step store prng ~writes:300 ~customers:16
+      done)
+    ()
+
+let nested_lists ?(seed = 1L) ?(scale = 1) ~sink () =
+  sequential_circuit ~steps:40 ~monitor_polls:60 ~seed ~scale ~sink
+    ~body:(fun store steps polls ->
+      sql store "CREATE TABLE nodes (id, parent, depth)";
+      let counter = ref 0 in
+      (* Build nested list structures: a forest of depth-3 lists. *)
+      for root = 1 to steps do
+        Shared.update polls succ;
+        let rec build parent depth =
+          if depth < 3 then begin
+            for _ = 1 to 2 do
+              incr counter;
+              let id = !counter in
+              sql store
+                (Printf.sprintf "INSERT INTO nodes VALUES (%d, %d, %d)" id
+                   parent depth);
+              build id (depth + 1)
+            done
+          end
+        in
+        build root 0;
+        (* Traverse. *)
+        sql store
+          (Printf.sprintf "SELECT id FROM nodes WHERE parent = %d" root);
+        if root mod 10 = 0 then
+          sql store "SELECT COUNT(*) FROM nodes WHERE depth >= 1"
+      done)
+    ()
+
+let run circuit ?seed ?scale ~sink () =
+  match circuit with
+  | Complex_concurrency -> concurrency_circuit ~writes:400 ?seed ?scale ~sink ()
+  | Complex_concurrency_alt ->
+      concurrency_circuit ~writes:700 ?seed ?scale ~sink ()
+  | Query_centric -> query_centric ?seed ?scale ~sink ()
+  | Insert_centric -> insert_centric ?seed ?scale ~sink ()
+  | Complex -> complex ?seed ?scale ~sink ()
+  | Nested_lists -> nested_lists ?seed ?scale ~sink ()

@@ -1,0 +1,44 @@
+(** The Pole Position-style benchmark circuits of Table 2.
+
+    Pole Position drives a SQL database through scenario "circuits";
+    the paper runs five against H2 (one of them under two query
+    distributions, giving six table rows). Each circuit here is a
+    deterministic concurrent program against {!Mvstore}:
+
+    - [Complex_concurrency] (and [_alt] with a different query mix):
+      several worker threads issue mixed SELECT/INSERT/UPDATE/DELETE
+      traffic with periodic commits, racing on [freedPageSpace] and
+      [chunks];
+    - [Query_centric]: workers only read (point selects and filtered
+      counts) after a sequential load phase — no commutativity races,
+      but racy statistics fields for FastTrack to find;
+    - [Insert_centric]: workers insert into disjoint key ranges and
+      commit — the only commutativity conflicts are the store's chunk
+      bookkeeping;
+    - [Complex]: one client runs a long mixed session sequentially while
+      a monitor thread polls statistics fields — low-level races only;
+    - [Nested_lists]: sequential construction/traversal of nested list
+      structures, with the same monitor thread running longer. *)
+
+type circuit =
+  | Complex_concurrency
+  | Complex_concurrency_alt
+  | Query_centric
+  | Insert_centric
+  | Complex
+  | Nested_lists
+
+val all : circuit list
+val name : circuit -> string
+val of_name : string -> circuit option
+
+val run :
+  circuit ->
+  ?seed:int64 ->
+  ?scale:int ->
+  sink:(Crd_trace.Event.t -> unit) ->
+  unit ->
+  int
+(** Execute the circuit, streaming every event to [sink]; returns the
+    number of queries executed (the numerator of the qps measurement).
+    [scale] multiplies the workload size (default 1). *)

@@ -1,0 +1,82 @@
+open Crd_base
+open Crd_runtime
+
+module Dict = Monitored.Dict
+module Shared = Monitored.Shared
+
+type config = {
+  hosts : int;
+  updaters : int;
+  samples_per_host : int;
+  recalculations : int;
+}
+
+let default_config =
+  { hosts = 8; updaters = 4; samples_per_host = 16; recalculations = 10 }
+
+let host_name i = Value.Str (Printf.sprintf "node%d" i)
+
+let run ?(seed = 1L) ?(config = default_config) ~sink () =
+  let processed = ref 0 in
+  Sched.run ~seed ~sink (fun () ->
+      let samples = Dict.create ~name:"dictionary:samples" () in
+      let scores = Dict.create ~name:"dictionary:scores" () in
+      let timestamps =
+        Array.init config.hosts (fun i ->
+            Shared.create ~name:(Printf.sprintf "lastUpdate.node%d" i) 0)
+      in
+      let ring = Hashtbl.create 64 in
+      let next_ring = ref 0 in
+      (* Latency updaters: register a host on first sample
+         (check-then-act on the samples map), then account samples. *)
+      for u = 0 to config.updaters - 1 do
+        ignore
+          (Sched.fork (fun () ->
+               for s = 0 to config.samples_per_host - 1 do
+                 for h = 0 to config.hosts - 1 do
+                   if h mod config.updaters = u then begin
+                     let host = host_name h in
+                     (match Dict.get samples host with
+                     | Value.Nil ->
+                         let slot = !next_ring in
+                         incr next_ring;
+                         Hashtbl.replace ring slot (100 + h);
+                         ignore (Dict.put samples host (Value.Ref slot))
+                     | Value.Ref slot ->
+                         Hashtbl.replace ring slot (100 + h + s)
+                     | _ -> ());
+                     Shared.set timestamps.(h) s;
+                     incr processed
+                   end
+                 done
+               done))
+      done;
+      (* Score recalculation: size() as a performance hint (race #3),
+         then read every sample and publish a score. *)
+      ignore
+        (Sched.fork (fun () ->
+             for _ = 1 to config.recalculations do
+               let hint = Dict.size samples in
+               for h = 0 to config.hosts - 1 do
+                 let host = host_name h in
+                 (match Dict.get samples host with
+                 | Value.Ref slot ->
+                     let latency =
+                       Option.value ~default:0 (Hashtbl.find_opt ring slot)
+                     in
+                     ignore
+                       (Dict.put scores host (Value.Int (latency / max 1 hint)))
+                 | _ -> ());
+                 ignore (Shared.get timestamps.(h))
+               done
+             done));
+      (* Gossip: consumes scores concurrently with their publication. *)
+      ignore
+        (Sched.fork (fun () ->
+             for _ = 1 to config.recalculations do
+               for h = 0 to config.hosts - 1 do
+                 ignore (Dict.get scores (host_name h))
+               done
+             done));
+      Sched.join_all ());
+  !processed

@@ -1,0 +1,26 @@
+(** The Cassandra DynamicEndpointSnitch workload (Table 2, last row).
+
+    Cassandra ranks database nodes by continuously accumulating latency
+    samples in a [ConcurrentHashMap] ([samples]) while a separate thread
+    recalculates node scores. The paper's race #3: new entries are added
+    to [samples] while its [size()] is concurrently used as a performance
+    hint during rank recalculation, making the hint obsolete.
+
+    The simulation runs one updater thread per node group feeding
+    latency samples (check-then-act registration into [samples], racy
+    per-node timestamp fields) and one score thread repeatedly sizing and
+    reading [samples] and publishing into [scores], plus a gossip thread
+    reading [scores]. *)
+
+type config = {
+  hosts : int;  (** distinct endpoints *)
+  updaters : int;  (** latency-feeding threads *)
+  samples_per_host : int;
+  recalculations : int;  (** score-thread iterations *)
+}
+
+val default_config : config
+
+val run :
+  ?seed:int64 -> ?config:config -> sink:(Crd_trace.Event.t -> unit) -> unit -> int
+(** Returns the number of latency samples processed. *)

@@ -1,0 +1,386 @@
+open Crd_base
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type cond = { col : string; cmp : cmp; value : Value.t }
+
+type agg = Sum | Min | Max | Avg
+
+type order = { by : string; desc : bool }
+
+type stmt =
+  | Create of { table : string; cols : string list }
+  | Insert of { table : string; values : Value.t list }
+  | Select of {
+      table : string;
+      cols : string list;
+      where : cond list;
+      order_by : order option;
+      limit : int option;
+    }
+  | Select_count of { table : string; where : cond list }
+  | Select_agg of { table : string; agg : agg; col : string; where : cond list }
+  | Select_join of {
+      left : string;
+      right : string;
+      on_left : string;
+      on_right : string;
+      cols : string list;
+      where : cond list;
+    }
+  | Update of { table : string; col : string; value : Value.t; where : cond list }
+  | Delete of { table : string; where : cond list }
+
+let agg_name = function Sum -> "SUM" | Min -> "MIN" | Max -> "MAX" | Avg -> "AVG"
+
+let agg_of_name s =
+  match String.uppercase_ascii s with
+  | "SUM" -> Some Sum
+  | "MIN" -> Some Min
+  | "MAX" -> Some Max
+  | "AVG" -> Some Avg
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | WORD of string  (* keyword or identifier, uppercased keywords *)
+  | VAL of Value.t
+  | LP
+  | RP
+  | COMMA
+  | STAR
+  | DOT
+  | OP of cmp
+  | TEOF
+
+exception Err of string
+
+let err fmt = Fmt.kstr (fun s -> raise (Err s)) fmt
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if (c >= '0' && c <= '9') || (c = '-' && !i + 1 < n && src.[!i + 1] >= '0' && src.[!i + 1] <= '9')
+    then begin
+      let start = !i in
+      incr i;
+      while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do
+        incr i
+      done;
+      toks := VAL (Value.Int (int_of_string (String.sub src start (!i - start)))) :: !toks
+    end
+    else if is_word_char c then begin
+      let start = !i in
+      while !i < n && is_word_char src.[!i] do
+        incr i
+      done;
+      toks := WORD (String.sub src start (!i - start)) :: !toks
+    end
+    else if c = '"' || c = '\'' then begin
+      let quote = c in
+      incr i;
+      let start = !i in
+      while !i < n && src.[!i] <> quote do
+        incr i
+      done;
+      if !i >= n then err "unterminated string literal";
+      toks := VAL (Value.Str (String.sub src start (!i - start))) :: !toks;
+      incr i
+    end
+    else begin
+      (match c with
+      | '(' -> toks := LP :: !toks
+      | ')' -> toks := RP :: !toks
+      | ',' -> toks := COMMA :: !toks
+      | '*' -> toks := STAR :: !toks
+      | '.' -> toks := DOT :: !toks
+      | '=' -> toks := OP Ceq :: !toks
+      | '<' ->
+          if !i + 1 < n && src.[!i + 1] = '>' then begin
+            toks := OP Cne :: !toks;
+            incr i
+          end
+          else if !i + 1 < n && src.[!i + 1] = '=' then begin
+            toks := OP Cle :: !toks;
+            incr i
+          end
+          else toks := OP Clt :: !toks
+      | '>' ->
+          if !i + 1 < n && src.[!i + 1] = '=' then begin
+            toks := OP Cge :: !toks;
+            incr i
+          end
+          else toks := OP Cgt :: !toks
+      | c -> err "unexpected character %C" c);
+      incr i
+    end
+  done;
+  List.rev (TEOF :: !toks)
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let kw s = String.uppercase_ascii s
+
+let expect_word toks what =
+  match toks with
+  | WORD w :: rest -> (w, rest)
+  | _ -> err "expected %s" what
+
+let expect_kw toks k =
+  match toks with
+  | WORD w :: rest when String.equal (kw w) k -> rest
+  | _ -> err "expected %s" k
+
+let expect toks tok what =
+  match toks with
+  | t :: rest when t = tok -> rest
+  | _ -> err "expected %s" what
+
+let parse_value toks =
+  match toks with
+  | VAL v :: rest -> (v, rest)
+  | WORD w :: rest when String.equal (kw w) "NULL" -> (Value.Nil, rest)
+  | _ -> err "expected a value"
+
+(* A possibly-qualified name: col or table.col. *)
+let parse_name toks =
+  let name, rest = expect_word toks "a column name" in
+  match rest with
+  | DOT :: rest ->
+      let field, rest = expect_word rest "a column name" in
+      (name ^ "." ^ field, rest)
+  | _ -> (name, rest)
+
+let rec parse_name_list toks =
+  let name, rest = parse_name toks in
+  match rest with
+  | COMMA :: rest ->
+      let names, rest = parse_name_list rest in
+      (name :: names, rest)
+  | _ -> ([ name ], rest)
+
+let rec parse_value_list toks =
+  let v, rest = parse_value toks in
+  match rest with
+  | COMMA :: rest ->
+      let vs, rest = parse_value_list rest in
+      (v :: vs, rest)
+  | _ -> ([ v ], rest)
+
+let rec parse_conds toks =
+  let col, rest = parse_name toks in
+  let cmp, rest =
+    match rest with OP c :: rest -> (c, rest) | _ -> err "expected a comparison"
+  in
+  let value, rest = parse_value rest in
+  let c = { col; cmp; value } in
+  match rest with
+  | WORD w :: rest when String.equal (kw w) "AND" ->
+      let cs, rest = parse_conds rest in
+      (c :: cs, rest)
+  | _ -> ([ c ], rest)
+
+let parse_where toks =
+  match toks with
+  | WORD w :: rest when String.equal (kw w) "WHERE" -> parse_conds rest
+  | _ -> ([], toks)
+
+let parse_order_limit toks =
+  let order_by, toks =
+    match toks with
+    | WORD o :: WORD b :: rest when kw o = "ORDER" && kw b = "BY" -> (
+        let by, rest = parse_name rest in
+        match rest with
+        | WORD d :: rest when kw d = "DESC" -> (Some { by; desc = true }, rest)
+        | WORD d :: rest when kw d = "ASC" -> (Some { by; desc = false }, rest)
+        | _ -> (Some { by; desc = false }, rest))
+    | _ -> (None, toks)
+  in
+  let limit, toks =
+    match toks with
+    | WORD l :: VAL (Value.Int n) :: rest when kw l = "LIMIT" -> (Some n, rest)
+    | _ -> (None, toks)
+  in
+  (order_by, limit, toks)
+
+let finish toks stmt =
+  match toks with [ TEOF ] | [] -> stmt | _ -> err "trailing tokens"
+
+let parse src =
+  match tokenize src with
+  | exception Err e -> Error e
+  | toks -> (
+      try
+        Ok
+          (match toks with
+          | WORD w :: rest when kw w = "CREATE" ->
+              let rest = expect_kw rest "TABLE" in
+              let table, rest = expect_word rest "a table name" in
+              let rest = expect rest LP "'('" in
+              let cols, rest = parse_name_list rest in
+              let rest = expect rest RP "')'" in
+              finish rest (Create { table; cols })
+          | WORD w :: rest when kw w = "INSERT" ->
+              let rest = expect_kw rest "INTO" in
+              let table, rest = expect_word rest "a table name" in
+              let rest = expect_kw rest "VALUES" in
+              let rest = expect rest LP "'('" in
+              let values, rest = parse_value_list rest in
+              let rest = expect rest RP "')'" in
+              finish rest (Insert { table; values })
+          | WORD w :: rest when kw w = "SELECT" -> (
+              let continue_from cols rest =
+                let table, rest = expect_word rest "a table name" in
+                match rest with
+                | WORD j :: rest when kw j = "JOIN" ->
+                    let right, rest = expect_word rest "a table name" in
+                    let rest = expect_kw rest "ON" in
+                    let on_left, rest = parse_name rest in
+                    let rest =
+                      match rest with
+                      | OP Ceq :: rest -> rest
+                      | _ -> err "expected '=' in join condition"
+                    in
+                    let on_right, rest = parse_name rest in
+                    let where, rest = parse_where rest in
+                    let strip t n =
+                      (* accept either col or table-qualified col *)
+                      let prefix = t ^ "." in
+                      let lp = String.length prefix in
+                      if String.length n > lp && String.sub n 0 lp = prefix
+                      then String.sub n lp (String.length n - lp)
+                      else n
+                    in
+                    finish rest
+                      (Select_join
+                         {
+                           left = table;
+                           right;
+                           on_left = strip table on_left;
+                           on_right = strip right on_right;
+                           cols;
+                           where;
+                         })
+                | _ ->
+                    let where, rest = parse_where rest in
+                    let order_by, limit, rest = parse_order_limit rest in
+                    finish rest (Select { table; cols; where; order_by; limit })
+              in
+              match rest with
+              | WORD c :: LP :: STAR :: RP :: rest when kw c = "COUNT" ->
+                  let rest = expect_kw rest "FROM" in
+                  let table, rest = expect_word rest "a table name" in
+                  let where, rest = parse_where rest in
+                  finish rest (Select_count { table; where })
+              | WORD a :: LP :: rest when agg_of_name a <> None -> (
+                  let agg = Option.get (agg_of_name a) in
+                  let col, rest = parse_name rest in
+                  match rest with
+                  | RP :: rest ->
+                      let rest = expect_kw rest "FROM" in
+                      let table, rest = expect_word rest "a table name" in
+                      let where, rest = parse_where rest in
+                      finish rest (Select_agg { table; agg; col; where })
+                  | _ -> err "expected ')' after aggregate column")
+              | STAR :: rest ->
+                  let rest = expect_kw rest "FROM" in
+                  continue_from [ "*" ] rest
+              | _ ->
+                  let cols, rest = parse_name_list rest in
+                  let rest = expect_kw rest "FROM" in
+                  continue_from cols rest)
+          | WORD w :: rest when kw w = "UPDATE" ->
+              let table, rest = expect_word rest "a table name" in
+              let rest = expect_kw rest "SET" in
+              let col, rest = expect_word rest "a column name" in
+              let rest =
+                match rest with
+                | OP Ceq :: rest -> rest
+                | _ -> err "expected '='"
+              in
+              let value, rest = parse_value rest in
+              let where, rest = parse_where rest in
+              finish rest (Update { table; col; value; where })
+          | WORD w :: rest when kw w = "DELETE" ->
+              let rest = expect_kw rest "FROM" in
+              let table, rest = expect_word rest "a table name" in
+              let where, rest = parse_where rest in
+              finish rest (Delete { table; where })
+          | _ -> err "expected CREATE, INSERT, SELECT, UPDATE or DELETE")
+      with Err e -> Error e)
+
+(* ------------------------------------------------------------------ *)
+(* Printing and evaluation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cmp_name = function
+  | Ceq -> "="
+  | Cne -> "<>"
+  | Clt -> "<"
+  | Cle -> "<="
+  | Cgt -> ">"
+  | Cge -> ">="
+
+let pp_cond ppf c = Fmt.pf ppf "%s %s %a" c.col (cmp_name c.cmp) Value.pp c.value
+
+let pp_where ppf = function
+  | [] -> ()
+  | conds -> Fmt.pf ppf " WHERE %a" Fmt.(list ~sep:(any " AND ") pp_cond) conds
+
+let pp_stmt ppf = function
+  | Create { table; cols } ->
+      Fmt.pf ppf "CREATE TABLE %s (%a)" table
+        Fmt.(list ~sep:(any ", ") string)
+        cols
+  | Insert { table; values } ->
+      Fmt.pf ppf "INSERT INTO %s VALUES (%a)" table
+        Fmt.(list ~sep:(any ", ") Value.pp)
+        values
+  | Select { table; cols; where; order_by; limit } ->
+      Fmt.pf ppf "SELECT %a FROM %s%a"
+        Fmt.(list ~sep:(any ", ") string)
+        cols table pp_where where;
+      (match order_by with
+      | Some { by; desc } ->
+          Fmt.pf ppf " ORDER BY %s%s" by (if desc then " DESC" else "")
+      | None -> ());
+      (match limit with Some n -> Fmt.pf ppf " LIMIT %d" n | None -> ())
+  | Select_agg { table; agg; col; where } ->
+      Fmt.pf ppf "SELECT %s(%s) FROM %s%a" (agg_name agg) col table pp_where
+        where
+  | Select_join { left; right; on_left; on_right; cols; where } ->
+      Fmt.pf ppf "SELECT %a FROM %s JOIN %s ON %s.%s = %s.%s%a"
+        Fmt.(list ~sep:(any ", ") string)
+        cols left right left on_left right on_right pp_where where
+  | Select_count { table; where } ->
+      Fmt.pf ppf "SELECT COUNT(*) FROM %s%a" table pp_where where
+  | Update { table; col; value; where } ->
+      Fmt.pf ppf "UPDATE %s SET %s = %a%a" table col Value.pp value pp_where
+        where
+  | Delete { table; where } ->
+      Fmt.pf ppf "DELETE FROM %s%a" table pp_where where
+
+let cond_holds c lookup =
+  match lookup c.col with
+  | None -> false
+  | Some v -> (
+      match c.cmp with
+      | Ceq -> Value.equal v c.value
+      | Cne -> not (Value.equal v c.value)
+      | Clt -> Value.lt v c.value
+      | Cle -> Value.le v c.value
+      | Cgt -> Value.lt c.value v
+      | Cge -> Value.le c.value v)

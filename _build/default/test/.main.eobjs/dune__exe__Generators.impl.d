@@ -1,0 +1,1 @@
+test/generators.ml: Action Array Atom Crd Event Formula Hashtbl Int64 List Lock_id Mem_loc Obj_id Printf Prng QCheck2 Signature Spec String Tid Trace Value

@@ -1,0 +1,1 @@
+test/test_analyzer.ml: Action Alcotest Analyzer Atom Crd Event Fmt Formula List Monitored Obj_id Report Result Sched Signature Spec String Tid Trace_text Value

@@ -1,0 +1,1 @@
+test/test_boost.ml: Alcotest Analyzer Crd Crd_boost Int64 List Monitored Option Printf Prng Repr Result Sched Stdspecs Value

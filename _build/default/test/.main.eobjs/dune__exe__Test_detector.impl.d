@@ -1,0 +1,1 @@
+test/test_detector.ml: Action Alcotest Crd Direct Event Generators Hb List Obj_id QCheck2 QCheck_alcotest Rd2 Report Repr Result Stdspecs Tid Trace Trace_text Value

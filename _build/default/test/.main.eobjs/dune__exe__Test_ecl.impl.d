@@ -1,0 +1,1 @@
+test/test_ecl.ml: Alcotest Array Atom Crd Ecl Formula Generators List QCheck2 QCheck_alcotest Residual Spec Stdspecs Value

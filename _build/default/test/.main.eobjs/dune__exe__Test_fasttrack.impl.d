@@ -1,0 +1,1 @@
+test/test_fasttrack.ml: Alcotest Crd Djit Event Fasttrack Fmt Generators Hashtbl Hb List Mem_loc QCheck2 QCheck_alcotest Result Rw_report Trace Trace_text

@@ -1,0 +1,1 @@
+test/test_hb.ml: Action Alcotest Array Crd Event Generators Hashtbl Hb List Lock_id Obj_id QCheck2 QCheck_alcotest Tid Trace Value Vclock

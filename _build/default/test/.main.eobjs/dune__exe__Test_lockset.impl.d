@@ -1,0 +1,1 @@
+test/test_lockset.ml: Alcotest Crd Crd_fasttrack Event Fasttrack Hb List Mem_loc Result Trace Trace_text

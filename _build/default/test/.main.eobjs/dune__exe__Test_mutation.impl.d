@@ -1,0 +1,1 @@
+test/test_mutation.ml: Alcotest Crd Formula List Model Models Printf Result Soundness Spec Spec_parser Stdspecs String

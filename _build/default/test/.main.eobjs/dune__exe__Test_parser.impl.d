@@ -1,0 +1,1 @@
+test/test_parser.ml: Action Alcotest Crd Formula List Obj_id Option Signature Spec Spec_parser Stdspecs String

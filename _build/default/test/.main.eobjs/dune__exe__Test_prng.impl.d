@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Crd Fun Int64 Prng

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Action Alcotest Analyzer Crd Effect Event Hashtbl Int64 List Monitored Sched Tid Trace Trace_text Value

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Crd Formula List Model Models Printf Result Signature Soundness Spec Stdspecs Value

@@ -1,0 +1,1 @@
+test/test_spec.ml: Action Alcotest Atom Crd Fmt Formula Generators List Obj_id QCheck2 QCheck_alcotest Result Signature Spec Spec_parser Stdspecs String Value

@@ -1,0 +1,1 @@
+test/test_theorem52.ml: Action Alcotest Crd Event Generators Hb Int64 List Model Models Prng QCheck2 QCheck_alcotest Rd2 Repr Result Stdspecs Tid Trace Trace_text Value Vclock

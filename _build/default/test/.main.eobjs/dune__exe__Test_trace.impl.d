@@ -1,0 +1,1 @@
+test/test_trace.ml: Action Alcotest Crd Event Fmt Generators List Mem_loc Obj_id QCheck2 QCheck_alcotest String Tid Trace Trace_text Value

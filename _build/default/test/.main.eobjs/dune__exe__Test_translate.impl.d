@@ -1,0 +1,1 @@
+test/test_translate.ml: Action Alcotest Atom Crd Formula Generators List Obj_id Point QCheck2 QCheck_alcotest Repr Result Signature Spec Stdspecs Value

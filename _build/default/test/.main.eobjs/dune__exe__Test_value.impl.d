@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Crd Generators List Printf QCheck2 QCheck_alcotest Value

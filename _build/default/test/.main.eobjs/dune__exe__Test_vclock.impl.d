@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Crd QCheck2 QCheck_alcotest Tid Vclock

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Analyzer Array Crd Crd_workloads Fmt Int64 List Monitored Obj_id Option Printf Report Sched String Value

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "crd"
+    [
+      Test_value.suite;
+      Test_prng.suite;
+      Test_vclock.suite;
+      Test_trace.suite;
+      Test_hb.suite;
+      Test_spec.suite;
+      Test_ecl.suite;
+      Test_parser.suite;
+      Test_translate.suite;
+      Test_detector.suite;
+      Test_fasttrack.suite;
+      Test_semantics.suite;
+      Test_runtime.suite;
+      Test_workloads.suite;
+      Test_analyzer.suite;
+      Test_atomicity.suite;
+      Test_boost.suite;
+      Test_lockset.suite;
+      Test_theorem52.suite;
+      Test_mutation.suite;
+    ]

@@ -1,0 +1,144 @@
+open Crd
+
+let fig1 ~hosts sink =
+  Sched.run ~seed:42L ~sink (fun () ->
+      let o = Monitored.Dict.create ~name:"dictionary:o" () in
+      List.iteri
+        (fun i host ->
+          ignore
+            (Sched.fork (fun () ->
+                 ignore (Monitored.Dict.put o (Value.Str host) (Value.Ref i)))))
+        hosts;
+      Sched.join_all ();
+      ignore (Monitored.Dict.size o))
+
+let end_to_end_fig1 () =
+  let an = Analyzer.with_stdspecs () in
+  fig1 ~hosts:[ "a.com"; "a.com"; "b.com" ] (Analyzer.sink an);
+  Alcotest.(check int) "one commutativity race" 1
+    (List.length (Analyzer.rd2_races an));
+  Alcotest.(check int) "one racing object" 1
+    (Report.distinct_objects (Analyzer.rd2_races an))
+
+let end_to_end_clean () =
+  let an = Analyzer.with_stdspecs () in
+  fig1 ~hosts:[ "a.com"; "b.com"; "c.com" ] (Analyzer.sink an);
+  Alcotest.(check int) "no races" 0 (List.length (Analyzer.rd2_races an))
+
+let naming_convention () =
+  let an = Analyzer.with_stdspecs () in
+  (* An object with an unknown prefix is not monitored. *)
+  Sched.run ~sink:(Analyzer.sink an) (fun () ->
+      let o = Monitored.Dict.create ~name:"unknown:thing" () in
+      ignore (Sched.fork (fun () -> ignore (Monitored.Dict.put o (Value.Int 1) (Value.Int 2))));
+      ignore (Monitored.Dict.put o (Value.Int 1) (Value.Int 3)));
+  Alcotest.(check int) "not monitored" 0 (List.length (Analyzer.rd2_races an))
+
+let config_off () =
+  let an =
+    Analyzer.with_stdspecs
+      ~config:{ Analyzer.rd2 = `Off; direct = false; fasttrack = false; djit = false; atomicity = false }
+      ()
+  in
+  fig1 ~hosts:[ "a.com"; "a.com" ] (Analyzer.sink an);
+  Alcotest.(check int) "rd2 off" 0 (List.length (Analyzer.rd2_races an));
+  Alcotest.(check bool) "no stats" true (Analyzer.rd2_stats an = None)
+
+let direct_and_linear_agree () =
+  let run config =
+    let an = Analyzer.with_stdspecs ~config () in
+    fig1 ~hosts:[ "a.com"; "a.com"; "b.com"; "b.com" ] (Analyzer.sink an);
+    an
+  in
+  let base = { Analyzer.rd2 = `Constant; direct = true; fasttrack = false; djit = false; atomicity = false } in
+  let an1 = run base in
+  let an2 = run { base with Analyzer.rd2 = `Linear } in
+  let indices races = List.sort_uniq compare (List.map (fun (r : Report.t) -> r.index) races) in
+  Alcotest.(check (list int)) "constant = direct"
+    (indices (Analyzer.rd2_races an1))
+    (indices (Analyzer.direct_races an1));
+  Alcotest.(check (list int)) "constant = linear"
+    (indices (Analyzer.rd2_races an1))
+    (indices (Analyzer.rd2_races an2))
+
+let djit_mirrors_fasttrack () =
+  let an =
+    Analyzer.with_stdspecs
+      ~config:{ Analyzer.rd2 = `Off; direct = false; fasttrack = true; djit = true; atomicity = false }
+      ()
+  in
+  Sched.run ~sink:(Analyzer.sink an) (fun () ->
+      let c = Monitored.Shared.create ~name:"c" 0 in
+      ignore (Sched.fork (fun () -> Monitored.Shared.update c succ));
+      Monitored.Shared.update c succ;
+      Sched.join_all ());
+  Alcotest.(check bool) "fasttrack found the update race" true
+    (Analyzer.fasttrack_races an <> []);
+  Alcotest.(check bool) "djit agrees it exists" true (Analyzer.djit_races an <> [])
+
+let run_trace_from_text () =
+  let trace =
+    Result.get_ok
+      (Trace_text.parse
+         "T0 fork T1\n\
+          T1 call dictionary.put(1, 2) / nil\n\
+          T0 call dictionary.put(1, 3) / nil\n")
+  in
+  let an = Analyzer.with_stdspecs () in
+  Analyzer.run_trace an trace;
+  Alcotest.(check int) "events" 3 (Analyzer.events an);
+  Alcotest.(check int) "race found" 1 (List.length (Analyzer.rd2_races an))
+
+let bad_spec_surfaces () =
+  (* A non-ECL spec must fail loudly when RD2 needs it. *)
+  let w = Signature.make ~meth:"write" ~args:[ "v" ] () in
+  let r = Signature.make ~meth:"read" ~rets:[ "v" ] () in
+  let phi =
+    Formula.Atom
+      {
+        Atom.pred = Atom.Eq;
+        lhs = Atom.Var { Atom.side = Atom.Side.Fst; slot = 0; name = "v1" };
+        rhs = Atom.Var { Atom.side = Atom.Side.Snd; slot = 0; name = "v2" };
+      }
+  in
+  let spec =
+    Result.get_ok (Spec.make ~name:"reg" ~methods:[ w; r ] [ ("write", "read", phi) ])
+  in
+  let an =
+    Result.get_ok
+      (Analyzer.create
+         ~config:{ Analyzer.rd2 = `Constant; direct = false; fasttrack = false; djit = false; atomicity = false }
+         ~spec_for:(fun _ -> Some spec)
+         ())
+  in
+  let obj = Obj_id.make ~name:"reg" 0 in
+  let ev =
+    Event.call Tid.main (Action.make ~obj ~meth:"write" ~args:[ Value.Int 1 ] ())
+  in
+  match Analyzer.step an ev with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected a translation failure"
+
+let summary_prints () =
+  let an = Analyzer.with_stdspecs () in
+  fig1 ~hosts:[ "a.com"; "a.com" ] (Analyzer.sink an);
+  let s = Fmt.str "%a" Analyzer.pp_summary an in
+  Alcotest.(check bool) "mentions rd2" true
+    (String.length s > 0
+    && String.split_on_char '\n' s
+       |> List.exists (fun l -> String.length l >= 4 && String.sub l 0 4 = "rd2:"))
+
+let suite =
+  ( "analyzer",
+    [
+      Alcotest.test_case "fig1 end-to-end" `Quick end_to_end_fig1;
+      Alcotest.test_case "clean run" `Quick end_to_end_clean;
+      Alcotest.test_case "naming convention" `Quick naming_convention;
+      Alcotest.test_case "rd2 off" `Quick config_off;
+      Alcotest.test_case "constant/linear/direct agree" `Quick
+        direct_and_linear_agree;
+      Alcotest.test_case "djit mirrors fasttrack" `Quick djit_mirrors_fasttrack;
+      Alcotest.test_case "run_trace from text" `Quick run_trace_from_text;
+      Alcotest.test_case "bad spec surfaces" `Quick bad_spec_surfaces;
+      Alcotest.test_case "summary prints" `Quick summary_prints;
+    ] )

@@ -1,0 +1,193 @@
+open Crd
+module Gen = QCheck2.Gen
+
+let qcheck ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let dict = Stdspecs.dictionary ()
+let dict_repr = Result.get_ok (Repr.of_spec dict)
+
+let spec_for _ = Some dict
+let repr_for _ = Some dict_repr
+
+let run_rd2 ?(mode = `Constant) trace =
+  let hb = Hb.create () in
+  let d = Rd2.create ~mode ~repr_for () in
+  let events_with_race = ref [] in
+  Trace.iter trace ~f:(fun index (e : Event.t) ->
+      let vc = Hb.step hb e in
+      match e.op with
+      | Event.Call a ->
+          if Rd2.on_action d ~index e.tid a vc <> [] then
+            events_with_race := index :: !events_with_race
+      | _ -> ());
+  (d, List.rev !events_with_race)
+
+let run_direct trace =
+  let hb = Hb.create () in
+  let d = Direct.create ~spec_for () in
+  let events_with_race = ref [] in
+  Trace.iter trace ~f:(fun index (e : Event.t) ->
+      let vc = Hb.step hb e in
+      match e.op with
+      | Event.Call a ->
+          if Direct.on_action d ~index e.tid a vc <> [] then
+            events_with_race := index :: !events_with_race
+      | _ -> ());
+  (d, List.rev !events_with_race)
+
+(* The worked example of Fig 3 / Section 5.3. *)
+let fig3 () =
+  (* Same content as examples/traces/fig3.trace. *)
+  let src =
+    "T0 fork T2\n\
+     T0 fork T3\n\
+     T3 call dictionary.put(\"a.com\", @1) / nil\n\
+     T2 call dictionary.put(\"a.com\", @2) / @1\n\
+     T0 join T2\n\
+     T0 join T3\n\
+     T0 call dictionary.size() / 1\n"
+  in
+  let trace = Result.get_ok (Trace_text.parse src) in
+  let d, events = run_rd2 trace in
+  Alcotest.(check (list int)) "race closed by a2 only" [ 3 ] events;
+  let races = Rd2.races d in
+  Alcotest.(check int) "one race" 1 (List.length races);
+  let r = List.hd races in
+  Alcotest.(check string) "racing action" "dictionary.put(\"a.com\", @2)/@1"
+    (Action.to_string r.Report.action)
+
+(* Without the joinall, size() races with the resizing put (Section 2). *)
+let fig3_no_join () =
+  let src =
+    "T0 fork T2\n\
+     T0 fork T3\n\
+     T3 call o.put(\"a.com\", @1) / nil\n\
+     T0 call o.size() / 1\n"
+  in
+  let trace = Result.get_ok (Trace_text.parse src) in
+  let _, events = run_rd2 trace in
+  Alcotest.(check (list int)) "size races" [ 3 ] events
+
+(* And the overwriting put does NOT race with size (Section 2: a2/a3). *)
+let overwrite_vs_size () =
+  let src =
+    "T0 fork T2\n\
+     T2 call o.put(\"a.com\", @2) / @1\n\
+     T0 call o.size() / 1\n"
+  in
+  let trace = Result.get_ok (Trace_text.parse src) in
+  let _, events = run_rd2 trace in
+  Alcotest.(check (list int)) "no race" [] events
+
+let ordered_no_race () =
+  (* Same thread: never a race even when actions do not commute. *)
+  let src =
+    "T0 call o.put(1, 2) / nil\nT0 call o.put(1, 3) / 2\nT0 call o.size() / 1\n"
+  in
+  let trace = Result.get_ok (Trace_text.parse src) in
+  let _, events = run_rd2 trace in
+  Alcotest.(check (list int)) "no race" [] events
+
+let lock_protection () =
+  (* Two non-commuting puts protected by a lock: ordered, no race. *)
+  let src =
+    "T0 fork T1\n\
+     T0 fork T2\n\
+     T1 acquire l\n\
+     T1 call o.put(1, 2) / nil\n\
+     T1 release l\n\
+     T2 acquire l\n\
+     T2 call o.put(1, 3) / 2\n\
+     T2 release l\n"
+  in
+  let trace = Result.get_ok (Trace_text.parse src) in
+  let _, events = run_rd2 trace in
+  Alcotest.(check (list int)) "lock orders the puts" [] events
+
+let release_object () =
+  let obj = Obj_id.make ~name:"o" 0 in
+  let put tid =
+    Event.call (Tid.of_int tid)
+      (Action.make ~obj ~meth:"put"
+         ~args:[ Value.Int 1; Value.Int tid ]
+         ~rets:[ Value.Int 9 ] ())
+  in
+  let hb = Hb.create () in
+  let d = Rd2.create ~repr_for () in
+  let e0 = Event.fork Tid.main (Tid.of_int 1) in
+  ignore (Hb.step hb e0);
+  let step i (e : Event.t) =
+    let vc = Hb.step hb e in
+    match e.op with
+    | Event.Call a -> Rd2.on_action d ~index:i e.tid a vc
+    | _ -> []
+  in
+  ignore (step 1 (put 0));
+  Alcotest.(check bool) "state exists" true (Rd2.active_points d obj > 0);
+  Rd2.release_object d obj;
+  Alcotest.(check int) "state dropped" 0 (Rd2.active_points d obj);
+  (* After release, the previous action is forgotten: no race. *)
+  Alcotest.(check int) "no race after release" 0 (List.length (step 2 (put 1)))
+
+let unmonitored_objects_ignored () =
+  let trace =
+    Result.get_ok
+      (Trace_text.parse "T0 fork T1\nT1 call o.put(1, 2) / nil\nT0 call o.put(1, 3) / nil\n")
+  in
+  let hb = Hb.create () in
+  let d = Rd2.create ~repr_for:(fun _ -> None) () in
+  let races = ref 0 in
+  Trace.iter trace ~f:(fun index (e : Event.t) ->
+      let vc = Hb.step hb e in
+      match e.op with
+      | Event.Call a -> races := !races + List.length (Rd2.on_action d ~index e.tid a vc)
+      | _ -> ());
+  Alcotest.(check int) "ignored" 0 !races;
+  Alcotest.(check int) "no actions counted" 0 (Rd2.stats d).Rd2.actions
+
+(* Theorem 5.1: RD2 (both modes) and the direct detector agree on the set
+   of events at which a race is reported. *)
+let equivalence =
+  qcheck ~count:500 "Rd2 == Rd2-linear == Direct per event (Theorem 5.1)"
+    (Generators.dict_trace ~threads:4 ~objects:2 ~len:60) (fun trace ->
+      let _, constant = run_rd2 ~mode:`Constant trace in
+      let _, linear = run_rd2 ~mode:`Linear trace in
+      let _, direct = run_direct trace in
+      constant = linear && constant = direct)
+
+(* The constant-mode lookup count per action is bounded by
+   eta * max_conflicts, independent of history; the direct detector's
+   grows linearly. *)
+let lookup_bounds =
+  qcheck ~count:100 "constant-mode lookups are O(1) per action"
+    (Generators.dict_trace ~threads:4 ~objects:1 ~len:200) (fun trace ->
+      let d, _ = run_rd2 ~mode:`Constant trace in
+      let stats = Rd2.stats d in
+      (* eta <= 2 points, each with <= 2 conflicts. *)
+      stats.Rd2.actions = 0 || stats.Rd2.lookups <= 4 * stats.Rd2.actions)
+
+let stats_monotone =
+  qcheck ~count:50 "direct lookups grow quadratically-ish"
+    (Generators.dict_trace ~threads:3 ~objects:1 ~len:100) (fun trace ->
+      let d, _ = run_direct trace in
+      let stats = Direct.stats d in
+      let n = stats.Direct.actions in
+      (* Exactly n*(n-1)/2 pairwise checks for a single object. *)
+      stats.Direct.lookups = n * (n - 1) / 2)
+
+let suite =
+  ( "detector",
+    [
+      Alcotest.test_case "Fig 3 example" `Quick fig3;
+      Alcotest.test_case "Fig 3 without joinall" `Quick fig3_no_join;
+      Alcotest.test_case "overwrite vs size commutes" `Quick overwrite_vs_size;
+      Alcotest.test_case "program order suppresses races" `Quick ordered_no_race;
+      Alcotest.test_case "lock protection" `Quick lock_protection;
+      Alcotest.test_case "release_object" `Quick release_object;
+      Alcotest.test_case "unmonitored objects ignored" `Quick
+        unmonitored_objects_ignored;
+      equivalence;
+      lookup_bounds;
+      stats_monotone;
+    ] )

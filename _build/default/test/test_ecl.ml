@@ -1,0 +1,140 @@
+open Crd
+module Gen = QCheck2.Gen
+
+let qcheck ?(count = 500) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let v side slot = Atom.Var { Atom.side; slot; name = "" }
+let atom pred lhs rhs = Formula.Atom { Atom.pred; lhs; rhs }
+let x1 = v Atom.Side.Fst 0
+let y1 = v Atom.Side.Fst 1
+let x2 = v Atom.Side.Snd 0
+let y2 = v Atom.Side.Snd 1
+let c0 = Atom.Const (Value.Int 0)
+
+(* The examples of Section 6.1: V1 = {x, y}, V2 = {z}. *)
+let section61_examples () =
+  (* x < y is an admissible LB atom. *)
+  Alcotest.(check bool) "x1 < y1 is LB" true (Ecl.is_lb (atom Atom.Lt x1 y1));
+  (* 0 < z likewise. *)
+  Alcotest.(check bool) "0 < x2 is LB" true (Ecl.is_lb (atom Atom.Lt c0 x2));
+  (* x < z crosses sides: not an ECL atom at all. *)
+  Alcotest.(check bool) "x1 < x2 not classifiable" true
+    (Ecl.classify_atom { Atom.pred = Atom.Lt; lhs = x1; rhs = x2 } = None);
+  (* x < y /\ 0 < z is LB (hence ECL). *)
+  let f = Formula.And (atom Atom.Lt x1 y1, atom Atom.Lt c0 x2) in
+  Alcotest.(check bool) "conjunction is LB" true (Ecl.is_lb f);
+  Alcotest.(check bool) "conjunction is ECL" true (Ecl.is_ecl f)
+
+let simple_fragment () =
+  let dis = atom Atom.Ne x1 x2 in
+  Alcotest.(check bool) "x1 != x2 is LS" true (Ecl.is_ls dis);
+  Alcotest.(check bool) "conj of LS is LS" true
+    (Ecl.is_ls (Formula.And (dis, atom Atom.Ne y1 y2)));
+  Alcotest.(check bool) "true is LS" true (Ecl.is_ls Formula.True);
+  Alcotest.(check bool) "disjunction is not LS" false
+    (Ecl.is_ls (Formula.Or (dis, dis)));
+  Alcotest.(check bool) "negation is not LS" false
+    (Ecl.is_ls (Formula.Not dis));
+  (* Cross-side equality is not in SIMPLE (nor ECL). *)
+  Alcotest.(check bool) "x1 == x2 is not LS" false
+    (Ecl.is_ls (atom Atom.Eq x1 x2))
+
+(* The put/put formula of Fig 6 is in ECL but not SIMPLE (Section 6.1). *)
+let fig6_put_put () =
+  let phi =
+    Formula.Or
+      ( atom Atom.Ne x1 x2,
+        Formula.And (atom Atom.Eq y1 (v Atom.Side.Fst 2), atom Atom.Eq y2 (v Atom.Side.Snd 2)) )
+  in
+  Alcotest.(check bool) "in ECL" true (Ecl.is_ecl phi);
+  Alcotest.(check bool) "not in LS" false (Ecl.is_ls phi);
+  Alcotest.(check bool) "not in LB" false (Ecl.is_lb phi)
+
+let non_ecl_rejected () =
+  let cross_eq = atom Atom.Eq x1 x2 in
+  Alcotest.(check bool) "cross equality rejected" false (Ecl.is_ecl cross_eq);
+  (match Ecl.check cross_eq with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected check error");
+  (* Disjunction of two non-trivial SIMPLE formulas. *)
+  let s = atom Atom.Ne x1 x2 in
+  Alcotest.(check bool) "S \\/ S rejected" false
+    (Ecl.is_ecl (Formula.Or (s, s)));
+  (* Negation over an LS atom. *)
+  Alcotest.(check bool) "!S rejected" false (Ecl.is_ecl (Formula.Not s));
+  (* But X /\ X with mixed components is fine. *)
+  Alcotest.(check bool) "X /\\ X accepted" true
+    (Ecl.is_ecl (Formula.And (Formula.Or (s, atom Atom.Eq y1 c0), s)))
+
+let all_builtin_specs_ecl () =
+  List.iter
+    (fun spec ->
+      match Spec.ecl_check spec with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" (Spec.name spec) e)
+    (Stdspecs.all ())
+
+(* Lemma 6.4 as executed by the residuation: assigning the LB atoms their
+   truth on concrete actions and evaluating the residual LS formula agrees
+   with direct evaluation. *)
+let residual_agrees =
+  let gen =
+    Gen.triple
+      (Generators.ecl ~arity1:2 ~arity2:3 3)
+      (Gen.array_size (Gen.return 2) Generators.small_value)
+      (Gen.array_size (Gen.return 3) Generators.small_value)
+  in
+  qcheck ~count:2000 "residuation agrees with evaluation (Lemma 6.4)" gen
+    (fun (f, w1, w2) ->
+      let beta slots a =
+        (* Truth of a normalized positive atom on a slot tuple. *)
+        Atom.eval a (fun (va : Atom.var) -> slots.(va.slot))
+      in
+      match
+        Residual.residuate f ~beta1:(beta w1) ~beta2:(beta w2)
+      with
+      | Residual.Rfalse -> not (Formula.eval_pair f w1 w2)
+      | Residual.Rconj conjuncts ->
+          let residual_value =
+            List.for_all
+              (fun (i, j) -> not (Value.equal w1.(i) w2.(j)))
+              conjuncts
+          in
+          residual_value = Formula.eval_pair f w1 w2)
+
+let residual_rejects_non_ecl () =
+  (match Residual.residuate (atom Atom.Eq x1 x2) ~beta1:(fun _ -> true) ~beta2:(fun _ -> true) with
+  | exception Residual.Not_ecl _ -> ()
+  | _ -> Alcotest.fail "expected Not_ecl");
+  let s = atom Atom.Ne x1 x2 in
+  match
+    Residual.residuate (Formula.Or (s, s)) ~beta1:(fun _ -> true)
+      ~beta2:(fun _ -> true)
+  with
+  | exception Residual.Not_ecl _ -> ()
+  | _ -> Alcotest.fail "expected Not_ecl on S \\/ S"
+
+let generated_formulas_are_ecl =
+  qcheck ~count:1000 "generator produces ECL formulas"
+    (Generators.ecl ~arity1:2 ~arity2:2 3) Ecl.is_ecl
+
+let lb_closed_under_not =
+  qcheck "LB is closed under negation"
+    (Generators.ecl ~arity1:2 ~arity2:2 2) (fun f ->
+      (not (Ecl.is_lb f)) || Ecl.is_lb (Formula.Not f))
+
+let suite =
+  ( "ecl",
+    [
+      Alcotest.test_case "Section 6.1 examples" `Quick section61_examples;
+      Alcotest.test_case "SIMPLE fragment" `Quick simple_fragment;
+      Alcotest.test_case "Fig 6 put/put in ECL \\ SIMPLE" `Quick fig6_put_put;
+      Alcotest.test_case "non-ECL rejected" `Quick non_ecl_rejected;
+      Alcotest.test_case "builtin specs are ECL" `Quick all_builtin_specs_ecl;
+      Alcotest.test_case "residuate rejects non-ECL" `Quick
+        residual_rejects_non_ecl;
+      residual_agrees;
+      generated_formulas_are_ecl;
+      lb_closed_under_not;
+    ] )

@@ -1,0 +1,136 @@
+open Crd
+module Gen = QCheck2.Gen
+
+let qcheck ?(count = 500) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let x = Mem_loc.Global "x"
+
+let run_ft trace =
+  let hb = Hb.create () in
+  let d = Fasttrack.create () in
+  Trace.iter trace ~f:(fun index (e : Event.t) ->
+      let vc = Hb.step hb e in
+      match e.op with
+      | Event.Read loc -> ignore (Fasttrack.on_read d ~index e.tid loc vc)
+      | Event.Write loc -> ignore (Fasttrack.on_write d ~index e.tid loc vc)
+      | _ -> ());
+  d
+
+let run_djit trace =
+  let hb = Hb.create () in
+  let d = Djit.create () in
+  Trace.iter trace ~f:(fun index (e : Event.t) ->
+      let vc = Hb.step hb e in
+      match e.op with
+      | Event.Read loc -> ignore (Djit.on_read d ~index e.tid loc vc)
+      | Event.Write loc -> ignore (Djit.on_write d ~index e.tid loc vc)
+      | _ -> ());
+  d
+
+let parse src = Result.get_ok (Trace_text.parse src)
+
+let kinds d = List.map (fun (r : Rw_report.t) -> r.kind) (Fasttrack.races d)
+
+let write_write () =
+  let d = run_ft (parse "T0 fork T1\nT1 write global:x\nT0 write global:x\n") in
+  Alcotest.(check int) "one race" 1 (List.length (Fasttrack.races d));
+  Alcotest.(check bool) "is ww" true (kinds d = [ Rw_report.Write_write ])
+
+let write_read () =
+  let d = run_ft (parse "T0 fork T1\nT1 write global:x\nT0 read global:x\n") in
+  Alcotest.(check bool) "is wr" true (kinds d = [ Rw_report.Write_read ])
+
+let read_write () =
+  let d = run_ft (parse "T0 fork T1\nT1 read global:x\nT0 write global:x\n") in
+  Alcotest.(check bool) "is rw" true (kinds d = [ Rw_report.Read_write ])
+
+let read_read_no_race () =
+  let d = run_ft (parse "T0 fork T1\nT1 read global:x\nT0 read global:x\n") in
+  Alcotest.(check int) "no race" 0 (List.length (Fasttrack.races d))
+
+let lock_protected () =
+  let d =
+    run_ft
+      (parse
+         "T0 fork T1\n\
+          T1 acquire l\n\
+          T1 write global:x\n\
+          T1 release l\n\
+          T0 acquire l\n\
+          T0 write global:x\n\
+          T0 read global:x\n\
+          T0 release l\n")
+  in
+  Alcotest.(check int) "no race" 0 (List.length (Fasttrack.races d))
+
+let fork_join_ordered () =
+  let d =
+    run_ft
+      (parse
+         "T0 write global:x\n\
+          T0 fork T1\n\
+          T1 write global:x\n\
+          T0 join T1\n\
+          T0 read global:x\n\
+          T0 write global:x\n")
+  in
+  Alcotest.(check int) "no race" 0 (List.length (Fasttrack.races d))
+
+let shared_read_inflation () =
+  (* Two concurrent readers (no race), then a writer joined with only one
+     of them: read-write race detected via the read vector clock. *)
+  let d =
+    run_ft
+      (parse
+         "T0 fork T1\n\
+          T0 fork T2\n\
+          T1 read global:x\n\
+          T2 read global:x\n\
+          T0 join T1\n\
+          T0 write global:x\n")
+  in
+  Alcotest.(check bool) "rw via shared reads" true
+    (kinds d = [ Rw_report.Read_write ])
+
+let same_epoch_fast_path () =
+  let d =
+    run_ft (parse "T0 write global:x\nT0 write global:x\nT0 read global:x\nT0 read global:x\n")
+  in
+  let stats = Fasttrack.stats d in
+  Alcotest.(check int) "same-epoch hits" 2 stats.Fasttrack.same_epoch;
+  Alcotest.(check int) "no races" 0 stats.Fasttrack.races
+
+(* FastTrack and DJIT+ agree on the first race of every location. *)
+let first_race (reports : Rw_report.t list) =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Rw_report.t) ->
+      let k = Fmt.str "%a" Mem_loc.pp r.loc in
+      match Hashtbl.find_opt tbl k with
+      | Some i when i <= r.index -> ()
+      | _ -> Hashtbl.replace tbl k r.index)
+    reports;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let ft_equals_djit =
+  qcheck ~count:800 "FastTrack == DJIT+ up to the first race per location"
+    (Generators.rw_trace ~threads:4 ~len:60) (fun trace ->
+      let ft = run_ft trace and dj = run_djit trace in
+      first_race (Fasttrack.races ft) = first_race (Djit.races dj))
+
+let suite =
+  ( "fasttrack",
+    [
+      Alcotest.test_case "write-write" `Quick write_write;
+      Alcotest.test_case "write-read" `Quick write_read;
+      Alcotest.test_case "read-write" `Quick read_write;
+      Alcotest.test_case "read-read ok" `Quick read_read_no_race;
+      Alcotest.test_case "lock protected" `Quick lock_protected;
+      Alcotest.test_case "fork/join ordered" `Quick fork_join_ordered;
+      Alcotest.test_case "shared-read inflation" `Quick shared_read_inflation;
+      Alcotest.test_case "same-epoch fast path" `Quick same_epoch_fast_path;
+      ft_equals_djit;
+    ] )
+
+let _ = x

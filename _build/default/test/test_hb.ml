@@ -1,0 +1,181 @@
+open Crd
+
+let obj = Obj_id.make ~name:"o" 0
+let put k = Action.make ~obj ~meth:"put" ~args:[ Value.Str k ] ~rets:[] ()
+
+(* Replay the Fig 3 execution and check the clock relationships the paper
+   works through: a1 || a2, a1 < a3, a2 < a3. *)
+let fig3 () =
+  let hb = Hb.create () in
+  let t0 = Tid.of_int 0 and t2 = Tid.of_int 2 and t3 = Tid.of_int 3 in
+  ignore (Hb.step hb (Event.fork t0 t2));
+  ignore (Hb.step hb (Event.fork t0 t3));
+  let vc_a1 = Hb.step hb (Event.call t3 (put "a.com")) in
+  let vc_a2 = Hb.step hb (Event.call t2 (put "a.com")) in
+  ignore (Hb.step hb (Event.join t0 t2));
+  ignore (Hb.step hb (Event.join t0 t3));
+  let vc_a3 =
+    Hb.step hb
+      (Event.call t0 (Action.make ~obj ~meth:"size" ~rets:[ Value.Int 1 ] ()))
+  in
+  Alcotest.(check bool) "a1 || a2" true (Vclock.concurrent vc_a1 vc_a2);
+  Alcotest.(check bool) "a1 < a3" true (Vclock.leq vc_a1 vc_a3);
+  Alcotest.(check bool) "a2 < a3" true (Vclock.leq vc_a2 vc_a3);
+  Alcotest.(check bool) "a3 not < a1" false (Vclock.leq vc_a3 vc_a1)
+
+let program_order () =
+  let hb = Hb.create () in
+  let t = Tid.of_int 0 in
+  let v1 = Hb.step hb (Event.call t (put "x")) in
+  let v2 = Hb.step hb (Event.call t (put "y")) in
+  Alcotest.(check bool) "same thread ordered" true (Vclock.leq v1 v2)
+
+let unsynchronized_threads_concurrent () =
+  let hb = Hb.create () in
+  let v1 = Hb.step hb (Event.call (Tid.of_int 1) (put "x")) in
+  let v2 = Hb.step hb (Event.call (Tid.of_int 2) (put "y")) in
+  Alcotest.(check bool) "concurrent" true (Vclock.concurrent v1 v2)
+
+let lock_edges () =
+  let hb = Hb.create () in
+  let t1 = Tid.of_int 1 and t2 = Tid.of_int 2 in
+  let l = Lock_id.make 0 in
+  ignore (Hb.step hb (Event.acquire t1 l));
+  let v1 = Hb.step hb (Event.call t1 (put "x")) in
+  ignore (Hb.step hb (Event.release t1 l));
+  ignore (Hb.step hb (Event.acquire t2 l));
+  let v2 = Hb.step hb (Event.call t2 (put "x")) in
+  Alcotest.(check bool) "release-acquire orders" true (Vclock.leq v1 v2);
+  Alcotest.(check bool) "not concurrent" false (Vclock.concurrent v1 v2)
+
+let lock_no_edge_without_handoff () =
+  let hb = Hb.create () in
+  let t1 = Tid.of_int 1 and t2 = Tid.of_int 2 in
+  let l1 = Lock_id.make 0 and l2 = Lock_id.make 1 in
+  ignore (Hb.step hb (Event.acquire t1 l1));
+  let v1 = Hb.step hb (Event.call t1 (put "x")) in
+  ignore (Hb.step hb (Event.release t1 l1));
+  (* Different lock: no ordering. *)
+  ignore (Hb.step hb (Event.acquire t2 l2));
+  let v2 = Hb.step hb (Event.call t2 (put "x")) in
+  Alcotest.(check bool) "different locks stay concurrent" true
+    (Vclock.concurrent v1 v2)
+
+let fork_edge () =
+  let hb = Hb.create () in
+  let t0 = Tid.of_int 0 and t1 = Tid.of_int 1 in
+  let v_before = Hb.step hb (Event.call t0 (put "x")) in
+  ignore (Hb.step hb (Event.fork t0 t1));
+  let v_child = Hb.step hb (Event.call t1 (put "y")) in
+  let v_after = Hb.step hb (Event.call t0 (put "z")) in
+  Alcotest.(check bool) "parent-before-fork < child" true
+    (Vclock.leq v_before v_child);
+  Alcotest.(check bool) "parent-after-fork || child" true
+    (Vclock.concurrent v_after v_child)
+
+let snapshot_stability () =
+  let hb = Hb.create () in
+  let t0 = Tid.of_int 0 in
+  let v1 = Hb.step hb (Event.call t0 (put "x")) in
+  let saved = Vclock.copy v1 in
+  (* Sync events mutate T(t0); earlier snapshots must not change. *)
+  ignore (Hb.step hb (Event.fork t0 (Tid.of_int 1)));
+  ignore (Hb.step hb (Event.release t0 (Lock_id.make 7)));
+  Alcotest.(check bool) "snapshot unchanged" true (Vclock.equal saved v1)
+
+let snapshot_shared_within_segment () =
+  let hb = Hb.create () in
+  let t0 = Tid.of_int 0 in
+  let v1 = Hb.step hb (Event.call t0 (put "x")) in
+  let v2 = Hb.step hb (Event.call t0 (put "y")) in
+  Alcotest.(check bool) "same segment, same clock" true (v1 == v2)
+
+(* Reference happens-before: explicit edges (program order, fork, join,
+   release->acquire) + transitive closure. The vector clocks of Table 1
+   must represent exactly this partial order (restricted to the events
+   that carry clocks). *)
+let reference_reachability trace =
+  let n = Trace.length trace in
+  let succs = Array.make n [] in
+  let add i j = if i >= 0 then succs.(i) <- j :: succs.(i) in
+  let last_of_thread = Hashtbl.create 8 in
+  let pending_fork = Hashtbl.create 8 in
+  let last_release = Hashtbl.create 8 in
+  Trace.iter trace ~f:(fun i (e : Event.t) ->
+      let tid = Tid.to_int e.tid in
+      (match Hashtbl.find_opt last_of_thread tid with
+      | Some prev -> add prev i
+      | None -> (
+          match Hashtbl.find_opt pending_fork tid with
+          | Some f -> add f i
+          | None -> ()));
+      Hashtbl.replace last_of_thread tid i;
+      match e.op with
+      | Event.Fork u -> Hashtbl.replace pending_fork (Tid.to_int u) i
+      | Event.Join u -> (
+          match Hashtbl.find_opt last_of_thread (Tid.to_int u) with
+          | Some j -> add j i
+          | None -> ())
+      | Event.Acquire l -> (
+          match Hashtbl.find_opt last_release (Lock_id.id l) with
+          | Some j -> add j i
+          | None -> ())
+      | Event.Release l -> Hashtbl.replace last_release (Lock_id.id l) i
+      | _ -> ());
+  (* Reachability by reverse-order DP: events only reach later events. *)
+  let reach = Array.init n (fun i -> Array.make (n - i) false) in
+  let reachable i j = i <= j && (i = j || reach.(i).(j - i)) in
+  for i = n - 1 downto 0 do
+    List.iter
+      (fun j ->
+        reach.(i).(j - i) <- true;
+        for k = j to n - 1 do
+          if reachable j k then reach.(i).(k - i) <- true
+        done)
+      succs.(i)
+  done;
+  reachable
+
+let clocks_match_reference =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:200 ~name:"vector clocks = explicit closure"
+       (Generators.dict_trace ~threads:4 ~objects:1 ~len:50)
+       (fun trace ->
+         let reachable = reference_reachability trace in
+         let hb = Hb.create () in
+         let clocks = Array.make (Trace.length trace) None in
+         Trace.iter trace ~f:(fun i e ->
+             let vc = Hb.step hb e in
+             match e.Event.op with
+             | Event.Call _ | Event.Read _ | Event.Write _ ->
+                 clocks.(i) <- Some (Vclock.copy vc)
+             | _ -> ());
+         let ok = ref true in
+         Array.iteri
+           (fun i ci ->
+             Array.iteri
+               (fun j cj ->
+                 match (ci, cj) with
+                 | Some ci, Some cj when i < j ->
+                     if Vclock.leq ci cj <> reachable i j then ok := false
+                 | _ -> ())
+               clocks)
+           clocks;
+         !ok))
+
+let suite =
+  ( "hb",
+    [
+      clocks_match_reference;
+      Alcotest.test_case "fig3" `Quick fig3;
+      Alcotest.test_case "program order" `Quick program_order;
+      Alcotest.test_case "unsynchronized concurrent" `Quick
+        unsynchronized_threads_concurrent;
+      Alcotest.test_case "lock edges" `Quick lock_edges;
+      Alcotest.test_case "different locks no edge" `Quick
+        lock_no_edge_without_handoff;
+      Alcotest.test_case "fork edge" `Quick fork_edge;
+      Alcotest.test_case "snapshot stability" `Quick snapshot_stability;
+      Alcotest.test_case "snapshot shared in segment" `Quick
+        snapshot_shared_within_segment;
+    ] )

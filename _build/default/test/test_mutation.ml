@@ -1,0 +1,118 @@
+(* Mutation testing of the soundness harness: weakening a shipped
+   specification (claiming more commutativity than true by replacing an atom
+   with [true]) must be caught by the Definition 4.2 checker. This guards
+   against the harness silently passing everything. *)
+
+open Crd
+
+(* All single-position mutants of a formula in which one atom is replaced
+   by a constant. *)
+let mutants_of phi ~replacement =
+  let n = List.length (Formula.atoms phi) in
+  List.init n (fun target ->
+      let i = ref (-1) in
+      Formula.map_atoms
+        (fun a ->
+          incr i;
+          if !i = target then replacement else Formula.Atom a)
+        phi)
+
+let spec_mutants spec ~replacement =
+  List.concat_map
+    (fun (m1, m2, phi) ->
+      List.filter_map
+        (fun phi' ->
+          match
+            Spec.make ~name:(Spec.name spec) ~methods:(Spec.methods spec)
+              (List.map
+                 (fun (a, b, f) ->
+                   if String.equal a m1 && String.equal b m2 then (a, b, phi')
+                   else (a, b, f))
+                 (Spec.pairs spec))
+          with
+          | Ok s -> Some (m1, m2, s)
+          | Error _ -> None (* e.g. mutant broke self-pair symmetry *))
+        (mutants_of phi ~replacement:(Formula.conj [ replacement ])))
+    (Spec.pairs spec)
+
+let check_weakening_caught name spec model () =
+  let mutants = spec_mutants spec ~replacement:Formula.True in
+  Alcotest.(check bool)
+    (name ^ " has mutants to test")
+    true (mutants <> []);
+  let caught =
+    List.filter
+      (fun (_, _, s) -> not (Soundness.is_sound s model))
+      mutants
+  in
+  (* Every mutant that is still accepted must genuinely be sound (a
+     weakened atom can be semantically redundant); but across the whole
+     spec, a majority of the atoms are load-bearing. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: weakening is caught (%d/%d mutants unsound)" name
+       (List.length caught) (List.length mutants))
+    true
+    (2 * List.length caught >= List.length mutants)
+
+(* Strengthening (replacing an atom by [false]) can never create
+   unsoundness: a formula that claims less commutativity stays sound. *)
+let strengthening_stays_sound name spec model () =
+  List.iter
+    (fun (m1, m2, s) ->
+      if not (Soundness.is_sound s model) then
+        Alcotest.failf "%s: strengthened mutant of (%s, %s) became unsound"
+          name m1 m2)
+    (spec_mutants spec ~replacement:Formula.False)
+
+(* A specific, documented mutant: dropping the no-op condition from the
+   put/get clause of Fig 6 (claiming puts never disturb gets) must be
+   flagged, and the witness pair must involve put and get. *)
+let fig6_put_get_mutant () =
+  let src =
+    {|
+object dictionary {
+  method put(k, v) / p;
+  method get(k) / v;
+  method size() / r;
+
+  commutes put(k1, v1) / p1 <> put(k2, v2) / p2
+    when k1 != k2 || (v1 == p1 && v2 == p2);
+  commutes put(k1, v1) / p1 <> get(k2) / v2 when true;
+  commutes put(k1, v1) / p1 <> size() / r2
+    when (v1 == nil && p1 == nil) || (v1 != nil && p1 != nil);
+  commutes get(k1) / v1 <> get(k2) / v2 when true;
+  commutes get(k1) / v1 <> size() / r2  when true;
+  commutes size() / r1  <> size() / r2  when true;
+}
+|}
+  in
+  let spec = Result.get_ok (Spec_parser.parse_one src) in
+  let verdict = Soundness.check spec (Models.dictionary ()) in
+  Alcotest.(check bool) "mutant unsound" true (verdict.Soundness.unsound <> []);
+  Alcotest.(check bool) "witness involves put/get" true
+    (List.exists
+       (fun ((a : Model.shape), (b : Model.shape)) ->
+         let pair = List.sort compare [ a.Model.meth; b.Model.meth ] in
+         pair = [ "get"; "put" ])
+       verdict.Soundness.unsound)
+
+let suite =
+  let cases =
+    [
+      ("dictionary", Stdspecs.dictionary (), Models.dictionary ());
+      ("set", Stdspecs.set (), Models.set ());
+      ("fifo", Stdspecs.fifo (), Models.fifo ());
+      ("bag", Stdspecs.bag (), Models.bag ());
+    ]
+  in
+  ( "mutation",
+    Alcotest.test_case "Fig 6 put/get mutant" `Quick fig6_put_get_mutant
+    :: List.concat_map
+         (fun (name, spec, model) ->
+           [
+             Alcotest.test_case (name ^ ": weakening caught") `Quick
+               (check_weakening_caught name spec model);
+             Alcotest.test_case (name ^ ": strengthening sound") `Quick
+               (strengthening_stays_sound name spec model);
+           ])
+         cases )

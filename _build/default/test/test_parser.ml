@@ -1,0 +1,166 @@
+open Crd
+
+let parse_ok src =
+  match Spec_parser.parse_one src with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "unexpected parse error: %s" e
+
+let parse_err src =
+  match Spec_parser.parse_one src with
+  | Ok _ -> Alcotest.failf "expected a parse error on:\n%s" src
+  | Error e -> e
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.equal (String.sub haystack i nn) needle || go (i + 1))
+  in
+  go 0
+
+let builtins_parse () =
+  List.iter
+    (fun src ->
+      match Spec_parser.parse_one src with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "builtin failed to parse: %s" e)
+    [
+      Stdspecs.dictionary_src;
+      Stdspecs.set_src;
+      Stdspecs.counter_src;
+      Stdspecs.register_src;
+      Stdspecs.fifo_src;
+    ]
+
+let dictionary_structure () =
+  let spec = parse_ok Stdspecs.dictionary_src in
+  Alcotest.(check string) "name" "dictionary" (Spec.name spec);
+  Alcotest.(check int) "methods" 3 (List.length (Spec.methods spec));
+  Alcotest.(check int) "pairs" 6 (List.length (Spec.pairs spec));
+  let put = Option.get (Spec.signature spec "put") in
+  Alcotest.(check (list string)) "put slots" [ "k"; "v"; "p" ]
+    (Signature.slot_names put)
+
+let multiple_objects () =
+  match Spec_parser.parse (Stdspecs.dictionary_src ^ "\n" ^ Stdspecs.set_src) with
+  | Ok [ d; s ] ->
+      Alcotest.(check string) "first" "dictionary" (Spec.name d);
+      Alcotest.(check string) "second" "set" (Spec.name s)
+  | Ok l -> Alcotest.failf "expected 2 objects, got %d" (List.length l)
+  | Error e -> Alcotest.failf "parse error: %s" e
+
+let comments_and_whitespace () =
+  let src =
+    "// leading comment\n\
+     object o { # hash comment\n\
+     \  method m(x);\n\
+     \  commutes m(x1) <> m(x2) when x1 != x2; // trailing\n\
+     }"
+  in
+  ignore (parse_ok src)
+
+let literal_kinds () =
+  let src =
+    {|object o {
+        method m(x) / r;
+        commutes m(x1) / r1 <> m(x2) / r2
+          when x1 != x2 || (r1 == nil && r2 == "str" || r1 == @7 && r2 == -0 || r1 == true && r2 == false);
+      }|}
+  in
+  ignore (parse_ok src)
+
+let precedence () =
+  (* && binds tighter than ||; ! tighter than &&. *)
+  let spec =
+    parse_ok
+      {|object o {
+          method m(x) / r;
+          commutes m(x1) / r1 <> m(x2) / r2
+            when x1 != x2 || r1 == 1 && r2 == 1;
+        }|}
+  in
+  match Spec.pairs spec with
+  | [ (_, _, Formula.Or (Formula.Atom _, Formula.And (_, _))) ] -> ()
+  | [ (_, _, f) ] -> Alcotest.failf "wrong shape: %a" Formula.pp f
+  | _ -> Alcotest.fail "wrong number of pairs"
+
+let error_cases () =
+  let cases =
+    [
+      (* unbound variable *)
+      ( {|object o { method m(x); commutes m(x1) <> m(x2) when z != x2; }|},
+        "unbound" );
+      (* header mismatch *)
+      ( {|object o { method m(x); commutes m(x1, y1) <> m(x2) when true; }|},
+        "signature" );
+      (* undeclared method *)
+      ( {|object o { method m(x); commutes q(x1) <> m(x2) when true; }|},
+        "not declared" );
+      (* variable bound by both headers *)
+      ( {|object o { method m(x); commutes m(x1) <> m(x1) when true; }|},
+        "both headers" );
+      (* missing when *)
+      ({|object o { method m(x); commutes m(x1) <> m(x2); }|}, "when");
+      (* junk *)
+      ({|object o { banana; }|}, "expected");
+      (* unterminated string *)
+      ({|object o { method m(x); commutes m(x1) <> m(x2) when x1 == "oops; }|},
+        "string");
+      (* duplicate default *)
+      ( {|object o { method m(x); default true; default false; }|},
+        "duplicate" );
+    ]
+  in
+  List.iter
+    (fun (src, expect) ->
+      let e = parse_err src in
+      if not (contains e expect) then
+        Alcotest.failf "error %S does not mention %S" e expect)
+    cases
+
+let error_positions () =
+  let e =
+    parse_err "object o {\n  method m(x);\n  commutes m(x1) <> m(x2) when ?;\n}"
+  in
+  Alcotest.(check bool) "mentions line 3" true (contains e "3:")
+
+let default_clause () =
+  let spec =
+    parse_ok
+      {|object o {
+          method a();
+          method b();
+          default true;
+        }|}
+  in
+  let obj = Obj_id.make ~name:"o" 0 in
+  Alcotest.(check bool) "default true applies" true
+    (Spec.commute spec
+       (Action.make ~obj ~meth:"a" ())
+       (Action.make ~obj ~meth:"b" ()))
+
+let tuple_returns () =
+  let spec =
+    parse_ok
+      {|object o {
+          method m(x) / (r, s);
+          commutes m(x1) / (r1, s1) <> m(x2) / (r2, s2)
+            when x1 != x2 || (r1 == s1 && r2 == s2);
+        }|}
+  in
+  let m = Option.get (Spec.signature spec "m") in
+  Alcotest.(check int) "arity 3" 3 (Signature.arity m)
+
+let suite =
+  ( "spec-parser",
+    [
+      Alcotest.test_case "builtins parse" `Quick builtins_parse;
+      Alcotest.test_case "dictionary structure" `Quick dictionary_structure;
+      Alcotest.test_case "multiple objects" `Quick multiple_objects;
+      Alcotest.test_case "comments" `Quick comments_and_whitespace;
+      Alcotest.test_case "literal kinds" `Quick literal_kinds;
+      Alcotest.test_case "precedence" `Quick precedence;
+      Alcotest.test_case "error cases" `Quick error_cases;
+      Alcotest.test_case "error positions" `Quick error_positions;
+      Alcotest.test_case "default clause" `Quick default_clause;
+      Alcotest.test_case "tuple returns" `Quick tuple_returns;
+    ] )

@@ -1,0 +1,66 @@
+open Crd
+
+let determinism () =
+  let a = Prng.make 99L and b = Prng.make 99L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let bounds () =
+  let p = Prng.make 7L in
+  for _ = 1 to 10_000 do
+    let bound = 1 + (Int64.to_int (Prng.next_int64 p) land 0xFF) in
+    let x = Prng.int p bound in
+    if x < 0 || x >= bound then
+      Alcotest.failf "Prng.int %d out of range: %d" bound x
+  done
+
+let bad_bound () =
+  let p = Prng.make 1L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: nonpositive bound")
+    (fun () -> ignore (Prng.int p 0))
+
+let split_independence () =
+  let p = Prng.make 5L in
+  let q = Prng.split p in
+  (* Splitting advances the parent; the two streams must diverge. *)
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Int64.equal (Prng.next_int64 p) (Prng.next_int64 q) then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 5)
+
+let shuffle_permutes () =
+  let p = Prng.make 11L in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle p arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let float_bounds () =
+  let p = Prng.make 13L in
+  for _ = 1 to 1000 do
+    let f = Prng.float p 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of range: %f" f
+  done
+
+let choose_all_reachable () =
+  let p = Prng.make 17L in
+  let seen = Array.make 4 false in
+  for _ = 1 to 200 do
+    seen.(Prng.choose p [| 0; 1; 2; 3 |]) <- true
+  done;
+  Alcotest.(check bool) "all elements chosen" true (Array.for_all Fun.id seen)
+
+let suite =
+  ( "prng",
+    [
+      Alcotest.test_case "determinism" `Quick determinism;
+      Alcotest.test_case "int bounds" `Quick bounds;
+      Alcotest.test_case "bad bound" `Quick bad_bound;
+      Alcotest.test_case "split independence" `Quick split_independence;
+      Alcotest.test_case "shuffle permutes" `Quick shuffle_permutes;
+      Alcotest.test_case "float bounds" `Quick float_bounds;
+      Alcotest.test_case "choose reaches all" `Quick choose_all_reachable;
+    ] )

@@ -1,0 +1,134 @@
+open Crd
+
+let shape meth args rets = { Model.meth; args; rets }
+let i n = Value.Int n
+
+let dict = Models.dictionary ()
+
+let dict_apply () =
+  let s0 = Model.Map [] in
+  (* put(0, 1)/nil is defined at the empty map. *)
+  (match dict.Model.apply s0 (shape "put" [ i 0; i 1 ] [ Value.Nil ]) with
+  | Some (Model.Map [ (k, v) ]) ->
+      Alcotest.(check bool) "inserted" true
+        (Value.equal k (i 0) && Value.equal v (i 1))
+  | _ -> Alcotest.fail "put undefined or wrong result");
+  (* put(0, 1)/2 is undefined at the empty map (wrong previous value). *)
+  Alcotest.(check bool) "put with wrong p undefined" true
+    (dict.Model.apply s0 (shape "put" [ i 0; i 1 ] [ i 2 ]) = None);
+  (* get(0)/nil holds at empty; get(0)/1 does not. *)
+  Alcotest.(check bool) "get nil at empty" true
+    (dict.Model.apply s0 (shape "get" [ i 0 ] [ Value.Nil ]) = Some s0);
+  Alcotest.(check bool) "get 1 undefined" true
+    (dict.Model.apply s0 (shape "get" [ i 0 ] [ i 1 ]) = None);
+  (* size()/0 at empty. *)
+  Alcotest.(check bool) "size 0" true
+    (dict.Model.apply s0 (shape "size" [] [ i 0 ]) = Some s0)
+
+let dict_commute_ground_truth () =
+  (* Definition 3.1 decided by state enumeration. *)
+  let c a b = Model.commute dict a b in
+  Alcotest.(check bool) "different keys" true
+    (c (shape "put" [ i 0; i 1 ] [ Value.Nil ]) (shape "put" [ i 1; i 1 ] [ Value.Nil ]));
+  Alcotest.(check bool) "same key real writes" false
+    (c (shape "put" [ i 0; i 1 ] [ Value.Nil ]) (shape "put" [ i 0; i 2 ] [ i 1 ]));
+  Alcotest.(check bool) "resize vs size" false
+    (c (shape "put" [ i 0; i 1 ] [ Value.Nil ]) (shape "size" [] [ i 0 ]));
+  Alcotest.(check bool) "gets commute" true
+    (c (shape "get" [ i 0 ] [ i 1 ]) (shape "get" [ i 0 ] [ i 1 ]))
+
+let counter_adds_commute () =
+  let m = Models.counter () in
+  List.iter
+    (fun (d1, d2) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "add %d / add %d" d1 d2)
+        true
+        (Model.commute m (shape "add" [ i d1 ] []) (shape "add" [ i d2 ] [])))
+    [ (1, 2); (-1, 2); (0, 0); (-2, -2) ]
+
+let register_is_classic_races () =
+  let m = Models.register () in
+  Alcotest.(check bool) "writes do not commute" false
+    (Model.commute m (shape "write" [ i 1 ] []) (shape "write" [ i 2 ] []));
+  Alcotest.(check bool) "write/read do not commute" false
+    (Model.commute m (shape "write" [ i 2 ] []) (shape "read" [] [ i 1 ]));
+  Alcotest.(check bool) "reads commute" true
+    (Model.commute m (shape "read" [] [ i 1 ]) (shape "read" [] [ i 1 ]))
+
+let fifo_empty_deqs_commute () =
+  let m = Models.fifo () in
+  Alcotest.(check bool) "both-nil deqs commute" true
+    (Model.commute m (shape "deq" [] [ Value.Nil ]) (shape "deq" [] [ Value.Nil ]));
+  (* Two deqs with the same return commute as partial maps (both orders
+     are defined exactly when the first two elements equal that return);
+     differing returns do not. *)
+  Alcotest.(check bool) "equal-return deqs commute" true
+    (Model.commute m (shape "deq" [] [ i 1 ]) (shape "deq" [] [ i 1 ]));
+  Alcotest.(check bool) "different-return deqs do not" false
+    (Model.commute m (shape "deq" [] [ i 1 ]) (shape "deq" [] [ i 2 ]));
+  Alcotest.(check bool) "enqs do not commute" false
+    (Model.commute m (shape "enq" [ i 1 ] []) (shape "enq" [ i 2 ] []))
+
+(* Definition 4.2 for every shipped specification, decided exhaustively
+   against the executable models. *)
+let soundness_cases =
+  List.map
+    (fun (name, spec, model) ->
+      Alcotest.test_case (name ^ " spec is sound (Def 4.2)") `Quick (fun () ->
+          let v = Soundness.check spec model in
+          if v.Soundness.unsound <> [] then
+            Alcotest.failf "unsound: %a" Soundness.pp_verdict v;
+          Alcotest.(check bool) "checked some pairs" true
+            (v.Soundness.pairs_checked > 0)))
+    [
+      ("dictionary", Stdspecs.dictionary (), Models.dictionary ());
+      ("set", Stdspecs.set (), Models.set ());
+      ("counter", Stdspecs.counter (), Models.counter ());
+      ("register", Stdspecs.register (), Models.register ());
+      ("fifo", Stdspecs.fifo (), Models.fifo ());
+      ("bag", Stdspecs.bag (), Models.bag ());
+    ]
+
+(* An intentionally unsound specification is caught. *)
+let unsound_caught () =
+  let methods =
+    [
+      Signature.make ~meth:"put" ~args:[ "k"; "v" ] ~rets:[ "p" ] ();
+      Signature.make ~meth:"get" ~args:[ "k" ] ~rets:[ "v" ] ();
+      Signature.make ~meth:"size" ~rets:[ "r" ] ();
+    ]
+  in
+  (* Claim all puts commute — false. *)
+  let spec =
+    Result.get_ok
+      (Spec.make ~name:"bad" ~methods
+         [ ("put", "put", Formula.True) ])
+  in
+  let v = Soundness.check spec (Models.dictionary ()) in
+  Alcotest.(check bool) "unsound pairs found" true (v.Soundness.unsound <> [])
+
+let commute_symmetric () =
+  let m = Models.dictionary () in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if Model.commute m a b <> Model.commute m b a then
+            Alcotest.failf "commute not symmetric on %a / %a" Model.pp_shape a
+              Model.pp_shape b)
+        m.Model.shapes)
+    (List.filteri (fun i _ -> i mod 7 = 0) m.Model.shapes)
+
+let suite =
+  ( "semantics",
+    [
+      Alcotest.test_case "dictionary effects (Fig 5)" `Quick dict_apply;
+      Alcotest.test_case "dictionary ground truth" `Quick dict_commute_ground_truth;
+      Alcotest.test_case "counter adds commute" `Quick counter_adds_commute;
+      Alcotest.test_case "register = classic races" `Quick register_is_classic_races;
+      Alcotest.test_case "fifo deq/deq" `Quick fifo_empty_deqs_commute;
+      Alcotest.test_case "unsound spec caught" `Quick unsound_caught;
+      Alcotest.test_case "Model.commute symmetric" `Quick commute_symmetric;
+    ]
+    @ soundness_cases )

@@ -1,0 +1,125 @@
+open Crd
+module Gen = QCheck2.Gen
+
+let qcheck ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let obj = Obj_id.make ~name:"m" 0
+
+let builder () =
+  let t = Trace.create () in
+  Alcotest.(check int) "empty" 0 (Trace.length t);
+  for i = 0 to 99 do
+    Trace.append t (Event.read (Tid.of_int (i mod 3)) (Mem_loc.Global "x"))
+  done;
+  Alcotest.(check int) "length" 100 (Trace.length t);
+  Alcotest.(check int) "num_threads" 3 (Trace.num_threads t);
+  let count = ref 0 in
+  Trace.iter t ~f:(fun i e ->
+      Alcotest.(check int) "index order" !count i;
+      incr count;
+      Alcotest.(check bool) "tid" true (Tid.to_int e.Event.tid = i mod 3));
+  Alcotest.(check int) "iterated all" 100 !count
+
+let get_bounds () =
+  let t = Trace.of_list [ Event.read Tid.main (Mem_loc.Global "x") ] in
+  Alcotest.check_raises "negative" (Invalid_argument "Trace.get: out of bounds")
+    (fun () -> ignore (Trace.get t (-1)));
+  Alcotest.check_raises "past end" (Invalid_argument "Trace.get: out of bounds")
+    (fun () -> ignore (Trace.get t 1))
+
+let num_threads_counts_forked () =
+  let t = Trace.of_list [ Event.fork Tid.main (Tid.of_int 5) ] in
+  Alcotest.(check int) "forked child counted" 6 (Trace.num_threads t)
+
+let action_pp () =
+  let a =
+    Action.make ~obj ~meth:"put"
+      ~args:[ Value.Str "a.com"; Value.Ref 1 ]
+      ~rets:[ Value.Nil ] ()
+  in
+  Alcotest.(check string) "action syntax" "m.put(\"a.com\", @1)/nil"
+    (Action.to_string a);
+  Alcotest.(check int) "arity" 3 (Action.arity a);
+  Alcotest.(check int) "slots" 3 (List.length (Action.slots a))
+
+let text_roundtrip_manual () =
+  let src =
+    "# a comment\n\
+     T0 fork T1\n\
+     T1 call m.put(\"a.com\", @1) / nil\n\
+     T1 call m.size() / 1\n\
+     T0 read global:counter\n\
+     T0 write field:m.count\n\
+     T1 read slot:m.data[\"a.com\"]\n\
+     T0 acquire lk\n\
+     T0 release lk\n\
+     T0 join T1\n"
+  in
+  match Trace_text.parse src with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok t -> (
+      Alcotest.(check int) "events" 9 (Trace.length t);
+      let printed = Trace_text.to_string t in
+      match Trace_text.parse printed with
+      | Error e -> Alcotest.failf "reparse: %s" e
+      | Ok t' ->
+          Alcotest.(check int) "same length" (Trace.length t) (Trace.length t');
+          List.iter2
+            (fun a b ->
+              Alcotest.(check bool)
+                (Fmt.str "event %a = %a" Event.pp a Event.pp b)
+                true (Event.equal a b))
+            (Trace.to_list t) (Trace.to_list t'))
+
+let text_errors () =
+  List.iter
+    (fun src ->
+      match Trace_text.parse src with
+      | Ok _ -> Alcotest.failf "expected parse error on %S" src
+      | Error e ->
+          Alcotest.(check bool) "error has line number" true
+            (String.length e > 5 && String.sub e 0 5 = "line "))
+    [
+      "T0 frob x";
+      "call m.put(1)/2";
+      "T0 call m.put(1";
+      "T0 read nonsense:x";
+      "T0 join";
+      "T0 acquire";
+      "Tx read global:g";
+    ]
+
+let interning () =
+  let src = "T0 call a.get(1) / nil\nT0 call b.get(1) / nil\nT0 call a.size() / 0\n" in
+  match Trace_text.parse src with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok t -> (
+      match List.map (fun (e : Event.t) -> e.op) (Trace.to_list t) with
+      | [ Event.Call a1; Event.Call a2; Event.Call a3 ] ->
+          Alcotest.(check bool) "a == a" true (Obj_id.equal a1.obj a3.obj);
+          Alcotest.(check bool) "a != b" false (Obj_id.equal a1.obj a2.obj)
+      | _ -> Alcotest.fail "unexpected trace shape")
+
+let suite =
+  ( "trace",
+    [
+      Alcotest.test_case "builder" `Quick builder;
+      Alcotest.test_case "get bounds" `Quick get_bounds;
+      Alcotest.test_case "num_threads counts forked" `Quick num_threads_counts_forked;
+      Alcotest.test_case "action pp" `Quick action_pp;
+      Alcotest.test_case "text roundtrip (manual)" `Quick text_roundtrip_manual;
+      Alcotest.test_case "text errors" `Quick text_errors;
+      Alcotest.test_case "object interning" `Quick interning;
+      (* Object/lock identities are interned (renumbered) by the parser,
+         so round-tripping is checked on the printed form, which is
+         insensitive to ids. *)
+      qcheck "text roundtrip (random)"
+        (Generators.dict_trace ~threads:3 ~objects:2 ~len:40) (fun t ->
+          let printed = Trace_text.to_string t in
+          match Trace_text.parse printed with
+          | Error _ -> false
+          | Ok t' ->
+              Trace.length t = Trace.length t'
+              && String.equal printed (Trace_text.to_string t'));
+    ] )

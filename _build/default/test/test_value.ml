@@ -1,0 +1,66 @@
+open Crd
+module Gen = QCheck2.Gen
+
+let qcheck ?(count = 500) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let check_roundtrip () =
+  List.iter
+    (fun v ->
+      match Value.parse (Value.to_string v) with
+      | Ok v' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "roundtrip %s" (Value.to_string v))
+            true (Value.equal v v')
+      | Error e -> Alcotest.failf "parse failed on %s: %s" (Value.to_string v) e)
+    [
+      Value.Nil;
+      Value.Bool true;
+      Value.Bool false;
+      Value.Int 0;
+      Value.Int (-42);
+      Value.Int max_int;
+      Value.Str "";
+      Value.Str "a.com";
+      Value.Str "with \"quotes\" and \\ backslash";
+      Value.Str "tab\tnewline\n";
+      Value.Ref 0;
+      Value.Ref 991;
+    ]
+
+let check_parse_errors () =
+  List.iter
+    (fun s ->
+      match Value.parse s with
+      | Ok v -> Alcotest.failf "expected error on %S, got %s" s (Value.to_string v)
+      | Error _ -> ())
+    [ ""; "\"unterminated"; "@x"; "zzz"; "12a"; "@" ]
+
+let check_nil () =
+  Alcotest.(check bool) "nil is nil" true (Value.is_nil Value.Nil);
+  Alcotest.(check bool) "0 is not nil" false (Value.is_nil (Value.Int 0));
+  Alcotest.(check bool) "nil < 0" true (Value.lt Value.Nil (Value.Int 0))
+
+let suite =
+  ( "value",
+    [
+      Alcotest.test_case "roundtrip" `Quick check_roundtrip;
+      Alcotest.test_case "parse errors" `Quick check_parse_errors;
+      Alcotest.test_case "nil" `Quick check_nil;
+      qcheck "compare is a total order (antisym + trans spot)"
+        (Gen.triple Generators.value Generators.value Generators.value)
+        (fun (a, b, c) ->
+          let ab = Value.compare a b and ba = Value.compare b a in
+          (ab = -ba || (ab = 0 && ba = 0))
+          && (not (Value.compare a b <= 0 && Value.compare b c <= 0))
+             || Value.compare a c <= 0);
+      qcheck "equal agrees with compare" (Gen.pair Generators.value Generators.value)
+        (fun (a, b) -> Value.equal a b = (Value.compare a b = 0));
+      qcheck "equal values hash equally"
+        (Gen.pair Generators.value Generators.value) (fun (a, b) ->
+          (not (Value.equal a b)) || Value.hash a = Value.hash b);
+      qcheck "print/parse roundtrip" Generators.value (fun v ->
+          match Value.parse (Value.to_string v) with
+          | Ok v' -> Value.equal v v'
+          | Error _ -> false);
+    ] )

@@ -1,0 +1,80 @@
+open Crd
+module Gen = QCheck2.Gen
+
+let qcheck ?(count = 1000) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let clock : Vclock.t Gen.t =
+  Gen.map Vclock.of_list (Gen.list_size (Gen.int_range 0 5) (Gen.int_range 0 4))
+
+let basics () =
+  let c = Vclock.bot () in
+  Alcotest.(check int) "bot is 0" 0 (Vclock.get c (Tid.of_int 3));
+  Vclock.incr c (Tid.of_int 3);
+  Alcotest.(check int) "incr" 1 (Vclock.get c (Tid.of_int 3));
+  Alcotest.(check int) "others 0" 0 (Vclock.get c (Tid.of_int 0));
+  Alcotest.(check bool) "bot leq" true (Vclock.leq (Vclock.bot ()) c);
+  Alcotest.(check bool) "not leq bot" false (Vclock.leq c (Vclock.bot ()))
+
+let fig3_clocks () =
+  (* The clocks of Fig 3: a1 = <3,0,1>, a2 = <2,1,0>, a3 = <4,1,1>. *)
+  let a1 = Vclock.of_list [ 3; 0; 1 ] in
+  let a2 = Vclock.of_list [ 2; 1; 0 ] in
+  let a3 = Vclock.of_list [ 4; 1; 1 ] in
+  Alcotest.(check bool) "a1 || a2" true (Vclock.concurrent a1 a2);
+  Alcotest.(check bool) "a1 <= a3" true (Vclock.leq a1 a3);
+  Alcotest.(check bool) "a2 <= a3" true (Vclock.leq a2 a3);
+  Alcotest.(check bool) "a3 not <= a1" false (Vclock.leq a3 a1)
+
+let to_list_trims () =
+  let c = Vclock.of_list [ 1; 0; 2; 0; 0 ] in
+  Alcotest.(check (list int)) "trailing zeros trimmed" [ 1; 0; 2 ]
+    (Vclock.to_list c)
+
+let epoch () =
+  let open Vclock.Epoch in
+  let c = Vclock.of_list [ 3; 1; 4 ] in
+  Alcotest.(check bool) "epoch leq" true (leq (make (Tid.of_int 2) 4) c);
+  Alcotest.(check bool) "epoch not leq" false (leq (make (Tid.of_int 2) 5) c);
+  Alcotest.(check bool) "none leq anything" true (leq none (Vclock.bot ()));
+  let e = of_vclock c (Tid.of_int 0) in
+  Alcotest.(check int) "of_vclock clock" 3 (clock e);
+  Alcotest.(check bool) "of_vclock tid" true (Tid.equal (tid e) (Tid.of_int 0))
+
+let suite =
+  ( "vclock",
+    [
+      Alcotest.test_case "basics" `Quick basics;
+      Alcotest.test_case "fig3 clocks" `Quick fig3_clocks;
+      Alcotest.test_case "to_list trims" `Quick to_list_trims;
+      Alcotest.test_case "epochs" `Quick epoch;
+      qcheck "leq reflexive" clock (fun c -> Vclock.leq c c);
+      qcheck "leq antisymmetric" (Gen.pair clock clock) (fun (a, b) ->
+          (not (Vclock.leq a b && Vclock.leq b a)) || Vclock.equal a b);
+      qcheck "leq transitive" (Gen.triple clock clock clock) (fun (a, b, c) ->
+          (not (Vclock.leq a b && Vclock.leq b c)) || Vclock.leq a c);
+      qcheck "join is lub" (Gen.triple clock clock clock) (fun (a, b, c) ->
+          let j = Vclock.join a b in
+          Vclock.leq a j && Vclock.leq b j
+          && ((not (Vclock.leq a c && Vclock.leq b c)) || Vclock.leq j c));
+      qcheck "join commutative" (Gen.pair clock clock) (fun (a, b) ->
+          Vclock.equal (Vclock.join a b) (Vclock.join b a));
+      qcheck "join idempotent" clock (fun c -> Vclock.equal (Vclock.join c c) c);
+      qcheck "join_into matches join" (Gen.pair clock clock) (fun (a, b) ->
+          let dst = Vclock.copy a in
+          Vclock.join_into ~into:dst b;
+          Vclock.equal dst (Vclock.join a b));
+      qcheck "incr strictly increases" (Gen.pair clock (Gen.int_range 0 4))
+        (fun (c, i) ->
+          let c' = Vclock.copy c in
+          Vclock.incr c' (Tid.of_int i);
+          Vclock.leq c c' && not (Vclock.leq c' c));
+      qcheck "concurrent is symmetric and irreflexive"
+        (Gen.pair clock clock) (fun (a, b) ->
+          Vclock.concurrent a b = Vclock.concurrent b a
+          && not (Vclock.concurrent a a));
+      qcheck "copy is independent" clock (fun c ->
+          let c' = Vclock.copy c in
+          Vclock.incr c' (Tid.of_int 0);
+          Vclock.get c (Tid.of_int 0) + 1 = Vclock.get c' (Tid.of_int 0));
+    ] )
