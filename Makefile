@@ -1,0 +1,20 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all test bench-smoke bench clean
+
+all:
+	dune build
+
+test:
+	dune runtest
+
+# Tables + per-trace RD2 stats + jobs-equality check, no bechamel timing.
+bench-smoke:
+	dune build @bench-smoke
+
+# Full benchmark run; writes BENCH_results.json in the working directory.
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -17,7 +17,17 @@
      translated built-in specifications.
 
    Run with:  dune exec bench/main.exe
-   Quick mode (skip bechamel timing):  dune exec bench/main.exe -- --tables-only *)
+   Quick mode (skip bechamel timing):  dune exec bench/main.exe -- --tables-only
+   Options:   --jobs N    shard count for the parallel-analysis benchmarks
+              --out FILE  where to write the machine-readable results
+                          (default BENCH_results.json)
+              --quota S   bechamel time budget per benchmark in seconds
+                          (default 0.25; raise for lower-noise numbers)
+
+   Alongside the printed tables the harness emits a JSON file recording
+   ns-per-replay per benchmark, RD2 lookups/action and same-epoch hit
+   rates per trace, and a sequential-vs-sharded report-identity check, so
+   the perf trajectory is tracked across PRs. *)
 
 open Bechamel
 open Crd
@@ -37,12 +47,25 @@ let record_snitch () =
   ignore (W.Snitch.run ~seed:1L ~sink:(Trace.append trace) ());
   trace
 
+(* All Table 2 traces, labeled with their benchmark path. *)
+let table2_traces =
+  lazy
+    (List.map
+       (fun circuit ->
+         (Printf.sprintf "table2/h2/%s" (W.Polepos.name circuit),
+          record_circuit circuit))
+       W.Polepos.all
+    @ [ ("table2/cassandra/snitch", record_snitch ()) ])
+
 type mode = Uninstrumented | Fasttrack_mode | Rd2_mode
 
 let mode_name = function
   | Uninstrumented -> "uninstrumented"
   | Fasttrack_mode -> "fasttrack"
   | Rd2_mode -> "rd2"
+
+let rd2_config =
+  { Analyzer.rd2 = `Constant; direct = false; fasttrack = true; djit = false; atomicity = false }
 
 let replay mode trace () =
   match mode with
@@ -59,39 +82,30 @@ let replay mode trace () =
       in
       Analyzer.run_trace an trace
   | Rd2_mode ->
-      let an =
-        Analyzer.with_stdspecs
-          ~config:
-            { Analyzer.rd2 = `Constant; direct = false; fasttrack = true; djit = false; atomicity = false }
-          ()
-      in
+      let an = Analyzer.with_stdspecs ~config:rd2_config () in
       Analyzer.run_trace an trace
 
-let table2_tests () =
-  let circuit_tests =
-    List.concat_map
-      (fun circuit ->
-        let trace = record_circuit circuit in
-        List.map
-          (fun mode ->
-            Test.make
-              ~name:
-                (Printf.sprintf "table2/h2/%s/%s" (W.Polepos.name circuit)
-                   (mode_name mode))
-              (Staged.stage (replay mode trace)))
-          [ Uninstrumented; Fasttrack_mode; Rd2_mode ])
-      W.Polepos.all
-  in
-  let snitch_trace = record_snitch () in
-  let snitch_tests =
-    List.map
-      (fun mode ->
-        Test.make
-          ~name:(Printf.sprintf "table2/cassandra/snitch/%s" (mode_name mode))
-          (Staged.stage (replay mode snitch_trace)))
-      [ Uninstrumented; Fasttrack_mode; Rd2_mode ]
-  in
-  circuit_tests @ snitch_tests
+(* The sharded offline counterpart of the rd2 replay. *)
+let replay_sharded jobs trace () =
+  match Shard.analyze_stdspecs ~jobs ~config:rd2_config trace with
+  | Ok res -> ignore res.Shard.rd2_reports
+  | Error e -> failwith e
+
+let table2_tests ~jobs () =
+  List.concat_map
+    (fun (name, trace) ->
+      List.map
+        (fun mode ->
+          Test.make
+            ~name:(Printf.sprintf "%s/%s" name (mode_name mode))
+            (Staged.stage (replay mode trace)))
+        [ Uninstrumented; Fasttrack_mode; Rd2_mode ]
+      @ [
+          Test.make
+            ~name:(Printf.sprintf "%s/rd2-jobs%d" name jobs)
+            (Staged.stage (replay_sharded jobs trace));
+        ])
+    (Lazy.force table2_traces)
 
 (* ------------------------------------------------------------------ *)
 (* Fig 4 ablation: conflict checks per action                          *)
@@ -171,11 +185,13 @@ let ablation_tests () =
 (* Bechamel driver                                                     *)
 (* ------------------------------------------------------------------ *)
 
-let print_bench_results tests =
+(* Prints each estimate as it completes and returns the (name, ns) pairs
+   for the JSON emission. *)
+let print_bench_results ~quota tests =
   Fmt.pr "## Bechamel micro-benchmarks (ns per replay)@.@.";
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
-  List.iter
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second quota) () in
+  List.concat_map
     (fun test ->
       let raw = Benchmark.all cfg instances test in
       let results =
@@ -184,13 +200,106 @@ let print_bench_results tests =
              ~predictors:[| Measure.run |])
           Toolkit.Instance.monotonic_clock raw
       in
-      Hashtbl.iter
-        (fun name ols ->
+      Hashtbl.fold
+        (fun name ols acc ->
           match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Fmt.pr "%-56s %14.0f ns@." name est
-          | _ -> Fmt.pr "%-56s (no estimate)@." name)
-        results)
+          | Some [ est ] ->
+              Fmt.pr "%-56s %14.0f ns@." name est;
+              (name, est) :: acc
+          | _ ->
+              Fmt.pr "%-56s (no estimate)@." name;
+              acc)
+        results [])
     tests
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (BENCH_results.json)                       *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* Per-trace RD2 hot-path statistics from one sequential sharded replay,
+   plus the sequential-vs-parallel report-identity check. *)
+type trace_record = {
+  tr_name : string;
+  tr_events : int;
+  tr_actions : int;
+  tr_lookups : int;
+  tr_same_epoch : int;
+  tr_rd2_races : int;
+  tr_identical : bool;  (** jobs=1 and jobs=N reports structurally equal *)
+}
+
+let trace_records ~jobs =
+  List.map
+    (fun (name, trace) ->
+      let analyze jobs =
+        match Shard.analyze_stdspecs ~jobs ~config:rd2_config trace with
+        | Ok res -> res
+        | Error e -> failwith e
+      in
+      let seq = analyze 1 in
+      let par = analyze jobs in
+      let identical =
+        seq.Shard.rd2_reports = par.Shard.rd2_reports
+        && seq.Shard.fasttrack_reports = par.Shard.fasttrack_reports
+      in
+      let s =
+        match seq.Shard.rd2_stats with
+        | Some s -> s
+        | None -> { Rd2.actions = 0; lookups = 0; races = 0; same_epoch = 0 }
+      in
+      {
+        tr_name = name;
+        tr_events = seq.Shard.events;
+        tr_actions = s.Rd2.actions;
+        tr_lookups = s.Rd2.lookups;
+        tr_same_epoch = s.Rd2.same_epoch;
+        tr_rd2_races = List.length seq.Shard.rd2_reports;
+        tr_identical = identical;
+      })
+    (Lazy.force table2_traces)
+
+let write_json ~path ~jobs ~benchmarks ~traces =
+  let oc = open_out path in
+  let pr fmt = Printf.fprintf oc fmt in
+  let rate a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+  pr "{\n";
+  pr "  \"jobs\": %d,\n" jobs;
+  pr "  \"benchmarks_ns\": {";
+  List.iteri
+    (fun i (name, ns) ->
+      pr "%s\n    \"%s\": %.1f" (if i = 0 then "" else ",") (json_escape name) ns)
+    benchmarks;
+  pr "%s  },\n" (if benchmarks = [] then "" else "\n");
+  pr "  \"traces\": {";
+  List.iteri
+    (fun i t ->
+      pr "%s\n    \"%s\": {\n" (if i = 0 then "" else ",") (json_escape t.tr_name);
+      pr "      \"events\": %d,\n" t.tr_events;
+      pr "      \"rd2_actions\": %d,\n" t.tr_actions;
+      pr "      \"rd2_lookups\": %d,\n" t.tr_lookups;
+      pr "      \"rd2_lookups_per_action\": %.4f,\n" (rate t.tr_lookups t.tr_actions);
+      pr "      \"rd2_same_epoch\": %d,\n" t.tr_same_epoch;
+      pr "      \"rd2_same_epoch_rate\": %.4f,\n" (rate t.tr_same_epoch t.tr_actions);
+      pr "      \"rd2_races\": %d,\n" t.tr_rd2_races;
+      pr "      \"sharded_reports_identical\": %b\n" t.tr_identical;
+      pr "    }")
+    traces;
+  pr "\n  }\n}\n";
+  close_out oc
 
 (* ------------------------------------------------------------------ *)
 (* Printed tables                                                      *)
@@ -235,15 +344,60 @@ let print_fig7_table () =
       | _ -> Fmt.pr "%-12s (translation failed)@." (Spec.name spec))
     (Stdspecs.all ())
 
+let arg_value flag ~default parse =
+  let v = ref default in
+  Array.iteri
+    (fun i a ->
+      if String.equal a flag && i + 1 < Array.length Sys.argv then
+        v := parse Sys.argv.(i + 1))
+    Sys.argv;
+  !v
+
+let int_arg flag s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> Fmt.failwith "%s: expected an integer, got %S" flag s
+
+let float_arg flag s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> Fmt.failwith "%s: expected a number, got %S" flag s
+
 let () =
   let tables_only = Array.exists (String.equal "--tables-only") Sys.argv in
+  let jobs =
+    arg_value "--jobs" ~default:(Shard.recommended_jobs ()) (int_arg "--jobs")
+  in
+  (* The jobsN benchmarks and the identity check need actual sharding. *)
+  let jobs = max 2 jobs in
+  let out = arg_value "--out" ~default:"BENCH_results.json" Fun.id in
+  let quota = arg_value "--quota" ~default:0.25 (float_arg "--quota") in
   Fmt.pr "# Commutativity Race Detection — benchmark harness@.@.";
   (* Table 2 (wall clock, end-to-end, deterministic race counts). *)
   let t = W.Table2.collect ~seed:1L ~scale:1 ~repeats:3 () in
   Fmt.pr "%a@." W.Table2.print t;
   print_fig4_table ();
   print_fig7_table ();
-  if not tables_only then begin
-    Fmt.pr "@.";
-    print_bench_results (table2_tests () @ ablation_tests ())
-  end
+  let benchmarks =
+    if tables_only then []
+    else begin
+      Fmt.pr "@.";
+      print_bench_results ~quota (table2_tests ~jobs () @ ablation_tests ())
+    end
+  in
+  let traces = trace_records ~jobs in
+  Fmt.pr "@.## RD2 hot path per trace@.@.";
+  Fmt.pr "%-44s %10s %14s %16s %10s@." "trace" "actions" "lookups/act"
+    "same-epoch rate" "jobs-ok";
+  List.iter
+    (fun tr ->
+      let rate a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+      Fmt.pr "%-44s %10d %14.3f %15.1f%% %10b@." tr.tr_name tr.tr_actions
+        (rate tr.tr_lookups tr.tr_actions)
+        (100.0 *. rate tr.tr_same_epoch tr.tr_actions)
+        tr.tr_identical)
+    traces;
+  if List.exists (fun tr -> not tr.tr_identical) traces then
+    failwith "sharded analysis diverged from the sequential reports";
+  write_json ~path:out ~jobs ~benchmarks ~traces;
+  Fmt.pr "@.results written to %s (jobs=%d)@." out jobs

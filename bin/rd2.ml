@@ -133,7 +133,16 @@ let check_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every race.")
   in
-  let run trace_file spec_file mode direct fasttrack atomicity verbose =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Analyze the trace with $(docv) domains (sharded by object / \
+             memory location after one sequential happens-before pass). \
+             Reports are identical to the sequential run.")
+  in
+  let run trace_file spec_file mode direct fasttrack atomicity verbose jobs =
     let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
     let* specs =
       match spec_file with
@@ -153,20 +162,36 @@ let check_cmd =
     let config =
       { Analyzer.rd2 = mode; direct; fasttrack; djit = false; atomicity }
     in
-    let* an = Analyzer.create ~config ~spec_for () in
-    (try Analyzer.run_trace an trace
-     with Invalid_argument e -> failwith e);
-    Fmt.pr "%a@." Analyzer.pp_summary an;
-    if verbose then begin
-      List.iter (fun r -> Fmt.pr "%a@." Report.pp r) (Analyzer.rd2_races an);
-      List.iter
-        (fun r -> Fmt.pr "%a@." Rw_report.pp r)
-        (Analyzer.fasttrack_races an);
-      List.iter
-        (fun v -> Fmt.pr "%a@." Atomicity.pp_violation v)
-        (Analyzer.atomicity_violations an)
-    end;
-    `Ok ()
+    if jobs > 1 then begin
+      let* res = Shard.analyze ~jobs ~config ~spec_for trace in
+      Fmt.pr "%a@." Shard.pp_summary res;
+      if verbose then begin
+        List.iter (fun r -> Fmt.pr "%a@." Report.pp r) res.Shard.rd2_reports;
+        List.iter
+          (fun r -> Fmt.pr "%a@." Rw_report.pp r)
+          res.Shard.fasttrack_reports;
+        List.iter
+          (fun v -> Fmt.pr "%a@." Atomicity.pp_violation v)
+          res.Shard.atomicity_violations
+      end;
+      `Ok ()
+    end
+    else begin
+      let* an = Analyzer.create ~config ~spec_for () in
+      (try Analyzer.run_trace an trace
+       with Invalid_argument e -> failwith e);
+      Fmt.pr "%a@." Analyzer.pp_summary an;
+      if verbose then begin
+        List.iter (fun r -> Fmt.pr "%a@." Report.pp r) (Analyzer.rd2_races an);
+        List.iter
+          (fun r -> Fmt.pr "%a@." Rw_report.pp r)
+          (Analyzer.fasttrack_races an);
+        List.iter
+          (fun v -> Fmt.pr "%a@." Atomicity.pp_violation v)
+          (Analyzer.atomicity_violations an)
+      end;
+      `Ok ()
+    end
   in
   Cmd.v
     (Cmd.info "check" ~exits
@@ -174,7 +199,7 @@ let check_cmd =
     Term.(
       ret
         (const run $ trace_file $ spec_arg $ mode $ direct $ fasttrack
-       $ atomicity $ verbose))
+       $ atomicity $ verbose $ jobs))
 
 
 (* ------------------------------------------------------------------ *)
@@ -390,13 +415,22 @@ let table2_cmd =
       & info [ "repeats" ] ~docv:"N"
           ~doc:"Timing repetitions (best-of-N wall clock).")
   in
-  let run seed scale repeats =
-    let t = Crd_workloads.Table2.collect ~seed ~scale ~repeats () in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "With $(docv) > 1, run the FASTTRACK and RD2 configurations as \
+             record-then-analyze over $(docv) domains instead of live \
+             analysis. Race counts are identical by construction.")
+  in
+  let run seed scale repeats jobs =
+    let t = Crd_workloads.Table2.collect ~seed ~scale ~repeats ~jobs () in
     Fmt.pr "%a@." Crd_workloads.Table2.print t
   in
   Cmd.v
     (Cmd.info "table2" ~exits ~doc:"Reproduce the paper's Table 2.")
-    Term.(const run $ seed $ scale $ repeats)
+    Term.(const run $ seed $ scale $ repeats $ jobs)
 
 (* ------------------------------------------------------------------ *)
 

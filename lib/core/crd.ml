@@ -16,7 +16,8 @@
       {!Fasttrack}, {!Djit}, {!Rw_report} (read-write);
     - semantics and validation: {!Model}, {!Models}, {!Soundness};
     - the execution substrate: {!Sched}, {!Monitored};
-    - and the end-to-end {!Analyzer}. *)
+    - and the end-to-end {!Analyzer}, plus {!Shard}, its multi-domain
+      offline counterpart. *)
 
 module Value = Crd_base.Value
 module Tid = Crd_base.Tid
@@ -55,3 +56,4 @@ module Sched = Crd_runtime.Sched
 module Monitored = Crd_runtime.Monitored
 module Atomicity = Crd_atomicity.Atomicity
 module Analyzer = Analyzer
+module Shard = Shard

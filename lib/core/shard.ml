@@ -1,0 +1,317 @@
+open Crd_base
+open Crd_spec
+open Crd_apoint
+open Crd_trace
+open Crd_detector
+open Crd_fasttrack
+
+type result = {
+  events : int;
+  shards : int;
+  rd2_reports : Report.t list;
+  rd2_stats : Rd2.stats option;
+  direct_reports : Report.t list;
+  direct_stats : Direct.stats option;
+  fasttrack_reports : Rw_report.t list;
+  fasttrack_stats : Fasttrack.stats option;
+  djit_reports : Rw_report.t list;
+  atomicity_violations : Crd_atomicity.Atomicity.violation list;
+}
+
+(* One dispatchable event: a Call/Read/Write with its precomputed clock.
+   The clock is a stable Hb snapshot; after the sequential pass it is
+   only ever read, so sharing it across domains is safe. *)
+type prepared = { p_idx : int; p_ev : Event.t; p_vc : Crd_vclock.Vclock.t }
+
+type shard_out = {
+  sh_rd2 : Report.t list;
+  sh_rd2_stats : Rd2.stats option;
+  sh_direct : Report.t list;
+  sh_direct_stats : Direct.stats option;
+  sh_ft : Rw_report.t list;
+  sh_ft_stats : Fasttrack.stats option;
+  sh_djit : Rw_report.t list;
+}
+
+let recommended_jobs () = min 8 (Domain.recommended_domain_count ())
+
+(* Analyze one shard's events with fresh detector instances. [repr_for]
+   and [spec_for] only read hashtables fully populated by the sequential
+   pass, so concurrent workers never race. *)
+let run_shard (config : Analyzer.config) ~repr_for ~spec_for items =
+  let rd2 =
+    match config.rd2 with
+    | `Off -> None
+    | (`Constant | `Linear) as mode -> Some (Rd2.create ~mode ~repr_for ())
+  in
+  let direct = if config.direct then Some (Direct.create ~spec_for ()) else None in
+  let ft = if config.fasttrack then Some (Fasttrack.create ()) else None in
+  let djit = if config.djit then Some (Djit.create ()) else None in
+  List.iter
+    (fun { p_idx = index; p_ev = (e : Event.t); p_vc = vc } ->
+      match e.op with
+      | Event.Call action ->
+          (match rd2 with
+          | Some d -> ignore (Rd2.on_action d ~index e.tid action vc)
+          | None -> ());
+          (match direct with
+          | Some d -> ignore (Direct.on_action d ~index e.tid action vc)
+          | None -> ())
+      | Event.Read loc ->
+          (match ft with
+          | Some d -> ignore (Fasttrack.on_read d ~index e.tid loc vc)
+          | None -> ());
+          (match djit with
+          | Some d -> ignore (Djit.on_read d ~index e.tid loc vc)
+          | None -> ())
+      | Event.Write loc ->
+          (match ft with
+          | Some d -> ignore (Fasttrack.on_write d ~index e.tid loc vc)
+          | None -> ());
+          (match djit with
+          | Some d -> ignore (Djit.on_write d ~index e.tid loc vc)
+          | None -> ())
+      | Event.Fork _ | Event.Join _ | Event.Acquire _ | Event.Release _
+      | Event.Begin | Event.End ->
+          ())
+    items;
+  {
+    sh_rd2 = (match rd2 with Some d -> Rd2.races d | None -> []);
+    sh_rd2_stats = Option.map Rd2.stats rd2;
+    sh_direct = (match direct with Some d -> Direct.races d | None -> []);
+    sh_direct_stats = Option.map Direct.stats direct;
+    sh_ft = (match ft with Some d -> Fasttrack.races d | None -> []);
+    sh_ft_stats = Option.map Fasttrack.stats ft;
+    sh_djit = (match djit with Some d -> Djit.races d | None -> []);
+  }
+
+(* Deterministic merge: each trace index lives in exactly one shard and
+   per-shard report lists are already in trace order, so a stable sort on
+   the index reproduces the sequential report list exactly. *)
+let merge_reports index_of per_shard =
+  List.stable_sort
+    (fun a b -> Int.compare (index_of a) (index_of b))
+    (List.concat per_shard)
+
+let sum_rd2_stats = function
+  | [] -> None
+  | (s0 : Rd2.stats) :: rest ->
+      let acc =
+        {
+          Rd2.actions = s0.Rd2.actions;
+          lookups = s0.Rd2.lookups;
+          races = s0.Rd2.races;
+          same_epoch = s0.Rd2.same_epoch;
+        }
+      in
+      List.iter
+        (fun (s : Rd2.stats) ->
+          acc.Rd2.actions <- acc.Rd2.actions + s.Rd2.actions;
+          acc.Rd2.lookups <- acc.Rd2.lookups + s.Rd2.lookups;
+          acc.Rd2.races <- acc.Rd2.races + s.Rd2.races;
+          acc.Rd2.same_epoch <- acc.Rd2.same_epoch + s.Rd2.same_epoch)
+        rest;
+      Some acc
+
+let sum_direct_stats = function
+  | [] -> None
+  | (s0 : Direct.stats) :: rest ->
+      let acc =
+        {
+          Direct.actions = s0.Direct.actions;
+          lookups = s0.Direct.lookups;
+          races = s0.Direct.races;
+        }
+      in
+      List.iter
+        (fun (s : Direct.stats) ->
+          acc.Direct.actions <- acc.Direct.actions + s.Direct.actions;
+          acc.Direct.lookups <- acc.Direct.lookups + s.Direct.lookups;
+          acc.Direct.races <- acc.Direct.races + s.Direct.races)
+        rest;
+      Some acc
+
+let sum_ft_stats = function
+  | [] -> None
+  | (s0 : Fasttrack.stats) :: rest ->
+      let acc =
+        {
+          Fasttrack.reads = s0.Fasttrack.reads;
+          writes = s0.Fasttrack.writes;
+          same_epoch = s0.Fasttrack.same_epoch;
+          races = s0.Fasttrack.races;
+        }
+      in
+      List.iter
+        (fun (s : Fasttrack.stats) ->
+          acc.Fasttrack.reads <- acc.Fasttrack.reads + s.Fasttrack.reads;
+          acc.Fasttrack.writes <- acc.Fasttrack.writes + s.Fasttrack.writes;
+          acc.Fasttrack.same_epoch <- acc.Fasttrack.same_epoch + s.Fasttrack.same_epoch;
+          acc.Fasttrack.races <- acc.Fasttrack.races + s.Fasttrack.races)
+        rest;
+      Some acc
+
+let analyze ?(jobs = 1) ?(config = Analyzer.default_config) ~spec_for trace =
+  let n = max 1 jobs in
+  (* -------- sequential pass: clocks, partition, spec resolution ------ *)
+  let hb = Hb.create () in
+  (* spec/repr resolution happens only here, sequentially; the tables are
+     read-only by the time workers start. *)
+  let specs_by_obj : (int, Spec.t option) Hashtbl.t = Hashtbl.create 64 in
+  let reprs_by_name : (string, Repr.t) Hashtbl.t = Hashtbl.create 8 in
+  let reprs_by_obj : (int, Repr.t option) Hashtbl.t = Hashtbl.create 64 in
+  let failure = ref None in
+  let resolve (o : Obj_id.t) =
+    let key = Obj_id.id o in
+    if not (Hashtbl.mem specs_by_obj key) then begin
+      let spec = spec_for o in
+      Hashtbl.add specs_by_obj key spec;
+      let repr =
+        match spec with
+        | None -> None
+        | Some spec -> (
+            match Hashtbl.find_opt reprs_by_name (Spec.name spec) with
+            | Some r -> Some r
+            | None -> (
+                match Repr.of_spec spec with
+                | Ok r ->
+                    Hashtbl.add reprs_by_name (Spec.name spec) r;
+                    Some r
+                | Error e ->
+                    if !failure = None then
+                      failure :=
+                        Some (Printf.sprintf "spec %s: %s" (Spec.name spec) e);
+                    None))
+      in
+      Hashtbl.add reprs_by_obj key repr
+    end
+  in
+  let repr_for o =
+    resolve o;
+    Option.join (Hashtbl.find_opt reprs_by_obj (Obj_id.id o))
+  in
+  (* The atomicity checker is cross-object (one transactional graph), so
+     it cannot be sharded; it runs here, inside the sequential pass. *)
+  let atomicity =
+    if config.atomicity then
+      Some (Crd_atomicity.Atomicity.create ~repr_for ())
+    else None
+  in
+  let buckets = Array.make n [] in
+  let push i p = buckets.(i) <- p :: buckets.(i) in
+  Trace.iter trace ~f:(fun index (e : Event.t) ->
+      let vc = Hb.step hb e in
+      (match e.op with
+      | Event.Call action -> resolve action.Action.obj
+      | _ -> ());
+      (match atomicity with
+      | Some a -> ignore (Crd_atomicity.Atomicity.step a ~index e)
+      | None -> ());
+      match e.op with
+      | Event.Call action ->
+          let obj = action.Action.obj in
+          push (abs (Obj_id.id obj) mod n) { p_idx = index; p_ev = e; p_vc = vc }
+      | Event.Read loc | Event.Write loc ->
+          push
+            (abs (Mem_loc.hash loc) mod n)
+            { p_idx = index; p_ev = e; p_vc = vc }
+      | Event.Fork _ | Event.Join _ | Event.Acquire _ | Event.Release _
+      | Event.Begin | Event.End ->
+          ());
+  match !failure with
+  | Some e -> Error e
+  | None ->
+      let shards = Array.map List.rev buckets in
+      (* Workers get read-only views: every object with a Call event was
+         resolved during the sequential pass, so these never write. *)
+      let repr_ro o = Option.join (Hashtbl.find_opt reprs_by_obj (Obj_id.id o)) in
+      let spec_ro o = Option.join (Hashtbl.find_opt specs_by_obj (Obj_id.id o)) in
+      (* -------- parallel pass: one detector set per shard ------------ *)
+      let outs =
+        if n = 1 then
+          [| run_shard config ~repr_for:repr_ro ~spec_for:spec_ro shards.(0) |]
+        else
+          Array.map Domain.join
+            (Array.map
+               (fun items ->
+                 Domain.spawn (fun () ->
+                     run_shard config ~repr_for:repr_ro ~spec_for:spec_ro items))
+               shards)
+      in
+      let outs = Array.to_list outs in
+      let collect f = List.map f outs in
+      let stats_of f = List.filter_map f outs in
+      Ok
+        {
+          events = Trace.length trace;
+          shards = n;
+          rd2_reports =
+            merge_reports
+              (fun (r : Report.t) -> r.Report.index)
+              (collect (fun o -> o.sh_rd2));
+          rd2_stats = sum_rd2_stats (stats_of (fun o -> o.sh_rd2_stats));
+          direct_reports =
+            merge_reports
+              (fun (r : Report.t) -> r.Report.index)
+              (collect (fun o -> o.sh_direct));
+          direct_stats = sum_direct_stats (stats_of (fun o -> o.sh_direct_stats));
+          fasttrack_reports =
+            merge_reports
+              (fun (r : Rw_report.t) -> r.Rw_report.index)
+              (collect (fun o -> o.sh_ft));
+          fasttrack_stats = sum_ft_stats (stats_of (fun o -> o.sh_ft_stats));
+          djit_reports =
+            merge_reports
+              (fun (r : Rw_report.t) -> r.Rw_report.index)
+              (collect (fun o -> o.sh_djit));
+          atomicity_violations =
+            (match atomicity with
+            | Some a -> Crd_atomicity.Atomicity.violations a
+            | None -> []);
+        }
+
+let pp_summary ppf r =
+  Fmt.pf ppf "@[<v>events: %d (%d shard%s)@," r.events r.shards
+    (if r.shards = 1 then "" else "s");
+  (match r.rd2_stats with
+  | Some s ->
+      Fmt.pf ppf "rd2: %d races (%d distinct objects)@,"
+        (List.length r.rd2_reports)
+        (Report.distinct_objects r.rd2_reports);
+      if s.Rd2.actions > 0 then
+        Fmt.pf ppf "rd2: %d/%d actions same-epoch (%.1f%%)@," s.Rd2.same_epoch
+          s.Rd2.actions
+          (100. *. float_of_int s.Rd2.same_epoch /. float_of_int s.Rd2.actions)
+  | None -> ());
+  (match r.direct_stats with
+  | Some _ ->
+      Fmt.pf ppf "direct: %d races (%d distinct objects)@,"
+        (List.length r.direct_reports)
+        (Report.distinct_objects r.direct_reports)
+  | None -> ());
+  (match r.fasttrack_stats with
+  | Some _ ->
+      Fmt.pf ppf "fasttrack: %d races (%d distinct locations)@,"
+        (List.length r.fasttrack_reports)
+        (Rw_report.distinct_locations r.fasttrack_reports)
+  | None -> ());
+  if r.djit_reports <> [] then
+    Fmt.pf ppf "djit: %d races (%d distinct locations)@,"
+      (List.length r.djit_reports)
+      (Rw_report.distinct_locations r.djit_reports);
+  if r.atomicity_violations <> [] then
+    Fmt.pf ppf "atomicity: %d violation(s)@,"
+      (List.length r.atomicity_violations);
+  Fmt.pf ppf "@]"
+
+let analyze_stdspecs ?jobs ?config trace =
+  let spec_for o =
+    let name = Obj_id.name o in
+    let base =
+      match String.index_opt name ':' with
+      | Some i -> String.sub name 0 i
+      | None -> name
+    in
+    Crd_stdspecs.Stdspecs.find base
+  in
+  analyze ?jobs ?config ~spec_for trace

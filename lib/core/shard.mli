@@ -1,0 +1,63 @@
+(** Sharded parallel offline trace analysis.
+
+    Every attached detector keys its state per object ({!Crd_detector.Rd2},
+    {!Crd_detector.Direct}) or per memory location ({!Crd_fasttrack.Fasttrack},
+    {!Crd_fasttrack.Djit}), so a recorded trace decomposes: after one
+    sequential happens-before pass that assigns every [Call]/[Read]/[Write]
+    event its clock snapshot, the events can be partitioned by
+    object-shard (calls hash on the object identity, reads and writes on
+    the location) and analyzed by independent detector instances, one per
+    shard, fanned out over OCaml 5 domains.
+
+    The merge is deterministic: each event lives in exactly one shard, so
+    sorting the per-shard reports by trace index reproduces the sequential
+    report list {e bit-identically} (within one event the emission order
+    is preserved by the stable sort), and summed counters equal the
+    sequential ones — see DESIGN.md, "Shard-merge determinism".
+
+    The atomicity checker builds one cross-object transactional graph and
+    does not decompose; when enabled it runs sequentially during the
+    happens-before pass. *)
+
+open Crd_base
+open Crd_spec
+open Crd_trace
+open Crd_detector
+open Crd_fasttrack
+
+type result = {
+  events : int;  (** events in the trace *)
+  shards : int;  (** shards actually used *)
+  rd2_reports : Report.t list;
+  rd2_stats : Rd2.stats option;
+  direct_reports : Report.t list;
+  direct_stats : Direct.stats option;
+  fasttrack_reports : Rw_report.t list;
+  fasttrack_stats : Fasttrack.stats option;
+  djit_reports : Rw_report.t list;
+  atomicity_violations : Crd_atomicity.Atomicity.violation list;
+}
+
+val analyze :
+  ?jobs:int ->
+  ?config:Analyzer.config ->
+  spec_for:(Obj_id.t -> Spec.t option) ->
+  Trace.t ->
+  (result, string) Stdlib.result
+(** [analyze ~jobs ~config ~spec_for trace] partitions the trace into
+    [jobs] shards (default 1) and analyzes them in parallel. [spec_for]
+    and all specification translations are resolved in the sequential
+    pass, so the closure is never called concurrently; translation
+    failures surface as [Error]. With [jobs = 1] no domain is spawned. *)
+
+val analyze_stdspecs :
+  ?jobs:int -> ?config:Analyzer.config -> Trace.t -> (result, string) Stdlib.result
+(** Like {!analyze} with the built-in specification naming convention of
+    {!Analyzer.with_stdspecs}. *)
+
+val pp_summary : result Fmt.t
+(** Analyzer-style summary, plus the shard count and same-epoch rate. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count], capped to 8 — a sensible [--jobs]
+    default for offline analysis. *)

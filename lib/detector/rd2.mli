@@ -16,7 +16,17 @@
     O(1) per point for ECL-translated representations; [`Linear] scans
     the whole active set and tests conflicts pairwise — the cost an
     unrestricted representation would force. Both report identical races;
-    the ablation benchmark compares their cost. *)
+    the ablation benchmark compares their cost.
+
+    The per-point clock is {e epoch-adaptive} (FastTrack-style): while
+    every toucher of a point is totally ordered it is a scalar epoch
+    [c@t], promoted to a per-thread component clock only on the first
+    concurrent toucher and demoted back once a toucher dominates it. A
+    same-epoch cache additionally skips phase 1 wholesale when the same
+    thread re-invokes the same points at an unchanged clock and nothing
+    else touched the object. Both optimizations are exact: the reported
+    races (indices, points, priors) are identical to the full-VC join of
+    Algorithm 1 — see DESIGN.md, "Epoch-adaptive entries". *)
 
 open Crd_base
 open Crd_vclock
@@ -29,6 +39,8 @@ type stats = {
   mutable actions : int;  (** actions processed *)
   mutable lookups : int;  (** conflict-candidate inspections in phase 1 *)
   mutable races : int;  (** reports emitted *)
+  mutable same_epoch : int;
+      (** actions whose phase 1 was skipped by the same-epoch cache *)
 }
 
 type t

@@ -1,16 +1,29 @@
 open Crd_base
 
-type t = { mutable data : int array }
+(* Invariant: data.(i) = 0 for all i >= hi, so [hi] is an upper bound on
+   the length of the nonzero prefix. Zero-writes below [hi] leave the
+   bound slack; [to_list]/[nonzero_length] re-tighten it lazily. *)
+type t = { mutable data : int array; mutable hi : int }
 
-let bot () = { data = [||] }
-let of_list l = { data = Array.of_list l }
+let bot () = { data = [||]; hi = 0 }
+
+let of_list l =
+  let data = Array.of_list l in
+  { data; hi = Array.length data }
+
+let nonzero_length t =
+  let n = ref t.hi in
+  while !n > 0 && t.data.(!n - 1) = 0 do
+    decr n
+  done;
+  t.hi <- !n;
+  !n
 
 let to_list t =
-  let last = ref 0 in
-  Array.iteri (fun i c -> if c <> 0 then last := i + 1) t.data;
-  Array.to_list (Array.sub t.data 0 !last)
+  let n = nonzero_length t in
+  Array.to_list (Array.sub t.data 0 n)
 
-let copy t = { data = Array.copy t.data }
+let copy t = { data = Array.sub t.data 0 t.hi; hi = t.hi }
 
 let get t tid =
   let i = Tid.to_int tid in
@@ -28,15 +41,17 @@ let ensure t n =
 let set t tid v =
   let i = Tid.to_int tid in
   ensure t (i + 1);
-  t.data.(i) <- v
+  t.data.(i) <- v;
+  if v <> 0 && i >= t.hi then t.hi <- i + 1
 
 let incr t tid = set t tid (get t tid + 1)
 
 let join_into ~into c =
-  ensure into (Array.length c.data);
-  Array.iteri
-    (fun i v -> if v > into.data.(i) then into.data.(i) <- v)
-    c.data
+  ensure into c.hi;
+  for i = 0 to c.hi - 1 do
+    if c.data.(i) > into.data.(i) then into.data.(i) <- c.data.(i)
+  done;
+  if c.hi > into.hi then into.hi <- c.hi
 
 let join a b =
   let r = copy a in
@@ -44,10 +59,10 @@ let join a b =
   r
 
 let leq a b =
-  let la = Array.length a.data and lb = Array.length b.data in
+  let lb = Array.length b.data in
   let ok = ref true in
   let i = ref 0 in
-  while !ok && !i < la do
+  while !ok && !i < a.hi do
     let bv = if !i < lb then b.data.(!i) else 0 in
     if a.data.(!i) > bv then ok := false;
     Stdlib.incr i

@@ -19,7 +19,9 @@ val of_list : int list -> t
 (** [of_list [c0; c1; ...]] maps thread [i] to [ci] and all others to 0. *)
 
 val to_list : t -> int list
-(** Entries up to the last nonzero one. *)
+(** Entries up to the last nonzero one. The clock tracks an upper bound
+    on its nonzero length, so this costs O(nonzero length), not O(array
+    capacity), per call. *)
 
 val copy : t -> t
 val get : t -> Tid.t -> int

@@ -26,33 +26,46 @@ type t = { h2 : h2_row list; cassandra : cassandra_row }
 
 type mode = Uninstrumented | Ft | Rd2_mode
 
-let analyzer_of_mode = function
+(* Like the paper's RD2 configuration: RoadRunner still instruments all
+   reads and writes, plus the monitored maps — so RD2 mode keeps
+   FastTrack on. *)
+let config_of_mode = function
   | Uninstrumented -> None
   | Ft ->
       Some
-        (Analyzer.with_stdspecs
-           ~config:
-             { Analyzer.rd2 = `Off; direct = false; fasttrack = true; djit = false; atomicity = false }
-           ())
+        { Analyzer.rd2 = `Off; direct = false; fasttrack = true; djit = false; atomicity = false }
   | Rd2_mode ->
-      (* Like the paper's RD2 configuration: RoadRunner still instruments
-         all reads and writes, plus the monitored maps. *)
       Some
-        (Analyzer.with_stdspecs
-           ~config:
-             {
-               Analyzer.rd2 = `Constant;
-               direct = false;
-               fasttrack = true;
-               djit = false;
-               atomicity = false;
-             }
-           ())
+        {
+          Analyzer.rd2 = `Constant;
+          direct = false;
+          fasttrack = true;
+          djit = false;
+          atomicity = false;
+        }
+
+let analyzer_of_mode mode =
+  Option.map
+    (fun config -> Analyzer.with_stdspecs ~config ())
+    (config_of_mode mode)
+
+(* Race reports of one timed run, however it was analyzed. *)
+type run_races = { ft_races : Rw_report.t list; rd2_races : Report.t list }
+
+let no_races = { ft_races = []; rd2_races = [] }
+
+let races_of_analyzer = function
+  | None -> no_races
+  | Some an ->
+      {
+        ft_races = Analyzer.fasttrack_races an;
+        rd2_races = Analyzer.rd2_races an;
+      }
 
 (* Each repetition gets a fresh analyzer (race counts must not accumulate
    across repetitions); the wall time kept is the best of N and the
-   analyzer returned is the last one. *)
-let timed ~repeats mode f =
+   races returned are the last repetition's. *)
+let timed_live ~repeats mode f =
   let best = ref infinity in
   let result = ref None in
   for _ = 1 to max 1 repeats do
@@ -62,27 +75,60 @@ let timed ~repeats mode f =
     let r = f sink in
     let dt = Unix.gettimeofday () -. t0 in
     if dt < !best then best := dt;
-    result := Some (r, an)
+    result := Some (r, races_of_analyzer an)
   done;
-  let r, an = Option.get !result in
-  (r, an, !best)
+  let r, races = Option.get !result in
+  (r, races, !best)
 
-let collect ?(seed = 1L) ?(scale = 1) ?(repeats = 1) () =
+(* Offline sharded variant: each repetition records the trace and then
+   analyzes it with [jobs] domains; the timed region covers both (the
+   paper's qps include execution and analysis). *)
+let timed_offline ~repeats ~jobs mode f =
+  let best = ref infinity in
+  let result = ref None in
+  for _ = 1 to max 1 repeats do
+    let t0 = Unix.gettimeofday () in
+    let trace = Trace.create () in
+    let r = f (Trace.append trace) in
+    let races =
+      match config_of_mode mode with
+      | None -> no_races
+      | Some config -> (
+          match Shard.analyze_stdspecs ~jobs ~config trace with
+          | Ok res ->
+              {
+                ft_races = res.Shard.fasttrack_reports;
+                rd2_races = res.Shard.rd2_reports;
+              }
+          | Error e -> invalid_arg ("Table2: " ^ e))
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    result := Some (r, races)
+  done;
+  let r, races = Option.get !result in
+  (r, races, !best)
+
+let timed ~repeats ~jobs mode f =
+  if jobs <= 1 then timed_live ~repeats mode f
+  else timed_offline ~repeats ~jobs mode f
+
+let collect ?(seed = 1L) ?(scale = 1) ?(repeats = 1) ?(jobs = 1) () =
   let h2 =
     List.map
       (fun circuit ->
         let run mode =
-          let queries, an, seconds =
-            timed ~repeats mode (fun sink ->
+          let queries, races, seconds =
+            timed ~repeats ~jobs mode (fun sink ->
                 Polepos.run circuit ~seed ~scale ~sink ())
           in
-          (queries, seconds, an)
+          (queries, seconds, races)
         in
         let q0, t0, _ = run Uninstrumented in
-        let _, t1, an1 = run Ft in
-        let _, t2, an2 = run Rd2_mode in
-        let ft_races = Analyzer.fasttrack_races (Option.get an1) in
-        let rd2_races = Analyzer.rd2_races (Option.get an2) in
+        let _, t1, r1 = run Ft in
+        let _, t2, r2 = run Rd2_mode in
+        let ft_races = r1.ft_races in
+        let rd2_races = r2.rd2_races in
         {
           bench = Polepos.name circuit;
           queries = q0;
@@ -111,14 +157,14 @@ let collect ?(seed = 1L) ?(scale = 1) ?(repeats = 1) () =
       }
     in
     let run mode =
-      let _, an, seconds =
-        timed ~repeats mode (fun sink -> Snitch.run ~seed ~config ~sink ())
+      let _, _, seconds =
+        timed ~repeats ~jobs mode (fun sink -> Snitch.run ~seed ~config ~sink ())
       in
-      (seconds, an)
+      seconds
     in
-    let t0, _ = run Uninstrumented in
-    let t1, _ = run Ft in
-    let t2, _ = run Rd2_mode in
+    let t0 = run Uninstrumented in
+    let t1 = run Ft in
+    let t2 = run Rd2_mode in
     (* Race counts for this row come from the canonical (unscaled)
        configuration so they stay comparable across machines/scales. *)
     let races_of mode =

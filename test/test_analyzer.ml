@@ -128,6 +128,51 @@ let summary_prints () =
     && String.split_on_char '\n' s
        |> List.exists (fun l -> String.length l >= 4 && String.sub l 0 4 = "rd2:"))
 
+(* Sharded offline analysis is exact: on recorded workload traces the
+   merged per-shard reports equal the sequential shard run, which equals
+   the live analyzer, report for report (same order, same contents). *)
+let sharded_matches_sequential () =
+  let module W = Crd_workloads in
+  let record f =
+    let trace = Trace.create () in
+    f (Trace.append trace);
+    trace
+  in
+  let traces =
+    [
+      ( "circuit",
+        record (fun sink ->
+            ignore (W.Polepos.run (List.hd W.Polepos.all) ~seed:1L ~scale:1 ~sink ())) );
+      ("snitch", record (fun sink -> ignore (W.Snitch.run ~seed:1L ~sink ())));
+    ]
+  in
+  let config =
+    { Analyzer.rd2 = `Constant; direct = false; fasttrack = true; djit = false; atomicity = false }
+  in
+  List.iter
+    (fun (name, trace) ->
+      let an = Analyzer.with_stdspecs ~config () in
+      Analyzer.run_trace an trace;
+      let seq = Result.get_ok (Shard.analyze_stdspecs ~jobs:1 ~config trace) in
+      let par = Result.get_ok (Shard.analyze_stdspecs ~jobs:4 ~config trace) in
+      Alcotest.(check bool)
+        (name ^ ": jobs=4 rd2 == jobs=1") true
+        (par.Shard.rd2_reports = seq.Shard.rd2_reports);
+      Alcotest.(check bool)
+        (name ^ ": jobs=4 fasttrack == jobs=1") true
+        (par.Shard.fasttrack_reports = seq.Shard.fasttrack_reports);
+      Alcotest.(check bool)
+        (name ^ ": sharded rd2 == live analyzer") true
+        (seq.Shard.rd2_reports = Analyzer.rd2_races an);
+      Alcotest.(check bool)
+        (name ^ ": sharded fasttrack == live analyzer") true
+        (seq.Shard.fasttrack_reports = Analyzer.fasttrack_races an);
+      let races st = Option.map (fun (s : Rd2.stats) -> s.Rd2.races) st in
+      Alcotest.(check (option int))
+        (name ^ ": summed race stat matches") (races (Analyzer.rd2_stats an))
+        (races par.Shard.rd2_stats))
+    traces
+
 let suite =
   ( "analyzer",
     [
@@ -141,4 +186,6 @@ let suite =
       Alcotest.test_case "run_trace from text" `Quick run_trace_from_text;
       Alcotest.test_case "bad spec surfaces" `Quick bad_spec_surfaces;
       Alcotest.test_case "summary prints" `Quick summary_prints;
+      Alcotest.test_case "sharded == sequential == live" `Quick
+        sharded_matches_sequential;
     ] )

@@ -146,6 +146,97 @@ let unmonitored_objects_ignored () =
   Alcotest.(check int) "ignored" 0 !races;
   Alcotest.(check int) "no actions counted" 0 (Rd2.stats d).Rd2.actions
 
+(* Reference RD2: Algorithm 1 verbatim, one full joined vector clock per
+   active access point — the oracle the epoch-adaptive entries of
+   [Rd2] must reproduce exactly. Reports are (index, point, conflicting
+   point, prior tid) tuples. *)
+let run_ref_rd2 trace =
+  let hb = Hb.create () in
+  let objects = Hashtbl.create 16 in
+  let reports = ref [] in
+  let state_of obj =
+    match Hashtbl.find_opt objects (Obj_id.id obj) with
+    | Some st -> st
+    | None ->
+        let st = Point.Tbl.create 16 in
+        Hashtbl.add objects (Obj_id.id obj) st;
+        st
+  in
+  Trace.iter trace ~f:(fun index (e : Event.t) ->
+      let vc = Hb.step hb e in
+      match e.op with
+      | Event.Call a ->
+          let st = state_of a.Action.obj in
+          let points = Repr.eta dict_repr a in
+          (* Phase 1: full-VC conflict checks. *)
+          List.iter
+            (fun pt ->
+              List.iter
+                (fun pt' ->
+                  match Point.Tbl.find_opt st pt' with
+                  | Some (c, ltid) when not (Vclock.leq c vc) ->
+                      reports := (index, pt, pt', ltid) :: !reports
+                  | _ -> ())
+                (Repr.conflicts dict_repr pt))
+            points;
+          (* Phase 2: join the action's clock into every touched entry. *)
+          List.iter
+            (fun pt ->
+              match Point.Tbl.find_opt st pt with
+              | Some (c, _) ->
+                  Vclock.join_into ~into:c vc;
+                  Point.Tbl.replace st pt (c, e.tid)
+              | None -> Point.Tbl.replace st pt (Vclock.copy vc, e.tid))
+            points
+      | _ -> ());
+  List.rev !reports
+
+(* The epoch-adaptive detector reports the exact same race set as the
+   full-VC reference: same indices, same points, same prior thread. *)
+let epoch_adaptive_exact =
+  qcheck ~count:500 "epoch-adaptive Rd2 == full-VC reference"
+    (Generators.dict_trace ~threads:4 ~objects:2 ~len:60) (fun trace ->
+      let d, _ = run_rd2 ~mode:`Constant trace in
+      let adaptive =
+        List.map
+          (fun (r : Report.t) ->
+            ( r.Report.index,
+              r.Report.point,
+              r.Report.conflicting,
+              Option.map fst r.Report.prior ))
+          (Rd2.races d)
+      in
+      let desc p =
+        match (p : Point.t) with
+        | Point.Ds id -> Repr.shape_desc dict_repr id
+        | Point.Keyed (id, v) ->
+            Printf.sprintf "%s[%s]" (Repr.shape_desc dict_repr id)
+              (Value.to_string v)
+      in
+      let reference =
+        List.map
+          (fun (index, pt, pt', ltid) -> (index, desc pt, desc pt', Some ltid))
+          (run_ref_rd2 trace)
+      in
+      List.sort compare adaptive = List.sort compare reference)
+
+(* A thread re-invoking at an unchanged clock with no interference hits
+   the same-epoch fast path; the hit is counted and lookups are saved. *)
+let same_epoch_fast_path () =
+  let src =
+    "T0 fork T1\n\
+     T0 call o.size() / 0\n\
+     T0 call o.size() / 0\n\
+     T0 call o.size() / 0\n"
+  in
+  let trace = Result.get_ok (Trace_text.parse src) in
+  let d, events = run_rd2 ~mode:`Constant trace in
+  Alcotest.(check (list int)) "no races" [] events;
+  let s = Rd2.stats d in
+  Alcotest.(check int) "two same-epoch hits" 2 s.Rd2.same_epoch;
+  (* Only the first size() pays its conflict lookups. *)
+  Alcotest.(check bool) "lookups saved" true (s.Rd2.lookups < 3 * 2)
+
 (* Theorem 5.1: RD2 (both modes) and the direct detector agree on the set
    of events at which a race is reported. *)
 let equivalence =
@@ -187,6 +278,8 @@ let suite =
       Alcotest.test_case "release_object" `Quick release_object;
       Alcotest.test_case "unmonitored objects ignored" `Quick
         unmonitored_objects_ignored;
+      Alcotest.test_case "same-epoch fast path" `Quick same_epoch_fast_path;
+      epoch_adaptive_exact;
       equivalence;
       lookup_bounds;
       stats_monotone;

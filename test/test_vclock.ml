@@ -41,13 +41,57 @@ let epoch () =
   Alcotest.(check int) "of_vclock clock" 3 (clock e);
   Alcotest.(check bool) "of_vclock tid" true (Tid.equal (tid e) (Tid.of_int 0))
 
+let epoch_none_and_promotion () =
+  let open Vclock.Epoch in
+  (* [none] is the bottom epoch 0@T0: below every clock, including bot,
+     and equal to a freshly made 0-epoch of the main thread. *)
+  Alcotest.(check bool) "none leq bot" true (leq none (Vclock.bot ()));
+  Alcotest.(check bool) "none = make T0 0" true (equal none (make Tid.main 0));
+  Alcotest.(check bool) "none below any clock" true
+    (leq none (Vclock.of_list [ 0; 7 ]));
+  (* An epoch of a thread beyond the clock's array reads component 0. *)
+  let short = Vclock.of_list [ 5 ] in
+  let far = of_vclock short (Tid.of_int 9) in
+  Alcotest.(check int) "missing component is 0" 0 (clock far);
+  Alcotest.(check bool) "0-epoch of far tid leq" true (leq far short);
+  Alcotest.(check bool) "1@far not leq" false (leq (make (Tid.of_int 9) 1) short);
+  (* The FastTrack-style promotion: an epoch e = c@t is a faithful
+     stand-in for the component clock {t -> c}; promoting and checking
+     via the vector clock agrees with the epoch test. *)
+  let e = make (Tid.of_int 1) 3 in
+  let promoted = Vclock.bot () in
+  Vclock.set promoted (tid e) (clock e);
+  let check_against = [ [ 0; 3 ]; [ 0; 2 ]; [ 4; 0 ]; [ 0; 4; 9 ]; [] ] in
+  List.iter
+    (fun l ->
+      let c = Vclock.of_list l in
+      Alcotest.(check bool)
+        (Fmt.str "epoch vs promoted on %a" Vclock.pp c)
+        (leq e c) (Vclock.leq promoted c))
+    check_against
+
+let to_list_after_zeroing () =
+  (* Zero-writes below the tracked bound leave a slack upper bound; the
+     list must still trim exactly. *)
+  let c = Vclock.of_list [ 1; 2; 3 ] in
+  Vclock.set c (Tid.of_int 2) 0;
+  Alcotest.(check (list int)) "retrimmed" [ 1; 2 ] (Vclock.to_list c);
+  Vclock.set c (Tid.of_int 1) 0;
+  Vclock.set c (Tid.of_int 0) 0;
+  Alcotest.(check (list int)) "all zero" [] (Vclock.to_list c);
+  Vclock.set c (Tid.of_int 4) 5;
+  Alcotest.(check (list int)) "regrown" [ 0; 0; 0; 0; 5 ] (Vclock.to_list c)
+
 let suite =
   ( "vclock",
     [
       Alcotest.test_case "basics" `Quick basics;
       Alcotest.test_case "fig3 clocks" `Quick fig3_clocks;
       Alcotest.test_case "to_list trims" `Quick to_list_trims;
+      Alcotest.test_case "to_list after zeroing" `Quick to_list_after_zeroing;
       Alcotest.test_case "epochs" `Quick epoch;
+      Alcotest.test_case "epoch none and promotion" `Quick
+        epoch_none_and_promotion;
       qcheck "leq reflexive" clock (fun c -> Vclock.leq c c);
       qcheck "leq antisymmetric" (Gen.pair clock clock) (fun (a, b) ->
           (not (Vclock.leq a b && Vclock.leq b a)) || Vclock.equal a b);
