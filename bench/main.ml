@@ -272,11 +272,175 @@ let trace_records ~jobs =
       })
     (Lazy.force table2_traces)
 
-let write_json ~path ~jobs ~benchmarks ~traces =
+(* ------------------------------------------------------------------ *)
+(* Wire codec throughput (wall clock, best-of-N)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Deliberately independent of bechamel so the codec numbers appear in
+   the JSON on every run, including --tables-only / @bench-smoke. *)
+let best_of_ns n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
+    if dt < !best then best := dt
+  done;
+  !best
+
+type codec_record = {
+  co_name : string;
+  co_events : int;
+  co_text_bytes : int;
+  co_bin_bytes : int;
+  co_encode_ns : float;
+  co_decode_ns : float;
+}
+
+let mb_per_s bytes ns = float_of_int bytes /. ns *. 1e9 /. 1e6
+let per_s count ns = float_of_int count /. ns *. 1e9
+
+let codec_records ?(repeats = 5) () =
+  List.map
+    (fun (name, trace) ->
+      let text = Trace_text.to_string trace in
+      let bin = Wire.encode_trace trace in
+      (match Wire.decode_string bin with
+      | Ok t when Trace.length t = Trace.length trace -> ()
+      | Ok _ -> failwith (name ^ ": codec round-trip changed the event count")
+      | Error e -> failwith (name ^ ": " ^ Wire.error_to_string e));
+      {
+        co_name = name;
+        co_events = Trace.length trace;
+        co_text_bytes = String.length text;
+        co_bin_bytes = String.length bin;
+        co_encode_ns =
+          best_of_ns repeats (fun () -> ignore (Wire.encode_trace trace));
+        co_decode_ns =
+          best_of_ns repeats (fun () -> ignore (Wire.decode_string bin));
+      })
+    (Lazy.force table2_traces)
+
+let print_codec_table codec =
+  Fmt.pr "@.## Wire codec throughput (best-of-N wall clock)@.@.";
+  Fmt.pr "%-44s %8s %9s %7s %12s %12s@." "trace" "events" "bytes" "B/ev"
+    "enc MB/s" "dec MB/s";
+  List.iter
+    (fun c ->
+      Fmt.pr "%-44s %8d %9d %7.2f %12.1f %12.1f@." c.co_name c.co_events
+        c.co_bin_bytes
+        (float_of_int c.co_bin_bytes /. float_of_int (max 1 c.co_events))
+        (mb_per_s c.co_bin_bytes c.co_encode_ns)
+        (mb_per_s c.co_bin_bytes c.co_decode_ns))
+    codec
+
+(* ------------------------------------------------------------------ *)
+(* Server round trip (in-process, Unix socket)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock ns for a full session: connect, handshake, stream the
+   snitch trace through the codec, online RD2 analysis server-side,
+   race report back. *)
+let server_roundtrip ?(repeats = 3) () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "crd-bench-%d.sock" (Unix.getpid ()))
+  in
+  let addr = Crd_server.Server.Unix_sock path in
+  let config = Crd_server.Server.default_config ~addr in
+  match Crd_server.Server.start config with
+  | Error e -> failwith ("server benchmark: " ^ e)
+  | Ok server ->
+      let trace = record_snitch () in
+      let run () =
+        match Crd_server.Client.send_trace ~addr trace with
+        | Ok _ -> ()
+        | Error e -> failwith ("server benchmark: " ^ e)
+      in
+      run () (* warm-up: first session pays domain/socket setup *);
+      let ns = best_of_ns repeats run in
+      ignore (Crd_server.Server.stop server);
+      (ns, Trace.length trace)
+
+(* ------------------------------------------------------------------ *)
+(* Comparing runs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let schema_version = 2
+
+(* Minimal reader for our own BENCH_results.json — just enough for
+   --compare, not a general JSON parser. Returns the file's
+   schema_version and its benchmarks_ns pairs. *)
+let load_results path =
+  match In_channel.with_open_text path In_channel.input_lines with
+  | exception Sys_error e -> Error e
+  | lines ->
+      let schema = ref None in
+      let section = ref "" in
+      let bench = ref [] in
+      List.iter
+        (fun line ->
+          let line = String.trim line in
+          let line =
+            if String.length line > 0 && line.[String.length line - 1] = ','
+            then String.sub line 0 (String.length line - 1)
+            else line
+          in
+          if String.length line > 0 && line.[0] = '}' then section := ""
+          else
+            match String.index_opt line ':' with
+            | Some i when String.length line > 2 && line.[0] = '"' ->
+                let key = String.sub line 1 (String.rindex_from line i '"' - 1) in
+                let value =
+                  String.trim (String.sub line (i + 1) (String.length line - i - 1))
+                in
+                if String.equal value "{" then section := key
+                else if String.equal key "schema_version" then
+                  schema := int_of_string_opt value
+                else if String.equal !section "benchmarks_ns" then
+                  Option.iter
+                    (fun v -> bench := (key, v) :: !bench)
+                    (float_of_string_opt value)
+            | _ -> ())
+        lines;
+      match !schema with
+      | None -> Error (path ^ ": no schema_version field (pre-versioning run?)")
+      | Some v -> Ok (v, List.rev !bench)
+
+(* Refuses to compare across schema versions; otherwise prints the
+   per-benchmark delta of this run against the previous file. *)
+let compare_results ~prev_path ~benchmarks =
+  match load_results prev_path with
+  | Error e -> Error ("--compare: " ^ e)
+  | Ok (prev_schema, _) when prev_schema <> schema_version ->
+      Error
+        (Printf.sprintf
+           "--compare: %s has schema_version %d but this harness writes %d; \
+            regenerate the baseline before comparing"
+           prev_path prev_schema schema_version)
+  | Ok (_, prev_bench) ->
+      Fmt.pr "@.## Comparison against %s@.@." prev_path;
+      if benchmarks = [] then
+        Fmt.pr "(no bechamel benchmarks in this run — --tables-only?)@."
+      else begin
+        Fmt.pr "%-56s %14s %14s %8s@." "benchmark" "prev ns" "now ns" "ratio";
+        List.iter
+          (fun (name, now) ->
+            match List.assoc_opt name prev_bench with
+            | None -> Fmt.pr "%-56s %14s %14.0f %8s@." name "-" now "new"
+            | Some prev ->
+                Fmt.pr "%-56s %14.0f %14.0f %7.2fx@." name prev now (now /. prev))
+          benchmarks
+      end;
+      Ok ()
+
+let write_json ~path ~jobs ~benchmarks ~traces ~codec ~server =
   let oc = open_out path in
   let pr fmt = Printf.fprintf oc fmt in
   let rate a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
   pr "{\n";
+  pr "  \"schema_version\": %d,\n" schema_version;
   pr "  \"jobs\": %d,\n" jobs;
   pr "  \"benchmarks_ns\": {";
   List.iteri
@@ -298,7 +462,31 @@ let write_json ~path ~jobs ~benchmarks ~traces =
       pr "      \"sharded_reports_identical\": %b\n" t.tr_identical;
       pr "    }")
     traces;
-  pr "\n  }\n}\n";
+  pr "\n  },\n";
+  pr "  \"codec\": {";
+  List.iteri
+    (fun i c ->
+      pr "%s\n    \"%s\": {\n" (if i = 0 then "" else ",") (json_escape c.co_name);
+      pr "      \"events\": %d,\n" c.co_events;
+      pr "      \"text_bytes\": %d,\n" c.co_text_bytes;
+      pr "      \"bin_bytes\": %d,\n" c.co_bin_bytes;
+      pr "      \"bytes_per_event\": %.2f,\n"
+        (rate c.co_bin_bytes (max 1 c.co_events));
+      pr "      \"encode_ns\": %.0f,\n" c.co_encode_ns;
+      pr "      \"decode_ns\": %.0f,\n" c.co_decode_ns;
+      pr "      \"encode_mb_s\": %.2f,\n" (mb_per_s c.co_bin_bytes c.co_encode_ns);
+      pr "      \"decode_mb_s\": %.2f,\n" (mb_per_s c.co_bin_bytes c.co_decode_ns);
+      pr "      \"encode_events_s\": %.0f,\n" (per_s c.co_events c.co_encode_ns);
+      pr "      \"decode_events_s\": %.0f\n" (per_s c.co_events c.co_decode_ns);
+      pr "    }")
+    codec;
+  pr "\n  },\n";
+  let server_ns, server_events = server in
+  pr "  \"server\": {\n";
+  pr "    \"roundtrip_ns\": %.0f,\n" server_ns;
+  pr "    \"roundtrip_events\": %d,\n" server_events;
+  pr "    \"roundtrip_events_s\": %.0f\n" (per_s server_events server_ns);
+  pr "  }\n}\n";
   close_out oc
 
 (* ------------------------------------------------------------------ *)
@@ -372,6 +560,9 @@ let () =
   let jobs = max 2 jobs in
   let out = arg_value "--out" ~default:"BENCH_results.json" Fun.id in
   let quota = arg_value "--quota" ~default:0.25 (float_arg "--quota") in
+  let compare_path =
+    arg_value "--compare" ~default:"" Fun.id |> function "" -> None | p -> Some p
+  in
   Fmt.pr "# Commutativity Race Detection — benchmark harness@.@.";
   (* Table 2 (wall clock, end-to-end, deterministic race counts). *)
   let t = W.Table2.collect ~seed:1L ~scale:1 ~repeats:3 () in
@@ -399,5 +590,20 @@ let () =
     traces;
   if List.exists (fun tr -> not tr.tr_identical) traces then
     failwith "sharded analysis diverged from the sequential reports";
-  write_json ~path:out ~jobs ~benchmarks ~traces;
-  Fmt.pr "@.results written to %s (jobs=%d)@." out jobs
+  let codec = codec_records () in
+  print_codec_table codec;
+  let ((server_ns, server_events) as server) = server_roundtrip () in
+  Fmt.pr "@.## Server round trip (snitch, online RD2 over a Unix socket)@.@.";
+  Fmt.pr "%d events in %.2f ms (%.0f events/s)@." server_events
+    (server_ns /. 1e6)
+    (per_s server_events server_ns);
+  write_json ~path:out ~jobs ~benchmarks ~traces ~codec ~server;
+  Fmt.pr "@.results written to %s (jobs=%d)@." out jobs;
+  match compare_path with
+  | None -> ()
+  | Some prev_path -> (
+      match compare_results ~prev_path ~benchmarks with
+      | Ok () -> ()
+      | Error e ->
+          Fmt.epr "%s@." e;
+          exit 1)

@@ -3,14 +3,47 @@
    Subcommands:
      rd2 specs                 list / print built-in specifications
      rd2 translate FILE        specification -> access point representation
-     rd2 check FILE            run detectors over a textual trace
+     rd2 check FILE            run detectors over a recorded trace
      rd2 simulate NAME         run a built-in workload under the analyzer
-     rd2 table2                reproduce the paper's Table 2 *)
+     rd2 table2                reproduce the paper's Table 2
+     rd2 serve                 streaming ingestion service (online RD2)
+     rd2 send FILE             stream a trace file to a running server *)
 
 open Cmdliner
 open Crd
 
 let exits = Cmd.Exit.defaults
+
+(* Trace files come in two formats; every trace-consuming subcommand
+   takes the same flag. *)
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("bin", `Bin) ]) `Text
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:
+          "Trace format: text (one event per line) or bin (the compact \
+           CRDW binary codec).")
+
+let load_trace format path =
+  match format with
+  | `Text -> Trace_text.parse_file path
+  | `Bin -> Wire.of_file path
+
+let addr_arg =
+  let addr_conv =
+    Arg.conv
+      ( (fun s ->
+          match Crd_server.Server.addr_of_string s with
+          | Ok a -> Ok a
+          | Error e -> Error (`Msg e)),
+        Crd_server.Server.pp_addr )
+  in
+  Arg.(
+    required
+    & opt (some addr_conv) None
+    & info [ "a"; "addr" ] ~docv:"ADDR"
+        ~doc:"Server address: unix:PATH or tcp:HOST:PORT.")
 
 (* ------------------------------------------------------------------ *)
 (* specs                                                               *)
@@ -142,7 +175,8 @@ let check_cmd =
              memory location after one sequential happens-before pass). \
              Reports are identical to the sequential run.")
   in
-  let run trace_file spec_file mode direct fasttrack atomicity verbose jobs =
+  let run trace_file spec_file format mode direct fasttrack atomicity verbose
+      jobs =
     let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
     let* specs =
       match spec_file with
@@ -158,7 +192,7 @@ let check_cmd =
       in
       List.find_opt (fun s -> String.equal (Spec.name s) base) specs
     in
-    let* trace = Trace_text.parse_file trace_file in
+    let* trace = load_trace format trace_file in
     let config =
       { Analyzer.rd2 = mode; direct; fasttrack; djit = false; atomicity }
     in
@@ -198,8 +232,8 @@ let check_cmd =
        ~doc:"Check a recorded trace for commutativity races.")
     Term.(
       ret
-        (const run $ trace_file $ spec_arg $ mode $ direct $ fasttrack
-       $ atomicity $ verbose $ jobs))
+        (const run $ trace_file $ spec_arg $ format_arg $ mode $ direct
+       $ fasttrack $ atomicity $ verbose $ jobs))
 
 
 (* ------------------------------------------------------------------ *)
@@ -309,25 +343,38 @@ let record_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write the trace here (default: stdout).")
   in
-  let run workload seed scale output =
+  let run workload seed scale output format =
     let trace = Trace.create () in
     if not (run_workload workload ~seed ~scale (Trace.append trace)) then
       `Error (false, Printf.sprintf "unknown workload %s" workload)
     else begin
-      let text = Trace_text.to_string trace in
-      (match output with
-      | None -> print_string text
-      | Some path -> Out_channel.with_open_text path (fun oc ->
-            Out_channel.output_string oc text));
-      `Ok ()
+      match format with
+      | `Text ->
+          let text = Trace_text.to_string trace in
+          (match output with
+          | None -> print_string text
+          | Some path ->
+              Out_channel.with_open_text path (fun oc ->
+                  Out_channel.output_string oc text));
+          `Ok ()
+      | `Bin -> (
+          match output with
+          | None ->
+              Out_channel.set_binary_mode stdout true;
+              Wire.write_channel stdout trace;
+              `Ok ()
+          | Some path -> (
+              match Wire.to_file path trace with
+              | Ok () -> `Ok ()
+              | Error e -> `Error (false, e)))
     end
   in
   Cmd.v
     (Cmd.info "record" ~exits
        ~doc:
-         "Run a built-in workload and dump its event trace in the textual \
-          format (replayable with 'rd2 check').")
-    Term.(ret (const run $ workload $ seed_arg $ scale_arg $ output))
+         "Run a built-in workload and dump its event trace (replayable \
+          with 'rd2 check' and streamable with 'rd2 send').")
+    Term.(ret (const run $ workload $ seed_arg $ scale_arg $ output $ format_arg))
 
 (* ------------------------------------------------------------------ *)
 (* explore                                                             *)
@@ -424,13 +471,186 @@ let table2_cmd =
              record-then-analyze over $(docv) domains instead of live \
              analysis. Race counts are identical by construction.")
   in
-  let run seed scale repeats jobs =
-    let t = Crd_workloads.Table2.collect ~seed ~scale ~repeats ~jobs () in
-    Fmt.pr "%a@." Crd_workloads.Table2.print t
+  let dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"DIR"
+          ~doc:
+            "Instead of timing, record every Table 2 workload trace into \
+             $(docv) (in the --format encoding) for later 'rd2 check' / \
+             'rd2 send' replay.")
+  in
+  let run seed scale repeats jobs dump format =
+    match dump with
+    | None ->
+        let t = Crd_workloads.Table2.collect ~seed ~scale ~repeats ~jobs () in
+        Fmt.pr "%a@." Crd_workloads.Table2.print t;
+        `Ok ()
+    | Some dir -> (
+        let names =
+          List.map Crd_workloads.Polepos.name Crd_workloads.Polepos.all
+          @ [ "snitch" ]
+        in
+        try
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          List.iter
+            (fun name ->
+              let trace = Trace.create () in
+              ignore (run_workload name ~seed ~scale (Trace.append trace));
+              let ext = match format with `Text -> "trace" | `Bin -> "ctrace" in
+              let path = Filename.concat dir (name ^ "." ^ ext) in
+              (match format with
+              | `Text ->
+                  Out_channel.with_open_text path (fun oc ->
+                      Out_channel.output_string oc (Trace_text.to_string trace))
+              | `Bin -> (
+                  match Wire.to_file path trace with
+                  | Ok () -> ()
+                  | Error e -> failwith e));
+              Fmt.pr "%s: %d events@." path (Trace.length trace))
+            names;
+          `Ok ()
+        with Sys_error e | Failure e -> `Error (false, e))
   in
   Cmd.v
-    (Cmd.info "table2" ~exits ~doc:"Reproduce the paper's Table 2.")
-    Term.(const run $ seed $ scale $ repeats $ jobs)
+    (Cmd.info "table2" ~exits
+       ~doc:
+         "Reproduce the paper's Table 2 (or, with --dump, record its \
+          workload traces to disk).")
+    Term.(ret (const run $ seed $ scale $ repeats $ jobs $ dump $ format_arg))
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let serve_cmd =
+  let workers =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Session-carrying domains (default: one per recommended \
+             analysis job).")
+  in
+  let queue =
+    Arg.(
+      value & opt int 1024
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Per-connection event queue bound (backpressure threshold).")
+  in
+  let idle =
+    Arg.(
+      value & opt float 30.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Drop a session after this long without client bytes \
+             (0 disables).")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "s"; "spec" ] ~docv:"SPEC"
+          ~doc:
+            "Specification file offered to clients as the 'custom' \
+             handshake set.")
+  in
+  let direct =
+    Arg.(
+      value & flag
+      & info [ "direct" ]
+          ~doc:"Also run the naive specification-level detector per session.")
+  in
+  let fasttrack =
+    Arg.(
+      value & flag
+      & info [ "fasttrack" ] ~doc:"Also run FastTrack per session.")
+  in
+  let atomicity =
+    Arg.(
+      value & flag
+      & info [ "atomicity" ] ~doc:"Also run the atomicity checker per session.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "With $(docv) > 1, record each session and analyze it at \
+             end-of-stream over $(docv) domains (identical reports).")
+  in
+  let run addr workers queue idle spec_file direct fasttrack atomicity jobs =
+    let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
+    let* specs =
+      match spec_file with
+      | None -> Ok None
+      | Some f -> Result.map Option.some (Spec_parser.parse_file f)
+    in
+    let default = Crd_server.Server.default_config ~addr in
+    let config =
+      {
+        default with
+        Crd_server.Server.workers =
+          (if workers > 0 then workers else default.Crd_server.Server.workers);
+        queue_capacity = queue;
+        idle_timeout = idle;
+        analyzer =
+          { default.Crd_server.Server.analyzer with direct; fasttrack; atomicity };
+        jobs;
+        specs;
+      }
+    in
+    Fmt.epr "rd2 serve: listening on %a@." Crd_server.Server.pp_addr addr;
+    let* st = Crd_server.Server.serve config in
+    Fmt.pr "sessions %d  events %d  races %d  errors %d@."
+      st.Crd_server.Server.sessions st.Crd_server.Server.events
+      st.Crd_server.Server.races st.Crd_server.Server.errors;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve" ~exits
+       ~doc:
+         "Run the streaming ingestion service: every connection is an \
+          online RD2 session over the binary wire codec. SIGTERM/SIGINT \
+          drain gracefully.")
+    Term.(
+      ret
+        (const run $ addr_arg $ workers $ queue $ idle $ spec_arg $ direct
+       $ fasttrack $ atomicity $ jobs))
+
+(* ------------------------------------------------------------------ *)
+(* send                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let send_cmd =
+  let trace_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file to stream.")
+  in
+  let spec_name =
+    Arg.(
+      value & opt string "std"
+      & info [ "spec-name" ] ~docv:"NAME"
+          ~doc:
+            "Handshake specification set: std (built-ins) or custom (the \
+             server's --spec file).")
+  in
+  let run trace_file addr spec_name format =
+    match Crd_server.Client.send_file ~addr ~spec:spec_name ~format trace_file with
+    | Ok reply ->
+        print_string reply;
+        `Ok ()
+    | Error e -> `Error (false, e)
+  in
+  Cmd.v
+    (Cmd.info "send" ~exits
+       ~doc:
+         "Stream a trace file to a running 'rd2 serve' and print the \
+          server's race report.")
+    Term.(ret (const run $ trace_file $ addr_arg $ spec_name $ format_arg))
 
 (* ------------------------------------------------------------------ *)
 
@@ -440,7 +660,7 @@ let main =
        ~doc:"Dynamic commutativity race detection (PLDI 2014 reproduction).")
     [
       specs_cmd; translate_cmd; check_cmd; simulate_cmd; record_cmd;
-      explore_cmd; table2_cmd;
+      explore_cmd; table2_cmd; serve_cmd; send_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -7,7 +7,7 @@
     - values, identities, clocks: {!Value}, {!Tid}, {!Obj_id}, {!Lock_id},
       {!Mem_loc}, {!Prng}, {!Vclock};
     - traces and happens-before: {!Action}, {!Event}, {!Trace},
-      {!Trace_text}, {!Hb};
+      {!Trace_text}, the binary {!Wire} codec, {!Hb};
     - specification logic: {!Atom}, {!Formula}, {!Ecl}, {!Signature},
       {!Spec}, the surface-syntax {!Spec_parser} and built-in
       {!Stdspecs};
@@ -30,6 +30,7 @@ module Action = Crd_trace.Action
 module Event = Crd_trace.Event
 module Trace = Crd_trace.Trace
 module Trace_text = Crd_trace.Trace_text
+module Wire = Crd_wire.Codec
 module Hb = Crd_trace.Hb
 module Atom = Crd_spec.Atom
 module Formula = Crd_spec.Formula

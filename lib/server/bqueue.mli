@@ -1,0 +1,24 @@
+(** Bounded blocking queues — the per-connection backpressure primitive.
+
+    [push] blocks while the queue is at capacity, which stops the
+    session's socket reader, which fills the kernel receive buffer,
+    which blocks the client's [write]: end-to-end backpressure with
+    O(capacity) server-side memory per connection. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val push : 'a t -> 'a -> bool
+(** Block until there is room, then enqueue; [false] if the queue was
+    closed (the element is dropped). *)
+
+val pop : 'a t -> 'a option
+(** Block until an element is available; [None] once the queue is
+    closed {e and} drained. *)
+
+val close : 'a t -> unit
+(** Wake all blocked producers and consumers. Idempotent. *)
+
+val length : 'a t -> int

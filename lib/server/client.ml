@@ -1,0 +1,83 @@
+open Crd
+
+let connect addr =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match addr with
+  | Server.Unix_sock path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.connect fd (Unix.ADDR_UNIX path);
+         Ok fd
+       with Unix.Unix_error (e, _, _) ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         Error (Printf.sprintf "connect unix:%s: %s" path (Unix.error_message e)))
+  | Server.Tcp (host, port) -> (
+      match
+        try Ok (Unix.inet_addr_of_string host)
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+              Error (Printf.sprintf "cannot resolve host %s" host)
+          | h -> Ok h.Unix.h_addr_list.(0))
+      with
+      | Error e -> Error e
+      | Ok ip ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          (try
+             Unix.connect fd (Unix.ADDR_INET (ip, port));
+             Ok fd
+           with Unix.Unix_error (e, _, _) ->
+             (try Unix.close fd with Unix.Unix_error _ -> ());
+             Error
+               (Printf.sprintf "connect tcp:%s:%d: %s" host port
+                  (Unix.error_message e))))
+
+let send_iter ~addr ?(spec = "std") produce =
+  match connect addr with
+  | Error e -> Error e
+  | Ok fd -> (
+      let cleanup () = try Unix.close fd with Unix.Unix_error _ -> () in
+      try
+        Proto.send_handshake fd ~spec;
+        match Proto.read_handshake_reply fd with
+        | Error e ->
+            cleanup ();
+            Error e
+        | Ok () -> (
+            let enc =
+              Wire.Encoder.create ~emit:(fun s -> Proto.write_all fd s) ()
+            in
+            match produce (Wire.Encoder.event enc) with
+            | Error e ->
+                cleanup ();
+                Error e
+            | Ok () ->
+                Wire.Encoder.close enc;
+                let reply = Proto.read_to_eof fd in
+                cleanup ();
+                if String.length reply >= 3 && String.sub reply 0 3 = "ERR" then
+                  Error (String.trim reply)
+                else Ok reply)
+      with Unix.Unix_error (e, fn, _) ->
+        cleanup ();
+        Error (Printf.sprintf "%s: %s" fn (Unix.error_message e)))
+
+let send_trace ~addr ?spec trace =
+  send_iter ~addr ?spec (fun push ->
+      Trace.iter_events trace ~f:push;
+      Ok ())
+
+let send_file ~addr ?spec ~format path =
+  match
+    match format with
+    | `Text ->
+        In_channel.with_open_text path (fun ic ->
+            send_iter ~addr ?spec (fun push -> Trace_text.iter_channel ic ~f:push))
+    | `Bin ->
+        In_channel.with_open_bin path (fun ic ->
+            send_iter ~addr ?spec (fun push ->
+                Result.map_error Wire.error_to_string
+                  (Wire.iter_channel ic ~f:push)))
+  with
+  | r -> r
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,30 @@
+(** [Crd_server.Client] — stream traces into a running [rd2 serve].
+
+    Connects, handshakes (choosing the server's specification set),
+    streams events as a {!Crd_wire.Codec} stream, and returns the
+    server's race report. Events are encoded incrementally, so sending
+    from a file holds O(chunk) memory, never the whole trace. *)
+
+open Crd
+
+val send_iter :
+  addr:Server.addr ->
+  ?spec:string ->
+  ((Event.t -> unit) -> (unit, string) result) ->
+  (string, string) result
+(** [send_iter ~addr produce] runs [produce push] where every [push e]
+    streams one event to the server; returns the server's report text.
+    [spec] is the handshake specification set (default ["std"]). *)
+
+val send_trace :
+  addr:Server.addr -> ?spec:string -> Trace.t -> (string, string) result
+
+val send_file :
+  addr:Server.addr ->
+  ?spec:string ->
+  format:[ `Text | `Bin ] ->
+  string ->
+  (string, string) result
+(** Stream a trace file without materializing it: text files line by
+    line ({!Trace_text.iter_channel}), binary files frame by frame
+    ({!Wire.iter_channel}). *)

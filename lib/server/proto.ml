@@ -1,0 +1,102 @@
+let magic = "CRDS"
+let version = 1
+let max_spec_name = 4096
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < n do
+    let r = Unix.read fd b !off (n - !off) in
+    if r = 0 then eof := true else off := !off + r
+  done;
+  if !eof then None else Some (Bytes.to_string b)
+
+let read_varint fd =
+  let acc = ref 0 in
+  let shift = ref 0 in
+  let result = ref None in
+  while !result = None do
+    match read_exact fd 1 with
+    | None -> result := Some (Error "connection closed inside a varint")
+    | Some s ->
+        let b = Char.code s.[0] in
+        acc := !acc lor ((b land 0x7f) lsl !shift);
+        if b < 0x80 then result := Some (Ok !acc)
+        else begin
+          shift := !shift + 7;
+          if !shift > 56 then result := Some (Error "varint longer than 9 bytes")
+        end
+  done;
+  Option.get !result
+
+let send_handshake fd ~spec =
+  let b = Buffer.create 16 in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr version);
+  Crd_wire.Codec.add_varint b (String.length spec);
+  Buffer.add_string b spec;
+  write_all fd (Buffer.contents b)
+
+let send_accept fd = write_all fd "\x00"
+
+let send_reject fd msg =
+  let b = Buffer.create (8 + String.length msg) in
+  Buffer.add_char b '\x01';
+  Crd_wire.Codec.add_varint b (String.length msg);
+  Buffer.add_string b msg;
+  write_all fd (Buffer.contents b)
+
+let read_handshake fd =
+  match read_exact fd (String.length magic + 1) with
+  | None -> Error "connection closed during handshake"
+  | Some h ->
+      if not (String.equal (String.sub h 0 (String.length magic)) magic) then
+        Error "bad handshake magic (not a CRDS client)"
+      else
+        let v = Char.code h.[String.length magic] in
+        if v <> version then
+          Error (Printf.sprintf "unsupported protocol version %d" v)
+        else (
+          match read_varint fd with
+          | Error e -> Error e
+          | Ok len when len < 0 || len > max_spec_name ->
+              Error "spec name too long"
+          | Ok len -> (
+              match read_exact fd len with
+              | None -> Error "connection closed during handshake"
+              | Some spec -> Ok spec))
+
+let read_handshake_reply fd =
+  match read_exact fd 1 with
+  | None -> Error "connection closed before handshake reply"
+  | Some "\x00" -> Ok ()
+  | Some "\x01" -> (
+      match read_varint fd with
+      | Error e -> Error e
+      | Ok len when len < 0 || len > 65536 -> Error "oversized reject message"
+      | Ok len -> (
+          match read_exact fd len with
+          | None -> Error "connection closed inside reject message"
+          | Some msg -> Error ("server rejected session: " ^ msg)))
+  | Some b ->
+      Error (Printf.sprintf "unexpected handshake reply byte 0x%02x"
+               (Char.code b.[0]))
+
+let read_to_eof fd =
+  let out = Buffer.create 1024 in
+  let b = Bytes.create 4096 in
+  let eof = ref false in
+  while not !eof do
+    let n = Unix.read fd b 0 (Bytes.length b) in
+    if n = 0 then eof := true else Buffer.add_subbytes out b 0 n
+  done;
+  Buffer.contents out

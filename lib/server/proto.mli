@@ -1,0 +1,34 @@
+(** Shared client/server wire protocol pieces.
+
+    A session is: handshake, then one {!Crd_wire.Codec} stream, then a
+    UTF-8 report read until end of stream.
+
+    {v
+    client -> server:  "CRDS" version varint(len) spec-name  CRDW-stream
+    server -> client:  0x00                      (handshake accepted)
+                    |  0x01 varint(len) message  (rejected, then close)
+    server -> client:  report text, then close   (after the CRDW end frame)
+    v} *)
+
+val magic : string
+val version : int
+
+val write_all : Unix.file_descr -> string -> unit
+(** Loop over [Unix.write] until the whole string is sent. *)
+
+val read_exact : Unix.file_descr -> int -> string option
+(** [None] on end-of-stream before [n] bytes. *)
+
+val read_varint : Unix.file_descr -> (int, string) result
+
+val send_handshake : Unix.file_descr -> spec:string -> unit
+val send_accept : Unix.file_descr -> unit
+val send_reject : Unix.file_descr -> string -> unit
+
+val read_handshake : Unix.file_descr -> (string, string) result
+(** Server side: returns the requested spec-set name. *)
+
+val read_handshake_reply : Unix.file_descr -> (unit, string) result
+(** Client side: decode accept/reject. *)
+
+val read_to_eof : Unix.file_descr -> string

@@ -1,0 +1,383 @@
+open Crd
+
+type addr = Unix_sock of string | Tcp of string * int
+
+let addr_of_string s =
+  match String.index_opt s ':' with
+  | Some i when String.sub s 0 i = "unix" ->
+      let path = String.sub s (i + 1) (String.length s - i - 1) in
+      if path = "" then Error "unix: empty socket path" else Ok (Unix_sock path)
+  | Some i when String.sub s 0 i = "tcp" -> (
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.rindex_opt rest ':' with
+      | None -> Error "tcp: expected tcp:HOST:PORT"
+      | Some j -> (
+          let host = String.sub rest 0 j in
+          let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && p < 65536 ->
+              Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+          | _ -> Error (Printf.sprintf "tcp: bad port %S" port)))
+  | _ -> Error (Printf.sprintf "bad address %S (want unix:PATH or tcp:HOST:PORT)" s)
+
+let pp_addr ppf = function
+  | Unix_sock p -> Fmt.pf ppf "unix:%s" p
+  | Tcp (h, p) -> Fmt.pf ppf "tcp:%s:%d" h p
+
+type config = {
+  addr : addr;
+  workers : int;
+  queue_capacity : int;
+  idle_timeout : float;
+  analyzer : Analyzer.config;
+  jobs : int;
+  specs : Spec.t list option;
+}
+
+let default_analyzer =
+  {
+    Analyzer.rd2 = `Constant;
+    direct = false;
+    fasttrack = false;
+    djit = false;
+    atomicity = false;
+  }
+
+let default_config ~addr =
+  {
+    addr;
+    workers = Shard.recommended_jobs ();
+    queue_capacity = 1024;
+    idle_timeout = 30.;
+    analyzer = default_analyzer;
+    jobs = 1;
+    specs = None;
+  }
+
+type stats = { sessions : int; events : int; races : int; errors : int }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  conns : Unix.file_descr Bqueue.t;
+  stopping : bool Atomic.t;
+  mutable accept_d : unit Domain.t option;
+  mutable workers_d : unit Domain.t list;
+  mu : Mutex.t;
+  mutable st : stats;
+  sock_path : string option;
+  mutable stopped : bool;
+}
+
+let stats t =
+  Mutex.lock t.mu;
+  let s = t.st in
+  Mutex.unlock t.mu;
+  s
+
+let record t ~events ~races ~error =
+  Mutex.lock t.mu;
+  t.st <-
+    {
+      sessions = (t.st.sessions + if error then 0 else 1);
+      events = t.st.events + events;
+      races = t.st.races + races;
+      errors = (t.st.errors + if error then 1 else 0);
+    };
+  Mutex.unlock t.mu
+
+(* ------------------------------------------------------------------ *)
+(* Specification sets                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The same object -> spec naming convention as `rd2 check`: an object
+   named <spec> or <spec>:<suffix> uses the specification <spec>. *)
+let base_name o =
+  let name = Crd_base.Obj_id.name o in
+  match String.index_opt name ':' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let std_spec_for o = Stdspecs.find (base_name o)
+
+let spec_for_of_list specs o =
+  let base = base_name o in
+  List.find_opt (fun s -> String.equal (Spec.name s) base) specs
+
+let resolve_spec_set cfg = function
+  | "" | "std" -> Ok std_spec_for
+  | "custom" -> (
+      match cfg.specs with
+      | Some specs -> Ok (spec_for_of_list specs)
+      | None -> Error "server has no custom specification set loaded")
+  | other -> Error (Printf.sprintf "unknown specification set %S" other)
+
+(* ------------------------------------------------------------------ *)
+(* Sessions                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type item = Ev of Crd_trace.Event.t | Bad of string
+
+(* Socket-reader: decode incoming bytes and push events into the
+   session's bounded queue. Runs in its own thread so that a full queue
+   blocks this reader (and, transitively, the client) rather than
+   growing server memory. *)
+let read_loop conn q =
+  let dec = Crd_wire.Codec.Decoder.create () in
+  let buf = Bytes.create 32768 in
+  let stop = ref false in
+  while not !stop do
+    match Unix.read conn buf 0 (Bytes.length buf) with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        ignore (Bqueue.push q (Bad "idle timeout: no client bytes"));
+        stop := true
+    | exception Unix.Unix_error (e, _, _) ->
+        ignore (Bqueue.push q (Bad (Unix.error_message e)));
+        stop := true
+    | 0 ->
+        (match Crd_wire.Codec.Decoder.finish dec with
+        | Ok () -> ()
+        | Error e ->
+            ignore (Bqueue.push q (Bad (Crd_wire.Codec.error_to_string e))));
+        stop := true
+    | n -> (
+        match Crd_wire.Codec.Decoder.feed dec (Bytes.sub_string buf 0 n) with
+        | Error e ->
+            ignore (Bqueue.push q (Bad (Crd_wire.Codec.error_to_string e)));
+            stop := true
+        | Ok events ->
+            List.iter
+              (fun e -> if not (Bqueue.push q (Ev e)) then stop := true)
+              events;
+            (* The end-of-stream frame, not EOF, ends ingestion: the
+               client keeps the socket open to read its report. *)
+            if Crd_wire.Codec.Decoder.finished dec then stop := true)
+  done;
+  Bqueue.close q
+
+(* Drain the session queue into an online analyzer (jobs = 1) or a
+   recorded trace re-analyzed with Shard at end-of-stream (jobs > 1).
+   Returns the report text plus counters for the server stats. *)
+let analyze_session cfg spec_for q =
+  let buf = Buffer.create 1024 in
+  let ppf = Fmt.with_buffer buf in
+  let fin () =
+    Fmt.flush ppf ();
+    Buffer.contents buf
+  in
+  let races_text rd2 ft viol =
+    List.iter (fun r -> Fmt.pf ppf "%a@." Report.pp r) rd2;
+    List.iter (fun r -> Fmt.pf ppf "%a@." Rw_report.pp r) ft;
+    List.iter (fun v -> Fmt.pf ppf "%a@." Atomicity.pp_violation v) viol
+  in
+  if cfg.jobs <= 1 then (
+    match Analyzer.create ~config:cfg.analyzer ~spec_for () with
+    | Error e -> Error e
+    | Ok an -> (
+        let rec drain () =
+          match Bqueue.pop q with
+          | None -> Ok ()
+          | Some (Bad msg) -> Error msg
+          | Some (Ev e) ->
+              Analyzer.step an e;
+              drain ()
+        in
+        match (try drain () with Invalid_argument e -> Error e) with
+        | Error e -> Error e
+        | Ok () ->
+            let rd2 = Analyzer.rd2_races an in
+            Fmt.pf ppf "OK@.%a@." Analyzer.pp_summary an;
+            races_text rd2 (Analyzer.fasttrack_races an)
+              (Analyzer.atomicity_violations an);
+            Ok (fin (), Analyzer.events an, List.length rd2)))
+  else
+    let trace = Trace.create () in
+    let rec drain () =
+      match Bqueue.pop q with
+      | None -> Ok ()
+      | Some (Bad msg) -> Error msg
+      | Some (Ev e) ->
+          Trace.append trace e;
+          drain ()
+    in
+    match drain () with
+    | Error e -> Error e
+    | Ok () -> (
+        match Shard.analyze ~jobs:cfg.jobs ~config:cfg.analyzer ~spec_for trace with
+        | Error e -> Error e
+        | Ok res ->
+            Fmt.pf ppf "OK@.%a@." Shard.pp_summary res;
+            races_text res.Shard.rd2_reports res.Shard.fasttrack_reports
+              res.Shard.atomicity_violations;
+            Ok (fin (), res.Shard.events, List.length res.Shard.rd2_reports))
+
+let session t conn =
+  let cfg = t.cfg in
+  if cfg.idle_timeout > 0. then begin
+    try Unix.setsockopt_float conn Unix.SO_RCVTIMEO cfg.idle_timeout
+    with Unix.Unix_error _ -> ()
+  end;
+  let finish outcome =
+    (match outcome with
+    | Ok (reply, events, races) ->
+        (try Proto.write_all conn reply with Unix.Unix_error _ -> ());
+        record t ~events ~races ~error:false
+    | Error msg ->
+        (try Proto.write_all conn ("ERR " ^ msg ^ "\n")
+         with Unix.Unix_error _ -> ());
+        record t ~events:0 ~races:0 ~error:true);
+    (try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close conn with Unix.Unix_error _ -> ()
+  in
+  match Proto.read_handshake conn with
+  | Error msg ->
+      (try Proto.send_reject conn msg with Unix.Unix_error _ -> ());
+      record t ~events:0 ~races:0 ~error:true;
+      (try Unix.close conn with Unix.Unix_error _ -> ())
+  | Ok spec_name -> (
+      match resolve_spec_set cfg spec_name with
+      | Error msg ->
+          (try Proto.send_reject conn msg with Unix.Unix_error _ -> ());
+          record t ~events:0 ~races:0 ~error:true;
+          (try Unix.close conn with Unix.Unix_error _ -> ())
+      | Ok spec_for ->
+          (try Proto.send_accept conn with Unix.Unix_error _ -> ());
+          let q = Bqueue.create ~capacity:cfg.queue_capacity in
+          let reader = Thread.create (fun () -> read_loop conn q) () in
+          let outcome =
+            try analyze_session cfg spec_for q
+            with e -> Error (Printexc.to_string e)
+          in
+          (* On an analysis-side abort the reader may still be blocked
+             pushing: closing the queue releases it. *)
+          Bqueue.close q;
+          Thread.join reader;
+          finish outcome)
+
+(* ------------------------------------------------------------------ *)
+(* Accept loop and worker pool                                         *)
+(* ------------------------------------------------------------------ *)
+
+let accept_loop t =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ t.listen_fd ] [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept t.listen_fd with
+        | exception
+            Unix.Unix_error
+              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+          ->
+            ()
+        | exception Unix.Unix_error _ -> Atomic.set t.stopping true
+        | conn, _ ->
+            Unix.clear_nonblock conn;
+            if not (Bqueue.push t.conns conn) then (
+              try Unix.close conn with Unix.Unix_error _ -> ()))
+  done
+
+let worker_loop t =
+  let continue = ref true in
+  while !continue do
+    match Bqueue.pop t.conns with
+    | None -> continue := false
+    | Some conn -> (
+        try session t conn
+        with e ->
+          (try Unix.close conn with Unix.Unix_error _ -> ());
+          ignore (Printexc.to_string e))
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let bind_listen addr =
+  match addr with
+  | Unix_sock path ->
+      if Sys.file_exists path then (
+        match (Unix.stat path).Unix.st_kind with
+        | Unix.S_SOCK -> (try Unix.unlink path with Unix.Unix_error _ -> ())
+        | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path));
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, Some path)
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } ->
+              failwith (Printf.sprintf "cannot resolve host %s" host)
+          | h -> h.Unix.h_addr_list.(0)
+          | exception Not_found ->
+              failwith (Printf.sprintf "cannot resolve host %s" host))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (ip, port));
+      Unix.listen fd 64;
+      (fd, None)
+
+let start cfg =
+  (* A dead client must surface as EPIPE on write, not kill the server. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  match bind_listen cfg.addr with
+  | exception Failure msg -> Error msg
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Error
+        (Printf.sprintf "%s: %s(%s): %s"
+           (Fmt.str "%a" pp_addr cfg.addr)
+           fn arg (Unix.error_message e))
+  | listen_fd, sock_path ->
+      Unix.set_nonblock listen_fd;
+      let workers = max 1 cfg.workers in
+      let t =
+        {
+          cfg = { cfg with workers };
+          listen_fd;
+          conns = Bqueue.create ~capacity:(max 16 (2 * workers));
+          stopping = Atomic.make false;
+          accept_d = None;
+          workers_d = [];
+          mu = Mutex.create ();
+          st = { sessions = 0; events = 0; races = 0; errors = 0 };
+          sock_path;
+          stopped = false;
+        }
+      in
+      t.workers_d <-
+        List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+      t.accept_d <- Some (Domain.spawn (fun () -> accept_loop t));
+      Ok t
+
+let stop t =
+  if not t.stopped then begin
+    t.stopped <- true;
+    Atomic.set t.stopping true;
+    (match t.accept_d with Some d -> Domain.join d | None -> ());
+    (* Already-accepted connections stay in the queue and are drained:
+       every in-flight session flushes its report before we return. *)
+    Bqueue.close t.conns;
+    List.iter Domain.join t.workers_d;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    match t.sock_path with
+    | Some path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    | None -> ()
+  end;
+  stats t
+
+let serve cfg =
+  match start cfg with
+  | Error e -> Error e
+  | Ok t ->
+      let interrupted = Atomic.make false in
+      let handler = Sys.Signal_handle (fun _ -> Atomic.set interrupted true) in
+      (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ -> ());
+      (try Sys.set_signal Sys.sigint handler with Invalid_argument _ -> ());
+      while not (Atomic.get interrupted) do
+        Unix.sleepf 0.2
+      done;
+      Ok (stop t)

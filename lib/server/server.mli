@@ -1,0 +1,63 @@
+(** [Crd_server.Server] — the streaming ingestion service.
+
+    Every accepted connection is an independent {e online} RD2 session:
+    the client handshakes (choosing the specification set), streams a
+    {!Crd_wire.Codec} event stream, and receives the session's race
+    report back. Sessions are multiplexed over a fixed pool of OCaml 5
+    domains; within a session, a socket-reader thread decodes events
+    into a bounded {!Bqueue} drained by the analyzing worker, so a fast
+    client cannot grow server memory beyond the queue capacity
+    (backpressure propagates through the kernel socket buffer).
+
+    With [jobs > 1] a session records its events and analyzes them at
+    end-of-stream with {!Crd.Shard.analyze} over [jobs] domains instead
+    of stepping the analyzer online; the reported races are identical
+    by the shard-merge determinism invariant.
+
+    {!stop} (and SIGTERM/SIGINT under {!serve}) drains gracefully:
+    accepting stops, in-flight sessions run to completion and flush
+    their race reports to their clients before the server exits. *)
+
+open Crd
+
+type addr = Unix_sock of string | Tcp of string * int
+
+val addr_of_string : string -> (addr, string) result
+(** ["unix:PATH"] or ["tcp:HOST:PORT"]. *)
+
+val pp_addr : addr Fmt.t
+
+type config = {
+  addr : addr;
+  workers : int;  (** session-carrying domains (default {!Shard.recommended_jobs}) *)
+  queue_capacity : int;  (** per-connection event queue bound *)
+  idle_timeout : float;  (** seconds without client bytes before a session is dropped; 0 disables *)
+  analyzer : Analyzer.config;  (** detector set for every session *)
+  jobs : int;  (** > 1: record, then {!Shard.analyze} at end-of-stream *)
+  specs : Spec.t list option;  (** the ["custom"] handshake spec set, if loaded *)
+}
+
+val default_config : addr:addr -> config
+(** RD2 (constant mode) only, [Shard.recommended_jobs ()] workers,
+    queue capacity 1024, 30 s idle timeout, [jobs = 1]. *)
+
+type stats = {
+  sessions : int;  (** completed sessions *)
+  events : int;  (** events analyzed across all sessions *)
+  races : int;  (** RD2 races reported across all sessions *)
+  errors : int;  (** sessions dropped on protocol/decode/timeout errors *)
+}
+
+type t
+
+val start : config -> (t, string) result
+(** Bind, listen, and return once the accept loop is running. *)
+
+val stop : t -> stats
+(** Graceful drain: stop accepting, finish in-flight sessions (flushing
+    their reports), join every domain, release the socket. Idempotent. *)
+
+val stats : t -> stats
+
+val serve : config -> (stats, string) result
+(** {!start}, then block until SIGTERM or SIGINT, then {!stop}. *)

@@ -304,7 +304,30 @@ let parse text =
   in
   go 1 lines
 
+(* Channel input is streamed line-by-line: memory is O(longest line +
+   intern tables), never O(file). *)
+let iter_channel ic ~f =
+  let it = interner () in
+  let rec go lineno =
+    match In_channel.input_line ic with
+    | None -> Ok ()
+    | Some line -> (
+        match parse_line it line with
+        | None -> go (lineno + 1)
+        | Some e ->
+            f e;
+            go (lineno + 1)
+        | exception Err msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1
+
+let of_channel ic =
+  let trace = Trace.create () in
+  match iter_channel ic ~f:(Trace.append trace) with
+  | Ok () -> Ok trace
+  | Error e -> Error e
+
 let parse_file path =
-  match In_channel.with_open_text path In_channel.input_all with
-  | text -> parse text
+  match In_channel.with_open_text path of_channel with
+  | r -> r
   | exception Sys_error msg -> Error msg

@@ -24,4 +24,13 @@ val to_string : Trace.t -> string
 val parse : string -> (Trace.t, string) result
 (** Parse a whole trace from a string. Errors carry a line number. *)
 
+val iter_channel : in_channel -> f:(Event.t -> unit) -> (unit, string) result
+(** Stream events from a channel line-by-line, calling [f] on each;
+    memory stays O(longest line + intern tables) regardless of input
+    size. Stops at the first malformed line. *)
+
+val of_channel : in_channel -> (Trace.t, string) result
+
 val parse_file : string -> (Trace.t, string) result
+(** [of_channel] on the opened file: large traces are never loaded into
+    a single string. *)

@@ -1,0 +1,107 @@
+(** [Crd_wire.Codec] — the compact binary trace format.
+
+    A wire stream is a 5-byte header (magic ["CRDW"], version byte)
+    followed by length-framed chunks, terminated by a zero-length frame:
+
+    {v
+    stream  ::= "CRDW" version frame* end
+    frame   ::= varint(len>0) byte{len}
+    end     ::= varint(0)
+    v}
+
+    Frame payloads hold a sequence of records: string/object/lock
+    interning definitions and events. Every name (object, lock, method,
+    field, global, string value) is written once into a shared string
+    table and referenced by varint index afterwards, so long traces over
+    few objects cost a handful of bytes per event. Object and lock
+    definitions carry the original numeric identity, so decoding
+    reproduces the input trace up to structural equality ({!Event.equal}
+    holds event-for-event; objects that share an id keep the first
+    recorded name).
+
+    The encoder is incremental (events are appended to the current
+    chunk, flushed at a byte threshold) and the decoder is push-based:
+    feed it arbitrary byte slices and it returns the events completed so
+    far. Both run in O(chunk + intern tables) memory, never in O(trace).
+
+    The decoder is {e total}: on any input — truncated, corrupt, or
+    adversarial — it returns a typed {!error} and never raises. *)
+
+open Crd_trace
+
+val version : int
+(** Wire format version written by this encoder (currently 1). *)
+
+(** {1 Errors} *)
+
+type error =
+  | Bad_magic  (** input does not start with the ["CRDW"] magic *)
+  | Unsupported_version of int
+  | Truncated  (** input ended before the end-of-stream marker *)
+  | Corrupt of string  (** malformed record, reference, or framing *)
+
+val pp_error : error Fmt.t
+val error_to_string : error -> string
+
+(** {1 Incremental encoding} *)
+
+module Encoder : sig
+  type t
+
+  val create : ?chunk_bytes:int -> emit:(string -> unit) -> unit -> t
+  (** [create ~emit ()] writes the stream header immediately and then
+      calls [emit] once per flushed frame. [chunk_bytes] (default 32768)
+      is the flush threshold; a frame may exceed it by one record. *)
+
+  val event : t -> Event.t -> unit
+  (** Append one event (and any interning definitions it needs) to the
+      current chunk, flushing first if the chunk is full.
+      @raise Invalid_argument if the encoder is closed. *)
+
+  val flush : t -> unit
+  (** Emit the current chunk (if non-empty) as a frame. *)
+
+  val close : t -> unit
+  (** Flush, then emit the end-of-stream marker. Idempotent. *)
+end
+
+(** {1 Incremental decoding} *)
+
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> ?off:int -> ?len:int -> string -> (Event.t list, error) result
+  (** [feed t s] consumes the next slice of the stream and returns the
+      events completed by it, in trace order. Errors are sticky: after
+      an [Error _], every further call returns the same error. Input
+      past the end-of-stream marker is [Corrupt]. *)
+
+  val finished : t -> bool
+  (** The end-of-stream marker has been consumed. *)
+
+  val finish : t -> (unit, error) result
+  (** Declare end of input: [Ok ()] iff the stream was complete
+      (header, frames, end marker); [Error Truncated] otherwise. *)
+end
+
+(** {1 Whole-value convenience} *)
+
+val encode_trace : ?chunk_bytes:int -> Trace.t -> string
+val decode_string : string -> (Trace.t, error) result
+
+val write_channel : out_channel -> Trace.t -> unit
+val to_file : string -> Trace.t -> (unit, string) result
+
+val iter_channel : in_channel -> f:(Event.t -> unit) -> (unit, error) result
+(** Stream-decode a channel with a fixed 64 KiB read buffer, calling
+    [f] on each event as soon as its frame is complete. *)
+
+val of_channel : in_channel -> (Trace.t, error) result
+val of_file : string -> (Trace.t, string) result
+
+(** {1 Wire helpers} (shared with the server handshake) *)
+
+val add_varint : Buffer.t -> int -> unit
+(** LEB128 on OCaml's 63-bit ints (at most 9 bytes). *)

@@ -21,4 +21,6 @@ let () =
       Test_lockset.suite;
       Test_theorem52.suite;
       Test_mutation.suite;
+      Test_wire.suite;
+      Test_server.suite;
     ]

@@ -1,0 +1,161 @@
+(* End-to-end tests of the streaming ingestion service: a real server
+   on a Unix socket, real client connections, and the invariant that a
+   streamed session reports exactly the races of the offline analyzer
+   on the same trace. *)
+
+open Crd
+module Server = Crd_server.Server
+module Client = Crd_server.Client
+module W = Crd_workloads
+
+let sock_counter = ref 0
+
+let fresh_addr () =
+  incr sock_counter;
+  Server.Unix_sock
+    (Filename.concat
+       (Filename.get_temp_dir_name ())
+       (Printf.sprintf "crd-test-%d-%d.sock" (Unix.getpid ()) !sock_counter))
+
+let with_server ?(f_config = Fun.id) k =
+  let addr = fresh_addr () in
+  let config = f_config (Server.default_config ~addr) in
+  match Server.start config with
+  | Error e -> Alcotest.failf "server start: %s" e
+  | Ok server ->
+      Fun.protect ~finally:(fun () -> ignore (Server.stop server)) (fun () ->
+          k ~addr ~server)
+
+let snitch_trace () =
+  let trace = Trace.create () in
+  ignore (W.Snitch.run ~seed:1L ~sink:(Trace.append trace) ());
+  trace
+
+(* The offline reference: same analyzer configuration as the server's
+   default, race lines rendered exactly as the server renders them. *)
+let offline_race_lines trace =
+  let an =
+    Analyzer.with_stdspecs
+      ~config:
+        {
+          Analyzer.rd2 = `Constant;
+          direct = false;
+          fasttrack = false;
+          djit = false;
+          atomicity = false;
+        }
+      ()
+  in
+  Trace.iter_events trace ~f:(Analyzer.sink an);
+  List.map (fun r -> Fmt.str "%a" Report.pp r) (Analyzer.rd2_races an)
+
+let reply_race_lines reply =
+  String.split_on_char '\n' reply
+  |> List.filter (fun l -> String.length l > 0 && not (String.equal l "OK"))
+  |> List.filter (fun l ->
+         (* drop the summary block, keep the per-race lines *)
+         String.length l >= 4 && String.equal (String.sub l 0 4) "comm")
+
+let send_exn ~addr ?spec trace =
+  match Client.send_trace ~addr ?spec trace with
+  | Ok reply -> reply
+  | Error e -> Alcotest.failf "send: %s" e
+
+let races_match_offline () =
+  let trace = snitch_trace () in
+  let expected = offline_race_lines trace in
+  with_server (fun ~addr ~server:_ ->
+      let reply = send_exn ~addr trace in
+      Alcotest.(check bool)
+        "server reply accepted" true
+        (String.length reply >= 2 && String.equal (String.sub reply 0 2) "OK");
+      Alcotest.(check (list string))
+        "server races = offline races" expected (reply_race_lines reply))
+
+let races_match_offline_sharded () =
+  let trace = snitch_trace () in
+  let expected = offline_race_lines trace in
+  with_server
+    ~f_config:(fun c -> { c with Server.jobs = 2 })
+    (fun ~addr ~server:_ ->
+      let reply = send_exn ~addr trace in
+      Alcotest.(check (list string))
+        "jobs=2 server races = offline races" expected (reply_race_lines reply))
+
+(* A queue bound far below the trace length forces the backpressure
+   path (reader blocks, client write stalls on the socket buffer); the
+   session must still complete with identical results. *)
+let tiny_queue () =
+  let trace = snitch_trace () in
+  let expected = offline_race_lines trace in
+  with_server
+    ~f_config:(fun c -> { c with Server.queue_capacity = 4; workers = 1 })
+    (fun ~addr ~server:_ ->
+      let reply = send_exn ~addr trace in
+      Alcotest.(check (list string))
+        "queue=4 races = offline races" expected (reply_race_lines reply))
+
+let concurrent_clients () =
+  let trace = snitch_trace () in
+  let expected = offline_race_lines trace in
+  let n = 3 in
+  with_server (fun ~addr ~server ->
+      let replies = Array.make n (Error "never ran") in
+      let threads =
+        List.init n (fun i ->
+            Thread.create
+              (fun () -> replies.(i) <- Client.send_trace ~addr trace)
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Error e -> Alcotest.failf "client %d: %s" i e
+          | Ok reply ->
+              Alcotest.(check (list string))
+                (Printf.sprintf "client %d races" i)
+                expected (reply_race_lines reply))
+        replies;
+      let st = Server.stats server in
+      Alcotest.(check int) "sessions" n st.Server.sessions;
+      Alcotest.(check int) "events" (n * Trace.length trace) st.Server.events;
+      Alcotest.(check int) "errors" 0 st.Server.errors)
+
+let unknown_spec_rejected () =
+  let trace = snitch_trace () in
+  with_server (fun ~addr ~server ->
+      (match Client.send_trace ~addr ~spec:"no-such-set" trace with
+      | Ok reply -> Alcotest.failf "unknown spec accepted: %s" reply
+      | Error _ -> ());
+      (* The rejected handshake must not poison the server. *)
+      ignore (send_exn ~addr trace);
+      let st = Server.stats server in
+      Alcotest.(check int) "one completed session" 1 st.Server.sessions;
+      Alcotest.(check int) "one rejected session" 1 st.Server.errors)
+
+let stop_releases_socket () =
+  let addr = fresh_addr () in
+  let path = match addr with Server.Unix_sock p -> p | _ -> assert false in
+  (match Server.start (Server.default_config ~addr) with
+  | Error e -> Alcotest.failf "start: %s" e
+  | Ok server ->
+      ignore (send_exn ~addr (snitch_trace ()));
+      let st = Server.stop server in
+      Alcotest.(check int) "drained one session" 1 st.Server.sessions);
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists path);
+  match Client.send_trace ~addr (Trace.create ()) with
+  | Ok _ -> Alcotest.fail "connected to a stopped server"
+  | Error _ -> ()
+
+let suite =
+  ( "server",
+    [
+      Alcotest.test_case "races = offline check" `Quick races_match_offline;
+      Alcotest.test_case "races = offline (jobs=2)" `Quick
+        races_match_offline_sharded;
+      Alcotest.test_case "backpressure (queue=4)" `Quick tiny_queue;
+      Alcotest.test_case "concurrent clients" `Quick concurrent_clients;
+      Alcotest.test_case "unknown spec rejected" `Quick unknown_spec_rejected;
+      Alcotest.test_case "stop releases the socket" `Quick stop_releases_socket;
+    ] )

@@ -1,0 +1,194 @@
+(* The binary wire codec: round-trip identity (whole-string and
+   byte-at-a-time incremental decoding), and decoder totality — every
+   truncated or corrupted input yields a typed [Error _], never an
+   exception. *)
+
+open Crd
+module Gen = QCheck2.Gen
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let trace_gen =
+  Gen.oneof
+    [
+      Generators.dict_trace ~threads:3 ~objects:2 ~len:60;
+      Generators.rw_trace ~threads:3 ~len:60;
+    ]
+
+(* One handwritten trace covering every event kind, location shape, and
+   value tag (including a negative int, which exercises zigzag). *)
+let sample_trace () =
+  let t = Trace.create () in
+  let d = Obj_id.make ~name:"dictionary:d" 0 in
+  let s = Obj_id.make ~name:"set:s" 7 in
+  let l = Lock_id.make 3 in
+  let t0 = Tid.of_int 0 and t1 = Tid.of_int 1 in
+  Trace.append t (Event.fork t0 t1);
+  Trace.append t (Event.acquire t1 l);
+  Trace.append t
+    (Event.call t1
+       (Action.make ~obj:d ~meth:"put"
+          ~args:[ Value.Str "key"; Value.Int (-42) ]
+          ~rets:[ Value.Nil ] ()));
+  Trace.append t
+    (Event.call t0
+       (Action.make ~obj:s ~meth:"add"
+          ~args:[ Value.Ref 9 ]
+          ~rets:[ Value.Bool true ] ()));
+  Trace.append t (Event.release t1 l);
+  Trace.append t (Event.begin_ t0);
+  Trace.append t (Event.read t0 (Mem_loc.Global "g"));
+  Trace.append t (Event.write t1 (Mem_loc.Field (d, "f")));
+  Trace.append t (Event.read t1 (Mem_loc.Slot (s, "slot", Value.Int 3)));
+  Trace.append t (Event.end_ t0);
+  Trace.append t (Event.join t0 t1);
+  t
+
+let decode_exn what s =
+  match Wire.decode_string s with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "%s: decode failed: %a" what Wire.pp_error e
+
+(* Feed the decoder one byte at a time; events must come out identical
+   and the decoder must report a finished stream. *)
+let decode_bytewise s =
+  let d = Wire.Decoder.create () in
+  let events = ref [] in
+  let err = ref None in
+  String.iteri
+    (fun i _ ->
+      if !err = None then
+        match Wire.Decoder.feed d ~off:i ~len:1 s with
+        | Ok evs -> events := List.rev_append evs !events
+        | Error e -> err := Some e)
+    s;
+  match !err with
+  | Some e -> Error e
+  | None -> (
+      match Wire.Decoder.finish d with
+      | Ok () -> Ok (List.rev !events)
+      | Error e -> Error e)
+
+let roundtrip_sample () =
+  let t = sample_trace () in
+  let bin = Wire.encode_trace t in
+  Alcotest.(check bool)
+    "decode (encode t) = t" true
+    (Trace.to_list (decode_exn "sample" bin) = Trace.to_list t)
+
+let roundtrip_tiny_chunks () =
+  let t = sample_trace () in
+  (* A tiny flush threshold forces many frames; the stream must still
+     decode to the same trace. *)
+  let bin = Wire.encode_trace ~chunk_bytes:16 t in
+  Alcotest.(check bool)
+    "multi-frame round trip" true
+    (Trace.to_list (decode_exn "tiny chunks" bin) = Trace.to_list t)
+
+let empty_trace () =
+  let t = Trace.create () in
+  Alcotest.(check int)
+    "empty trace round trip" 0
+    (Trace.length (decode_exn "empty" (Wire.encode_trace t)))
+
+let empty_input () =
+  match Wire.decode_string "" with
+  | Error Wire.Truncated -> ()
+  | Error e -> Alcotest.failf "expected Truncated, got %a" Wire.pp_error e
+  | Ok _ -> Alcotest.fail "empty input decoded"
+
+let bad_magic () =
+  match Wire.decode_string "XRDW\x01\x00" with
+  | Error Wire.Bad_magic -> ()
+  | Error e -> Alcotest.failf "expected Bad_magic, got %a" Wire.pp_error e
+  | Ok _ -> Alcotest.fail "bad magic decoded"
+
+let bad_version () =
+  match Wire.decode_string "CRDW\x07\x00" with
+  | Error (Wire.Unsupported_version 7) -> ()
+  | Error e -> Alcotest.failf "expected Unsupported_version 7, got %a" Wire.pp_error e
+  | Ok _ -> Alcotest.fail "future version decoded"
+
+let trailing_garbage () =
+  let bin = Wire.encode_trace (sample_trace ()) ^ "junk" in
+  match Wire.decode_string bin with
+  | Error (Wire.Corrupt _) -> ()
+  | Error e -> Alcotest.failf "expected Corrupt, got %a" Wire.pp_error e
+  | Ok _ -> Alcotest.fail "input past end-of-stream decoded"
+
+(* Every strict prefix of a valid stream is an error — no prefix may
+   silently pass for the whole trace — and byte-at-a-time feeding of the
+   full stream reproduces it exactly. *)
+let all_prefixes_truncated () =
+  let bin = Wire.encode_trace (sample_trace ()) in
+  for cut = 0 to String.length bin - 1 do
+    match Wire.decode_string (String.sub bin 0 cut) with
+    | Ok _ -> Alcotest.failf "prefix of %d/%d bytes decoded" cut (String.length bin)
+    | Error _ -> ()
+  done
+
+let bytewise_equals_whole () =
+  let t = sample_trace () in
+  let bin = Wire.encode_trace t in
+  match decode_bytewise bin with
+  | Error e -> Alcotest.failf "bytewise decode failed: %a" Wire.pp_error e
+  | Ok events ->
+      Alcotest.(check bool) "bytewise = whole" true (events = Trace.to_list t)
+
+(* Exhaustive single-bit-flip fuzz over the sample stream: the decoder
+   must stay total (typed errors only) on every 1-bit corruption. *)
+let bit_flips_total () =
+  let bin = Wire.encode_trace (sample_trace ()) in
+  let b = Bytes.of_string bin in
+  for i = 0 to Bytes.length b - 1 do
+    for bit = 0 to 7 do
+      let orig = Bytes.get b i in
+      Bytes.set b i (Char.chr (Char.code orig lxor (1 lsl bit)));
+      (match Wire.decode_string (Bytes.to_string b) with
+      | Ok _ | Error _ -> ());
+      Bytes.set b i orig
+    done
+  done
+
+let suite =
+  ( "wire",
+    [
+      Alcotest.test_case "sample round trip" `Quick roundtrip_sample;
+      Alcotest.test_case "multi-frame round trip" `Quick roundtrip_tiny_chunks;
+      Alcotest.test_case "empty trace" `Quick empty_trace;
+      Alcotest.test_case "empty input" `Quick empty_input;
+      Alcotest.test_case "bad magic" `Quick bad_magic;
+      Alcotest.test_case "future version" `Quick bad_version;
+      Alcotest.test_case "trailing garbage" `Quick trailing_garbage;
+      Alcotest.test_case "all prefixes truncated" `Quick all_prefixes_truncated;
+      Alcotest.test_case "bytewise = whole" `Quick bytewise_equals_whole;
+      Alcotest.test_case "bit flips stay total" `Quick bit_flips_total;
+      qcheck "decode (encode t) = t" trace_gen (fun trace ->
+          match Wire.decode_string (Wire.encode_trace trace) with
+          | Ok t -> Trace.to_list t = Trace.to_list trace
+          | Error _ -> false);
+      qcheck "incremental decode = whole decode" trace_gen (fun trace ->
+          match decode_bytewise (Wire.encode_trace trace) with
+          | Ok events -> events = Trace.to_list trace
+          | Error _ -> false);
+      qcheck "strict prefixes are errors"
+        Gen.(pair trace_gen (int_range 0 max_int))
+        (fun (trace, n) ->
+          let bin = Wire.encode_trace trace in
+          let cut = n mod String.length bin in
+          Result.is_error (Wire.decode_string (String.sub bin 0 cut)));
+      qcheck "bit flips never raise"
+        Gen.(triple trace_gen (int_range 0 max_int) (int_range 0 7))
+        (fun (trace, n, bit) ->
+          let b = Bytes.of_string (Wire.encode_trace trace) in
+          let i = n mod Bytes.length b in
+          Bytes.set b i
+            (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+          match Wire.decode_string (Bytes.to_string b) with
+          | Ok _ | Error _ -> true);
+      qcheck "random bytes never raise" ~count:500
+        Gen.(string_size ~gen:char (int_range 0 120))
+        (fun s ->
+          match Wire.decode_string s with Ok _ | Error _ -> true);
+    ] )
