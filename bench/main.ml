@@ -259,7 +259,15 @@ let trace_records ~jobs =
       let s =
         match seq.Shard.rd2_stats with
         | Some s -> s
-        | None -> { Rd2.actions = 0; lookups = 0; races = 0; same_epoch = 0 }
+        | None ->
+            {
+              Rd2.actions = 0;
+              lookups = 0;
+              races = 0;
+              same_epoch = 0;
+              promotions = 0;
+              deflations = 0;
+            }
       in
       {
         tr_name = name;
@@ -599,6 +607,10 @@ let () =
     (per_s server_events server_ns);
   write_json ~path:out ~jobs ~benchmarks ~traces ~codec ~server;
   Fmt.pr "@.results written to %s (jobs=%d)@." out jobs;
+  if Array.exists (String.equal "--stats") Sys.argv then begin
+    Fmt.pr "@.## Metrics registry after this run@.@.";
+    print_string (Crd_obs.dump ())
+  end;
   match compare_path with
   | None -> ()
   | Some prev_path -> (

@@ -30,15 +30,15 @@ let load_trace format path =
   | `Text -> Trace_text.parse_file path
   | `Bin -> Wire.of_file path
 
+let addr_conv =
+  Arg.conv
+    ( (fun s ->
+        match Crd_server.Server.addr_of_string s with
+        | Ok a -> Ok a
+        | Error e -> Error (`Msg e)),
+      Crd_server.Server.pp_addr )
+
 let addr_arg =
-  let addr_conv =
-    Arg.conv
-      ( (fun s ->
-          match Crd_server.Server.addr_of_string s with
-          | Ok a -> Ok a
-          | Error e -> Error (`Msg e)),
-        Crd_server.Server.pp_addr )
-  in
   Arg.(
     required
     & opt (some addr_conv) None
@@ -175,8 +175,17 @@ let check_cmd =
              memory location after one sequential happens-before pass). \
              Reports are identical to the sequential run.")
   in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "After the report, dump the process metrics registry \
+             (counters/histograms) in Prometheus text format.")
+  in
   let run trace_file spec_file format mode direct fasttrack atomicity verbose
-      jobs =
+      jobs stats =
+    let dump_stats () = if stats then print_string (Crd_obs.dump ()) in
     let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
     let* specs =
       match spec_file with
@@ -208,12 +217,14 @@ let check_cmd =
           (fun v -> Fmt.pr "%a@." Atomicity.pp_violation v)
           res.Shard.atomicity_violations
       end;
+      dump_stats ();
       `Ok ()
     end
     else begin
       let* an = Analyzer.create ~config ~spec_for () in
       (try Analyzer.run_trace an trace
        with Invalid_argument e -> failwith e);
+      Analyzer.publish_stats an;
       Fmt.pr "%a@." Analyzer.pp_summary an;
       if verbose then begin
         List.iter (fun r -> Fmt.pr "%a@." Report.pp r) (Analyzer.rd2_races an);
@@ -224,6 +235,7 @@ let check_cmd =
           (fun v -> Fmt.pr "%a@." Atomicity.pp_violation v)
           (Analyzer.atomicity_violations an)
       end;
+      dump_stats ();
       `Ok ()
     end
   in
@@ -233,7 +245,7 @@ let check_cmd =
     Term.(
       ret
         (const run $ trace_file $ spec_arg $ format_arg $ mode $ direct
-       $ fasttrack $ atomicity $ verbose $ jobs))
+       $ fasttrack $ atomicity $ verbose $ jobs $ stats_flag))
 
 
 (* ------------------------------------------------------------------ *)
@@ -580,7 +592,43 @@ let serve_cmd =
             "With $(docv) > 1, record each session and analyze it at \
              end-of-stream over $(docv) domains (identical reports).")
   in
-  let run addr workers queue idle spec_file direct fasttrack atomicity jobs =
+  let metrics =
+    Arg.(
+      value
+      & opt (some addr_conv) None
+      & info [ "metrics" ] ~docv:"ADDR"
+          ~doc:
+            "Expose the metrics registry on this address (unix:PATH or \
+             tcp:HOST:PORT): every connection receives one Prometheus-style \
+             text dump.")
+  in
+  let log_level =
+    let level_conv =
+      Arg.conv
+        ( (fun s ->
+            match Crd_obs.Log.level_of_string s with
+            | Ok l -> Ok l
+            | Error e -> Error (`Msg e)),
+          fun ppf l ->
+            Fmt.string ppf
+              (match l with
+              | None -> "off"
+              | Some Crd_obs.Log.Error -> "error"
+              | Some Crd_obs.Log.Warn -> "warn"
+              | Some Crd_obs.Log.Info -> "info"
+              | Some Crd_obs.Log.Debug -> "debug") )
+    in
+    Arg.(
+      value
+      & opt level_conv None
+      & info [ "log" ] ~docv:"LEVEL"
+          ~doc:
+            "Structured logging to stderr at this level (off, error, warn, \
+             info, debug). Default: off.")
+  in
+  let run addr workers queue idle spec_file direct fasttrack atomicity jobs
+      metrics log_level =
+    Crd_obs.Log.set_level log_level;
     let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
     let* specs =
       match spec_file with
@@ -599,13 +647,18 @@ let serve_cmd =
           { default.Crd_server.Server.analyzer with direct; fasttrack; atomicity };
         jobs;
         specs;
+        metrics_addr = metrics;
       }
     in
     Fmt.epr "rd2 serve: listening on %a@." Crd_server.Server.pp_addr addr;
+    (match metrics with
+    | Some a -> Fmt.epr "rd2 serve: metrics on %a@." Crd_server.Server.pp_addr a
+    | None -> ());
     let* st = Crd_server.Server.serve config in
-    Fmt.pr "sessions %d  events %d  races %d  errors %d@."
+    Fmt.pr "sessions %d  events %d  races %d  errors %d  accept_errors %d@."
       st.Crd_server.Server.sessions st.Crd_server.Server.events
-      st.Crd_server.Server.races st.Crd_server.Server.errors;
+      st.Crd_server.Server.races st.Crd_server.Server.errors
+      st.Crd_server.Server.accept_errors;
     `Ok ()
   in
   Cmd.v
@@ -617,7 +670,7 @@ let serve_cmd =
     Term.(
       ret
         (const run $ addr_arg $ workers $ queue $ idle $ spec_arg $ direct
-       $ fasttrack $ atomicity $ jobs))
+       $ fasttrack $ atomicity $ jobs $ metrics $ log_level))
 
 (* ------------------------------------------------------------------ *)
 (* send                                                                *)

@@ -30,6 +30,7 @@ type t = {
   djit : Djit.t option;
   atomicity : Crd_atomicity.Atomicity.t option;
   mutable events : int;
+  mutable published : bool;
 }
 
 let create ?(config = default_config) ~spec_for () =
@@ -87,6 +88,7 @@ let create ?(config = default_config) ~spec_for () =
       djit = (if config.djit then Some (Djit.create ()) else None);
       atomicity;
       events = 0;
+      published = false;
     }
 
 let with_stdspecs ?config () =
@@ -106,6 +108,7 @@ let with_stdspecs ?config () =
 let step t (e : Event.t) =
   let index = t.events in
   t.events <- index + 1;
+  Crd_obs.Counter.incr Metrics.events_total;
   let vc = Hb.step t.hb e in
   (match t.atomicity with
   | Some a -> ignore (Crd_atomicity.Atomicity.step a ~index e)
@@ -150,6 +153,14 @@ let fasttrack_races t =
 
 let fasttrack_stats t = Option.map Fasttrack.stats t.fasttrack
 let djit_races t = match t.djit with Some d -> Djit.races d | None -> []
+
+let publish_stats t =
+  if not t.published then begin
+    t.published <- true;
+    match t.rd2 with
+    | Some d -> Metrics.publish_rd2 (Rd2.stats d)
+    | None -> ()
+  end
 
 let atomicity_violations t =
   match t.atomicity with

@@ -54,6 +54,14 @@ val run_trace : t -> Trace.t -> unit
 val events : t -> int
 (** Events processed. *)
 
+val publish_stats : t -> unit
+(** Fold this analyzer's RD2 counters into the process-wide
+    {!Crd_obs.default} registry ([rd2_actions_total],
+    [rd2_same_epoch_total], [rd2_promotions_total], [rd2_races_total],
+    ...). Call once when the session is over; further calls are
+    no-ops, so totals are never double counted. Events are counted
+    into [analyzer_events_total] live by {!step} regardless. *)
+
 val rd2_races : t -> Report.t list
 val rd2_stats : t -> Rd2.stats option
 val direct_races : t -> Report.t list

@@ -1,0 +1,50 @@
+(* Process-wide analysis-pipeline metrics (internal to [crd]).
+
+   Counter updates are one uncontended fetch_and_add; everything heavier
+   (summaries, histograms) happens once per run, not per event, so the
+   Table 2 overhead numbers stay honest. *)
+
+let events_total =
+  Crd_obs.counter ~help:"Events stepped through analyzers and shard passes"
+    "analyzer_events_total"
+
+let rd2_actions_total =
+  Crd_obs.counter ~help:"Call actions processed by RD2" "rd2_actions_total"
+
+let rd2_lookups_total =
+  Crd_obs.counter ~help:"Phase-1 conflict-candidate inspections"
+    "rd2_lookups_total"
+
+let rd2_same_epoch_total =
+  Crd_obs.counter ~help:"Actions short-circuited by the same-epoch cache"
+    "rd2_same_epoch_total"
+
+let rd2_promotions_total =
+  Crd_obs.counter ~help:"Entries promoted from epoch to component clock"
+    "rd2_promotions_total"
+
+let rd2_deflations_total =
+  Crd_obs.counter ~help:"Entries demoted back from component clock to epoch"
+    "rd2_deflations_total"
+
+let rd2_races_total =
+  Crd_obs.counter ~help:"Commutativity races reported by RD2" "rd2_races_total"
+
+let publish_rd2 (s : Crd_detector.Rd2.stats) =
+  Crd_obs.Counter.add rd2_actions_total s.Crd_detector.Rd2.actions;
+  Crd_obs.Counter.add rd2_lookups_total s.Crd_detector.Rd2.lookups;
+  Crd_obs.Counter.add rd2_same_epoch_total s.Crd_detector.Rd2.same_epoch;
+  Crd_obs.Counter.add rd2_promotions_total s.Crd_detector.Rd2.promotions;
+  Crd_obs.Counter.add rd2_deflations_total s.Crd_detector.Rd2.deflations;
+  Crd_obs.Counter.add rd2_races_total s.Crd_detector.Rd2.races
+
+let shard_runs_total =
+  Crd_obs.counter ~help:"Sharded offline analyses completed"
+    "shard_runs_total"
+
+let shard_wall_seconds =
+  Crd_obs.histogram ~help:"Per-shard detector wall time" "shard_wall_seconds"
+
+let shard_merge_seconds =
+  Crd_obs.histogram ~help:"Deterministic report-merge wall time"
+    "shard_merge_seconds"

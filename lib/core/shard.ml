@@ -102,6 +102,8 @@ let sum_rd2_stats = function
           lookups = s0.Rd2.lookups;
           races = s0.Rd2.races;
           same_epoch = s0.Rd2.same_epoch;
+          promotions = s0.Rd2.promotions;
+          deflations = s0.Rd2.deflations;
         }
       in
       List.iter
@@ -109,7 +111,9 @@ let sum_rd2_stats = function
           acc.Rd2.actions <- acc.Rd2.actions + s.Rd2.actions;
           acc.Rd2.lookups <- acc.Rd2.lookups + s.Rd2.lookups;
           acc.Rd2.races <- acc.Rd2.races + s.Rd2.races;
-          acc.Rd2.same_epoch <- acc.Rd2.same_epoch + s.Rd2.same_epoch)
+          acc.Rd2.same_epoch <- acc.Rd2.same_epoch + s.Rd2.same_epoch;
+          acc.Rd2.promotions <- acc.Rd2.promotions + s.Rd2.promotions;
+          acc.Rd2.deflations <- acc.Rd2.deflations + s.Rd2.deflations)
         rest;
       Some acc
 
@@ -227,21 +231,21 @@ let analyze ?(jobs = 1) ?(config = Analyzer.default_config) ~spec_for trace =
       let repr_ro o = Option.join (Hashtbl.find_opt reprs_by_obj (Obj_id.id o)) in
       let spec_ro o = Option.join (Hashtbl.find_opt specs_by_obj (Obj_id.id o)) in
       (* -------- parallel pass: one detector set per shard ------------ *)
+      let timed_shard items () =
+        Crd_obs.time Metrics.shard_wall_seconds (fun () ->
+            run_shard config ~repr_for:repr_ro ~spec_for:spec_ro items)
+      in
       let outs =
-        if n = 1 then
-          [| run_shard config ~repr_for:repr_ro ~spec_for:spec_ro shards.(0) |]
+        if n = 1 then [| timed_shard shards.(0) () |]
         else
           Array.map Domain.join
-            (Array.map
-               (fun items ->
-                 Domain.spawn (fun () ->
-                     run_shard config ~repr_for:repr_ro ~spec_for:spec_ro items))
-               shards)
+            (Array.map (fun items -> Domain.spawn (timed_shard items)) shards)
       in
       let outs = Array.to_list outs in
       let collect f = List.map f outs in
       let stats_of f = List.filter_map f outs in
-      Ok
+      let merge_span = Crd_obs.Span.start Metrics.shard_merge_seconds in
+      let result =
         {
           events = Trace.length trace;
           shards = n;
@@ -269,6 +273,12 @@ let analyze ?(jobs = 1) ?(config = Analyzer.default_config) ~spec_for trace =
             | Some a -> Crd_atomicity.Atomicity.violations a
             | None -> []);
         }
+      in
+      Crd_obs.Span.finish merge_span;
+      Crd_obs.Counter.add Metrics.events_total result.events;
+      Crd_obs.Counter.incr Metrics.shard_runs_total;
+      Option.iter Metrics.publish_rd2 result.rd2_stats;
+      Ok result
 
 let pp_summary ppf r =
   Fmt.pf ppf "@[<v>events: %d (%d shard%s)@," r.events r.shards

@@ -11,6 +11,8 @@ type stats = {
   mutable lookups : int;
   mutable races : int;
   mutable same_epoch : int;
+  mutable promotions : int;
+  mutable deflations : int;
 }
 
 (* Adaptive clock metadata, mirroring FastTrack's read-epoch/read-VC
@@ -64,7 +66,15 @@ let create ?(mode = `Constant) ~repr_for () =
     mode;
     repr_for;
     objects = Hashtbl.create 64;
-    stats = { actions = 0; lookups = 0; races = 0; same_epoch = 0 };
+    stats =
+      {
+        actions = 0;
+        lookups = 0;
+        races = 0;
+        same_epoch = 0;
+        promotions = 0;
+        deflations = 0;
+      };
     reports = [];
   }
 
@@ -198,6 +208,7 @@ let on_action t ~index tid (action : Action.t) vc =
                     Vclock.set c entry.ep_tid entry.ep_clock;
                     Vclock.set c tid own;
                     entry.evc <- Some c;
+                    t.stats.promotions <- t.stats.promotions + 1;
                     bump ()
                   end
               | Some c ->
@@ -208,6 +219,7 @@ let on_action t ~index tid (action : Action.t) vc =
                     entry.evc <- None;
                     entry.ep_tid <- tid;
                     entry.ep_clock <- own;
+                    t.stats.deflations <- t.stats.deflations + 1;
                     bump ()
                   end
                   else begin

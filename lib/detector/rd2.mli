@@ -41,6 +41,12 @@ type stats = {
   mutable races : int;  (** reports emitted *)
   mutable same_epoch : int;
       (** actions whose phase 1 was skipped by the same-epoch cache *)
+  mutable promotions : int;
+      (** entries inflated from a scalar epoch to a component clock on
+          their first concurrent toucher *)
+  mutable deflations : int;
+      (** component clocks demoted back to a scalar epoch once a toucher
+          dominated every past component *)
 }
 
 type t

@@ -1,0 +1,283 @@
+(* Plain stdlib + unix: Atomic counters so hot paths never take a lock,
+   a mutex only around registry name lookup (cold path). *)
+
+module Counter = struct
+  type t = { name : string; help : string; v : int Atomic.t }
+
+  let make ~name ~help = { name; help; v = Atomic.make 0 }
+  let incr t = ignore (Atomic.fetch_and_add t.v 1)
+  let add t n = if n > 0 then ignore (Atomic.fetch_and_add t.v n)
+  let get t = Atomic.get t.v
+  let name t = t.name
+end
+
+module Gauge = struct
+  type t = { name : string; help : string; v : int Atomic.t }
+
+  let make ~name ~help = { name; help; v = Atomic.make 0 }
+  let set t n = Atomic.set t.v n
+  let add t n = ignore (Atomic.fetch_and_add t.v n)
+  let incr t = add t 1
+  let decr t = add t (-1)
+
+  let rec set_max t n =
+    let cur = Atomic.get t.v in
+    if n > cur && not (Atomic.compare_and_set t.v cur n) then set_max t n
+
+  let get t = Atomic.get t.v
+  let name t = t.name
+end
+
+let default_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 5e-3; 2.5e-2; 0.1; 0.5; 1.; 5.; 30. |]
+
+module Histogram = struct
+  (* The sum accumulates in integer nanounits so that concurrent
+     observers need only fetch_and_add; exact to 1e-9 which is far
+     below timer resolution anyway. *)
+  type t = {
+    name : string;
+    help : string;
+    bounds : float array;  (* strictly increasing upper bounds *)
+    counts : int Atomic.t array;  (* length bounds + 1; last is +Inf *)
+    total : int Atomic.t;
+    sum_nano : int Atomic.t;
+  }
+
+  let make ~name ~help ~buckets =
+    Array.iteri
+      (fun i b ->
+        if i > 0 && b <= buckets.(i - 1) then
+          invalid_arg ("Crd_obs.Histogram: buckets not increasing: " ^ name))
+      buckets;
+    {
+      name;
+      help;
+      bounds = Array.copy buckets;
+      counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+      total = Atomic.make 0;
+      sum_nano = Atomic.make 0;
+    }
+
+  let observe t v =
+    let v = if v < 0. then 0. else v in
+    let n = Array.length t.bounds in
+    let i = ref 0 in
+    while !i < n && v > t.bounds.(!i) do
+      incr i
+    done;
+    ignore (Atomic.fetch_and_add t.counts.(!i) 1);
+    ignore (Atomic.fetch_and_add t.total 1);
+    ignore (Atomic.fetch_and_add t.sum_nano (int_of_float (v *. 1e9)))
+
+  let count t = Atomic.get t.total
+  let sum t = float_of_int (Atomic.get t.sum_nano) *. 1e-9
+  let name t = t.name
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type metric =
+  | C of Counter.t
+  | G of Gauge.t
+  | H of Histogram.t
+
+module Registry = struct
+  type t = { mu : Mutex.t; tbl : (string, metric) Hashtbl.t }
+
+  let create () = { mu = Mutex.create (); tbl = Hashtbl.create 64 }
+
+  let locked t f =
+    Mutex.lock t.mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+  let register t name found create =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl name with
+        | Some m -> (
+            match found m with
+            | Some v -> v
+            | None ->
+                invalid_arg
+                  ("Crd_obs.Registry: " ^ name
+                 ^ " is already registered as a different metric kind"))
+        | None ->
+            let v, m = create () in
+            Hashtbl.add t.tbl name m;
+            v)
+
+  let counter ?(help = "") t name =
+    register t name
+      (function C c -> Some c | _ -> None)
+      (fun () ->
+        let c = Counter.make ~name ~help in
+        (c, C c))
+
+  let gauge ?(help = "") t name =
+    register t name
+      (function G g -> Some g | _ -> None)
+      (fun () ->
+        let g = Gauge.make ~name ~help in
+        (g, G g))
+
+  let histogram ?(help = "") ?(buckets = default_buckets) t name =
+    register t name
+      (function H h -> Some h | _ -> None)
+      (fun () ->
+        let h = Histogram.make ~name ~help ~buckets in
+        (h, H h))
+
+  (* Prometheus text exposition. Buckets are cumulative; the float
+     format keeps small durations readable without scientific noise. *)
+  let dump t =
+    let metrics =
+      locked t (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) t.tbl [])
+    in
+    let mname = function
+      | C c -> c.Counter.name
+      | G g -> g.Gauge.name
+      | H h -> h.Histogram.name
+    in
+    let metrics =
+      List.sort (fun a b -> String.compare (mname a) (mname b)) metrics
+    in
+    let b = Buffer.create 1024 in
+    let header name help kind =
+      if help <> "" then Buffer.add_string b ("# HELP " ^ name ^ " " ^ help ^ "\n");
+      Buffer.add_string b ("# TYPE " ^ name ^ " " ^ kind ^ "\n")
+    in
+    let fnum v =
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Printf.sprintf "%.0f" v
+      else Printf.sprintf "%.9g" v
+    in
+    List.iter
+      (fun m ->
+        match m with
+        | C c ->
+            header c.Counter.name c.Counter.help "counter";
+            Buffer.add_string b
+              (Printf.sprintf "%s %d\n" c.Counter.name (Counter.get c))
+        | G g ->
+            header g.Gauge.name g.Gauge.help "gauge";
+            Buffer.add_string b
+              (Printf.sprintf "%s %d\n" g.Gauge.name (Gauge.get g))
+        | H h ->
+            header h.Histogram.name h.Histogram.help "histogram";
+            let cumulative = ref 0 in
+            Array.iteri
+              (fun i bound ->
+                cumulative :=
+                  !cumulative + Atomic.get h.Histogram.counts.(i);
+                Buffer.add_string b
+                  (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" h.Histogram.name
+                     (fnum bound) !cumulative))
+              h.Histogram.bounds;
+            Buffer.add_string b
+              (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" h.Histogram.name
+                 (Histogram.count h));
+            Buffer.add_string b
+              (Printf.sprintf "%s_sum %.9f\n" h.Histogram.name (Histogram.sum h));
+            Buffer.add_string b
+              (Printf.sprintf "%s_count %d\n" h.Histogram.name
+                 (Histogram.count h)))
+      metrics;
+    Buffer.contents b
+end
+
+let default = Registry.create ()
+let counter ?help name = Registry.counter ?help default name
+let gauge ?help name = Registry.gauge ?help default name
+let histogram ?help ?buckets name = Registry.histogram ?help ?buckets default name
+let dump () = Registry.dump default
+
+(* ------------------------------------------------------------------ *)
+(* Timers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* gettimeofday clamped to never step backwards: the stdlib has no
+   monotonic clock and this layer takes no C stubs. *)
+let last_now = Atomic.make 0.
+
+let rec now_s () =
+  let t = Unix.gettimeofday () in
+  let prev = Atomic.get last_now in
+  if t >= prev then if Atomic.compare_and_set last_now prev t then t else now_s ()
+  else prev
+
+module Span = struct
+  type t = { h : Histogram.t; t0 : float }
+
+  let start h = { h; t0 = now_s () }
+  let elapsed_s s = now_s () -. s.t0
+  let finish s = Histogram.observe s.h (elapsed_s s)
+end
+
+let time h f =
+  let s = Span.start h in
+  Fun.protect ~finally:(fun () -> Span.finish s) f
+
+(* ------------------------------------------------------------------ *)
+(* Logging                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Log = struct
+  type level = Error | Warn | Info | Debug
+
+  let severity = function Error -> 3 | Warn -> 2 | Info -> 1 | Debug -> 0
+  let level_name = function
+    | Error -> "error"
+    | Warn -> "warn"
+    | Info -> "info"
+    | Debug -> "debug"
+
+  let current : level option Atomic.t = Atomic.make None
+  let set_level l = Atomic.set current l
+  let level () = Atomic.get current
+
+  let enabled l =
+    match Atomic.get current with
+    | None -> false
+    | Some min -> severity l >= severity min
+
+  let level_of_string = function
+    | "off" | "none" -> Ok None
+    | "error" -> Ok (Some Error)
+    | "warn" | "warning" -> Ok (Some Warn)
+    | "info" -> Ok (Some Info)
+    | "debug" -> Ok (Some Debug)
+    | s -> Error (Printf.sprintf "unknown log level %S" s)
+
+  let needs_quoting v =
+    v = ""
+    || String.exists
+         (fun c -> c = ' ' || c = '"' || c = '=' || c = '\n' || c = '\t')
+         v
+
+  let add_kv b (k, v) =
+    Buffer.add_char b ' ';
+    Buffer.add_string b k;
+    Buffer.add_char b '=';
+    if needs_quoting v then Buffer.add_string b (Printf.sprintf "%S" v)
+    else Buffer.add_string b v
+
+  let msg lvl event kvs =
+    if enabled lvl then begin
+      let b = Buffer.create 128 in
+      Buffer.add_string b (Printf.sprintf "ts=%.6f" (Unix.gettimeofday ()));
+      add_kv b ("level", level_name lvl);
+      add_kv b ("event", event);
+      List.iter (add_kv b) kvs;
+      Buffer.add_char b '\n';
+      (* One write call: concurrent loggers never interleave mid-line. *)
+      output_string stderr (Buffer.contents b);
+      flush stderr
+    end
+
+  let err event kvs = msg Error event kvs
+  let warn event kvs = msg Warn event kvs
+  let info event kvs = msg Info event kvs
+  let debug event kvs = msg Debug event kvs
+end

@@ -26,6 +26,7 @@ let pp_addr ppf = function
 
 type config = {
   addr : addr;
+  metrics_addr : addr option;
   workers : int;
   queue_capacity : int;
   idle_timeout : float;
@@ -46,6 +47,7 @@ let default_analyzer =
 let default_config ~addr =
   {
     addr;
+    metrics_addr = None;
     workers = Shard.recommended_jobs ();
     queue_capacity = 1024;
     idle_timeout = 30.;
@@ -54,7 +56,89 @@ let default_config ~addr =
     specs = None;
   }
 
-type stats = { sessions : int; events : int; races : int; errors : int }
+type stats = {
+  sessions : int;
+  events : int;
+  races : int;
+  errors : int;
+  accept_errors : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Metrics (process-wide registry, see Crd_obs)                        *)
+(* ------------------------------------------------------------------ *)
+
+let m_accepted =
+  Crd_obs.counter ~help:"Connections accepted" "server_accepted_total"
+
+let m_sessions =
+  Crd_obs.counter ~help:"Sessions completed, error sessions included"
+    "server_sessions_total"
+
+let m_active =
+  Crd_obs.gauge ~help:"Sessions currently in flight" "server_sessions_active"
+
+let m_rejected =
+  Crd_obs.counter ~help:"Sessions rejected at the handshake"
+    "server_rejected_total"
+
+let m_accept_errors =
+  Crd_obs.counter ~help:"Transient accept() failures survived with backoff"
+    "server_accept_errors_total"
+
+let m_errors =
+  Crd_obs.counter ~help:"Sessions that ended in an error"
+    "server_errors_total"
+
+let m_events =
+  Crd_obs.counter ~help:"Events analyzed across all sessions"
+    "server_events_total"
+
+let m_races =
+  Crd_obs.counter ~help:"RD2 races reported across all sessions"
+    "server_races_total"
+
+let m_conn_queue_hw =
+  Crd_obs.gauge ~help:"High-water of the accepted-connection queue"
+    "server_conn_queue_depth_hw"
+
+let m_session_queue_hw =
+  Crd_obs.gauge ~help:"High-water of per-session event queues"
+    "server_session_queue_depth_hw"
+
+let m_handshake_seconds =
+  Crd_obs.histogram ~help:"Handshake phase duration" "server_handshake_seconds"
+
+let m_analyze_seconds =
+  Crd_obs.histogram ~help:"Ingest-and-analyze phase duration"
+    "server_analyze_seconds"
+
+let m_session_seconds =
+  Crd_obs.histogram ~help:"Whole-session duration" "server_session_seconds"
+
+(* Error taxonomy: where in the pipeline a session died. *)
+type err_kind = Handshake | Spec | Timeout | Decode | Io | Analysis
+
+let err_kind_label = function
+  | Handshake -> "handshake"
+  | Spec -> "spec"
+  | Timeout -> "timeout"
+  | Decode -> "decode"
+  | Io -> "io"
+  | Analysis -> "analysis"
+
+let err_counter =
+  let all = [ Handshake; Spec; Timeout; Decode; Io; Analysis ] in
+  let tbl =
+    List.map
+      (fun k ->
+        ( k,
+          Crd_obs.counter
+            ~help:("Sessions failed in the " ^ err_kind_label k ^ " stage")
+            ("server_errors_" ^ err_kind_label k ^ "_total") ))
+      all
+  in
+  fun k -> List.assq k tbl
 
 type t = {
   cfg : config;
@@ -63,10 +147,14 @@ type t = {
   stopping : bool Atomic.t;
   mutable accept_d : unit Domain.t option;
   mutable workers_d : unit Domain.t list;
+  mutable metrics_d : unit Domain.t option;
+  metrics_fd : Unix.file_descr option;
+  metrics_path : string option;
   mu : Mutex.t;
   mutable st : stats;
   sock_path : string option;
   mutable stopped : bool;
+  inject_accept : Unix.error list Atomic.t;  (* test instrumentation *)
 }
 
 let stats t =
@@ -75,16 +163,29 @@ let stats t =
   Mutex.unlock t.mu;
   s
 
+(* [sessions] counts every completed session; [errors] is the subset
+   that died — see server.mli. *)
 let record t ~events ~races ~error =
   Mutex.lock t.mu;
   t.st <-
     {
-      sessions = (t.st.sessions + if error then 0 else 1);
+      t.st with
+      sessions = t.st.sessions + 1;
       events = t.st.events + events;
       races = t.st.races + races;
       errors = (t.st.errors + if error then 1 else 0);
     };
-  Mutex.unlock t.mu
+  Mutex.unlock t.mu;
+  Crd_obs.Counter.incr m_sessions;
+  Crd_obs.Counter.add m_events events;
+  Crd_obs.Counter.add m_races races;
+  if error then Crd_obs.Counter.incr m_errors
+
+let record_accept_error t =
+  Mutex.lock t.mu;
+  t.st <- { t.st with accept_errors = t.st.accept_errors + 1 };
+  Mutex.unlock t.mu;
+  Crd_obs.Counter.incr m_accept_errors
 
 (* ------------------------------------------------------------------ *)
 (* Specification sets                                                  *)
@@ -116,44 +217,66 @@ let resolve_spec_set cfg = function
 (* Sessions                                                            *)
 (* ------------------------------------------------------------------ *)
 
-type item = Ev of Crd_trace.Event.t | Bad of string
+type item = Ev of Crd_trace.Event.t | Bad of err_kind * string
 
 (* Socket-reader: decode incoming bytes and push events into the
    session's bounded queue. Runs in its own thread so that a full queue
    blocks this reader (and, transitively, the client) rather than
-   growing server memory. *)
-let read_loop conn q =
+   growing server memory. [hw] tracks the queue's high-water mark. *)
+let read_loop conn q hw =
   let dec = Crd_wire.Codec.Decoder.create () in
   let buf = Bytes.create 32768 in
   let stop = ref false in
   while not !stop do
     match Unix.read conn buf 0 (Bytes.length buf) with
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        ignore (Bqueue.push q (Bad "idle timeout: no client bytes"));
+        ignore (Bqueue.push q (Bad (Timeout, "idle timeout: no client bytes")));
         stop := true
     | exception Unix.Unix_error (e, _, _) ->
-        ignore (Bqueue.push q (Bad (Unix.error_message e)));
+        ignore (Bqueue.push q (Bad (Io, Unix.error_message e)));
         stop := true
     | 0 ->
         (match Crd_wire.Codec.Decoder.finish dec with
         | Ok () -> ()
         | Error e ->
-            ignore (Bqueue.push q (Bad (Crd_wire.Codec.error_to_string e))));
+            ignore
+              (Bqueue.push q (Bad (Decode, Crd_wire.Codec.error_to_string e))));
         stop := true
     | n -> (
         match Crd_wire.Codec.Decoder.feed dec (Bytes.sub_string buf 0 n) with
         | Error e ->
-            ignore (Bqueue.push q (Bad (Crd_wire.Codec.error_to_string e)));
+            ignore
+              (Bqueue.push q (Bad (Decode, Crd_wire.Codec.error_to_string e)));
             stop := true
         | Ok events ->
             List.iter
               (fun e -> if not (Bqueue.push q (Ev e)) then stop := true)
               events;
+            let depth = Bqueue.length q in
+            if depth > !hw then begin
+              hw := depth;
+              Crd_obs.Gauge.set_max m_session_queue_hw depth
+            end;
             (* The end-of-stream frame, not EOF, ends ingestion: the
                client keeps the socket open to read its report. *)
             if Crd_wire.Codec.Decoder.finished dec then stop := true)
   done;
   Bqueue.close q
+
+(* The one guarded drain both analysis paths share: a malformed event
+   surfaces as Invalid_argument from the analyzers (e.g. [Repr.eta] on a
+   wrong-arity call), and must become a clean [ERR] line for the client,
+   never a generic exception dump — under any [jobs] setting. *)
+let drain_events q ~f =
+  let rec go () =
+    match Bqueue.pop q with
+    | None -> Ok ()
+    | Some (Bad (kind, msg)) -> Error (kind, msg)
+    | Some (Ev e) ->
+        f e;
+        go ()
+  in
+  try go () with Invalid_argument e -> Error (Analysis, e)
 
 (* Drain the session queue into an online analyzer (jobs = 1) or a
    recorded trace re-analyzed with Shard at end-of-stream (jobs > 1).
@@ -172,19 +295,12 @@ let analyze_session cfg spec_for q =
   in
   if cfg.jobs <= 1 then (
     match Analyzer.create ~config:cfg.analyzer ~spec_for () with
-    | Error e -> Error e
+    | Error e -> Error (Analysis, e)
     | Ok an -> (
-        let rec drain () =
-          match Bqueue.pop q with
-          | None -> Ok ()
-          | Some (Bad msg) -> Error msg
-          | Some (Ev e) ->
-              Analyzer.step an e;
-              drain ()
-        in
-        match (try drain () with Invalid_argument e -> Error e) with
+        match drain_events q ~f:(Analyzer.step an) with
         | Error e -> Error e
         | Ok () ->
+            Analyzer.publish_stats an;
             let rd2 = Analyzer.rd2_races an in
             Fmt.pf ppf "OK@.%a@." Analyzer.pp_summary an;
             races_text rd2 (Analyzer.fasttrack_races an)
@@ -192,19 +308,14 @@ let analyze_session cfg spec_for q =
             Ok (fin (), Analyzer.events an, List.length rd2)))
   else
     let trace = Trace.create () in
-    let rec drain () =
-      match Bqueue.pop q with
-      | None -> Ok ()
-      | Some (Bad msg) -> Error msg
-      | Some (Ev e) ->
-          Trace.append trace e;
-          drain ()
-    in
-    match drain () with
+    match drain_events q ~f:(Trace.append trace) with
     | Error e -> Error e
     | Ok () -> (
-        match Shard.analyze ~jobs:cfg.jobs ~config:cfg.analyzer ~spec_for trace with
-        | Error e -> Error e
+        match
+          try Shard.analyze ~jobs:cfg.jobs ~config:cfg.analyzer ~spec_for trace
+          with Invalid_argument e -> Error e
+        with
+        | Error e -> Error (Analysis, e)
         | Ok res ->
             Fmt.pf ppf "OK@.%a@." Shard.pp_summary res;
             races_text res.Shard.rd2_reports res.Shard.fasttrack_reports
@@ -213,68 +324,144 @@ let analyze_session cfg spec_for q =
 
 let session t conn =
   let cfg = t.cfg in
-  if cfg.idle_timeout > 0. then begin
-    try Unix.setsockopt_float conn Unix.SO_RCVTIMEO cfg.idle_timeout
-    with Unix.Unix_error _ -> ()
-  end;
-  let finish outcome =
-    (match outcome with
-    | Ok (reply, events, races) ->
-        (try Proto.write_all conn reply with Unix.Unix_error _ -> ());
-        record t ~events ~races ~error:false
-    | Error msg ->
-        (try Proto.write_all conn ("ERR " ^ msg ^ "\n")
-         with Unix.Unix_error _ -> ());
-        record t ~events:0 ~races:0 ~error:true);
-    (try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-    try Unix.close conn with Unix.Unix_error _ -> ()
-  in
-  match Proto.read_handshake conn with
-  | Error msg ->
-      (try Proto.send_reject conn msg with Unix.Unix_error _ -> ());
-      record t ~events:0 ~races:0 ~error:true;
-      (try Unix.close conn with Unix.Unix_error _ -> ())
-  | Ok spec_name -> (
-      match resolve_spec_set cfg spec_name with
+  Crd_obs.Gauge.incr m_active;
+  let span = Crd_obs.Span.start m_session_seconds in
+  Fun.protect
+    ~finally:(fun () ->
+      Crd_obs.Gauge.decr m_active;
+      Crd_obs.Span.finish span)
+    (fun () ->
+      if cfg.idle_timeout > 0. then begin
+        try Unix.setsockopt_float conn Unix.SO_RCVTIMEO cfg.idle_timeout
+        with Unix.Unix_error _ -> ()
+      end;
+      let reject kind msg =
+        Crd_obs.Counter.incr m_rejected;
+        Crd_obs.Counter.incr (err_counter kind);
+        Crd_obs.Log.warn "session_rejected"
+          [ ("kind", err_kind_label kind); ("err", msg) ];
+        (try Proto.send_reject conn msg with Unix.Unix_error _ -> ());
+        record t ~events:0 ~races:0 ~error:true;
+        try Unix.close conn with Unix.Unix_error _ -> ()
+      in
+      let finish outcome hw =
+        (match outcome with
+        | Ok (reply, events, races) ->
+            let reply =
+              reply
+              ^ Printf.sprintf "STATS events=%d races=%d queue_hw=%d wall_s=%.6f\n"
+                  events races hw
+                  (Crd_obs.Span.elapsed_s span)
+            in
+            (try Proto.write_all conn reply with Unix.Unix_error _ -> ());
+            record t ~events ~races ~error:false;
+            Crd_obs.Log.info "session_ok"
+              [
+                ("events", string_of_int events); ("races", string_of_int races);
+              ]
+        | Error (kind, msg) ->
+            Crd_obs.Counter.incr (err_counter kind);
+            Crd_obs.Log.warn "session_error"
+              [ ("kind", err_kind_label kind); ("err", msg) ];
+            (try Proto.write_all conn ("ERR " ^ msg ^ "\n")
+             with Unix.Unix_error _ -> ());
+            record t ~events:0 ~races:0 ~error:true);
+        (try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        try Unix.close conn with Unix.Unix_error _ -> ()
+      in
+      let hs = Crd_obs.Span.start m_handshake_seconds in
+      match Proto.read_handshake conn with
       | Error msg ->
-          (try Proto.send_reject conn msg with Unix.Unix_error _ -> ());
-          record t ~events:0 ~races:0 ~error:true;
-          (try Unix.close conn with Unix.Unix_error _ -> ())
-      | Ok spec_for ->
-          (try Proto.send_accept conn with Unix.Unix_error _ -> ());
-          let q = Bqueue.create ~capacity:cfg.queue_capacity in
-          let reader = Thread.create (fun () -> read_loop conn q) () in
-          let outcome =
-            try analyze_session cfg spec_for q
-            with e -> Error (Printexc.to_string e)
-          in
-          (* On an analysis-side abort the reader may still be blocked
-             pushing: closing the queue releases it. *)
-          Bqueue.close q;
-          Thread.join reader;
-          finish outcome)
+          Crd_obs.Span.finish hs;
+          reject Handshake msg
+      | Ok spec_name -> (
+          match resolve_spec_set cfg spec_name with
+          | Error msg ->
+              Crd_obs.Span.finish hs;
+              reject Spec msg
+          | Ok spec_for ->
+              (try Proto.send_accept conn with Unix.Unix_error _ -> ());
+              Crd_obs.Span.finish hs;
+              let q = Bqueue.create ~capacity:cfg.queue_capacity in
+              let hw = ref 0 in
+              let reader = Thread.create (fun () -> read_loop conn q hw) () in
+              let outcome =
+                Crd_obs.time m_analyze_seconds (fun () ->
+                    try analyze_session cfg spec_for q
+                    with e -> Error (Analysis, Printexc.to_string e))
+              in
+              (* On an analysis-side abort the reader may still be blocked
+                 pushing: closing the queue releases it. *)
+              Bqueue.close q;
+              Thread.join reader;
+              finish outcome !hw))
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop and worker pool                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Only a dead listener is fatal; everything else (EMFILE/ENFILE/ENOBUFS
+   bursts under load, ...) is survived with a short exponential backoff
+   so one resource spike cannot shut the whole server down. *)
+let accept_fatal = function
+  | Unix.EBADF | Unix.ENOTSOCK | Unix.EINVAL -> true
+  | _ -> false
+
+let inject_accept_error t e =
+  let rec push () =
+    let cur = Atomic.get t.inject_accept in
+    if not (Atomic.compare_and_set t.inject_accept cur (cur @ [ e ])) then
+      push ()
+  in
+  push ()
+
+let pop_injected t =
+  let rec pop () =
+    match Atomic.get t.inject_accept with
+    | [] -> None
+    | e :: rest as cur ->
+        if Atomic.compare_and_set t.inject_accept cur rest then Some e
+        else pop ()
+  in
+  pop ()
+
 let accept_loop t =
+  let backoff = ref 0.01 in
+  let survive e =
+    record_accept_error t;
+    Crd_obs.Log.warn "accept_error"
+      [ ("err", Unix.error_message e); ("backoff_s", Printf.sprintf "%.3f" !backoff) ];
+    Unix.sleepf !backoff;
+    backoff := Float.min 0.5 (!backoff *. 2.)
+  in
   while not (Atomic.get t.stopping) do
     match Unix.select [ t.listen_fd ] [] [] 0.25 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | [], _, _ -> ()
     | _ :: _, _, _ -> (
-        match Unix.accept t.listen_fd with
-        | exception
-            Unix.Unix_error
-              ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
-          ->
-            ()
-        | exception Unix.Unix_error _ -> Atomic.set t.stopping true
-        | conn, _ ->
-            Unix.clear_nonblock conn;
-            if not (Bqueue.push t.conns conn) then (
-              try Unix.close conn with Unix.Unix_error _ -> ()))
+        match pop_injected t with
+        | Some e -> survive e
+        | None -> (
+            match Unix.accept t.listen_fd with
+            | exception
+                Unix.Unix_error
+                  ( (Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED),
+                    _,
+                    _ )
+              ->
+                ()
+            | exception Unix.Unix_error (e, _, _) when accept_fatal e ->
+                Crd_obs.Log.err "accept_fatal" [ ("err", Unix.error_message e) ];
+                Atomic.set t.stopping true
+            | exception Unix.Unix_error (e, _, _) -> survive e
+            | conn, _ ->
+                backoff := 0.01;
+                Crd_obs.Counter.incr m_accepted;
+                Unix.clear_nonblock conn;
+                if not (Bqueue.push t.conns conn) then (
+                  try Unix.close conn with Unix.Unix_error _ -> ())
+                else
+                  Crd_obs.Gauge.set_max m_conn_queue_hw (Bqueue.length t.conns)))
   done
 
 let worker_loop t =
@@ -290,16 +477,85 @@ let worker_loop t =
   done
 
 (* ------------------------------------------------------------------ *)
+(* Metrics listener                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One response per connection, GET /metrics style: best-effort read of
+   the request, then the whole registry dump as an HTTP/1.0 response. *)
+let metrics_response () =
+  let body = Crd_obs.dump () in
+  Printf.sprintf
+    "HTTP/1.0 200 OK\r\n\
+     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    (String.length body) body
+
+let metrics_loop t mfd =
+  while not (Atomic.get t.stopping) do
+    match Unix.select [ mfd ] [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept mfd with
+        | exception Unix.Unix_error _ -> ()
+        | conn, _ ->
+            Unix.clear_nonblock conn;
+            (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO 0.5
+             with Unix.Unix_error _ -> ());
+            (try ignore (Unix.read conn (Bytes.create 4096) 0 4096)
+             with Unix.Unix_error _ -> ());
+            (try Proto.write_all conn (metrics_response ())
+             with Unix.Unix_error _ -> ());
+            (try Unix.shutdown conn Unix.SHUTDOWN_ALL
+             with Unix.Unix_error _ -> ());
+            (try Unix.close conn with Unix.Unix_error _ -> ()))
+  done
+
+(* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
+
+(* Is something actually answering on this unix socket? Stale socket
+   files (a crashed server) must be reclaimed; live ones must not be
+   silently stolen out from under a running server. *)
+let unix_socket_live path =
+  let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close probe with Unix.Unix_error _ -> ())
+    (fun () ->
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> `Live
+      | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
+      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Gone
+      | exception Unix.Unix_error (e, _, _) -> `Unknown (Unix.error_message e))
 
 let bind_listen addr =
   match addr with
   | Unix_sock path ->
-      if Sys.file_exists path then (
+      if Sys.file_exists path then begin
         match (Unix.stat path).Unix.st_kind with
-        | Unix.S_SOCK -> (try Unix.unlink path with Unix.Unix_error _ -> ())
-        | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path));
+        | Unix.S_SOCK -> (
+            match unix_socket_live path with
+            | `Live ->
+                failwith
+                  (Printf.sprintf
+                     "%s: a live server is already listening here (refusing \
+                      to steal the address)"
+                     path)
+            | `Stale ->
+                (try Unix.unlink path with Unix.Unix_error _ -> ())
+            | `Gone -> ()
+            | `Unknown msg ->
+                failwith
+                  (Printf.sprintf
+                     "%s: cannot tell whether a server is listening (%s); \
+                      remove the socket file manually if it is stale"
+                     path msg))
+        | _ -> failwith (Printf.sprintf "%s exists and is not a socket" path)
+      end;
       let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
       Unix.bind fd (Unix.ADDR_UNIX path);
       Unix.listen fd 64;
@@ -331,41 +587,86 @@ let start cfg =
         (Printf.sprintf "%s: %s(%s): %s"
            (Fmt.str "%a" pp_addr cfg.addr)
            fn arg (Unix.error_message e))
-  | listen_fd, sock_path ->
-      Unix.set_nonblock listen_fd;
-      let workers = max 1 cfg.workers in
-      let t =
-        {
-          cfg = { cfg with workers };
-          listen_fd;
-          conns = Bqueue.create ~capacity:(max 16 (2 * workers));
-          stopping = Atomic.make false;
-          accept_d = None;
-          workers_d = [];
-          mu = Mutex.create ();
-          st = { sessions = 0; events = 0; races = 0; errors = 0 };
-          sock_path;
-          stopped = false;
-        }
+  | listen_fd, sock_path -> (
+      let metrics =
+        match cfg.metrics_addr with
+        | None -> Ok None
+        | Some a -> (
+            match bind_listen a with
+            | fd, path -> Ok (Some (fd, path))
+            | exception Failure msg -> Error msg
+            | exception Unix.Unix_error (e, fn, arg) ->
+                Error
+                  (Printf.sprintf "%s: %s(%s): %s"
+                     (Fmt.str "%a" pp_addr a)
+                     fn arg (Unix.error_message e)))
       in
-      t.workers_d <-
-        List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
-      t.accept_d <- Some (Domain.spawn (fun () -> accept_loop t));
-      Ok t
+      match metrics with
+      | Error msg ->
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          (match sock_path with
+          | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+          | None -> ());
+          Error msg
+      | Ok metrics ->
+          Unix.set_nonblock listen_fd;
+          let workers = max 1 cfg.workers in
+          let t =
+            {
+              cfg = { cfg with workers };
+              listen_fd;
+              conns = Bqueue.create ~capacity:(max 16 (2 * workers));
+              stopping = Atomic.make false;
+              accept_d = None;
+              workers_d = [];
+              metrics_d = None;
+              metrics_fd = Option.map fst metrics;
+              metrics_path = Option.bind metrics snd;
+              mu = Mutex.create ();
+              st =
+                {
+                  sessions = 0;
+                  events = 0;
+                  races = 0;
+                  errors = 0;
+                  accept_errors = 0;
+                };
+              sock_path;
+              stopped = false;
+              inject_accept = Atomic.make [];
+            }
+          in
+          t.workers_d <-
+            List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+          t.accept_d <- Some (Domain.spawn (fun () -> accept_loop t));
+          (match t.metrics_fd with
+          | Some mfd ->
+              Unix.set_nonblock mfd;
+              t.metrics_d <- Some (Domain.spawn (fun () -> metrics_loop t mfd))
+          | None -> ());
+          Crd_obs.Log.info "server_started"
+            [ ("addr", Fmt.str "%a" pp_addr cfg.addr) ];
+          Ok t)
 
 let stop t =
   if not t.stopped then begin
     t.stopped <- true;
     Atomic.set t.stopping true;
     (match t.accept_d with Some d -> Domain.join d | None -> ());
+    (match t.metrics_d with Some d -> Domain.join d | None -> ());
     (* Already-accepted connections stay in the queue and are drained:
        every in-flight session flushes its report before we return. *)
     Bqueue.close t.conns;
     List.iter Domain.join t.workers_d;
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    match t.sock_path with
-    | Some path -> ( try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
-    | None -> ()
+    (match t.metrics_fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    List.iter
+      (fun path ->
+        try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+      (List.filter_map Fun.id [ t.sock_path; t.metrics_path ]);
+    Crd_obs.Log.info "server_stopped" []
   end;
   stats t
 

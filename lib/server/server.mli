@@ -12,7 +12,16 @@
     With [jobs > 1] a session records its events and analyzes them at
     end-of-stream with {!Crd.Shard.analyze} over [jobs] domains instead
     of stepping the analyzer online; the reported races are identical
-    by the shard-merge determinism invariant.
+    by the shard-merge determinism invariant. Malformed events (e.g. a
+    call that does not match its object's specification) produce a
+    clean [ERR] reply under every [jobs] setting.
+
+    The server publishes counters, gauges and duration histograms into
+    the process-wide {!Crd_obs.default} registry
+    ([server_sessions_total], [server_accept_errors_total],
+    [server_errors_<stage>_total], [server_session_seconds], ...); set
+    {!config.metrics_addr} to expose the registry over a text-dump
+    listener (one Prometheus-style dump per connection).
 
     {!stop} (and SIGTERM/SIGINT under {!serve}) drains gracefully:
     accepting stops, in-flight sessions run to completion and flush
@@ -29,6 +38,9 @@ val pp_addr : addr Fmt.t
 
 type config = {
   addr : addr;
+  metrics_addr : addr option;
+      (** where to expose the {!Crd_obs.default} registry; [None] (the
+          default) disables the metrics listener *)
   workers : int;  (** session-carrying domains (default {!Shard.recommended_jobs}) *)
   queue_capacity : int;  (** per-connection event queue bound *)
   idle_timeout : float;  (** seconds without client bytes before a session is dropped; 0 disables *)
@@ -39,25 +51,48 @@ type config = {
 
 val default_config : addr:addr -> config
 (** RD2 (constant mode) only, [Shard.recommended_jobs ()] workers,
-    queue capacity 1024, 30 s idle timeout, [jobs = 1]. *)
+    queue capacity 1024, 30 s idle timeout, [jobs = 1], no metrics
+    listener. *)
 
 type stats = {
-  sessions : int;  (** completed sessions *)
+  sessions : int;
+      (** every completed session, successful or not — rejected
+          handshakes and dropped sessions included. Always
+          [sessions >= errors]; successful sessions are
+          [sessions - errors]. *)
   events : int;  (** events analyzed across all sessions *)
   races : int;  (** RD2 races reported across all sessions *)
-  errors : int;  (** sessions dropped on protocol/decode/timeout errors *)
+  errors : int;
+      (** the subset of {!field-sessions} that ended in an error
+          (handshake reject, unknown spec set, decode failure, idle
+          timeout, I/O error, analysis failure) *)
+  accept_errors : int;
+      (** transient [accept(2)] failures (e.g. [EMFILE], [ENFILE],
+          [ENOBUFS]) survived with backoff — not sessions, and not
+          counted in {!field-errors} *)
 }
 
 type t
 
 val start : config -> (t, string) result
-(** Bind, listen, and return once the accept loop is running. *)
+(** Bind, listen, and return once the accept loop is running. Binding a
+    unix-socket address whose file already exists connect-probes it
+    first: a stale socket (no listener answering) is reclaimed, a live
+    one makes [start] return an error rather than stealing the address
+    from a running server. *)
 
 val stop : t -> stats
 (** Graceful drain: stop accepting, finish in-flight sessions (flushing
-    their reports), join every domain, release the socket. Idempotent. *)
+    their reports), join every domain, release the socket(s). Idempotent. *)
 
 val stats : t -> stats
 
 val serve : config -> (stats, string) result
 (** {!start}, then block until SIGTERM or SIGINT, then {!stop}. *)
+
+val inject_accept_error : t -> Unix.error -> unit
+(** Test instrumentation: the next time the accept loop wakes up for a
+    pending connection it behaves as if [accept] failed with this error
+    (consumed in injection order, before the real [accept]). Transient
+    errors are survived with backoff and counted in
+    {!field-accept_errors}; fatal ones ([EBADF], ...) stop the server. *)

@@ -15,6 +15,21 @@ type error =
   | Truncated
   | Corrupt of string
 
+(* Process-wide codec metrics: byte counters on the chunk granularity
+   (one atomic add per feed/emit, never per event). *)
+let tx_bytes_total =
+  Crd_obs.counter ~help:"Bytes emitted by CRDW encoders" "wire_tx_bytes_total"
+
+let rx_bytes_total =
+  Crd_obs.counter ~help:"Bytes fed into CRDW decoders" "wire_rx_bytes_total"
+
+let frames_total =
+  Crd_obs.counter ~help:"CRDW frames decoded" "wire_frames_total"
+
+let decode_errors_total =
+  Crd_obs.counter ~help:"CRDW decoders entering the failed state"
+    "wire_decode_errors_total"
+
 let pp_error ppf = function
   | Bad_magic -> Fmt.string ppf "bad magic (not a CRDW stream)"
   | Unsupported_version v -> Fmt.pf ppf "unsupported wire version %d" v
@@ -97,6 +112,10 @@ module Encoder = struct
   }
 
   let create ?(chunk_bytes = default_chunk_bytes) ~emit () =
+    let emit s =
+      Crd_obs.Counter.add tx_bytes_total (String.length s);
+      emit s
+    in
     let b = Buffer.create 8 in
     Buffer.add_string b magic;
     Buffer.add_char b (Char.chr version);
@@ -478,6 +497,7 @@ module Decoder = struct
     match t.state with
     | Failed e -> Error e
     | _ -> (
+        Crd_obs.Counter.add rx_bytes_total len;
         Buffer.add_substring t.buf input off len;
         let events = ref [] in
         let push e = events := e :: !events in
@@ -504,6 +524,7 @@ module Decoder = struct
                     let frame = Buffer.sub t.buf (t.pos + hdr_len) frame_len in
                     t.pos <- t.pos + hdr_len + frame_len;
                     r_frame t { frame; rpos = 0; rlimit = frame_len } push;
+                    Crd_obs.Counter.incr frames_total;
                     compact t
                   end
             done
@@ -514,11 +535,13 @@ module Decoder = struct
         with
         | Fail e ->
             t.state <- Failed e;
+            Crd_obs.Counter.incr decode_errors_total;
             Error e
         | e ->
             (* Totality backstop: no parsing exception may escape. *)
             let err = Corrupt (Printexc.to_string e) in
             t.state <- Failed err;
+            Crd_obs.Counter.incr decode_errors_total;
             Error err)
 
   let finish t =

@@ -1,0 +1,29 @@
+#!/bin/sh
+# Source hygiene gate — the `dune build @fmt` equivalent for toolchains
+# without ocamlformat. Rejects trailing whitespace and tab indentation
+# in OCaml sources (the conventions the tree already follows), so
+# formatting drift fails CI instead of accumulating.
+set -eu
+cd "$(dirname "$0")/.."
+
+TAB=$(printf '\t')
+status=0
+
+bad=$(grep -rlE "[ $TAB]+\$" --include='*.ml' --include='*.mli' \
+  bin lib test bench 2>/dev/null || true)
+if [ -n "$bad" ]; then
+  echo "lint: trailing whitespace in:"
+  echo "$bad" | sed 's/^/  /'
+  status=1
+fi
+
+bad=$(grep -rl "$TAB" --include='*.ml' --include='*.mli' \
+  bin lib test bench 2>/dev/null || true)
+if [ -n "$bad" ]; then
+  echo "lint: tab characters in:"
+  echo "$bad" | sed 's/^/  /'
+  status=1
+fi
+
+[ "$status" -eq 0 ] && echo "lint: ok"
+exit "$status"

@@ -22,5 +22,7 @@ let () =
       Test_theorem52.suite;
       Test_mutation.suite;
       Test_wire.suite;
+      Test_obs.suite;
+      Test_bqueue.suite;
       Test_server.suite;
     ]

@@ -10,6 +10,11 @@ module W = Crd_workloads
 
 let sock_counter = ref 0
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
 let fresh_addr () =
   incr sock_counter;
   Server.Unix_sock
@@ -70,7 +75,10 @@ let races_match_offline () =
         "server reply accepted" true
         (String.length reply >= 2 && String.equal (String.sub reply 0 2) "OK");
       Alcotest.(check (list string))
-        "server races = offline races" expected (reply_race_lines reply))
+        "server races = offline races" expected (reply_race_lines reply);
+      Alcotest.(check bool)
+        "reply carries a STATS line" true
+        (contains reply "\nSTATS events="))
 
 let races_match_offline_sharded () =
   let trace = snitch_trace () in
@@ -128,11 +136,199 @@ let unknown_spec_rejected () =
       (match Client.send_trace ~addr ~spec:"no-such-set" trace with
       | Ok reply -> Alcotest.failf "unknown spec accepted: %s" reply
       | Error _ -> ());
-      (* The rejected handshake must not poison the server. *)
+      (* The rejected handshake must not poison the server; it counts as
+         a completed (error) session. *)
       ignore (send_exn ~addr trace);
       let st = Server.stats server in
-      Alcotest.(check int) "one completed session" 1 st.Server.sessions;
+      Alcotest.(check int) "two completed sessions" 2 st.Server.sessions;
       Alcotest.(check int) "one rejected session" 1 st.Server.errors)
+
+(* A call that does not match its object's specification (unknown
+   method) must come back as a clean ERR reply under every jobs
+   setting, never as an escaped exception dump. *)
+let malformed_trace () =
+  match
+    Trace_text.parse
+      "T0 fork T1\nT1 call \"dictionary:o\".frobnicate(\"x\") / nil\nT0 join T1\n"
+  with
+  | Ok t -> t
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let malformed_event_err jobs () =
+  with_server
+    ~f_config:(fun c -> { c with Server.jobs })
+    (fun ~addr ~server ->
+      (match Client.send_trace ~addr (malformed_trace ()) with
+      | Ok reply -> Alcotest.failf "malformed trace accepted: %s" reply
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "clean analyzer ERR (%s)" msg)
+            true
+            (contains msg "ERR Repr.eta"
+            && not (contains msg "Invalid_argument")));
+      (* ...and the session must not poison the server. *)
+      ignore (send_exn ~addr (snitch_trace ()));
+      let st = Server.stats server in
+      Alcotest.(check int) "two completed sessions" 2 st.Server.sessions;
+      Alcotest.(check int) "one error session" 1 st.Server.errors)
+
+let metric_value dump name =
+  String.split_on_char '\n' dump
+  |> List.find_map (fun l ->
+         match String.index_opt l ' ' with
+         | Some i when String.sub l 0 i = name ->
+             int_of_string_opt
+               (String.sub l (i + 1) (String.length l - i - 1))
+         | _ -> None)
+
+(* Injected transient accept() failures (resource exhaustion) must be
+   survived with backoff — the pending connection still gets served —
+   and counted, both in stats and in the metrics registry. *)
+let survives_transient_accept_errors () =
+  let trace = snitch_trace () in
+  let before =
+    Option.value ~default:0
+      (metric_value (Crd_obs.dump ()) "server_accept_errors_total")
+  in
+  with_server (fun ~addr ~server ->
+      Server.inject_accept_error server Unix.EMFILE;
+      Server.inject_accept_error server Unix.ENFILE;
+      Server.inject_accept_error server Unix.ENOBUFS;
+      let reply = send_exn ~addr trace in
+      Alcotest.(check bool)
+        "session served after accept failures" true
+        (String.length reply >= 2 && String.equal (String.sub reply 0 2) "OK");
+      let st = Server.stats server in
+      Alcotest.(check int) "accept errors counted" 3 st.Server.accept_errors;
+      Alcotest.(check int) "no session errors" 0 st.Server.errors;
+      Alcotest.(check int) "one session" 1 st.Server.sessions;
+      let after =
+        Option.value ~default:0
+          (metric_value (Crd_obs.dump ()) "server_accept_errors_total")
+      in
+      Alcotest.(check int) "server_accept_errors_total moved" (before + 3) after)
+
+(* End-to-end scrape of the --metrics listener: counters must be
+   exposed in Prometheus text format and move when a session runs. *)
+let metrics_endpoint () =
+  let trace = snitch_trace () in
+  let maddr = fresh_addr () in
+  let mpath = match maddr with Server.Unix_sock p -> p | _ -> assert false in
+  with_server
+    ~f_config:(fun c -> { c with Server.metrics_addr = Some maddr })
+    (fun ~addr ~server:_ ->
+      let scrape () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect fd (Unix.ADDR_UNIX mpath);
+            let req = "GET /metrics HTTP/1.0\r\n\r\n" in
+            ignore (Unix.write_substring fd req 0 (String.length req));
+            let buf = Buffer.create 4096 in
+            let bytes = Bytes.create 4096 in
+            let rec go () =
+              match Unix.read fd bytes 0 (Bytes.length bytes) with
+              | 0 -> ()
+              | n ->
+                  Buffer.add_subbytes buf bytes 0 n;
+                  go ()
+            in
+            go ();
+            Buffer.contents buf)
+      in
+      let before = scrape () in
+      Alcotest.(check bool)
+        "HTTP response" true
+        (String.length before > 12
+        && String.equal (String.sub before 0 12) "HTTP/1.0 200");
+      let v0 = Option.value ~default:0 (metric_value before "server_sessions_total") in
+      let e0 = Option.value ~default:0 (metric_value before "analyzer_events_total") in
+      ignore (send_exn ~addr trace);
+      let after = scrape () in
+      let v1 = Option.value ~default:0 (metric_value after "server_sessions_total") in
+      let e1 = Option.value ~default:0 (metric_value after "analyzer_events_total") in
+      Alcotest.(check int) "session counter moved" (v0 + 1) v1;
+      Alcotest.(check int) "event counter moved"
+        (e0 + Trace.length trace) e1;
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) needle true (contains after needle))
+        [
+          "server_races_total";
+          "server_errors_decode_total";
+          "server_conn_queue_depth_hw";
+          "server_session_queue_depth_hw";
+          "server_session_seconds_bucket{le=";
+          "server_handshake_seconds_sum";
+          "server_analyze_seconds_count";
+          "rd2_same_epoch_total";
+          "rd2_promotions_total";
+          "wire_rx_bytes_total";
+        ])
+
+(* A unix socket with a live listener must not be stolen by a second
+   server; a stale socket file (no listener) must be reclaimed. *)
+let live_socket_not_stolen () =
+  with_server (fun ~addr ~server:_ ->
+      (match Server.start (Server.default_config ~addr) with
+      | Ok second ->
+          ignore (Server.stop second);
+          Alcotest.fail "second server bound over a live socket"
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "refusal names the live server (%s)" msg)
+            true (contains msg "live server"));
+      (* The probe must not have disturbed the running server. *)
+      ignore (send_exn ~addr (snitch_trace ())))
+
+let stale_socket_reclaimed () =
+  let addr = fresh_addr () in
+  let path = match addr with Server.Unix_sock p -> p | _ -> assert false in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 1;
+  Unix.close fd;
+  (* The file outlives its listener: connect now gives ECONNREFUSED. *)
+  Alcotest.(check bool) "stale socket file left behind" true
+    (Sys.file_exists path);
+  match Server.start (Server.default_config ~addr) with
+  | Error e -> Alcotest.failf "stale socket not reclaimed: %s" e
+  | Ok server ->
+      Fun.protect
+        ~finally:(fun () -> ignore (Server.stop server))
+        (fun () -> ignore (send_exn ~addr (snitch_trace ())))
+
+let addr_of_string_table () =
+  let ok s expect =
+    match Server.addr_of_string s with
+    | Ok a ->
+        Alcotest.(check string)
+          s expect
+          (Fmt.str "%a" Server.pp_addr a)
+    | Error e -> Alcotest.failf "%s rejected: %s" s e
+  in
+  let rejected s =
+    match Server.addr_of_string s with
+    | Ok a -> Alcotest.failf "%s accepted as %a" s Server.pp_addr a
+    | Error _ -> ()
+  in
+  ok "unix:/tmp/x.sock" "unix:/tmp/x.sock";
+  ok "unix:rel.sock" "unix:rel.sock";
+  ok "tcp:127.0.0.1:9090" "tcp:127.0.0.1:9090";
+  ok "tcp:localhost:1" "tcp:localhost:1";
+  ok "tcp::9090" "tcp:127.0.0.1:9090";
+  (* IPv6-ish host: the last colon splits host from port. *)
+  ok "tcp:::1:9090" "tcp:::1:9090";
+  rejected "";
+  rejected "unix:";
+  rejected "tcp:";
+  rejected "tcp:host";
+  rejected "tcp:host:notaport";
+  rejected "tcp:host:0";
+  rejected "tcp:host:65536";
+  rejected "udp:host:1";
+  rejected "/tmp/x.sock"
 
 let stop_releases_socket () =
   let addr = fresh_addr () in
@@ -157,5 +353,15 @@ let suite =
       Alcotest.test_case "backpressure (queue=4)" `Quick tiny_queue;
       Alcotest.test_case "concurrent clients" `Quick concurrent_clients;
       Alcotest.test_case "unknown spec rejected" `Quick unknown_spec_rejected;
+      Alcotest.test_case "malformed event ERR (jobs=1)" `Quick
+        (malformed_event_err 1);
+      Alcotest.test_case "malformed event ERR (jobs=2)" `Quick
+        (malformed_event_err 2);
+      Alcotest.test_case "survives transient accept errors" `Quick
+        survives_transient_accept_errors;
+      Alcotest.test_case "metrics endpoint scrape" `Quick metrics_endpoint;
+      Alcotest.test_case "live socket not stolen" `Quick live_socket_not_stolen;
+      Alcotest.test_case "stale socket reclaimed" `Quick stale_socket_reclaimed;
+      Alcotest.test_case "addr_of_string table" `Quick addr_of_string_table;
       Alcotest.test_case "stop releases the socket" `Quick stop_releases_socket;
     ] )
