@@ -348,15 +348,18 @@ let print_codec_table codec =
 
 (* Wall-clock ns for a full session: connect, handshake, stream the
    snitch trace through the codec, online RD2 analysis server-side,
-   race report back. *)
-let server_roundtrip ?(repeats = 3) () =
+   race report back. With [journal] set the same session also appends
+   every chunk to a session journal and fsyncs a commit marker — the
+   cost of crash safety, reported as a separate row. *)
+let server_roundtrip ?journal ?(repeats = 3) () =
   let path =
     Filename.concat
       (Filename.get_temp_dir_name ())
-      (Printf.sprintf "crd-bench-%d.sock" (Unix.getpid ()))
+      (Printf.sprintf "crd-bench-%d%s.sock" (Unix.getpid ())
+         (match journal with Some _ -> "-j" | None -> ""))
   in
   let addr = Crd_server.Server.Unix_sock path in
-  let config = Crd_server.Server.default_config ~addr in
+  let config = { (Crd_server.Server.default_config ~addr) with journal } in
   match Crd_server.Server.start config with
   | Error e -> failwith ("server benchmark: " ^ e)
   | Ok server ->
@@ -443,7 +446,7 @@ let compare_results ~prev_path ~benchmarks =
       end;
       Ok ()
 
-let write_json ~path ~jobs ~benchmarks ~traces ~codec ~server =
+let write_json ~path ~jobs ~benchmarks ~traces ~codec ~server ~server_journal =
   let oc = open_out path in
   let pr fmt = Printf.fprintf oc fmt in
   let rate a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
@@ -490,10 +493,14 @@ let write_json ~path ~jobs ~benchmarks ~traces ~codec ~server =
     codec;
   pr "\n  },\n";
   let server_ns, server_events = server in
+  let journal_ns, _ = server_journal in
   pr "  \"server\": {\n";
   pr "    \"roundtrip_ns\": %.0f,\n" server_ns;
   pr "    \"roundtrip_events\": %d,\n" server_events;
-  pr "    \"roundtrip_events_s\": %.0f\n" (per_s server_events server_ns);
+  pr "    \"roundtrip_events_s\": %.0f,\n" (per_s server_events server_ns);
+  pr "    \"journal_roundtrip_ns\": %.0f,\n" journal_ns;
+  pr "    \"journal_roundtrip_events_s\": %.0f,\n" (per_s server_events journal_ns);
+  pr "    \"journal_overhead\": %.3f\n" (journal_ns /. server_ns);
   pr "  }\n}\n";
   close_out oc
 
@@ -601,11 +608,23 @@ let () =
   let codec = codec_records () in
   print_codec_table codec;
   let ((server_ns, server_events) as server) = server_roundtrip () in
+  let jdir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "crd-bench-journal-%d" (Unix.getpid ()))
+  in
+  let ((journal_ns, _) as server_journal) =
+    server_roundtrip ~journal:jdir ()
+  in
   Fmt.pr "@.## Server round trip (snitch, online RD2 over a Unix socket)@.@.";
   Fmt.pr "%d events in %.2f ms (%.0f events/s)@." server_events
     (server_ns /. 1e6)
     (per_s server_events server_ns);
-  write_json ~path:out ~jobs ~benchmarks ~traces ~codec ~server;
+  Fmt.pr "with --journal: %.2f ms (%.0f events/s, %.2fx overhead)@."
+    (journal_ns /. 1e6)
+    (per_s server_events journal_ns)
+    (journal_ns /. server_ns);
+  write_json ~path:out ~jobs ~benchmarks ~traces ~codec ~server ~server_journal;
   Fmt.pr "@.results written to %s (jobs=%d)@." out jobs;
   if Array.exists (String.equal "--stats") Sys.argv then begin
     Fmt.pr "@.## Metrics registry after this run@.@.";

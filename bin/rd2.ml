@@ -626,10 +626,58 @@ let serve_cmd =
             "Structured logging to stderr at this level (off, error, warn, \
              info, debug). Default: off.")
   in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Deterministic fault injection, e.g. \
+             'seed=42,sock_read=p:0.01,worker_body=once' (see Crd_fault; \
+             overrides the CRD_FAULTS environment variable).")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "Crash-safe session journals: raw CRDW bytes per session plus \
+             an fsync'd commit marker. On startup, committed-but-unreported \
+             journals from a previous (crashed) process are replayed.")
+  in
+  let backlog =
+    Arg.(
+      value & opt int 0
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:
+            "Overload shedding: with all workers busy and $(docv) \
+             connections already pending, reply BUSY instead of queueing \
+             (0 disables, the default).")
+  in
+  let retry_after =
+    Arg.(
+      value & opt int 200
+      & info [ "retry-after" ] ~docv:"MS"
+          ~doc:"Retry hint (milliseconds) sent with BUSY replies.")
+  in
+  let resync =
+    Arg.(
+      value & flag
+      & info [ "resync" ]
+          ~doc:
+            "Resynchronizing decode: skip corrupt frames (scanning to the \
+             next valid frame boundary) instead of failing the session.")
+  in
   let run addr workers queue idle spec_file direct fasttrack atomicity jobs
-      metrics log_level =
+      metrics log_level faults journal backlog retry_after resync =
     Crd_obs.Log.set_level log_level;
     let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
+    let* () =
+      match faults with
+      | Some spec -> Crd_fault.configure spec
+      | None -> Crd_fault.configure_env ()
+    in
     let* specs =
       match spec_file with
       | None -> Ok None
@@ -648,17 +696,27 @@ let serve_cmd =
         jobs;
         specs;
         metrics_addr = metrics;
+        shed_backlog = backlog;
+        retry_after_ms = retry_after;
+        journal;
+        resync;
       }
     in
     Fmt.epr "rd2 serve: listening on %a@." Crd_server.Server.pp_addr addr;
     (match metrics with
     | Some a -> Fmt.epr "rd2 serve: metrics on %a@." Crd_server.Server.pp_addr a
     | None -> ());
+    if Crd_fault.active () then
+      Fmt.epr "rd2 serve: fault injection active (seed %Ld)@."
+        (Crd_fault.seed ());
     let* st = Crd_server.Server.serve config in
-    Fmt.pr "sessions %d  events %d  races %d  errors %d  accept_errors %d@."
+    Fmt.pr
+      "sessions %d  events %d  races %d  errors %d  accept_errors %d  busy %d \
+       \ worker_crashes %d  recovered %d@."
       st.Crd_server.Server.sessions st.Crd_server.Server.events
       st.Crd_server.Server.races st.Crd_server.Server.errors
-      st.Crd_server.Server.accept_errors;
+      st.Crd_server.Server.accept_errors st.Crd_server.Server.busy
+      st.Crd_server.Server.worker_crashes st.Crd_server.Server.recovered;
     `Ok ()
   in
   Cmd.v
@@ -670,7 +728,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ addr_arg $ workers $ queue $ idle $ spec_arg $ direct
-       $ fasttrack $ atomicity $ jobs $ metrics $ log_level))
+       $ fasttrack $ atomicity $ jobs $ metrics $ log_level $ faults
+       $ journal $ backlog $ retry_after $ resync))
 
 (* ------------------------------------------------------------------ *)
 (* send                                                                *)
@@ -691,8 +750,43 @@ let send_cmd =
             "Handshake specification set: std (built-ins) or custom (the \
              server's --spec file).")
   in
-  let run trace_file addr spec_name format =
-    match Crd_server.Client.send_file ~addr ~spec:spec_name ~format trace_file with
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry transient failures (refused connections, BUSY replies, \
+             lost reports, server worker crashes) up to $(docv) times, \
+             restreaming the trace from frame 0 each attempt.")
+  in
+  let backoff =
+    Arg.(
+      value & opt float 0.1
+      & info [ "backoff" ] ~docv:"SECONDS"
+          ~doc:
+            "Initial retry delay; doubles per attempt with +/-50% jitter. \
+             A BUSY reply's retry-after hint takes precedence when larger.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 0.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Socket read/write timeout per attempt (0 disables).")
+  in
+  let nonce =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "nonce" ] ~docv:"NONCE"
+          ~doc:
+            "Session nonce ([A-Za-z0-9_-], max 64 bytes) naming the logical \
+             session across retries; autogenerated when --retries > 0.")
+  in
+  let run trace_file addr spec_name format retries backoff timeout nonce =
+    match
+      Crd_server.Client.send_file ~addr ~spec:spec_name ~retries ~backoff
+        ~timeout ?nonce ~format trace_file
+    with
     | Ok reply ->
         print_string reply;
         `Ok ()
@@ -703,7 +797,10 @@ let send_cmd =
        ~doc:
          "Stream a trace file to a running 'rd2 serve' and print the \
           server's race report.")
-    Term.(ret (const run $ trace_file $ addr_arg $ spec_name $ format_arg))
+    Term.(
+      ret
+        (const run $ trace_file $ addr_arg $ spec_name $ format_arg $ retries
+       $ backoff $ timeout $ nonce))
 
 (* ------------------------------------------------------------------ *)
 

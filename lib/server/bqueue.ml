@@ -4,10 +4,11 @@ type 'a t = {
   not_empty : Condition.t;
   q : 'a Queue.t;
   capacity : int;
+  fault : Crd_fault.point option;
   mutable closed : bool;
 }
 
-let create ~capacity =
+let create ?fault ~capacity () =
   if capacity < 1 then invalid_arg "Bqueue.create: capacity must be >= 1";
   {
     mu = Mutex.create ();
@@ -15,10 +16,11 @@ let create ~capacity =
     not_empty = Condition.create ();
     q = Queue.create ();
     capacity;
+    fault;
     closed = false;
   }
 
-let push t x =
+let push_raw t x =
   Mutex.lock t.mu;
   while (not t.closed) && Queue.length t.q >= t.capacity do
     Condition.wait t.not_full t.mu
@@ -30,6 +32,10 @@ let push t x =
   end;
   Mutex.unlock t.mu;
   accepted
+
+let push t x =
+  (match t.fault with Some p -> Crd_fault.inject p | None -> ());
+  push_raw t x
 
 let pop t =
   Mutex.lock t.mu;

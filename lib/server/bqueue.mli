@@ -7,12 +7,21 @@
 
 type 'a t
 
-val create : capacity:int -> 'a t
-(** @raise Invalid_argument if [capacity < 1]. *)
+val create : ?fault:Crd_fault.point -> capacity:int -> unit -> 'a t
+(** [fault] names a {!Crd_fault} injection point consulted on every
+    {!push} (not {!push_raw}), so tests and chaos runs can make any
+    queue fail deterministically.
+    @raise Invalid_argument if [capacity < 1]. *)
 
 val push : 'a t -> 'a -> bool
 (** Block until there is room, then enqueue; [false] if the queue was
-    closed (the element is dropped). *)
+    closed (the element is dropped).
+    @raise Crd_fault.Injected when the queue's fault point fires (the
+    element is not enqueued). *)
+
+val push_raw : 'a t -> 'a -> bool
+(** {!push} without consulting the fault point. Error items that report
+    a fault must not themselves be faulted away. *)
 
 val pop : 'a t -> 'a option
 (** Block until an element is available; [None] once the queue is

@@ -1,0 +1,146 @@
+let m_bytes =
+  Crd_obs.counter ~help:"Raw CRDW bytes appended to session journals"
+    "journal_bytes_total"
+
+let m_commits =
+  Crd_obs.counter ~help:"Session journals committed (fsync'd end marker)"
+    "journal_commits_total"
+
+let fp_append = Crd_fault.point "journal_append"
+
+let data_path dir nonce = Filename.concat dir (nonce ^ ".crdj")
+let commit_path dir nonce = Filename.concat dir (nonce ^ ".commit")
+let report_path dir nonce = Filename.concat dir (nonce ^ ".report")
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Directory fsync so a rename survives the crash it is there to
+   survive; best-effort on filesystems that refuse it. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let write_file_atomic ~dir path content =
+  let tmp = path ^ ".tmp" in
+  let fd =
+    Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Proto.write_all fd content;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  fsync_dir dir
+
+let nonce_counter = Atomic.make 0
+
+let fresh_nonce () =
+  Printf.sprintf "s%x-%x-%x"
+    (Unix.getpid ())
+    (Int64.to_int
+       (Int64.logand (Int64.of_float (Unix.gettimeofday () *. 1e6))
+          0xFFFFFFFFFFFL))
+    (Atomic.fetch_and_add nonce_counter 1)
+
+type t = {
+  dir : string;
+  nonce : string;
+  spec : string;
+  fd : Unix.file_descr;
+  mutable size : int;
+  mutable closed : bool;
+}
+
+let start ~dir ~nonce ~spec =
+  mkdir_p dir;
+  (* A reconnect with the same nonce is a fresh run of the same logical
+     session: drop any partial or stale state before the first byte. *)
+  List.iter
+    (fun p -> try Unix.unlink p with Unix.Unix_error _ -> ())
+    [ commit_path dir nonce; report_path dir nonce ];
+  let fd =
+    Unix.openfile (data_path dir nonce)
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o644
+  in
+  { dir; nonce; spec; fd; size = 0; closed = false }
+
+let nonce t = t.nonce
+
+let append t ?(off = 0) ?len s =
+  let len = match len with Some l -> l | None -> String.length s - off in
+  Crd_fault.inject fp_append;
+  Proto.write_all t.fd (String.sub s off len);
+  t.size <- t.size + len;
+  Crd_obs.Counter.add m_bytes len
+
+(* The marker records the committed byte count and the handshake's spec
+   name — everything recovery needs to replay the session exactly. *)
+let commit t =
+  Unix.fsync t.fd;
+  write_file_atomic ~dir:t.dir
+    (commit_path t.dir t.nonce)
+    (Printf.sprintf "%d %s\n" t.size t.spec);
+  Crd_obs.Counter.incr m_commits
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_report ~dir ~nonce text =
+  write_file_atomic ~dir (report_path dir nonce) text
+
+(* --- recovery --------------------------------------------------- *)
+
+let committed_unreported ~dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun e ->
+             if Filename.check_suffix e ".commit" then
+               let nonce = Filename.chop_suffix e ".commit" in
+               if Sys.file_exists (report_path dir nonce) then None
+               else Some nonce
+             else None)
+      |> List.sort String.compare
+
+let read_committed ~dir ~nonce =
+  let marker = commit_path dir nonce in
+  match In_channel.with_open_bin marker In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | m -> (
+      let m = String.trim m in
+      let size, spec =
+        match String.index_opt m ' ' with
+        | Some i ->
+            ( int_of_string_opt (String.sub m 0 i),
+              String.sub m (i + 1) (String.length m - i - 1) )
+        | None -> (int_of_string_opt m, "")
+      in
+      match size with
+      | None -> Error (Printf.sprintf "%s: malformed commit marker" marker)
+      | Some size -> (
+          let data = data_path dir nonce in
+          match In_channel.with_open_bin data In_channel.input_all with
+          | exception Sys_error e -> Error e
+          | bytes ->
+              if String.length bytes < size then
+                Error
+                  (Printf.sprintf "%s: %d bytes but %d committed" data
+                     (String.length bytes) size)
+              else
+                (* Bytes past the marker were never committed (a crash
+                   mid-append after a retry): replay only the prefix. *)
+                Ok (String.sub bytes 0 size, spec)))

@@ -1,0 +1,56 @@
+(** Crash-safe per-session trace journals.
+
+    With [rd2 serve --journal DIR], each session's raw CRDW bytes are
+    appended to [DIR/<nonce>.crdj] as they arrive. When the stream's
+    end marker is decoded, the data file is fsync'd and a commit marker
+    [DIR/<nonce>.commit] (holding the committed byte count) is written
+    atomically — data before marker, so a marker always describes
+    durable bytes. Once the session's report has been delivered,
+    [DIR/<nonce>.report] records it.
+
+    The lifecycle therefore reads directly off the filesystem:
+    - [.crdj] only: the session never finished streaming — nothing to
+      recover, the client will retry.
+    - [.crdj] + [.commit]: the trace is complete but analysis or reply
+      delivery died — {!committed_unreported} finds these on restart
+      and the server replays them through the normal analysis path.
+    - all three: the session fully completed.
+
+    Appends consult the [journal_append] {!Crd_fault} point. *)
+
+type t
+(** An open single-session journal. Functions raise [Unix.Unix_error]
+    on I/O failure (and {!append} raises [Crd_fault.Injected] when the
+    fault point fires); callers own the error policy. *)
+
+val start : dir:string -> nonce:string -> spec:string -> t
+(** Create [DIR] as needed and open a fresh journal, truncating any
+    previous run of the same nonce and removing its stale [.commit] /
+    [.report] — a retry restarts the logical session from frame 0.
+    [spec] (the handshake's spec-set name) is recorded in the commit
+    marker so recovery replays the same analysis. *)
+
+val nonce : t -> string
+val append : t -> ?off:int -> ?len:int -> string -> unit
+
+val commit : t -> unit
+(** fsync the data, then atomically publish the commit marker. *)
+
+val close : t -> unit
+(** Close the data fd (idempotent). Does not commit. *)
+
+val write_report : dir:string -> nonce:string -> string -> unit
+(** Atomically record the delivered report, completing the lifecycle. *)
+
+val committed_unreported : dir:string -> string list
+(** Nonces with a commit marker but no report, sorted — the sessions a
+    restarted server must replay. Empty for an unreadable directory. *)
+
+val read_committed :
+  dir:string -> nonce:string -> (string * string, string) result
+(** The committed byte prefix of a journal plus its spec-set name
+    (bytes past the marker were never acknowledged and are dropped). *)
+
+val fresh_nonce : unit -> string
+(** Process-unique filename-safe nonce for clients (and for journaling
+    sessions whose client sent none). *)

@@ -1,6 +1,20 @@
 let magic = "CRDS"
-let version = 1
+let version = 2
 let max_spec_name = 4096
+let max_nonce = 64
+
+(* Nonces name journal files on the server, so the alphabet is locked
+   down to filename-safe characters at the protocol layer. *)
+let valid_nonce s =
+  String.length s <= max_nonce
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+         | _ -> false)
+       s
+
+type handshake = { nonce : string; spec : string }
+type reply = Accepted | Rejected of string | Busy of int
 
 let write_all fd s =
   let n = String.length s in
@@ -38,10 +52,12 @@ let read_varint fd =
   done;
   Option.get !result
 
-let send_handshake fd ~spec =
-  let b = Buffer.create 16 in
+let send_handshake fd ?(nonce = "") ~spec () =
+  let b = Buffer.create 32 in
   Buffer.add_string b magic;
   Buffer.add_char b (Char.chr version);
+  Crd_wire.Codec.add_varint b (String.length nonce);
+  Buffer.add_string b nonce;
   Crd_wire.Codec.add_varint b (String.length spec);
   Buffer.add_string b spec;
   write_all fd (Buffer.contents b)
@@ -55,6 +71,23 @@ let send_reject fd msg =
   Buffer.add_string b msg;
   write_all fd (Buffer.contents b)
 
+let send_busy fd ~retry_ms =
+  let b = Buffer.create 8 in
+  Buffer.add_char b '\x02';
+  Crd_wire.Codec.add_varint b (max 0 retry_ms);
+  write_all fd (Buffer.contents b)
+
+let read_lstring fd ~max ~what =
+  match read_varint fd with
+  | Error e -> Error e
+  | Ok len when len < 0 || len > max ->
+      Error (Printf.sprintf "%s too long" what)
+  | Ok 0 -> Ok ""
+  | Ok len -> (
+      match read_exact fd len with
+      | None -> Error "connection closed during handshake"
+      | Some s -> Ok s)
+
 let read_handshake fd =
   match read_exact fd (String.length magic + 1) with
   | None -> Error "connection closed during handshake"
@@ -66,27 +99,28 @@ let read_handshake fd =
         if v <> version then
           Error (Printf.sprintf "unsupported protocol version %d" v)
         else (
-          match read_varint fd with
+          match read_lstring fd ~max:max_nonce ~what:"session nonce" with
           | Error e -> Error e
-          | Ok len when len < 0 || len > max_spec_name ->
-              Error "spec name too long"
-          | Ok len -> (
-              match read_exact fd len with
-              | None -> Error "connection closed during handshake"
-              | Some spec -> Ok spec))
+          | Ok nonce when not (valid_nonce nonce) ->
+              Error "invalid session nonce (want [A-Za-z0-9_-]{0,64})"
+          | Ok nonce -> (
+              match read_lstring fd ~max:max_spec_name ~what:"spec name" with
+              | Error e -> Error e
+              | Ok spec -> Ok { nonce; spec }))
 
 let read_handshake_reply fd =
   match read_exact fd 1 with
   | None -> Error "connection closed before handshake reply"
-  | Some "\x00" -> Ok ()
+  | Some "\x00" -> Ok Accepted
   | Some "\x01" -> (
+      match read_lstring fd ~max:65536 ~what:"reject message" with
+      | Error e -> Error e
+      | Ok msg -> Ok (Rejected msg))
+  | Some "\x02" -> (
       match read_varint fd with
       | Error e -> Error e
-      | Ok len when len < 0 || len > 65536 -> Error "oversized reject message"
-      | Ok len -> (
-          match read_exact fd len with
-          | None -> Error "connection closed inside reject message"
-          | Some msg -> Error ("server rejected session: " ^ msg)))
+      | Ok ms when ms < 0 || ms > 3_600_000 -> Error "nonsense busy hint"
+      | Ok ms -> Ok (Busy ms))
   | Some b ->
       Error (Printf.sprintf "unexpected handshake reply byte 0x%02x"
                (Char.code b.[0]))

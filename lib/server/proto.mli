@@ -4,14 +4,32 @@
     UTF-8 report read until end of stream.
 
     {v
-    client -> server:  "CRDS" version varint(len) spec-name  CRDW-stream
-    server -> client:  0x00                      (handshake accepted)
-                    |  0x01 varint(len) message  (rejected, then close)
+    client -> server:  "CRDS" version varint(len) nonce
+                       varint(len) spec-name  CRDW-stream
+    server -> client:  0x00                        (handshake accepted)
+                    |  0x01 varint(len) message    (rejected, then close)
+                    |  0x02 varint(retry-after ms) (busy, then close)
     server -> client:  report text, then close   (after the CRDW end frame)
-    v} *)
+    v}
+
+    The nonce (possibly empty) names the logical session: a client that
+    retries after a lost reply resends the same nonce, and the server
+    treats the reconnect as a fresh run of the same session — its
+    journal is truncated, not appended to. *)
 
 val magic : string
 val version : int
+
+val max_nonce : int
+(** Nonce length cap (64 bytes). *)
+
+val valid_nonce : string -> bool
+(** Nonces become journal filenames, so only [A-Za-z0-9_-] is let
+    through ([""] is valid: the server then journals under a private
+    name and retry dedup is off). *)
+
+type handshake = { nonce : string; spec : string }
+type reply = Accepted | Rejected of string | Busy of int  (** retry-after ms *)
 
 val write_all : Unix.file_descr -> string -> unit
 (** Loop over [Unix.write] until the whole string is sent. *)
@@ -21,14 +39,18 @@ val read_exact : Unix.file_descr -> int -> string option
 
 val read_varint : Unix.file_descr -> (int, string) result
 
-val send_handshake : Unix.file_descr -> spec:string -> unit
+val send_handshake : Unix.file_descr -> ?nonce:string -> spec:string -> unit -> unit
 val send_accept : Unix.file_descr -> unit
 val send_reject : Unix.file_descr -> string -> unit
 
-val read_handshake : Unix.file_descr -> (string, string) result
-(** Server side: returns the requested spec-set name. *)
+val send_busy : Unix.file_descr -> retry_ms:int -> unit
+(** Overload shed: the client should back off [retry_ms] and retry. *)
 
-val read_handshake_reply : Unix.file_descr -> (unit, string) result
-(** Client side: decode accept/reject. *)
+val read_handshake : Unix.file_descr -> (handshake, string) result
+(** Server side: the requested session nonce and spec-set name. *)
+
+val read_handshake_reply : Unix.file_descr -> (reply, string) result
+(** Client side: decode accept/reject/busy. [Error _] is a transport or
+    framing failure, not a server decision. *)
 
 val read_to_eof : Unix.file_descr -> string

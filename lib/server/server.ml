@@ -2,26 +2,47 @@ open Crd
 
 type addr = Unix_sock of string | Tcp of string * int
 
+let tcp_of_host_port host port_s =
+  match int_of_string_opt port_s with
+  | Some p when p > 0 && p < 65536 ->
+      Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
+  | _ -> Error (Printf.sprintf "tcp: bad port %S" port_s)
+
+(* HOST:PORT where HOST may be a bracketed IPv6 literal ([::1]:9000) or
+   anything colon-free; a bare IPv6 literal is ambiguous and rejected. *)
+let parse_host_port rest =
+  if String.length rest > 0 && rest.[0] = '[' then
+    match String.index_opt rest ']' with
+    | None -> Error "tcp: unterminated '[' in tcp:[V6HOST]:PORT"
+    | Some j ->
+        let host = String.sub rest 1 (j - 1) in
+        if host = "" then Error "tcp: empty host in tcp:[V6HOST]:PORT"
+        else if j + 1 >= String.length rest || rest.[j + 1] <> ':' then
+          Error "tcp: expected ':' after ']' in tcp:[V6HOST]:PORT"
+        else
+          tcp_of_host_port host
+            (String.sub rest (j + 2) (String.length rest - j - 2))
+  else
+    (* Last-colon split, so an unbracketed IPv6 literal still parses
+       (the part after its last colon is the port). *)
+    match String.rindex_opt rest ':' with
+    | None -> Error "tcp: expected tcp:HOST:PORT"
+    | Some j ->
+        tcp_of_host_port (String.sub rest 0 j)
+          (String.sub rest (j + 1) (String.length rest - j - 1))
+
 let addr_of_string s =
   match String.index_opt s ':' with
   | Some i when String.sub s 0 i = "unix" ->
       let path = String.sub s (i + 1) (String.length s - i - 1) in
       if path = "" then Error "unix: empty socket path" else Ok (Unix_sock path)
-  | Some i when String.sub s 0 i = "tcp" -> (
-      let rest = String.sub s (i + 1) (String.length s - i - 1) in
-      match String.rindex_opt rest ':' with
-      | None -> Error "tcp: expected tcp:HOST:PORT"
-      | Some j -> (
-          let host = String.sub rest 0 j in
-          let port = String.sub rest (j + 1) (String.length rest - j - 1) in
-          match int_of_string_opt port with
-          | Some p when p > 0 && p < 65536 ->
-              Ok (Tcp ((if host = "" then "127.0.0.1" else host), p))
-          | _ -> Error (Printf.sprintf "tcp: bad port %S" port)))
+  | Some i when String.sub s 0 i = "tcp" ->
+      parse_host_port (String.sub s (i + 1) (String.length s - i - 1))
   | _ -> Error (Printf.sprintf "bad address %S (want unix:PATH or tcp:HOST:PORT)" s)
 
 let pp_addr ppf = function
   | Unix_sock p -> Fmt.pf ppf "unix:%s" p
+  | Tcp (h, p) when String.contains h ':' -> Fmt.pf ppf "tcp:[%s]:%d" h p
   | Tcp (h, p) -> Fmt.pf ppf "tcp:%s:%d" h p
 
 type config = {
@@ -33,6 +54,10 @@ type config = {
   analyzer : Analyzer.config;
   jobs : int;
   specs : Spec.t list option;
+  shed_backlog : int;
+  retry_after_ms : int;
+  journal : string option;
+  resync : bool;
 }
 
 let default_analyzer =
@@ -54,6 +79,10 @@ let default_config ~addr =
     analyzer = default_analyzer;
     jobs = 1;
     specs = None;
+    shed_backlog = 0;
+    retry_after_ms = 200;
+    journal = None;
+    resync = false;
   }
 
 type stats = {
@@ -62,6 +91,9 @@ type stats = {
   races : int;
   errors : int;
   accept_errors : int;
+  busy : int;
+  worker_crashes : int;
+  recovered : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -116,6 +148,35 @@ let m_analyze_seconds =
 let m_session_seconds =
   Crd_obs.histogram ~help:"Whole-session duration" "server_session_seconds"
 
+let m_busy =
+  Crd_obs.counter ~help:"Connections shed with a BUSY reply under overload"
+    "server_busy_total"
+
+let m_worker_crashes =
+  Crd_obs.counter ~help:"Worker domains that died and were respawned"
+    "server_worker_crashes_total"
+
+let m_recovered =
+  Crd_obs.counter ~help:"Journaled sessions replayed after a restart"
+    "server_recovered_sessions_total"
+
+let m_retries =
+  Crd_obs.counter ~help:"Sessions whose nonce was seen before (client retries)"
+    "server_session_retries_total"
+
+(* Chaos injection points threaded through the ingestion pipeline; see
+   Crd_fault. queue_push lives in each session's Bqueue, decode_frame
+   in Crd_wire.Codec, journal_append in Journal. *)
+let fp_sock_read = Crd_fault.point "sock_read"
+let fp_sock_write = Crd_fault.point "sock_write"
+let fp_worker_body = Crd_fault.point "worker_body"
+let fp_queue_push = Crd_fault.point "queue_push"
+
+(* [report_send] is a stall, not an error: a fired hit parks the worker
+   between journal commit and reply, holding the kill window open for
+   the crash-recovery test. *)
+let fp_report_send = Crd_fault.point "report_send"
+
 (* Error taxonomy: where in the pipeline a session died. *)
 type err_kind = Handshake | Spec | Timeout | Decode | Io | Analysis
 
@@ -145,13 +206,18 @@ type t = {
   listen_fd : Unix.file_descr;
   conns : Unix.file_descr Bqueue.t;
   stopping : bool Atomic.t;
+  active : int Atomic.t;  (* sessions currently held by workers *)
   mutable accept_d : unit Domain.t option;
-  mutable workers_d : unit Domain.t list;
+  slots : unit Domain.t option array;  (* one per live worker *)
+  deaths : int Bqueue.t;  (* crashed worker slots, for the supervisor *)
+  mutable graveyard : unit Domain.t list;  (* dead workers awaiting join *)
+  mutable supervisor : Thread.t option;
   mutable metrics_d : unit Domain.t option;
   metrics_fd : Unix.file_descr option;
   metrics_path : string option;
   mu : Mutex.t;
   mutable st : stats;
+  seen_nonces : (string, unit) Hashtbl.t;  (* under [mu] *)
   sock_path : string option;
   mutable stopped : bool;
   inject_accept : Unix.error list Atomic.t;  (* test instrumentation *)
@@ -186,6 +252,37 @@ let record_accept_error t =
   t.st <- { t.st with accept_errors = t.st.accept_errors + 1 };
   Mutex.unlock t.mu;
   Crd_obs.Counter.incr m_accept_errors
+
+let record_busy t =
+  Mutex.lock t.mu;
+  t.st <- { t.st with busy = t.st.busy + 1 };
+  Mutex.unlock t.mu;
+  Crd_obs.Counter.incr m_busy
+
+let record_worker_crash t =
+  Mutex.lock t.mu;
+  t.st <- { t.st with worker_crashes = t.st.worker_crashes + 1 };
+  Mutex.unlock t.mu;
+  Crd_obs.Counter.incr m_worker_crashes
+
+let record_recovered t =
+  Mutex.lock t.mu;
+  t.st <- { t.st with recovered = t.st.recovered + 1 };
+  Mutex.unlock t.mu;
+  Crd_obs.Counter.incr m_recovered
+
+(* True iff this nonce was already seen by this server instance — a
+   client retry of the same logical session. *)
+let note_nonce t nonce =
+  if nonce = "" then false
+  else begin
+    Mutex.lock t.mu;
+    let seen = Hashtbl.mem t.seen_nonces nonce in
+    if not seen then Hashtbl.add t.seen_nonces nonce ();
+    Mutex.unlock t.mu;
+    if seen then Crd_obs.Counter.incr m_retries;
+    seen
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Specification sets                                                  *)
@@ -222,45 +319,80 @@ type item = Ev of Crd_trace.Event.t | Bad of err_kind * string
 (* Socket-reader: decode incoming bytes and push events into the
    session's bounded queue. Runs in its own thread so that a full queue
    blocks this reader (and, transitively, the client) rather than
-   growing server memory. [hw] tracks the queue's high-water mark. *)
-let read_loop conn q hw =
-  let dec = Crd_wire.Codec.Decoder.create () in
+   growing server memory. [hw] tracks the queue's high-water mark.
+
+   With a journal attached, every raw byte is appended before it is
+   decoded, and the journal is committed the moment the decoder sees
+   the end-of-stream frame — before analysis, so a server killed while
+   analyzing (or stalled before the reply) leaves a replayable journal.
+
+   Error items travel via [Bqueue.push_raw]: the [queue_push] fault must
+   not be able to fault away its own error report. *)
+let read_loop ?journal ~resync conn q hw =
+  let dec = Crd_wire.Codec.Decoder.create ~resync () in
   let buf = Bytes.create 32768 in
   let stop = ref false in
+  let bad kind msg =
+    ignore (Bqueue.push_raw q (Bad (kind, msg)));
+    stop := true
+  in
   while not !stop do
-    match Unix.read conn buf 0 (Bytes.length buf) with
+    match
+      if Crd_fault.fire fp_sock_read then
+        raise (Unix.Unix_error (Unix.EIO, "read", "injected fault: sock_read"));
+      Unix.read conn buf 0 (Bytes.length buf)
+    with
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        ignore (Bqueue.push q (Bad (Timeout, "idle timeout: no client bytes")));
-        stop := true
-    | exception Unix.Unix_error (e, _, _) ->
-        ignore (Bqueue.push q (Bad (Io, Unix.error_message e)));
-        stop := true
+        bad Timeout "idle timeout: no client bytes"
+    | exception Unix.Unix_error (e, _, arg) ->
+        bad Io
+          (if arg = "" then Unix.error_message e
+           else Unix.error_message e ^ " (" ^ arg ^ ")")
     | 0 ->
         (match Crd_wire.Codec.Decoder.finish dec with
         | Ok () -> ()
-        | Error e ->
-            ignore
-              (Bqueue.push q (Bad (Decode, Crd_wire.Codec.error_to_string e))));
+        | Error e -> bad Decode (Crd_wire.Codec.error_to_string e));
         stop := true
     | n -> (
-        match Crd_wire.Codec.Decoder.feed dec (Bytes.sub_string buf 0 n) with
-        | Error e ->
-            ignore
-              (Bqueue.push q (Bad (Decode, Crd_wire.Codec.error_to_string e)));
-            stop := true
-        | Ok events ->
-            List.iter
-              (fun e -> if not (Bqueue.push q (Ev e)) then stop := true)
-              events;
-            let depth = Bqueue.length q in
-            if depth > !hw then begin
-              hw := depth;
-              Crd_obs.Gauge.set_max m_session_queue_hw depth
-            end;
-            (* The end-of-stream frame, not EOF, ends ingestion: the
-               client keeps the socket open to read its report. *)
-            if Crd_wire.Codec.Decoder.finished dec then stop := true)
+        (match journal with
+        | Some j -> (
+            try Journal.append j (Bytes.sub_string buf 0 n)
+            with
+            | Crd_fault.Injected p ->
+                bad Io (Printf.sprintf "injected fault: %s" p)
+            | Unix.Unix_error (e, fn, _) ->
+                bad Io (Printf.sprintf "journal %s: %s" fn (Unix.error_message e)))
+        | None -> ());
+        if not !stop then
+          match Crd_wire.Codec.Decoder.feed dec (Bytes.sub_string buf 0 n) with
+          | Error e -> bad Decode (Crd_wire.Codec.error_to_string e)
+          | Ok events ->
+              (try
+                 List.iter
+                   (fun e -> if not (Bqueue.push q (Ev e)) then stop := true)
+                   events
+               with Crd_fault.Injected p ->
+                 bad Io (Printf.sprintf "injected fault: %s" p));
+              let depth = Bqueue.length q in
+              if depth > !hw then begin
+                hw := depth;
+                Crd_obs.Gauge.set_max m_session_queue_hw depth
+              end;
+              (* The end-of-stream frame, not EOF, ends ingestion: the
+                 client keeps the socket open to read its report. *)
+              if Crd_wire.Codec.Decoder.finished dec && not !stop then begin
+                (match journal with
+                | Some j -> (
+                    try Journal.commit j
+                    with Unix.Unix_error (e, fn, _) ->
+                      bad Io
+                        (Printf.sprintf "journal %s: %s" fn
+                           (Unix.error_message e)))
+                | None -> ());
+                stop := true
+              end)
   done;
+  (match journal with Some j -> Journal.close j | None -> ());
   Bqueue.close q
 
 (* The one guarded drain both analysis paths share: a malformed event
@@ -278,10 +410,11 @@ let drain_events q ~f =
   in
   try go () with Invalid_argument e -> Error (Analysis, e)
 
-(* Drain the session queue into an online analyzer (jobs = 1) or a
-   recorded trace re-analyzed with Shard at end-of-stream (jobs > 1).
-   Returns the report text plus counters for the server stats. *)
-let analyze_session cfg spec_for q =
+(* The one analysis entry point both live sessions and journal recovery
+   go through, so a replayed session's report is byte-identical to the
+   one the dead server would have sent. [drain] feeds events into [f]
+   and reports where ingestion failed, if it did. *)
+let analyze_with cfg spec_for ~drain =
   let buf = Buffer.create 1024 in
   let ppf = Fmt.with_buffer buf in
   let fin () =
@@ -297,7 +430,7 @@ let analyze_session cfg spec_for q =
     match Analyzer.create ~config:cfg.analyzer ~spec_for () with
     | Error e -> Error (Analysis, e)
     | Ok an -> (
-        match drain_events q ~f:(Analyzer.step an) with
+        match drain ~f:(Analyzer.step an) with
         | Error e -> Error e
         | Ok () ->
             Analyzer.publish_stats an;
@@ -308,7 +441,7 @@ let analyze_session cfg spec_for q =
             Ok (fin (), Analyzer.events an, List.length rd2)))
   else
     let trace = Trace.create () in
-    match drain_events q ~f:(Trace.append trace) with
+    match drain ~f:(Trace.append trace) with
     | Error e -> Error e
     | Ok () -> (
         match
@@ -321,6 +454,23 @@ let analyze_session cfg spec_for q =
             races_text res.Shard.rd2_reports res.Shard.fasttrack_reports
               res.Shard.atomicity_violations;
             Ok (fin (), res.Shard.events, List.length res.Shard.rd2_reports))
+
+let analyze_session cfg spec_for q =
+  analyze_with cfg spec_for ~drain:(fun ~f -> drain_events q ~f)
+
+(* Recovery drain: replay a committed journal's bytes through the same
+   decoder configuration a live session would use. *)
+let drain_of_bytes bytes ~resync ~f =
+  let dec = Crd_wire.Codec.Decoder.create ~resync () in
+  try
+    match Crd_wire.Codec.Decoder.feed dec bytes with
+    | Error e -> Error (Decode, Crd_wire.Codec.error_to_string e)
+    | Ok events -> (
+        List.iter f events;
+        match Crd_wire.Codec.Decoder.finish dec with
+        | Ok () -> Ok ()
+        | Error e -> Error (Decode, Crd_wire.Codec.error_to_string e))
+  with Invalid_argument e -> Error (Analysis, e)
 
 let session t conn =
   let cfg = t.cfg in
@@ -344,7 +494,13 @@ let session t conn =
         record t ~events:0 ~races:0 ~error:true;
         try Unix.close conn with Unix.Unix_error _ -> ()
       in
-      let finish outcome hw =
+      (* Every reply byte goes through the sock_write fault point; a
+         fired hit loses the reply exactly as a dead link would. *)
+      let write_reply s =
+        Crd_fault.inject fp_sock_write;
+        Proto.write_all conn s
+      in
+      let finish ?journal outcome hw =
         (match outcome with
         | Ok (reply, events, races) ->
             let reply =
@@ -353,7 +509,26 @@ let session t conn =
                   events races hw
                   (Crd_obs.Span.elapsed_s span)
             in
-            (try Proto.write_all conn reply with Unix.Unix_error _ -> ());
+            if Crd_fault.fire fp_report_send then begin
+              (* Deliberate stall (not an error): parks this worker with
+                 the journal committed and the reply unsent, so a crash
+                 test can SIGKILL the server inside that exact window. *)
+              Crd_obs.Log.warn "report_send_stall" [];
+              while true do
+                Unix.sleepf 3600.
+              done
+            end;
+            let delivered =
+              try
+                write_reply reply;
+                true
+              with Unix.Unix_error _ | Crd_fault.Injected _ -> false
+            in
+            (match journal with
+            | Some (dir, nonce) when delivered -> (
+                try Journal.write_report ~dir ~nonce reply
+                with Unix.Unix_error _ | Sys_error _ -> ())
+            | _ -> ());
             record t ~events ~races ~error:false;
             Crd_obs.Log.info "session_ok"
               [
@@ -363,38 +538,86 @@ let session t conn =
             Crd_obs.Counter.incr (err_counter kind);
             Crd_obs.Log.warn "session_error"
               [ ("kind", err_kind_label kind); ("err", msg) ];
-            (try Proto.write_all conn ("ERR " ^ msg ^ "\n")
-             with Unix.Unix_error _ -> ());
+            (try write_reply ("ERR " ^ msg ^ "\n")
+             with Unix.Unix_error _ | Crd_fault.Injected _ -> ());
             record t ~events:0 ~races:0 ~error:true);
         (try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
         try Unix.close conn with Unix.Unix_error _ -> ()
       in
       let hs = Crd_obs.Span.start m_handshake_seconds in
-      match Proto.read_handshake conn with
+      let handshake =
+        (* An idle or dead client must fail this session, not escape
+           into the worker loop and look like a worker crash. *)
+        try Proto.read_handshake conn with
+        | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            Error "idle timeout during handshake"
+        | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+      in
+      match handshake with
       | Error msg ->
           Crd_obs.Span.finish hs;
           reject Handshake msg
-      | Ok spec_name -> (
+      | Ok { Proto.nonce; spec = spec_name } -> (
           match resolve_spec_set cfg spec_name with
           | Error msg ->
               Crd_obs.Span.finish hs;
               reject Spec msg
-          | Ok spec_for ->
-              (try Proto.send_accept conn with Unix.Unix_error _ -> ());
-              Crd_obs.Span.finish hs;
-              let q = Bqueue.create ~capacity:cfg.queue_capacity in
-              let hw = ref 0 in
-              let reader = Thread.create (fun () -> read_loop conn q hw) () in
-              let outcome =
-                Crd_obs.time m_analyze_seconds (fun () ->
-                    try analyze_session cfg spec_for q
-                    with e -> Error (Analysis, Printexc.to_string e))
+          | Ok spec_for -> (
+              if note_nonce t nonce then
+                Crd_obs.Log.info "session_retry" [ ("nonce", nonce) ];
+              let journal =
+                match cfg.journal with
+                | None -> Ok None
+                | Some dir -> (
+                    (* A reconnect with a known nonce truncates the old
+                       journal: the retry restreams from frame 0. *)
+                    let jn =
+                      if nonce = "" then Journal.fresh_nonce () else nonce
+                    in
+                    try Some (Journal.start ~dir ~nonce:jn ~spec:spec_name) |> Result.ok
+                    with Unix.Unix_error (e, fn, _) ->
+                      Error
+                        (Printf.sprintf "journal %s: %s" fn
+                           (Unix.error_message e)))
               in
-              (* On an analysis-side abort the reader may still be blocked
-                 pushing: closing the queue releases it. *)
-              Bqueue.close q;
-              Thread.join reader;
-              finish outcome !hw))
+              match journal with
+              | Error msg ->
+                  Crd_obs.Span.finish hs;
+                  reject Io msg
+              | Ok journal ->
+                  (try Proto.send_accept conn with Unix.Unix_error _ -> ());
+                  Crd_obs.Span.finish hs;
+                  (* Simulated session-body bug: raises past this
+                     function into the worker loop's crash handling,
+                     after the handshake so the client sees a clean
+                     stream-phase ERR. *)
+                  Crd_fault.inject fp_worker_body;
+                  let q =
+                    Bqueue.create ~fault:fp_queue_push
+                      ~capacity:cfg.queue_capacity ()
+                  in
+                  let hw = ref 0 in
+                  let reader =
+                    Thread.create
+                      (fun () ->
+                        read_loop ?journal ~resync:cfg.resync conn q hw)
+                      ()
+                  in
+                  let outcome =
+                    Crd_obs.time m_analyze_seconds (fun () ->
+                        try analyze_session cfg spec_for q
+                        with e -> Error (Analysis, Printexc.to_string e))
+                  in
+                  (* On an analysis-side abort the reader may still be
+                     blocked pushing: closing the queue releases it. *)
+                  Bqueue.close q;
+                  Thread.join reader;
+                  let journal_dest =
+                    match (cfg.journal, journal) with
+                    | Some dir, Some j -> Some (dir, Journal.nonce j)
+                    | _ -> None
+                  in
+                  finish ?journal:journal_dest outcome !hw)))
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop and worker pool                                         *)
@@ -458,23 +681,83 @@ let accept_loop t =
                 backoff := 0.01;
                 Crd_obs.Counter.incr m_accepted;
                 Unix.clear_nonblock conn;
-                if not (Bqueue.push t.conns conn) then (
+                (* Overload shedding: with every worker busy and the
+                   pending backlog at the bound, tell the client to come
+                   back instead of letting it queue unboundedly deep. *)
+                if
+                  t.cfg.shed_backlog > 0
+                  && Atomic.get t.active >= t.cfg.workers
+                  && Bqueue.length t.conns >= t.cfg.shed_backlog
+                then begin
+                  record_busy t;
+                  Crd_obs.Log.warn "session_shed"
+                    [
+                      ("active", string_of_int (Atomic.get t.active));
+                      ("pending", string_of_int (Bqueue.length t.conns));
+                    ];
+                  (try Proto.send_busy conn ~retry_ms:t.cfg.retry_after_ms
+                   with Unix.Unix_error _ -> ());
+                  (try Unix.shutdown conn Unix.SHUTDOWN_ALL
+                   with Unix.Unix_error _ -> ());
+                  try Unix.close conn with Unix.Unix_error _ -> ()
+                end
+                else if not (Bqueue.push t.conns conn) then (
                   try Unix.close conn with Unix.Unix_error _ -> ())
                 else
                   Crd_obs.Gauge.set_max m_conn_queue_hw (Bqueue.length t.conns)))
   done
 
+(* A worker runs sessions until the connection queue closes. Exceptions
+   escaping a session (a bug, or the worker_body fault) are a worker
+   crash: the client gets a clean ERR line, the connection closes, the
+   exception re-raises to kill this domain, and the supervisor respawns
+   a replacement into the same slot. *)
 let worker_loop t =
   let continue = ref true in
   while !continue do
     match Bqueue.pop t.conns with
     | None -> continue := false
     | Some conn -> (
-        try session t conn
-        with e ->
-          (try Unix.close conn with Unix.Unix_error _ -> ());
-          ignore (Printexc.to_string e))
+        Atomic.incr t.active;
+        match session t conn with
+        | () -> Atomic.decr t.active
+        | exception e ->
+            Atomic.decr t.active;
+            record_worker_crash t;
+            record t ~events:0 ~races:0 ~error:true;
+            let msg = Printexc.to_string e in
+            Crd_obs.Log.err "worker_crashed" [ ("err", msg) ];
+            (try Proto.write_all conn ("ERR internal: worker crashed: " ^ msg ^ "\n")
+             with Unix.Unix_error _ -> ());
+            (try Unix.shutdown conn Unix.SHUTDOWN_ALL
+             with Unix.Unix_error _ -> ());
+            (try Unix.close conn with Unix.Unix_error _ -> ());
+            raise e)
   done
+
+(* Workers live in numbered slots; a crashed worker's wrapper reports
+   its slot on the deaths queue and the supervisor thread respawns it.
+   The supervisor never joins domains — it parks the dead one in the
+   graveyard for [stop], which joins the supervisor first and only then
+   snapshots slots + graveyard (no concurrent mutation, no double
+   join). *)
+let rec spawn_worker t idx =
+  t.slots.(idx) <-
+    Some
+      (Domain.spawn (fun () ->
+           try worker_loop t
+           with _ -> ignore (Bqueue.push_raw t.deaths idx)))
+
+and supervisor_loop t =
+  match Bqueue.pop t.deaths with
+  | None -> ()
+  | Some idx ->
+      (match t.slots.(idx) with
+      | Some d -> t.graveyard <- d :: t.graveyard
+      | None -> ());
+      t.slots.(idx) <- None;
+      if not (Atomic.get t.stopping) then spawn_worker t idx;
+      supervisor_loop t
 
 (* ------------------------------------------------------------------ *)
 (* Metrics listener                                                    *)
@@ -517,6 +800,50 @@ let metrics_loop t mfd =
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
+
+(* Replay committed-but-unreported journals left behind by a killed
+   process. Each one runs through [analyze_with] — the same path its
+   live session would have taken — and its report lands in
+   [<nonce>.report], where the client-facing tooling can find it. *)
+let recover_journals t =
+  match t.cfg.journal with
+  | None -> ()
+  | Some dir ->
+      List.iter
+        (fun nonce ->
+          let fail msg =
+            Crd_obs.Log.err "journal_recovery_failed"
+              [ ("nonce", nonce); ("err", msg) ]
+          in
+          match Journal.read_committed ~dir ~nonce with
+          | Error msg -> fail msg
+          | Ok (bytes, spec_name) -> (
+              match resolve_spec_set t.cfg spec_name with
+              | Error msg -> fail msg
+              | Ok spec_for ->
+                  let outcome =
+                    try
+                      analyze_with t.cfg spec_for
+                        ~drain:(drain_of_bytes bytes ~resync:t.cfg.resync)
+                    with e -> Error (Analysis, Printexc.to_string e)
+                  in
+                  let text =
+                    match outcome with
+                    | Ok (reply, events, races) ->
+                        record t ~events ~races ~error:false;
+                        reply
+                    | Error (kind, msg) ->
+                        Crd_obs.Counter.incr (err_counter kind);
+                        record t ~events:0 ~races:0 ~error:true;
+                        "ERR " ^ msg ^ "\n"
+                  in
+                  (try Journal.write_report ~dir ~nonce text
+                   with Unix.Unix_error _ | Sys_error _ ->
+                     fail "cannot write recovered report");
+                  record_recovered t;
+                  ignore (note_nonce t nonce);
+                  Crd_obs.Log.info "journal_recovered" [ ("nonce", nonce) ]))
+        (Journal.committed_unreported ~dir)
 
 (* Is something actually answering on this unix socket? Stale socket
    files (a crashed server) must be reclaimed; live ones must not be
@@ -615,10 +942,14 @@ let start cfg =
             {
               cfg = { cfg with workers };
               listen_fd;
-              conns = Bqueue.create ~capacity:(max 16 (2 * workers));
+              conns = Bqueue.create ~capacity:(max 16 (2 * workers)) ();
               stopping = Atomic.make false;
+              active = Atomic.make 0;
               accept_d = None;
-              workers_d = [];
+              slots = Array.make workers None;
+              deaths = Bqueue.create ~capacity:(max 16 workers) ();
+              graveyard = [];
+              supervisor = None;
               metrics_d = None;
               metrics_fd = Option.map fst metrics;
               metrics_path = Option.bind metrics snd;
@@ -630,14 +961,21 @@ let start cfg =
                   races = 0;
                   errors = 0;
                   accept_errors = 0;
+                  busy = 0;
+                  worker_crashes = 0;
+                  recovered = 0;
                 };
+              seen_nonces = Hashtbl.create 64;
               sock_path;
               stopped = false;
               inject_accept = Atomic.make [];
             }
           in
-          t.workers_d <-
-            List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+          recover_journals t;
+          for idx = 0 to workers - 1 do
+            spawn_worker t idx
+          done;
+          t.supervisor <- Some (Thread.create (fun () -> supervisor_loop t) ());
           t.accept_d <- Some (Domain.spawn (fun () -> accept_loop t));
           (match t.metrics_fd with
           | Some mfd ->
@@ -654,10 +992,23 @@ let stop t =
     Atomic.set t.stopping true;
     (match t.accept_d with Some d -> Domain.join d | None -> ());
     (match t.metrics_d with Some d -> Domain.join d | None -> ());
+    (* Retire the supervisor before joining workers: once [deaths] is
+       closed it stops respawning, so the slot array can't change under
+       the joins below. *)
+    Bqueue.close t.deaths;
+    (match t.supervisor with Some th -> Thread.join th | None -> ());
     (* Already-accepted connections stay in the queue and are drained:
        every in-flight session flushes its report before we return. *)
     Bqueue.close t.conns;
-    List.iter Domain.join t.workers_d;
+    Array.iteri
+      (fun idx -> function
+        | Some d ->
+            Domain.join d;
+            t.slots.(idx) <- None
+        | None -> ())
+      t.slots;
+    List.iter Domain.join t.graveyard;
+    t.graveyard <- [];
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (match t.metrics_fd with
     | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())

@@ -25,14 +25,35 @@
 
     {!stop} (and SIGTERM/SIGINT under {!serve}) drains gracefully:
     accepting stops, in-flight sessions run to completion and flush
-    their race reports to their clients before the server exits. *)
+    their race reports to their clients before the server exits.
+
+    {2 Robustness}
+
+    The pipeline is built to stay up under injected faults
+    ({!Crd_fault}) and real crashes:
+
+    - {e supervision} — an exception escaping a session kills only its
+      worker domain; a supervisor thread respawns a replacement and the
+      client gets a clean [ERR] reply ([server_worker_crashes_total]).
+    - {e shedding} — with {!config.shed_backlog}[ > 0], connections
+      arriving while every worker is busy and the backlog is full get
+      an immediate [BUSY retry-after] reply instead of queueing without
+      bound ([server_busy_total]).
+    - {e journaling} — with {!config.journal}[ = Some dir], each
+      session's raw CRDW bytes are appended to [dir/<nonce>.crdj] and
+      fsync-committed at end-of-stream; {!start} replays
+      committed-but-unreported journals from a previous (possibly
+      SIGKILLed) process through the normal analysis path
+      ([server_recovered_total]). See {!Journal}. *)
 
 open Crd
 
 type addr = Unix_sock of string | Tcp of string * int
 
 val addr_of_string : string -> (addr, string) result
-(** ["unix:PATH"] or ["tcp:HOST:PORT"]. *)
+(** ["unix:PATH"], ["tcp:HOST:PORT"], or ["tcp:[IPV6]:PORT"] (the
+    bracketed form is required for IPv6 literals; a bare
+    ["tcp:::1:9090"] still parses by splitting at the last [':']). *)
 
 val pp_addr : addr Fmt.t
 
@@ -47,12 +68,22 @@ type config = {
   analyzer : Analyzer.config;  (** detector set for every session *)
   jobs : int;  (** > 1: record, then {!Shard.analyze} at end-of-stream *)
   specs : Spec.t list option;  (** the ["custom"] handshake spec set, if loaded *)
+  shed_backlog : int;
+      (** when [> 0] and all workers are busy with [shed_backlog]
+          connections already pending, new connections are shed with a
+          [BUSY] reply; [0] (the default) never sheds *)
+  retry_after_ms : int;  (** the retry hint sent with [BUSY] (default 200) *)
+  journal : string option;
+      (** directory for crash-safe session journals; [None] disables *)
+  resync : bool;
+      (** decode session streams with {!Crd_wire.Codec.create}[ ~resync:true]:
+          corrupt frames are skipped instead of failing the session *)
 }
 
 val default_config : addr:addr -> config
 (** RD2 (constant mode) only, [Shard.recommended_jobs ()] workers,
     queue capacity 1024, 30 s idle timeout, [jobs = 1], no metrics
-    listener. *)
+    listener, no shedding, no journal, strict (non-resync) decoding. *)
 
 type stats = {
   sessions : int;
@@ -70,6 +101,14 @@ type stats = {
       (** transient [accept(2)] failures (e.g. [EMFILE], [ENFILE],
           [ENOBUFS]) survived with backoff — not sessions, and not
           counted in {!field-errors} *)
+  busy : int;  (** connections shed with a [BUSY] reply — not sessions *)
+  worker_crashes : int;
+      (** worker domains lost to an escaped exception and respawned;
+          each is also counted as an error session *)
+  recovered : int;
+      (** journal sessions replayed by {!start} after a crash; counted
+          in {!field-sessions} (and {!field-errors} if the replayed
+          analysis failed) *)
 }
 
 type t

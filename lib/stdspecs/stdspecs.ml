@@ -112,13 +112,19 @@ object bag {
 }
 |}
 
+(* Guards the lazy cells below: two domains racing on the first force
+   of an OCaml 5 lazy raise CamlinternalLazy.Undefined in the loser,
+   and concurrent server sessions do exactly that. *)
+let memo_mu = Mutex.create ()
+
 let memo src =
   let cell = lazy (
     match Crd_spec_parser.Parser.parse_one src with
     | Ok spec -> spec
     | Error e -> failwith ("Stdspecs: builtin specification is broken: " ^ e))
   in
-  fun () -> Lazy.force cell
+  fun () ->
+    Mutex.protect memo_mu (fun () -> Lazy.force cell)
 
 let dictionary = memo dictionary_src
 let set = memo set_src

@@ -30,6 +30,14 @@ let decode_errors_total =
   Crd_obs.counter ~help:"CRDW decoders entering the failed state"
     "wire_decode_errors_total"
 
+let resync_total =
+  Crd_obs.counter ~help:"Bytes skipped by resyncing CRDW decoders"
+    "wire_resync_total"
+
+(* Deterministic corruption for chaos runs: when armed, a frame parse
+   fails as if the frame arrived corrupt. *)
+let fp_decode_frame = Crd_fault.point "decode_frame"
+
 let pp_error ppf = function
   | Bad_magic -> Fmt.string ppf "bad magic (not a CRDW stream)"
   | Unsupported_version v -> Fmt.pf ppf "unsupported wire version %d" v
@@ -290,17 +298,19 @@ module Decoder = struct
 
   type t = {
     mutable state : state;
+    resync : bool;  (* scan past corrupt regions instead of failing *)
     buf : Buffer.t;  (* unconsumed input *)
     mutable pos : int;  (* consumed prefix of [buf] *)
-    strings : (int, string) Hashtbl.t;
+    mutable strings : (int, string) Hashtbl.t;
     mutable next_string : int;
-    objs : (int, Obj_id.t) Hashtbl.t;
-    locks : (int, Lock_id.t) Hashtbl.t;
+    mutable objs : (int, Obj_id.t) Hashtbl.t;
+    mutable locks : (int, Lock_id.t) Hashtbl.t;
   }
 
-  let create () =
+  let create ?(resync = false) () =
     {
       state = Header;
+      resync;
       buf = Buffer.create 4096;
       pos = 0;
       strings = Hashtbl.create 64;
@@ -490,6 +500,32 @@ module Decoder = struct
       t.state <- Frames
     end
 
+  (* Parse one frame payload. In resync mode the intern tables are
+     snapshotted first and restored on failure, so a corrupt frame
+     cannot poison the references of the frames that follow it. *)
+  let parse_frame t frame push =
+    let r = { frame; rpos = 0; rlimit = String.length frame } in
+    if not t.resync then r_frame t r push
+    else begin
+      let ss = Hashtbl.copy t.strings in
+      let sn = t.next_string in
+      let so = Hashtbl.copy t.objs in
+      let sl = Hashtbl.copy t.locks in
+      try r_frame t r push
+      with e ->
+        t.strings <- ss;
+        t.next_string <- sn;
+        t.objs <- so;
+        t.locks <- sl;
+        raise e
+    end
+
+  (* A resync can only recover mid-stream corruption: a bad header and
+     data after a consumed end marker stay fatal even when scanning. *)
+  let recoverable t = function
+    | Corrupt _ -> t.state = Frames
+    | Bad_magic | Unsupported_version _ | Truncated -> false
+
   let feed t ?(off = 0) ?len input =
     let len = match len with Some l -> l | None -> String.length input - off in
     if off < 0 || len < 0 || off + len > String.length input then
@@ -506,27 +542,40 @@ module Decoder = struct
           if t.state = Frames then begin
             let continue = ref true in
             while !continue do
-              match try_varint t with
-              | None -> continue := false
-              | Some (frame_len, hdr_len) ->
-                  if frame_len = 0 then begin
-                    t.pos <- t.pos + hdr_len;
-                    t.state <- Finished;
-                    if available t > 0 then
-                      corrupt "trailing data after end of stream";
-                    continue := false
-                  end
-                  else if frame_len < 0 || frame_len > max_frame_bytes then
-                    corrupt "frame length %d out of bounds" frame_len
-                  else if available t < hdr_len + frame_len then
-                    continue := false
-                  else begin
-                    let frame = Buffer.sub t.buf (t.pos + hdr_len) frame_len in
-                    t.pos <- t.pos + hdr_len + frame_len;
-                    r_frame t { frame; rpos = 0; rlimit = frame_len } push;
-                    Crd_obs.Counter.incr frames_total;
-                    compact t
-                  end
+              let saved_events = !events in
+              try
+                match try_varint t with
+                | None -> continue := false
+                | Some (frame_len, hdr_len) ->
+                    if frame_len = 0 then begin
+                      t.pos <- t.pos + hdr_len;
+                      t.state <- Finished;
+                      continue := false;
+                      if available t > 0 then
+                        corrupt "trailing data after end of stream"
+                    end
+                    else if frame_len < 0 || frame_len > max_frame_bytes then
+                      corrupt "frame length %d out of bounds" frame_len
+                    else if available t < hdr_len + frame_len then
+                      continue := false
+                    else begin
+                      let frame =
+                        Buffer.sub t.buf (t.pos + hdr_len) frame_len
+                      in
+                      if Crd_fault.fire fp_decode_frame then
+                        corrupt "fault injected: decode_frame";
+                      parse_frame t frame push;
+                      (* Consume the frame only once it parsed: a resync
+                         restarts its scan from the frame's first byte. *)
+                      t.pos <- t.pos + hdr_len + frame_len;
+                      Crd_obs.Counter.incr frames_total;
+                      compact t
+                    end
+              with Fail e when t.resync && recoverable t e ->
+                events := saved_events;
+                t.pos <- t.pos + 1;
+                Crd_obs.Counter.incr resync_total;
+                compact t
             done
           end
           else if t.state = Finished && available t > 0 then
@@ -562,8 +611,8 @@ let encode_trace ?chunk_bytes trace =
   Encoder.close enc;
   Buffer.contents out
 
-let decode_string s =
-  let dec = Decoder.create () in
+let decode_string ?resync s =
+  let dec = Decoder.create ?resync () in
   match Decoder.feed dec s with
   | Error e -> Error e
   | Ok events -> (

@@ -70,7 +70,16 @@ end
 module Decoder : sig
   type t
 
-  val create : unit -> t
+  val create : ?resync:bool -> unit -> t
+  (** [resync] (default [false]) turns mid-stream corruption from a
+      fatal error into a scan: the decoder discards the partial effects
+      of the bad frame (events and interning definitions), skips one
+      byte, and retries until it finds the next parseable frame
+      boundary. Each skipped byte increments [wire_resync_total]. The
+      scan is best-effort — recovered output is a subset of the
+      original events — but the decoder stays total and deterministic,
+      and an uncorrupted stream decodes identically with zero resyncs.
+      Header errors and data after the end marker remain fatal. *)
 
   val feed : t -> ?off:int -> ?len:int -> string -> (Event.t list, error) result
   (** [feed t s] consumes the next slice of the stream and returns the
@@ -89,7 +98,7 @@ end
 (** {1 Whole-value convenience} *)
 
 val encode_trace : ?chunk_bytes:int -> Trace.t -> string
-val decode_string : string -> (Trace.t, error) result
+val decode_string : ?resync:bool -> string -> (Trace.t, error) result
 
 val write_channel : out_channel -> Trace.t -> unit
 val to_file : string -> Trace.t -> (unit, string) result

@@ -5,7 +5,7 @@
 module Bqueue = Crd_server.Bqueue
 
 let fifo_order () =
-  let q = Bqueue.create ~capacity:8 in
+  let q = Bqueue.create ~capacity:8 () in
   List.iter (fun i -> assert (Bqueue.push q i)) [ 1; 2; 3; 4 ];
   Alcotest.(check int) "length" 4 (Bqueue.length q);
   let popped = List.init 4 (fun _ -> Option.get (Bqueue.pop q)) in
@@ -15,10 +15,10 @@ let fifo_order () =
 let capacity_rejected () =
   Alcotest.check_raises "capacity 0"
     (Invalid_argument "Bqueue.create: capacity must be >= 1") (fun () ->
-      ignore (Bqueue.create ~capacity:0))
+      ignore (Bqueue.create ~capacity:0 ()))
 
 let close_semantics () =
-  let q = Bqueue.create ~capacity:4 in
+  let q = Bqueue.create ~capacity:4 () in
   assert (Bqueue.push q "a");
   assert (Bqueue.push q "b");
   Bqueue.close q;
@@ -34,7 +34,7 @@ let close_semantics () =
    room; every element still arrives exactly once, in order. *)
 let producer_blocks_at_capacity () =
   let n = 1000 in
-  let q = Bqueue.create ~capacity:4 in
+  let q = Bqueue.create ~capacity:4 () in
   let producer =
     Thread.create
       (fun () ->
@@ -65,7 +65,7 @@ let producer_blocks_at_capacity () =
    and a consumer blocked on an empty one (pop -> None) — this is how a
    dying session releases its reader thread. *)
 let close_wakes_blocked () =
-  let q = Bqueue.create ~capacity:1 in
+  let q = Bqueue.create ~capacity:1 () in
   assert (Bqueue.push q 0);
   let blocked_push = ref None in
   let producer = Thread.create (fun () -> blocked_push := Some (Bqueue.push q 1)) () in
@@ -75,13 +75,34 @@ let close_wakes_blocked () =
   Thread.join producer;
   Alcotest.(check (option bool)) "blocked push returns false" (Some false)
     !blocked_push;
-  let q2 = Bqueue.create ~capacity:1 in
+  let q2 = Bqueue.create ~capacity:1 () in
   let blocked_pop = ref (Some 42) in
   let consumer = Thread.create (fun () -> blocked_pop := Bqueue.pop q2) () in
   Thread.delay 0.05;
   Bqueue.close q2;
   Thread.join consumer;
   Alcotest.(check (option int)) "blocked pop returns None" None !blocked_pop
+
+(* The optional fault point makes push fail deterministically — the
+   hook the server's chaos tests hang queue corruption on — while
+   push_raw stays fault-free for delivering error items. *)
+let fault_injection () =
+  match Crd_fault.configure "qp_test=nth:2" with
+  | Error e -> Alcotest.failf "configure: %s" e
+  | Ok () ->
+      Fun.protect ~finally:Crd_fault.reset (fun () ->
+          let q =
+            Bqueue.create ~fault:(Crd_fault.point "qp_test") ~capacity:4 ()
+          in
+          assert (Bqueue.push q 1);
+          (match Bqueue.push q 2 with
+          | _ -> Alcotest.fail "second push did not fault"
+          | exception Crd_fault.Injected "qp_test" -> ());
+          Alcotest.(check bool) "push_raw bypasses the fault" true
+            (Bqueue.push_raw q 2);
+          Alcotest.(check int) "faulted element was not enqueued" 2
+            (Bqueue.length q);
+          Alcotest.(check bool) "later pushes recover" true (Bqueue.push q 3))
 
 let suite =
   ( "bqueue",
@@ -93,4 +114,5 @@ let suite =
         producer_blocks_at_capacity;
       Alcotest.test_case "close wakes blocked threads" `Quick
         close_wakes_blocked;
+      Alcotest.test_case "fault point injects on push" `Quick fault_injection;
     ] )

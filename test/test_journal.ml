@@ -1,0 +1,165 @@
+(* Unit tests of the crash-safe journal lifecycle: append/commit/report
+   file states, recovery listing, and truncation of uncommitted bytes. *)
+
+module Journal = Crd_server.Journal
+
+let counter = ref 0
+
+let fresh_dir () =
+  incr counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "crd-jtest-%d-%d" (Unix.getpid ()) !counter)
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let roundtrip () =
+  let dir = fresh_dir () in
+  let j = Journal.start ~dir ~nonce:"a1" ~spec:"std" in
+  Journal.append j "hello ";
+  Journal.append j "world";
+  Alcotest.(check (list string))
+    "uncommitted journal is not recoverable" []
+    (Journal.committed_unreported ~dir);
+  Journal.commit j;
+  Journal.close j;
+  Alcotest.(check (list string))
+    "committed journal is recoverable" [ "a1" ]
+    (Journal.committed_unreported ~dir);
+  (match Journal.read_committed ~dir ~nonce:"a1" with
+  | Error e -> Alcotest.failf "read_committed: %s" e
+  | Ok (bytes, spec) ->
+      Alcotest.(check string) "bytes round-trip" "hello world" bytes;
+      Alcotest.(check string) "spec round-trips" "std" spec);
+  Journal.write_report ~dir ~nonce:"a1" "OK\n";
+  Alcotest.(check (list string))
+    "reported journal is done" []
+    (Journal.committed_unreported ~dir)
+
+let append_off_len () =
+  let dir = fresh_dir () in
+  let j = Journal.start ~dir ~nonce:"a2" ~spec:"std" in
+  Journal.append j ~off:2 ~len:3 "xxabcyy";
+  Journal.commit j;
+  Journal.close j;
+  match Journal.read_committed ~dir ~nonce:"a2" with
+  | Error e -> Alcotest.failf "read_committed: %s" e
+  | Ok (bytes, _) -> Alcotest.(check string) "sub-range appended" "abc" bytes
+
+(* Bytes written after the commit marker (a crash mid-append on a
+   retried session) must not leak into recovery. *)
+let uncommitted_suffix_dropped () =
+  let dir = fresh_dir () in
+  let j = Journal.start ~dir ~nonce:"a3" ~spec:"custom" in
+  Journal.append j "durable";
+  Journal.commit j;
+  Journal.append j "lost-tail";
+  Journal.close j;
+  match Journal.read_committed ~dir ~nonce:"a3" with
+  | Error e -> Alcotest.failf "read_committed: %s" e
+  | Ok (bytes, spec) ->
+      Alcotest.(check string) "only committed prefix" "durable" bytes;
+      Alcotest.(check string) "spec" "custom" spec
+
+(* A retried session restarts its journal from byte 0 and clears any
+   stale commit/report markers. *)
+let restart_truncates () =
+  let dir = fresh_dir () in
+  let j = Journal.start ~dir ~nonce:"a4" ~spec:"std" in
+  Journal.append j "first attempt";
+  Journal.commit j;
+  Journal.close j;
+  Journal.write_report ~dir ~nonce:"a4" "OK\n";
+  let j2 = Journal.start ~dir ~nonce:"a4" ~spec:"std" in
+  Alcotest.(check bool)
+    "stale report cleared" false
+    (Sys.file_exists (Filename.concat dir "a4.report"));
+  Alcotest.(check (list string))
+    "stale commit cleared" []
+    (Journal.committed_unreported ~dir);
+  Journal.append j2 "retry";
+  Journal.commit j2;
+  Journal.close j2;
+  match Journal.read_committed ~dir ~nonce:"a4" with
+  | Error e -> Alcotest.failf "read_committed: %s" e
+  | Ok (bytes, _) -> Alcotest.(check string) "retry bytes only" "retry" bytes
+
+let short_data_is_an_error () =
+  let dir = fresh_dir () in
+  let j = Journal.start ~dir ~nonce:"a5" ~spec:"std" in
+  Journal.append j "12345678";
+  Journal.commit j;
+  Journal.close j;
+  (* Simulate data-file corruption: truncate below the committed size. *)
+  Out_channel.with_open_bin
+    (Filename.concat dir "a5.crdj")
+    (fun oc -> Out_channel.output_string oc "1234");
+  match Journal.read_committed ~dir ~nonce:"a5" with
+  | Ok (bytes, _) -> Alcotest.failf "truncated journal read back %S" bytes
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "names the shortfall (%s)" e)
+        true
+        (String.length e > 0)
+
+let commit_marker_format () =
+  let dir = fresh_dir () in
+  let j = Journal.start ~dir ~nonce:"a6" ~spec:"std" in
+  Journal.append j "abc";
+  Journal.commit j;
+  Journal.close j;
+  Alcotest.(check string)
+    "marker is '<size> <spec>'" "3 std\n"
+    (read_file (Filename.concat dir "a6.commit"))
+
+let fault_point () =
+  (match Crd_fault.configure "journal_append=nth:2" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "configure: %s" e);
+  Fun.protect ~finally:Crd_fault.reset (fun () ->
+      let dir = fresh_dir () in
+      let j = Journal.start ~dir ~nonce:"a7" ~spec:"std" in
+      Journal.append j "ok";
+      (match Journal.append j "boom" with
+      | () -> Alcotest.fail "second append should have faulted"
+      | exception Crd_fault.Injected p ->
+          Alcotest.(check string) "point name" "journal_append" p);
+      Journal.append j "fine";
+      Journal.commit j;
+      Journal.close j;
+      match Journal.read_committed ~dir ~nonce:"a7" with
+      | Error e -> Alcotest.failf "read_committed: %s" e
+      | Ok (bytes, _) ->
+          (* The faulted append wrote nothing: injection happens before
+             the write, exactly like a full-disk failure would. *)
+          Alcotest.(check string) "faulted append skipped" "okfine" bytes)
+
+let fresh_nonce_unique () =
+  let a = Journal.fresh_nonce () and b = Journal.fresh_nonce () in
+  Alcotest.(check bool) "distinct" true (not (String.equal a b));
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is a valid protocol nonce" n)
+        true
+        (Crd_server.Proto.valid_nonce n))
+    [ a; b ]
+
+let suite =
+  ( "journal",
+    [
+      Alcotest.test_case "append/commit/report roundtrip" `Quick roundtrip;
+      Alcotest.test_case "append off/len" `Quick append_off_len;
+      Alcotest.test_case "uncommitted suffix dropped" `Quick
+        uncommitted_suffix_dropped;
+      Alcotest.test_case "retry restarts from byte 0" `Quick restart_truncates;
+      Alcotest.test_case "short data is an error" `Quick short_data_is_an_error;
+      Alcotest.test_case "commit marker format" `Quick commit_marker_format;
+      Alcotest.test_case "journal_append fault point" `Quick fault_point;
+      Alcotest.test_case "fresh nonces are valid and unique" `Quick
+        fresh_nonce_unique;
+    ] )

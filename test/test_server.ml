@@ -318,8 +318,13 @@ let addr_of_string_table () =
   ok "tcp:127.0.0.1:9090" "tcp:127.0.0.1:9090";
   ok "tcp:localhost:1" "tcp:localhost:1";
   ok "tcp::9090" "tcp:127.0.0.1:9090";
-  (* IPv6-ish host: the last colon splits host from port. *)
-  ok "tcp:::1:9090" "tcp:::1:9090";
+  (* IPv6: bracketed literals, canonical bracketed rendering. *)
+  ok "tcp:[::1]:9000" "tcp:[::1]:9000";
+  ok "tcp:[fe80::1]:80" "tcp:[fe80::1]:80";
+  ok "tcp:[2001:db8::2]:65535" "tcp:[2001:db8::2]:65535";
+  (* Bare IPv6-ish host: the last colon splits host from port, and the
+     result renders in the canonical bracketed form. *)
+  ok "tcp:::1:9090" "tcp:[::1]:9090";
   rejected "";
   rejected "unix:";
   rejected "tcp:";
@@ -328,7 +333,319 @@ let addr_of_string_table () =
   rejected "tcp:host:0";
   rejected "tcp:host:65536";
   rejected "udp:host:1";
-  rejected "/tmp/x.sock"
+  rejected "/tmp/x.sock";
+  rejected "tcp:[::1]";
+  rejected "tcp:[::1]9000";
+  rejected "tcp:[::1";
+  rejected "tcp:[]:9000";
+  rejected "tcp:[::1]:";
+  rejected "tcp:[::1]:0"
+
+(* ------------------------------------------------------------------ *)
+(* Robustness: shedding, supervision, retries, journals                *)
+(* ------------------------------------------------------------------ *)
+
+module Proto = Crd_server.Proto
+module Journal = Crd_server.Journal
+
+let poll ?(tries = 400) ?(interval = 0.025) msg cond =
+  let rec go n =
+    if cond () then ()
+    else if n = 0 then Alcotest.fail msg
+    else begin
+      Unix.sleepf interval;
+      go (n - 1)
+    end
+  in
+  go tries
+
+let with_faults spec k =
+  (match Crd_fault.configure spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "configure %S: %s" spec e);
+  Fun.protect ~finally:Crd_fault.reset k
+
+let encode_trace trace =
+  let buf = Buffer.create 4096 in
+  let enc = Wire.Encoder.create ~emit:(Buffer.add_string buf) () in
+  Trace.iter_events trace ~f:(Wire.Encoder.event enc);
+  Wire.Encoder.close enc;
+  Buffer.contents buf
+
+let fresh_dir tag =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" tag (Unix.getpid ()) (incr sock_counter; !sock_counter))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* With one busy worker and a full backlog, the next connection must be
+   shed with a BUSY reply carrying the configured retry hint — before
+   its handshake is even read. *)
+let busy_shed () =
+  with_server
+    ~f_config:(fun c ->
+      { c with Server.workers = 1; shed_backlog = 1; retry_after_ms = 123 })
+    (fun ~addr ~server ->
+      let path = match addr with Server.Unix_sock p -> p | _ -> assert false in
+      let conn () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      in
+      let c1 = conn () in
+      (* The lone worker owns c1 (blocked reading its handshake)... *)
+      poll "worker never picked up the session" (fun () ->
+          match metric_value (Crd_obs.dump ()) "server_sessions_active" with
+          | Some v -> v >= 1
+          | None -> false);
+      (* ...c2 fills the backlog... *)
+      let c2 = conn () in
+      poll "second connection never queued" (fun () ->
+          match metric_value (Crd_obs.dump ()) "server_conn_queue_depth_hw" with
+          | Some v -> v >= 1
+          | None -> false);
+      (* ...so c3 must be shed. *)
+      let c3 = conn () in
+      (match Proto.read_handshake_reply c3 with
+      | Ok (Proto.Busy ms) -> Alcotest.(check int) "retry-after hint" 123 ms
+      | Ok Proto.Accepted -> Alcotest.fail "expected BUSY, got accept"
+      | Ok (Proto.Rejected m) -> Alcotest.failf "expected BUSY, got reject %s" m
+      | Error e -> Alcotest.failf "shed reply: %s" e);
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ c1; c2; c3 ];
+      let st = Server.stats server in
+      Alcotest.(check int) "one shed connection" 1 st.Server.busy)
+
+(* An exception escaping a session (worker_body fault) kills only that
+   worker: the client gets a clean ERR, a respawned worker serves the
+   next session, and the crash is counted. *)
+let worker_crash_respawn () =
+  let trace = snitch_trace () in
+  let expected = offline_race_lines trace in
+  with_faults "seed=3,worker_body=once" (fun () ->
+      with_server
+        ~f_config:(fun c -> { c with Server.workers = 1 })
+        (fun ~addr ~server ->
+          (match Client.send_trace ~addr trace with
+          | Ok reply -> Alcotest.failf "crashed worker replied OK: %s" reply
+          | Error msg ->
+              Alcotest.(check bool)
+                (Printf.sprintf "clean worker-crash ERR (%s)" msg)
+                true
+                (contains msg "internal: worker crashed"));
+          (* The respawned worker serves the next session identically. *)
+          let reply = send_exn ~addr trace in
+          Alcotest.(check (list string))
+            "post-crash races = offline races" expected
+            (reply_race_lines reply);
+          let st = Server.stats server in
+          Alcotest.(check int) "one worker crash" 1 st.Server.worker_crashes;
+          Alcotest.(check int) "two sessions" 2 st.Server.sessions;
+          Alcotest.(check int) "one error session" 1 st.Server.errors))
+
+(* A lost reply (sock_write fault) is invisible to the analysis: the
+   client retries under the same nonce and gets the full report. *)
+let retry_on_lost_reply () =
+  let trace = snitch_trace () in
+  let expected = offline_race_lines trace in
+  with_faults "seed=5,sock_write=once" (fun () ->
+      with_server (fun ~addr ~server ->
+          let reply =
+            match
+              Client.send_trace ~addr ~retries:3 ~backoff:0.01
+                ~nonce:"retry-test" trace
+            with
+            | Ok reply -> reply
+            | Error e -> Alcotest.failf "retrying send failed: %s" e
+          in
+          Alcotest.(check (list string))
+            "retried races = offline races" expected (reply_race_lines reply);
+          let st = Server.stats server in
+          Alcotest.(check int) "both attempts completed" 2 st.Server.sessions;
+          Alcotest.(check int) "no error sessions" 0 st.Server.errors))
+
+(* Without retries the same lost reply is a hard error — the retry
+   machinery, not luck, is what the previous test exercises. *)
+let lost_reply_without_retries () =
+  let trace = snitch_trace () in
+  with_faults "seed=5,sock_write=once" (fun () ->
+      with_server (fun ~addr ~server:_ ->
+          match Client.send_trace ~addr trace with
+          | Ok reply -> Alcotest.failf "lost reply came back: %s" reply
+          | Error msg ->
+              Alcotest.(check bool)
+                (Printf.sprintf "reports the lost reply (%s)" msg)
+                true
+                (contains msg "connection closed before report")))
+
+(* Journal replay: a committed-but-unreported journal on disk is
+   analyzed at startup and its report matches the offline analyzer; an
+   uncommitted (partial) journal is left alone. *)
+let journal_replay_on_start () =
+  let trace = snitch_trace () in
+  let expected = offline_race_lines trace in
+  let dir = fresh_dir "crd-journal" in
+  let bytes = encode_trace trace in
+  let j = Journal.start ~dir ~nonce:"replay1" ~spec:"std" in
+  Journal.append j bytes;
+  Journal.commit j;
+  Journal.close j;
+  let j2 = Journal.start ~dir ~nonce:"partial" ~spec:"std" in
+  Journal.append j2 (String.sub bytes 0 (String.length bytes / 2));
+  Journal.close j2;
+  with_server
+    ~f_config:(fun c -> { c with Server.journal = Some dir })
+    (fun ~addr:_ ~server ->
+      let st = Server.stats server in
+      Alcotest.(check int) "one recovered session" 1 st.Server.recovered;
+      Alcotest.(check int) "recovery counted as a session" 1 st.Server.sessions;
+      Alcotest.(check int) "no errors" 0 st.Server.errors;
+      let report = read_file (Filename.concat dir "replay1.report") in
+      Alcotest.(check (list string))
+        "recovered races = offline races" expected (reply_race_lines report);
+      Alcotest.(check bool)
+        "partial journal not replayed" false
+        (Sys.file_exists (Filename.concat dir "partial.report")))
+
+(* ------------------------------------------------------------------ *)
+(* Subprocess end-to-end: SIGKILL crash recovery, SIGTERM drain        *)
+(* ------------------------------------------------------------------ *)
+
+(* Resolved against this test binary's own location so it works under
+   both `dune runtest` (cwd = _build/default/test) and `dune exec`
+   from the source root. *)
+let rd2_exe =
+  Filename.concat
+    (Filename.concat (Filename.dirname Sys.executable_name) "..")
+    (Filename.concat "bin" "rd2.exe")
+
+let spawn_server args =
+  Unix.create_process rd2_exe
+    (Array.of_list ("rd2" :: args))
+    Unix.stdin Unix.stdout Unix.stderr
+
+let wait_listening path =
+  poll "server never came up" (fun () ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          match Unix.connect fd (Unix.ADDR_UNIX path) with
+          | () -> true
+          | exception Unix.Unix_error _ -> false))
+
+let kill_quietly pid signal =
+  try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+let reap pid =
+  try snd (Unix.waitpid [] pid) with Unix.Unix_error _ -> Unix.WEXITED 0
+
+(* The real thing: a server process is SIGKILLed inside the window
+   where a session's journal is committed but its report unsent (held
+   open by the report_send stall fault); a restart with the same
+   journal directory recovers the session and reports the same races
+   the offline analyzer finds. *)
+let sigkill_crash_recovery () =
+  let trace = snitch_trace () in
+  let expected = offline_race_lines trace in
+  let dir = fresh_dir "crd-crash" in
+  let addr = fresh_addr () in
+  let path = match addr with Server.Unix_sock p -> p | _ -> assert false in
+  let pid =
+    spawn_server
+      [
+        "serve"; "-a"; "unix:" ^ path; "--journal"; dir; "--workers"; "1";
+        "--faults"; "seed=7,report_send=once";
+      ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_quietly pid Sys.sigkill;
+      ignore (reap pid))
+    (fun () ->
+      wait_listening path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          Proto.send_handshake fd ~nonce:"crash1" ~spec:"std" ();
+          (match Proto.read_handshake_reply fd with
+          | Ok Proto.Accepted -> ()
+          | Ok _ | Error _ -> Alcotest.fail "handshake not accepted");
+          Proto.write_all fd (encode_trace trace);
+          (* The commit marker is fsync'd by the reader thread; the
+             reply is parked behind the report_send stall. *)
+          poll "commit marker never appeared" (fun () ->
+              Sys.file_exists (Filename.concat dir "crash1.commit"));
+          Alcotest.(check bool)
+            "report not yet delivered" false
+            (Sys.file_exists (Filename.concat dir "crash1.report"));
+          kill_quietly pid Sys.sigkill;
+          ignore (reap pid)));
+  with_server
+    ~f_config:(fun c -> { c with Server.journal = Some dir })
+    (fun ~addr:_ ~server ->
+      Alcotest.(check int)
+        "recovered the killed session" 1 (Server.stats server).Server.recovered);
+  let report = read_file (Filename.concat dir "crash1.report") in
+  Alcotest.(check (list string))
+    "recovered races = offline races" expected (reply_race_lines report)
+
+(* SIGTERM mid-stream with two in-flight sessions under --jobs 2: both
+   clients still get their full reports and the process exits 0. *)
+let sigterm_graceful_drain () =
+  let trace = snitch_trace () in
+  let expected = offline_race_lines trace in
+  let addr = fresh_addr () in
+  let path = match addr with Server.Unix_sock p -> p | _ -> assert false in
+  let pid =
+    spawn_server
+      [ "serve"; "-a"; "unix:" ^ path; "--jobs"; "2"; "--workers"; "2" ]
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      kill_quietly pid Sys.sigkill;
+      ignore (reap pid))
+    (fun () ->
+      wait_listening path;
+      let n = 2 in
+      let results = Array.make n (Error "never ran") in
+      let slow_send i =
+        results.(i) <-
+          Client.send_iter ~addr (fun push ->
+              let k = ref 0 in
+              Trace.iter_events trace ~f:(fun e ->
+                  incr k;
+                  if !k mod 100 = 0 then Unix.sleepf 0.01;
+                  push e);
+              Ok ())
+      in
+      let threads =
+        List.init n (fun i -> Thread.create (fun () -> slow_send i) ())
+      in
+      Unix.sleepf 0.1;
+      kill_quietly pid Sys.sigterm;
+      List.iter Thread.join threads;
+      let status = reap pid in
+      Alcotest.(check bool)
+        "server exited 0 after drain" true
+        (status = Unix.WEXITED 0);
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Error e -> Alcotest.failf "drained client %d: %s" i e
+          | Ok reply ->
+              Alcotest.(check (list string))
+                (Printf.sprintf "drained client %d races" i)
+                expected (reply_race_lines reply))
+        results)
 
 let stop_releases_socket () =
   let addr = fresh_addr () in
@@ -364,4 +681,16 @@ let suite =
       Alcotest.test_case "stale socket reclaimed" `Quick stale_socket_reclaimed;
       Alcotest.test_case "addr_of_string table" `Quick addr_of_string_table;
       Alcotest.test_case "stop releases the socket" `Quick stop_releases_socket;
+      Alcotest.test_case "overload shed replies BUSY" `Quick busy_shed;
+      Alcotest.test_case "worker crash respawn" `Quick worker_crash_respawn;
+      Alcotest.test_case "retry recovers a lost reply" `Quick
+        retry_on_lost_reply;
+      Alcotest.test_case "lost reply without retries fails" `Quick
+        lost_reply_without_retries;
+      Alcotest.test_case "journal replay on start" `Quick
+        journal_replay_on_start;
+      Alcotest.test_case "SIGKILL crash recovery" `Quick
+        sigkill_crash_recovery;
+      Alcotest.test_case "SIGTERM graceful drain" `Quick
+        sigterm_graceful_drain;
     ] )

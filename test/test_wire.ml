@@ -50,25 +50,28 @@ let decode_exn what s =
   | Ok t -> t
   | Error e -> Alcotest.failf "%s: decode failed: %a" what Wire.pp_error e
 
-(* Feed the decoder one byte at a time; events must come out identical
-   and the decoder must report a finished stream. *)
-let decode_bytewise s =
-  let d = Wire.Decoder.create () in
+(* Feed the decoder in [chunk]-byte slices; events must come out
+   identical and the decoder must report a finished stream. *)
+let decode_chunked ?resync ~chunk s =
+  let d = Wire.Decoder.create ?resync () in
   let events = ref [] in
   let err = ref None in
-  String.iteri
-    (fun i _ ->
-      if !err = None then
-        match Wire.Decoder.feed d ~off:i ~len:1 s with
-        | Ok evs -> events := List.rev_append evs !events
-        | Error e -> err := Some e)
-    s;
+  let pos = ref 0 in
+  while !err = None && !pos < String.length s do
+    let len = min chunk (String.length s - !pos) in
+    (match Wire.Decoder.feed d ~off:!pos ~len s with
+    | Ok evs -> events := List.rev_append evs !events
+    | Error e -> err := Some e);
+    pos := !pos + len
+  done;
   match !err with
   | Some e -> Error e
   | None -> (
       match Wire.Decoder.finish d with
       | Ok () -> Ok (List.rev !events)
       | Error e -> Error e)
+
+let decode_bytewise s = decode_chunked ~chunk:1 s
 
 let roundtrip_sample () =
   let t = sample_trace () in
@@ -151,6 +154,110 @@ let bit_flips_total () =
     done
   done
 
+(* --- resync mode ------------------------------------------------- *)
+
+let metric name =
+  String.split_on_char '\n' (Crd_obs.dump ())
+  |> List.find_map (fun l ->
+         match String.index_opt l ' ' with
+         | Some i when String.sub l 0 i = name ->
+             int_of_string_opt (String.sub l (i + 1) (String.length l - i - 1))
+         | _ -> None)
+  |> Option.value ~default:0
+
+(* Offset just past the first frame: header, then one length varint and
+   its payload. *)
+let first_frame_boundary bin =
+  let rec varint acc shift p =
+    let b = Char.code bin.[p] in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b < 0x80 then (acc, p + 1) else varint acc (shift + 7) (p + 1)
+  in
+  let len, p = varint 0 0 5 in
+  p + len
+
+let resync_identity_on_clean_stream () =
+  let t = sample_trace () in
+  let bin = Wire.encode_trace ~chunk_bytes:16 t in
+  let before = metric "wire_resync_total" in
+  (match Wire.decode_string ~resync:true bin with
+  | Ok t' ->
+      Alcotest.(check bool)
+        "clean stream unchanged by resync mode" true
+        (Trace.to_list t' = Trace.to_list t)
+  | Error e -> Alcotest.failf "resync decode of clean stream: %a" Wire.pp_error e);
+  Alcotest.(check int) "zero resyncs" before (metric "wire_resync_total")
+
+(* Garbage spliced between two frames: every 0x01 byte claims a 1-byte
+   frame, and no 1-byte frame can hold a record, so the scanner skips
+   exactly one byte per attempt and lands back on the true boundary —
+   all real events recovered, one resync per garbage byte. *)
+let resync_skips_interframe_garbage () =
+  let t = sample_trace () in
+  let bin = Wire.encode_trace ~chunk_bytes:16 t in
+  let cut = first_frame_boundary bin in
+  let corrupted =
+    String.sub bin 0 cut ^ "\x01\x01\x01\x01"
+    ^ String.sub bin cut (String.length bin - cut)
+  in
+  (match Wire.decode_string corrupted with
+  | Error (Wire.Corrupt _) -> ()
+  | Error e -> Alcotest.failf "expected Corrupt without resync, got %a" Wire.pp_error e
+  | Ok _ -> Alcotest.fail "corrupted stream decoded without resync");
+  let before = metric "wire_resync_total" in
+  (match Wire.decode_string ~resync:true corrupted with
+  | Ok t' ->
+      Alcotest.(check bool)
+        "all events recovered" true
+        (Trace.to_list t' = Trace.to_list t)
+  | Error e -> Alcotest.failf "resync decode: %a" Wire.pp_error e);
+  Alcotest.(check int) "one resync per garbage byte" (before + 4)
+    (metric "wire_resync_total")
+
+let resync_keeps_fatal_errors () =
+  (match Wire.decode_string ~resync:true "XRDW\x01\x00" with
+  | Error Wire.Bad_magic -> ()
+  | Error e -> Alcotest.failf "expected Bad_magic, got %a" Wire.pp_error e
+  | Ok _ -> Alcotest.fail "bad magic decoded under resync");
+  let bin = Wire.encode_trace (sample_trace ()) ^ "junk" in
+  match Wire.decode_string ~resync:true bin with
+  | Error (Wire.Corrupt _) -> ()
+  | Error e -> Alcotest.failf "expected Corrupt, got %a" Wire.pp_error e
+  | Ok _ -> Alcotest.fail "trailing data decoded under resync"
+
+let with_faults spec k =
+  match Crd_fault.configure spec with
+  | Error e -> Alcotest.failf "configure %S: %s" spec e
+  | Ok () -> Fun.protect ~finally:Crd_fault.reset k
+
+let decode_frame_fault_fatal () =
+  with_faults "decode_frame=once" (fun () ->
+      let bin = Wire.encode_trace (sample_trace ()) in
+      match Wire.decode_string bin with
+      | Error (Wire.Corrupt msg) ->
+          Alcotest.(check bool)
+            "error names the injection point" true
+            (String.length msg >= 12
+            && String.sub msg (String.length msg - 12) 12 = "decode_frame")
+      | Error e -> Alcotest.failf "expected Corrupt, got %a" Wire.pp_error e
+      | Ok _ -> Alcotest.fail "injected frame fault ignored")
+
+let decode_frame_fault_resync () =
+  (* A resync decoder survives the injected corruption; with the same
+     seed the outcome is bit-for-bit repeatable. *)
+  let run () =
+    with_faults "seed=11,decode_frame=once" (fun () ->
+        let bin = Wire.encode_trace ~chunk_bytes:16 (sample_trace ()) in
+        match Wire.decode_string ~resync:true bin with
+        | Ok t -> Ok (Trace.to_list t)
+        | Error e -> Error e)
+  in
+  let a = run () in
+  (match a with
+  | Ok _ | Error (Wire.Truncated | Wire.Corrupt _) -> ()
+  | Error e -> Alcotest.failf "unexpected resync failure: %a" Wire.pp_error e);
+  Alcotest.(check bool) "deterministic under a fixed seed" true (a = run ())
+
 let suite =
   ( "wire",
     [
@@ -191,4 +298,39 @@ let suite =
         Gen.(string_size ~gen:char (int_range 0 120))
         (fun s ->
           match Wire.decode_string s with Ok _ | Error _ -> true);
+      Alcotest.test_case "resync: clean stream identity" `Quick
+        resync_identity_on_clean_stream;
+      Alcotest.test_case "resync: skips inter-frame garbage" `Quick
+        resync_skips_interframe_garbage;
+      Alcotest.test_case "resync: header and trailing errors stay fatal"
+        `Quick resync_keeps_fatal_errors;
+      Alcotest.test_case "decode_frame fault is fatal without resync" `Quick
+        decode_frame_fault_fatal;
+      Alcotest.test_case "decode_frame fault survivable with resync" `Quick
+        decode_frame_fault_resync;
+      qcheck "resync: clean streams decode identically" trace_gen
+        (fun trace ->
+          match Wire.decode_string ~resync:true (Wire.encode_trace trace) with
+          | Ok t -> Trace.to_list t = Trace.to_list trace
+          | Error _ -> false);
+      qcheck "resync: bit flips never raise, deterministically"
+        Gen.(triple trace_gen (int_range 0 max_int) (int_range 0 7))
+        (fun (trace, n, bit) ->
+          let b = Bytes.of_string (Wire.encode_trace ~chunk_bytes:32 trace) in
+          let i = n mod Bytes.length b in
+          Bytes.set b i
+            (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+          let s = Bytes.to_string b in
+          let once = decode_chunked ~resync:true ~chunk:(String.length s) s in
+          once = decode_chunked ~resync:true ~chunk:(String.length s) s);
+      qcheck "resync: outcome independent of feed chunking"
+        Gen.(triple trace_gen (int_range 0 max_int) (int_range 0 7))
+        (fun (trace, n, bit) ->
+          let b = Bytes.of_string (Wire.encode_trace ~chunk_bytes:32 trace) in
+          let i = n mod Bytes.length b in
+          Bytes.set b i
+            (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+          let s = Bytes.to_string b in
+          decode_chunked ~resync:true ~chunk:(String.length s) s
+          = decode_chunked ~resync:true ~chunk:1 s);
     ] )
