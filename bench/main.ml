@@ -375,10 +375,88 @@ let server_roundtrip ?journal ?(repeats = 3) () =
       (ns, Trace.length trace)
 
 (* ------------------------------------------------------------------ *)
+(* Race database: ingest throughput and query latency                  *)
+(* ------------------------------------------------------------------ *)
+
+type racedb_record = {
+  rb_reports : int;
+  rb_ingest_ns : float;  (** full lifecycle: open, append all, close *)
+  rb_ingest_plain_ns : float;  (** same with [~rollups:false] *)
+  rb_query_ns : float;  (** cold [Db.load] + [select ~top:10] *)
+  rb_distinct : int;
+}
+
+let rec rm_rf p =
+  match Unix.lstat p with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+  | _ -> Unix.unlink p
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let racedb_bench ?(reports = 2000) ?(repeats = 3) () =
+  let races =
+    let an = Analyzer.with_stdspecs () in
+    Trace.iter_events (record_snitch ()) ~f:(Analyzer.sink an);
+    Array.of_list (Analyzer.rd2_races an)
+  in
+  if Array.length races = 0 then failwith "racedb benchmark: snitch found no races";
+  let records =
+    Array.init reports (fun i ->
+        Crd_racedb.Record.make
+          ~ts:(float_of_int i /. 50.)
+          ~spec:"std"
+          races.(i mod Array.length races))
+  in
+  let dir_counter = ref 0 in
+  let fresh_dir () =
+    incr dir_counter;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "crd-bench-racedb-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  (* every timed run ingests into a brand-new store; the previous one
+     is removed first so only the last survives for the query phase *)
+  let ingest ~rollups =
+    let last = ref None in
+    let ns =
+      best_of_ns repeats (fun () ->
+          Option.iter rm_rf !last;
+          let dir = fresh_dir () in
+          last := Some dir;
+          match Crd_racedb.Db.open_db ~rollups dir with
+          | Error e -> failwith ("racedb benchmark: " ^ e)
+          | Ok db ->
+              Array.iter (Crd_racedb.Db.append db) records;
+              Crd_racedb.Db.close db)
+    in
+    (ns, Option.get !last)
+  in
+  let rb_ingest_ns, dir = ingest ~rollups:true in
+  let rb_ingest_plain_ns, plain_dir = ingest ~rollups:false in
+  rm_rf plain_dir;
+  let rb_distinct = ref 0 in
+  let rb_query_ns =
+    best_of_ns repeats (fun () ->
+        match Crd_racedb.Db.load dir with
+        | Error e -> failwith ("racedb benchmark: " ^ e)
+        | Ok (es, _) ->
+            rb_distinct := List.length (Crd_racedb.Db.select ~top:10 es))
+  in
+  rm_rf dir;
+  {
+    rb_reports = reports;
+    rb_ingest_ns;
+    rb_ingest_plain_ns;
+    rb_query_ns;
+    rb_distinct = !rb_distinct;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Comparing runs                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let schema_version = 2
+let schema_version = 3
 
 (* Minimal reader for our own BENCH_results.json — just enough for
    --compare, not a general JSON parser. Returns the file's
@@ -446,7 +524,8 @@ let compare_results ~prev_path ~benchmarks =
       end;
       Ok ()
 
-let write_json ~path ~jobs ~benchmarks ~traces ~codec ~server ~server_journal =
+let write_json ~path ~jobs ~benchmarks ~traces ~codec ~server ~server_journal
+    ~racedb =
   let oc = open_out path in
   let pr fmt = Printf.fprintf oc fmt in
   let rate a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
@@ -501,6 +580,18 @@ let write_json ~path ~jobs ~benchmarks ~traces ~codec ~server ~server_journal =
   pr "    \"journal_roundtrip_ns\": %.0f,\n" journal_ns;
   pr "    \"journal_roundtrip_events_s\": %.0f,\n" (per_s server_events journal_ns);
   pr "    \"journal_overhead\": %.3f\n" (journal_ns /. server_ns);
+  pr "  },\n";
+  pr "  \"racedb\": {\n";
+  pr "    \"reports\": %d,\n" racedb.rb_reports;
+  pr "    \"ingest_ns\": %.0f,\n" racedb.rb_ingest_ns;
+  pr "    \"ingest_reports_s\": %.0f,\n" (per_s racedb.rb_reports racedb.rb_ingest_ns);
+  pr "    \"ingest_plain_ns\": %.0f,\n" racedb.rb_ingest_plain_ns;
+  pr "    \"ingest_plain_reports_s\": %.0f,\n"
+    (per_s racedb.rb_reports racedb.rb_ingest_plain_ns);
+  pr "    \"rollup_overhead\": %.3f,\n"
+    (racedb.rb_ingest_ns /. racedb.rb_ingest_plain_ns);
+  pr "    \"query_top_ns\": %.0f,\n" racedb.rb_query_ns;
+  pr "    \"query_top_entries\": %d\n" racedb.rb_distinct;
   pr "  }\n}\n";
   close_out oc
 
@@ -624,7 +715,21 @@ let () =
     (journal_ns /. 1e6)
     (per_s server_events journal_ns)
     (journal_ns /. server_ns);
-  write_json ~path:out ~jobs ~benchmarks ~traces ~codec ~server ~server_journal;
+  let racedb = racedb_bench () in
+  Fmt.pr "@.## Race database (racedb_ingest / query_top)@.@.";
+  Fmt.pr "%d reports ingested in %.2f ms (%.0f reports/s with rollups)@."
+    racedb.rb_reports
+    (racedb.rb_ingest_ns /. 1e6)
+    (per_s racedb.rb_reports racedb.rb_ingest_ns);
+  Fmt.pr "without rollups: %.2f ms (%.0f reports/s, %.2fx rollup overhead)@."
+    (racedb.rb_ingest_plain_ns /. 1e6)
+    (per_s racedb.rb_reports racedb.rb_ingest_plain_ns)
+    (racedb.rb_ingest_ns /. racedb.rb_ingest_plain_ns);
+  Fmt.pr "query --top 10 (cold load): %.2f ms (%d entries)@."
+    (racedb.rb_query_ns /. 1e6)
+    racedb.rb_distinct;
+  write_json ~path:out ~jobs ~benchmarks ~traces ~codec ~server ~server_journal
+    ~racedb;
   Fmt.pr "@.results written to %s (jobs=%d)@." out jobs;
   if Array.exists (String.equal "--stats") Sys.argv then begin
     Fmt.pr "@.## Metrics registry after this run@.@.";

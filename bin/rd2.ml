@@ -183,9 +183,23 @@ let check_cmd =
             "After the report, dump the process metrics registry \
              (counters/histograms) in Prometheus text format.")
   in
+  let fingerprints_flag =
+    Arg.(
+      value & flag
+      & info [ "fingerprints" ]
+          ~doc:
+            "Print the sorted distinct RD2 race fingerprints (one 16-digit \
+             hex per line) — the identity 'rd2 query' folds by, so the \
+             output is directly comparable to a race database.")
+  in
   let run trace_file spec_file format mode direct fasttrack atomicity verbose
-      jobs stats =
+      jobs stats fingerprints =
     let dump_stats () = if stats then print_string (Crd_obs.dump ()) in
+    let dump_fingerprints races =
+      if fingerprints then
+        List.sort_uniq String.compare (List.map Report.fingerprint_hex races)
+        |> List.iter print_endline
+    in
     let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
     let* specs =
       match spec_file with
@@ -217,6 +231,7 @@ let check_cmd =
           (fun v -> Fmt.pr "%a@." Atomicity.pp_violation v)
           res.Shard.atomicity_violations
       end;
+      dump_fingerprints res.Shard.rd2_reports;
       dump_stats ();
       `Ok ()
     end
@@ -235,6 +250,7 @@ let check_cmd =
           (fun v -> Fmt.pr "%a@." Atomicity.pp_violation v)
           (Analyzer.atomicity_violations an)
       end;
+      dump_fingerprints (Analyzer.rd2_races an);
       dump_stats ();
       `Ok ()
     end
@@ -245,7 +261,8 @@ let check_cmd =
     Term.(
       ret
         (const run $ trace_file $ spec_arg $ format_arg $ mode $ direct
-       $ fasttrack $ atomicity $ verbose $ jobs $ stats_flag))
+       $ fasttrack $ atomicity $ verbose $ jobs $ stats_flag
+       $ fingerprints_flag))
 
 
 (* ------------------------------------------------------------------ *)
@@ -407,9 +424,9 @@ let explore_cmd =
   in
   let scale = scale_arg in
   let run workload seeds scale =
-    (* Aggregate distinct races across schedules; a race is fingerprinted
-       by its object and the conflicting access-point pair. *)
-    let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    (* Aggregate distinct races across schedules, folded by the same
+       canonical fingerprint the race database uses. *)
+    let seen : (int64, unit) Hashtbl.t = Hashtbl.create 64 in
     let new_per_seed = ref [] in
     let ok = ref true in
     for seed = 1 to seeds do
@@ -422,10 +439,7 @@ let explore_cmd =
           let fresh = ref 0 in
           List.iter
             (fun (r : Report.t) ->
-              let key =
-                Printf.sprintf "%s|%s|%s" (Obj_id.name r.Report.obj)
-                  r.Report.point r.Report.conflicting
-              in
+              let key = Report.fingerprint r in
               if not (Hashtbl.mem seen key) then begin
                 Hashtbl.replace seen key ();
                 incr fresh
@@ -669,8 +683,18 @@ let serve_cmd =
             "Resynchronizing decode: skip corrupt frames (scanning to the \
              next valid frame boundary) instead of failing the session.")
   in
+  let racedb =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "racedb" ] ~docv:"DIR"
+          ~doc:
+            "Publish every session's verdict into the crash-safe race \
+             database at $(docv) (created if missing); query it with \
+             'rd2 query'.")
+  in
   let run addr workers queue idle spec_file direct fasttrack atomicity jobs
-      metrics log_level faults journal backlog retry_after resync =
+      metrics log_level faults journal backlog retry_after resync racedb =
     Crd_obs.Log.set_level log_level;
     let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
     let* () =
@@ -700,6 +724,7 @@ let serve_cmd =
         retry_after_ms = retry_after;
         journal;
         resync;
+        racedb;
       }
     in
     Fmt.epr "rd2 serve: listening on %a@." Crd_server.Server.pp_addr addr;
@@ -729,7 +754,7 @@ let serve_cmd =
       ret
         (const run $ addr_arg $ workers $ queue $ idle $ spec_arg $ direct
        $ fasttrack $ atomicity $ jobs $ metrics $ log_level $ faults
-       $ journal $ backlog $ retry_after $ resync))
+       $ journal $ backlog $ retry_after $ resync $ racedb))
 
 (* ------------------------------------------------------------------ *)
 (* send                                                                *)
@@ -803,6 +828,199 @@ let send_cmd =
        $ backoff $ timeout $ nonce))
 
 (* ------------------------------------------------------------------ *)
+(* query / db — the race database                                      *)
+(* ------------------------------------------------------------------ *)
+
+let racedb_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Race database directory.")
+
+let iso8601 ts =
+  if ts <= 0. then "-"
+  else
+    let tm = Unix.gmtime ts in
+    Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+      tm.Unix.tm_sec
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let query_cmd =
+  let duration_conv =
+    let parse s =
+      let fail () =
+        Error (`Msg (Printf.sprintf "invalid duration %S (try 90, 10m, 2h, 1d)" s))
+      in
+      if String.length s = 0 then fail ()
+      else
+        let unit, body =
+          match s.[String.length s - 1] with
+          | 's' -> (1., String.sub s 0 (String.length s - 1))
+          | 'm' -> (60., String.sub s 0 (String.length s - 1))
+          | 'h' -> (3600., String.sub s 0 (String.length s - 1))
+          | 'd' -> (86400., String.sub s 0 (String.length s - 1))
+          | _ -> (1., s)
+        in
+        match float_of_string_opt body with
+        | Some v when v >= 0. -> Ok (v *. unit)
+        | _ -> fail ()
+    in
+    Arg.conv (parse, fun ppf d -> Fmt.pf ppf "%gs" d)
+  in
+  let top =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "top" ] ~docv:"N" ~doc:"Keep only the $(docv) most frequent races.")
+  in
+  let since =
+    Arg.(
+      value
+      & opt (some duration_conv) None
+      & info [ "since" ] ~docv:"DURATION"
+          ~doc:
+            "Keep races last seen within this long ago (seconds, or with an \
+             s/m/h/d suffix).")
+  in
+  let obj =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "obj" ] ~docv:"NAME" ~doc:"Keep races on this object (exact name).")
+  in
+  let spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"NAME"
+          ~doc:"Keep races recorded under this specification set.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Machine-readable output: one JSON array of entries.")
+  in
+  let run dir top since obj spec json =
+    match Crd_racedb.Db.load dir with
+    | Error e -> `Error (false, e)
+    | Ok (entries, st) ->
+        let now = Unix.gettimeofday () in
+        let since = Option.map (fun d -> now -. d) since in
+        let entries = Crd_racedb.Db.select ?top ?since ?obj ?spec entries in
+        if json then begin
+          let buckets r =
+            Crd_racedb.Rollup.to_list r
+            |> List.map (fun (t, c) -> Printf.sprintf "[%.0f,%d]" t c)
+            |> String.concat ","
+          in
+          let entry_json (e : Crd_racedb.Db.entry) =
+            let r = e.Crd_racedb.Db.sample.Crd_racedb.Record.report in
+            Printf.sprintf
+              "{\"fingerprint\":\"%016Lx\",\"count\":%d,\"first_seen\":%.6f,\
+               \"last_seen\":%.6f,\"spec\":\"%s\",\"obj\":\"%s\",\
+               \"point\":\"%s\",\"conflicting\":\"%s\",\"prior\":%b,\
+               \"minutes\":[%s],\"hours\":[%s],\"days\":[%s]}"
+              e.Crd_racedb.Db.fingerprint e.Crd_racedb.Db.count
+              e.Crd_racedb.Db.first_seen e.Crd_racedb.Db.last_seen
+              (json_escape e.Crd_racedb.Db.sample.Crd_racedb.Record.spec)
+              (json_escape (Obj_id.name r.Report.obj))
+              (json_escape r.Report.point)
+              (json_escape r.Report.conflicting)
+              (Option.is_some r.Report.prior)
+              (buckets e.Crd_racedb.Db.minutes)
+              (buckets e.Crd_racedb.Db.hours)
+              (buckets e.Crd_racedb.Db.days)
+          in
+          print_string
+            ("[" ^ String.concat "," (List.map entry_json entries) ^ "]\n");
+          `Ok ()
+        end
+        else begin
+          Fmt.pr "%a@." Crd_racedb.Db.pp_stats st;
+          List.iter
+            (fun (e : Crd_racedb.Db.entry) ->
+              Fmt.pr "%016Lx  count=%-6d 1h=%-5d 24h=%-5d first=%s  last=%s@."
+                e.Crd_racedb.Db.fingerprint e.Crd_racedb.Db.count
+                (Crd_racedb.Rollup.total_since e.Crd_racedb.Db.minutes
+                   (now -. 3600.))
+                (Crd_racedb.Rollup.total_since e.Crd_racedb.Db.hours
+                   (now -. 86400.))
+                (iso8601 e.Crd_racedb.Db.first_seen)
+                (iso8601 e.Crd_racedb.Db.last_seen);
+              Fmt.pr "    %a@." Crd_racedb.Record.pp e.Crd_racedb.Db.sample)
+            entries;
+          `Ok ()
+        end
+  in
+  Cmd.v
+    (Cmd.info "query" ~exits
+       ~doc:
+         "Query a race database produced by 'rd2 serve --racedb': distinct \
+          races with occurrence counts, time-bucketed rollups and a sample \
+          report each.")
+    Term.(ret (const run $ racedb_dir_arg $ top $ since $ obj $ spec $ json))
+
+let db_cmd =
+  let compact =
+    let run dir =
+      (* honor CRD_FAULTS so crash windows are scriptable, as in serve *)
+      match Crd_fault.configure_env () with
+      | Error e -> `Error (false, e)
+      | Ok () -> (
+      match Crd_racedb.Db.open_db dir with
+      | Error e -> `Error (false, e)
+      | Ok db -> (
+          match Crd_racedb.Db.compact db with
+          | Ok distinct ->
+              Crd_racedb.Db.close db;
+              Fmt.pr "compacted: %d distinct race(s)@." distinct;
+              `Ok ()
+          | Error e ->
+              Crd_racedb.Db.close db;
+              `Error (false, e)))
+    in
+    Cmd.v
+      (Cmd.info "compact" ~exits
+         ~doc:
+           "Fold every segment into the dedup index and delete the folded \
+            segments (requires the writer lock: stop the server first).")
+      Term.(ret (const run $ racedb_dir_arg))
+  in
+  let stats =
+    let run dir =
+      match Crd_racedb.Db.load dir with
+      | Error e -> `Error (false, e)
+      | Ok (_, st) ->
+          Fmt.pr "%a@." Crd_racedb.Db.pp_stats st;
+          `Ok ()
+    in
+    Cmd.v
+      (Cmd.info "stats" ~exits
+         ~doc:"Print store-level statistics (read-only, lock-free).")
+      Term.(ret (const run $ racedb_dir_arg))
+  in
+  Cmd.group
+    (Cmd.info "db" ~exits ~doc:"Race database maintenance.")
+    [ compact; stats ]
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   Cmd.group
@@ -810,7 +1028,7 @@ let main =
        ~doc:"Dynamic commutativity race detection (PLDI 2014 reproduction).")
     [
       specs_cmd; translate_cmd; check_cmd; simulate_cmd; record_cmd;
-      explore_cmd; table2_cmd; serve_cmd; send_cmd;
+      explore_cmd; table2_cmd; serve_cmd; send_cmd; query_cmd; db_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -172,15 +172,14 @@ let pp_summary ppf t =
   (match t.rd2 with
   | Some d ->
       let races = Rd2.races d in
-      Fmt.pf ppf "rd2: %d races (%d distinct objects)@," (List.length races)
-        (Report.distinct_objects races)
+      Fmt.pf ppf "rd2: %d races (%d distinct)@," (List.length races)
+        (Report.distinct races)
   | None -> ());
   (match t.direct with
   | Some d ->
       let races = Direct.races d in
-      Fmt.pf ppf "direct: %d races (%d distinct objects)@,"
-        (List.length races)
-        (Report.distinct_objects races)
+      Fmt.pf ppf "direct: %d races (%d distinct)@," (List.length races)
+        (Report.distinct races)
   | None -> ());
   (match t.fasttrack with
   | Some d ->

@@ -285,9 +285,9 @@ let pp_summary ppf r =
     (if r.shards = 1 then "" else "s");
   (match r.rd2_stats with
   | Some s ->
-      Fmt.pf ppf "rd2: %d races (%d distinct objects)@,"
+      Fmt.pf ppf "rd2: %d races (%d distinct)@,"
         (List.length r.rd2_reports)
-        (Report.distinct_objects r.rd2_reports);
+        (Report.distinct r.rd2_reports);
       if s.Rd2.actions > 0 then
         Fmt.pf ppf "rd2: %d/%d actions same-epoch (%.1f%%)@," s.Rd2.same_epoch
           s.Rd2.actions
@@ -295,9 +295,9 @@ let pp_summary ppf r =
   | None -> ());
   (match r.direct_stats with
   | Some _ ->
-      Fmt.pf ppf "direct: %d races (%d distinct objects)@,"
+      Fmt.pf ppf "direct: %d races (%d distinct)@,"
         (List.length r.direct_reports)
-        (Report.distinct_objects r.direct_reports)
+        (Report.distinct r.direct_reports)
   | None -> ());
   (match r.fasttrack_stats with
   | Some _ ->

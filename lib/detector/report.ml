@@ -21,3 +21,51 @@ let pp ppf t =
 let distinct_objects reports =
   let ids = List.sort_uniq Int.compare (List.map (fun r -> Obj_id.id r.obj) reports) in
   List.length ids
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints.                                                       *)
+
+(* Objects are named "<spec>" or "<spec>:<suffix>" by the workload
+   generators and the server's spec resolution, so the spec component
+   of the fingerprint is recoverable from the object name alone. *)
+let spec_of_obj name =
+  match String.index_opt name ':' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+(* FNV-1a over 64 bits; each field is terminated by a NUL byte so that
+   field boundaries shift the hash ("ab","c" <> "a","bc"). *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_add h s =
+  let h = ref h in
+  let mix byte =
+    h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) fnv_prime
+  in
+  String.iter (fun c -> mix (Char.code c)) s;
+  mix 0;
+  !h
+
+let fingerprint t =
+  let prior_meth =
+    match t.prior with Some (_, a) -> a.Action.meth | None -> ""
+  in
+  (* Normalize for symmetry: the same logical race can close from
+     either end (current side touching [point], prior side having
+     touched [conflicting], or the mirror image in another
+     interleaving), so hash the unordered pair of (method, point)
+     sides. *)
+  let side_a = (t.action.Action.meth, t.point) in
+  let side_b = (prior_meth, t.conflicting) in
+  let (m1, p1), (m2, p2) =
+    if compare side_a side_b <= 0 then (side_a, side_b) else (side_b, side_a)
+  in
+  let name = Obj_id.name t.obj in
+  List.fold_left fnv_add fnv_offset [ spec_of_obj name; name; m1; p1; m2; p2 ]
+
+let fingerprint_hex t = Printf.sprintf "%016Lx" (fingerprint t)
+
+let distinct reports =
+  let fps = List.sort_uniq Int64.compare (List.map fingerprint reports) in
+  List.length fps

@@ -25,6 +25,27 @@ type t = {
 
 val pp : t Fmt.t
 
+val fingerprint : t -> int64
+(** Canonical race identity: a stable 64-bit FNV-1a hash of
+    [(spec, obj, action pair, point, conflicting point)], with the two
+    (method, access point) sides hashed as an {e unordered} pair so a
+    race observed from either end folds to the same fingerprint.
+    The spec component is recovered from the object-name convention
+    ["<spec>"] / ["<spec>:<suffix>"]. Independent of trace position and
+    thread ids, so the same logical race in different sessions (or
+    interleavings) shares a fingerprint; access-point descriptions can
+    embed key values (RD2 points are per-key), which then distinguish
+    fingerprints — strictly finer than {!distinct_objects}. *)
+
+val fingerprint_hex : t -> string
+(** [fingerprint] as 16 lowercase hex digits — the rendering used by
+    [rd2 query] and the racedb tooling. *)
+
+val distinct : t list -> int
+(** Number of distinct race fingerprints — the "(distinct)" column of
+    Table 2 under the per-race identity. *)
+
 val distinct_objects : t list -> int
-(** Number of distinct objects racing — the "(distinct)" column of
-    Table 2. *)
+(** Number of distinct objects racing. Coarser than {!distinct} (an
+    object can host several distinct races); kept for the object-level
+    view of Table 2. *)

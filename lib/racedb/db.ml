@@ -1,0 +1,728 @@
+module Codec = Crd_wire.Codec
+
+(* --- observability ------------------------------------------------- *)
+
+let m_appends =
+  Crd_obs.counter ~help:"Records appended to the race database"
+    "racedb_append_total"
+
+let m_bytes =
+  Crd_obs.counter ~help:"Frame bytes appended to racedb segments"
+    "racedb_append_bytes_total"
+
+let m_syncs =
+  Crd_obs.counter ~help:"Racedb commit markers published" "racedb_sync_total"
+
+let m_rotations =
+  Crd_obs.counter ~help:"Racedb segment rotations" "racedb_rotations_total"
+
+let m_compactions =
+  Crd_obs.counter ~help:"Racedb compactions completed" "racedb_compact_total"
+
+let m_compact_failures =
+  Crd_obs.counter ~help:"Racedb compactions aborted (fault or I/O)"
+    "racedb_compact_failures_total"
+
+let m_salvaged =
+  Crd_obs.counter ~help:"Records salvaged past a commit marker at open"
+    "racedb_salvaged_total"
+
+let m_truncated =
+  Crd_obs.counter ~help:"Torn tail bytes truncated at open"
+    "racedb_truncated_bytes_total"
+
+let h_append =
+  Crd_obs.histogram ~help:"Racedb append latency" "racedb_append_seconds"
+
+let h_compact =
+  Crd_obs.histogram ~help:"Racedb compaction latency" "racedb_compact_seconds"
+
+let fp_append = Crd_fault.point "racedb_append"
+let fp_compact = Crd_fault.point "racedb_compact"
+
+(* --- small file helpers (journal.ml idiom) ------------------------- *)
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then go (off + Unix.write fd b off (len - off))
+  in
+  go 0
+
+let write_file_atomic ~dir path content =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all fd content;
+      Unix.fsync fd);
+  Unix.rename tmp path;
+  fsync_dir dir
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> Some s
+  | exception Sys_error _ -> None
+
+let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
+
+(* --- crc32 (IEEE, as in zip/png) ----------------------------------- *)
+
+let crc_table =
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
+
+let crc32 s off len =
+  let c = ref 0xffffffff in
+  for i = off to off + len - 1 do
+    c := crc_table.((!c lxor Char.code (String.unsafe_get s i)) land 0xff)
+        lxor (!c lsr 8)
+  done;
+  !c lxor 0xffffffff
+
+let add_u32le b v =
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let get_u32le s pos =
+  let v = ref 0 in
+  for i = 3 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[pos + i]
+  done;
+  !v
+
+let add_i64le b v =
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let get_i64le s pos =
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  !v
+
+(* --- paths --------------------------------------------------------- *)
+
+let seg_path dir id = Filename.concat dir (Printf.sprintf "seg-%08d.log" id)
+let marker_path dir id = Filename.concat dir (Printf.sprintf "seg-%08d.ok" id)
+let index_path dir = Filename.concat dir "index.crdx"
+let lock_path dir = Filename.concat dir "lock"
+
+let segment_ids dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun e ->
+             match Scanf.sscanf_opt e "seg-%8d.log%!" (fun id -> id) with
+             | Some id -> Some id
+             | None -> None)
+      |> List.sort Int.compare
+
+(* --- entries ------------------------------------------------------- *)
+
+type entry = {
+  fingerprint : int64;
+  count : int;
+  first_seen : float;
+  last_seen : float;
+  sample : Record.t;
+  minutes : Rollup.t;
+  hours : Rollup.t;
+  days : Rollup.t;
+}
+
+type stats = {
+  distinct : int;
+  total : int;
+  segments : int;
+  active_id : int;
+  folded_up_to : int;
+  data_bytes : int;
+  salvaged : int;
+  truncated_bytes : int;
+}
+
+let fresh_rings () =
+  ( Rollup.create ~res:60 ~slots:60,
+    Rollup.create ~res:3600 ~slots:48,
+    Rollup.create ~res:86400 ~slots:30 )
+
+let fold_record ~rollups tbl (r : Record.t) =
+  let fp = Record.fingerprint r in
+  match Hashtbl.find_opt tbl fp with
+  | None ->
+      let minutes, hours, days = fresh_rings () in
+      if rollups then begin
+        Rollup.add minutes r.ts;
+        Rollup.add hours r.ts;
+        Rollup.add days r.ts
+      end;
+      Hashtbl.add tbl fp
+        (ref
+           {
+             fingerprint = fp;
+             count = 1;
+             first_seen = r.ts;
+             last_seen = r.ts;
+             sample = r;
+             minutes;
+             hours;
+             days;
+           })
+  | Some cell ->
+      let e = !cell in
+      if rollups then begin
+        Rollup.add e.minutes r.ts;
+        Rollup.add e.hours r.ts;
+        Rollup.add e.days r.ts
+      end;
+      cell :=
+        {
+          e with
+          count = e.count + 1;
+          first_seen = min e.first_seen r.ts;
+          last_seen = max e.last_seen r.ts;
+          sample = (if r.ts < e.first_seen then r else e.sample);
+        }
+
+let fold_entry tbl (e : entry) =
+  match Hashtbl.find_opt tbl e.fingerprint with
+  | None ->
+      Hashtbl.add tbl e.fingerprint
+        (ref
+           {
+             e with
+             minutes = Rollup.copy e.minutes;
+             hours = Rollup.copy e.hours;
+             days = Rollup.copy e.days;
+           })
+  | Some cell ->
+      let cur = !cell in
+      Rollup.merge_into cur.minutes e.minutes;
+      Rollup.merge_into cur.hours e.hours;
+      Rollup.merge_into cur.days e.days;
+      cell :=
+        {
+          cur with
+          count = cur.count + e.count;
+          first_seen = min cur.first_seen e.first_seen;
+          last_seen = max cur.last_seen e.last_seen;
+          sample = (if e.first_seen < cur.first_seen then e.sample else cur.sample);
+        }
+
+let snapshot_entry (e : entry) =
+  {
+    e with
+    minutes = Rollup.copy e.minutes;
+    hours = Rollup.copy e.hours;
+    days = Rollup.copy e.days;
+  }
+
+let sort_entries es =
+  List.sort
+    (fun a b ->
+      match Int.compare b.count a.count with
+      | 0 -> Int64.compare a.fingerprint b.fingerprint
+      | c -> c)
+    es
+
+(* --- framing ------------------------------------------------------- *)
+
+let frame_record r =
+  let payload = Record.encode r in
+  let b = Buffer.create (String.length payload + 8) in
+  Codec.add_varint b (String.length payload);
+  Buffer.add_string b payload;
+  add_u32le b (crc32 payload 0 (String.length payload));
+  Buffer.contents b
+
+(* Scan a segment image: deliver every complete, checksummed, decodable
+   frame; stop at the first damage. Returns the clean prefix length and
+   how many delivered records lay beyond [committed]. *)
+let scan_segment ~committed bytes f =
+  let len = String.length bytes in
+  let pos = ref 0 in
+  let valid_end = ref 0 in
+  let salvaged = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !pos < len do
+    match Codec.get_varint bytes !pos with
+    | exception Failure _ -> stop := true
+    | n, data_pos ->
+        if n <= 0 || n > Record.max_bytes || data_pos + n + 4 > len then
+          stop := true
+        else
+          let payload = String.sub bytes data_pos n in
+          if get_u32le bytes (data_pos + n) <> crc32 payload 0 n then
+            stop := true
+          else begin
+            match Record.decode payload with
+            | Error _ -> stop := true
+            | Ok r ->
+                let fin = data_pos + n + 4 in
+                if fin > committed then incr salvaged;
+                f r;
+                valid_end := fin;
+                pos := fin
+          end
+  done;
+  (!valid_end, !salvaged)
+
+let read_marker dir id =
+  match read_file (marker_path dir id) with
+  | None -> 0
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some n -> n | None -> 0)
+
+(* --- index file ---------------------------------------------------- *)
+
+let index_magic = "CRDX"
+let index_version = 1
+
+let encode_entry b (e : entry) =
+  add_i64le b e.fingerprint;
+  Codec.add_varint b e.count;
+  add_i64le b (Int64.bits_of_float e.first_seen);
+  add_i64le b (Int64.bits_of_float e.last_seen);
+  Rollup.encode b e.minutes;
+  Rollup.encode b e.hours;
+  Rollup.encode b e.days;
+  let sample = Record.encode e.sample in
+  Codec.add_varint b (String.length sample);
+  Buffer.add_string b sample
+
+let decode_entry s pos =
+  let fingerprint = get_i64le s pos in
+  let pos = pos + 8 in
+  let count, pos = Codec.get_varint s pos in
+  let first_seen = Int64.float_of_bits (get_i64le s pos) in
+  let last_seen = Int64.float_of_bits (get_i64le s (pos + 8)) in
+  let pos = pos + 16 in
+  let minutes, pos = Rollup.decode s pos in
+  let hours, pos = Rollup.decode s pos in
+  let days, pos = Rollup.decode s pos in
+  let n, pos = Codec.get_varint s pos in
+  if n < 0 || pos + n > String.length s then failwith "index: bad sample";
+  let sample =
+    match Record.decode (String.sub s pos n) with
+    | Ok r -> r
+    | Error e -> failwith ("index: " ^ e)
+  in
+  ({ fingerprint; count; first_seen; last_seen; sample; minutes; hours; days },
+   pos + n)
+
+let encode_index ~folded_up_to es =
+  let body = Buffer.create 4096 in
+  Codec.add_varint body folded_up_to;
+  Codec.add_varint body (List.length es);
+  List.iter (encode_entry body)
+    (List.sort (fun a b -> Int64.compare a.fingerprint b.fingerprint) es);
+  let body = Buffer.contents body in
+  let b = Buffer.create (String.length body + 16) in
+  Buffer.add_string b index_magic;
+  Buffer.add_char b (Char.chr index_version);
+  Buffer.add_string b body;
+  add_u32le b (crc32 body 0 (String.length body));
+  Buffer.contents b
+
+let decode_index s =
+  let len = String.length s in
+  if len < 9 || String.sub s 0 4 <> index_magic then Error "index: bad magic"
+  else if Char.code s.[4] <> index_version then Error "index: bad version"
+  else if get_u32le s (len - 4) <> crc32 s 5 (len - 9) then
+    Error "index: checksum mismatch"
+  else
+    match
+      let folded_up_to, pos = Codec.get_varint s 5 in
+      let n, pos = Codec.get_varint s pos in
+      if n < 0 || n > 1 lsl 24 then failwith "index: bad entry count";
+      let rec go acc n pos =
+        if n = 0 then List.rev acc
+        else
+          let e, pos = decode_entry s pos in
+          go (e :: acc) (n - 1) pos
+      in
+      (folded_up_to, go [] n pos)
+    with
+    | exception Failure m -> Error m
+    | v -> Ok v
+
+(* --- the writable handle ------------------------------------------- *)
+
+type t = {
+  dir : string;
+  mu : Mutex.t;
+  rollups : bool;
+  segment_bytes : int;
+  sync_every : int;
+  auto_compact : int;
+  tbl : (int64, entry ref) Hashtbl.t;
+  mutable active_id : int;
+  mutable fd : Unix.file_descr;
+  mutable active_bytes : int;
+  mutable committed : int;
+  mutable dirty : int;
+  mutable sealed : int;  (* live segments below the active one *)
+  mutable folded_up_to : int;
+  mutable salvaged : int;
+  mutable truncated_bytes : int;
+  mutable closed : bool;
+  lock_fd : Unix.file_descr;
+  lock_key : int * int;
+}
+
+let dir t = t.dir
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+(* Shared by the writable open and the read-only [load].  [repair]
+   truncates torn tails and retires segments the index already covers;
+   the read-only path only observes. *)
+let scan_store ~repair dir =
+  let tbl = Hashtbl.create 64 in
+  let folded_up_to = ref 0 in
+  let salvaged = ref 0 in
+  let truncated = ref 0 in
+  (match read_file (index_path dir) with
+  | None -> ()
+  | Some s -> (
+      match decode_index s with
+      | Error e -> failwith (Printf.sprintf "%s: %s" (index_path dir) e)
+      | Ok (f, es) ->
+          folded_up_to := f;
+          List.iter (fold_entry tbl) es));
+  if repair then unlink_quiet (index_path dir ^ ".tmp");
+  let live = ref [] in
+  List.iter
+    (fun id ->
+      if id <= !folded_up_to then begin
+        (* already in the index: leftover of a compaction that renamed
+           but did not finish deleting before a crash *)
+        if repair then begin
+          unlink_quiet (seg_path dir id);
+          unlink_quiet (marker_path dir id)
+        end
+      end
+      else
+        match read_file (seg_path dir id) with
+        | None -> ()
+        | Some bytes ->
+            let committed = min (read_marker dir id) (String.length bytes) in
+            let valid_end, salv =
+              scan_segment ~committed bytes (fold_record ~rollups:true tbl)
+            in
+            salvaged := !salvaged + salv;
+            if valid_end < String.length bytes then begin
+              truncated := !truncated + (String.length bytes - valid_end);
+              if repair then begin
+                let fd = Unix.openfile (seg_path dir id) [ Unix.O_WRONLY ] 0o644 in
+                Fun.protect
+                  ~finally:(fun () -> Unix.close fd)
+                  (fun () ->
+                    Unix.ftruncate fd valid_end;
+                    Unix.fsync fd)
+              end
+            end;
+            if repair && valid_end = 0 then begin
+              unlink_quiet (seg_path dir id);
+              unlink_quiet (marker_path dir id)
+            end
+            else begin
+              if repair && valid_end <> committed then
+                write_file_atomic ~dir (marker_path dir id)
+                  (Printf.sprintf "%d\n" valid_end);
+              live := (id, valid_end) :: !live
+            end)
+    (segment_ids dir);
+  (tbl, !folded_up_to, List.rev !live, !salvaged, !truncated)
+
+(* [lockf] record locks never conflict within one process, so the
+   cross-process lock below is paired with a process-local registry
+   keyed by the lock file's identity. *)
+let local_locks : (int * int, unit) Hashtbl.t = Hashtbl.create 4
+let local_locks_mu = Mutex.create ()
+
+let open_db ?(segment_bytes = 1 lsl 20) ?(sync_every = 64) ?(auto_compact = 8)
+    ?(rollups = true) dir =
+  try
+    mkdir_p dir;
+    let lock_fd =
+      Unix.openfile (lock_path dir) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+    in
+    let st = Unix.fstat lock_fd in
+    let lock_key = (st.Unix.st_dev, st.Unix.st_ino) in
+    let locally_taken =
+      Mutex.protect local_locks_mu (fun () ->
+          if Hashtbl.mem local_locks lock_key then true
+          else begin
+            Hashtbl.add local_locks lock_key ();
+            false
+          end)
+    in
+    if locally_taken then begin
+      Unix.close lock_fd;
+      failwith (dir ^ ": race database locked by this process")
+    end;
+    let release_local () =
+      Mutex.protect local_locks_mu (fun () ->
+          Hashtbl.remove local_locks lock_key)
+    in
+    (match Unix.lockf lock_fd Unix.F_TLOCK 0 with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+        release_local ();
+        Unix.close lock_fd;
+        failwith (dir ^ ": race database locked by another process"));
+    match scan_store ~repair:true dir with
+    | exception e ->
+        release_local ();
+        (try Unix.close lock_fd with Unix.Unix_error _ -> ());
+        raise e
+    | tbl, folded_up_to, live, salvaged, truncated ->
+        Crd_obs.Counter.add m_salvaged salvaged;
+        Crd_obs.Counter.add m_truncated truncated;
+        let max_id =
+          List.fold_left (fun acc (id, _) -> max acc id) folded_up_to live
+        in
+        let active_id = max_id + 1 in
+        let fd =
+          Unix.openfile (seg_path dir active_id)
+            [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+            0o644
+        in
+        fsync_dir dir;
+        Ok
+          {
+            dir;
+            mu = Mutex.create ();
+            rollups;
+            segment_bytes = max 4096 segment_bytes;
+            sync_every = max 1 sync_every;
+            auto_compact;
+            tbl;
+            active_id;
+            fd;
+            active_bytes = 0;
+            committed = 0;
+            dirty = 0;
+            sealed = List.length live;
+            folded_up_to;
+            salvaged;
+            truncated_bytes = truncated;
+            closed = false;
+            lock_fd;
+            lock_key;
+          }
+  with
+  | Failure m -> Error m
+  | Unix.Unix_error (e, fn, arg) ->
+      Error (Printf.sprintf "%s: %s(%s)" (Unix.error_message e) fn arg)
+
+let sync_locked t =
+  if t.dirty > 0 || t.committed < t.active_bytes then begin
+    Unix.fsync t.fd;
+    write_file_atomic ~dir:t.dir
+      (marker_path t.dir t.active_id)
+      (Printf.sprintf "%d\n" t.active_bytes);
+    t.committed <- t.active_bytes;
+    t.dirty <- 0;
+    Crd_obs.Counter.incr m_syncs
+  end
+
+let rotate_locked t =
+  sync_locked t;
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  (* an empty sealed segment carries nothing: drop it *)
+  if t.active_bytes = 0 then begin
+    unlink_quiet (seg_path t.dir t.active_id);
+    unlink_quiet (marker_path t.dir t.active_id)
+  end
+  else t.sealed <- t.sealed + 1;
+  t.active_id <- t.active_id + 1;
+  t.fd <-
+    Unix.openfile (seg_path t.dir t.active_id)
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o644;
+  fsync_dir t.dir;
+  t.active_bytes <- 0;
+  t.committed <- 0;
+  Crd_obs.Counter.incr m_rotations
+
+let compact_locked t =
+  Crd_obs.time h_compact @@ fun () ->
+  rotate_locked t;
+  let folded_up_to = t.active_id - 1 in
+  let es = Hashtbl.fold (fun _ cell acc -> !cell :: acc) t.tbl [] in
+  let bytes = encode_index ~folded_up_to es in
+  let path = index_path t.dir in
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all fd bytes;
+      Unix.fsync fd);
+  (* the kill window the chaos soak aims at: tmp index written, nothing
+     published — a crash (or injected abort) here must lose nothing *)
+  Crd_fault.inject fp_compact;
+  Unix.rename tmp path;
+  fsync_dir t.dir;
+  t.folded_up_to <- folded_up_to;
+  t.sealed <- 0;
+  List.iter
+    (fun id ->
+      if id <= folded_up_to then begin
+        unlink_quiet (seg_path t.dir id);
+        unlink_quiet (marker_path t.dir id)
+      end)
+    (segment_ids t.dir);
+  fsync_dir t.dir;
+  Crd_obs.Counter.incr m_compactions;
+  List.length es
+
+let compact_result t =
+  match compact_locked t with
+  | n -> Ok n
+  | exception Crd_fault.Injected m ->
+      Crd_obs.Counter.incr m_compact_failures;
+      Error ("fault injected: " ^ m)
+  | exception Unix.Unix_error (e, fn, arg) ->
+      Crd_obs.Counter.incr m_compact_failures;
+      Error (Printf.sprintf "%s: %s(%s)" (Unix.error_message e) fn arg)
+
+let append t r =
+  Crd_obs.time h_append @@ fun () ->
+  locked t @@ fun () ->
+  if t.closed then invalid_arg "Crd_racedb.Db.append: closed";
+  Crd_fault.inject fp_append;
+  let frame = frame_record r in
+  write_all t.fd frame;
+  t.active_bytes <- t.active_bytes + String.length frame;
+  t.dirty <- t.dirty + 1;
+  fold_record ~rollups:t.rollups t.tbl r;
+  Crd_obs.Counter.incr m_appends;
+  Crd_obs.Counter.add m_bytes (String.length frame);
+  if t.dirty >= t.sync_every then sync_locked t;
+  if t.active_bytes >= t.segment_bytes then begin
+    rotate_locked t;
+    if t.auto_compact > 0 && t.sealed >= t.auto_compact then
+      (* auto-compaction failure must not fail the append that
+         triggered it; the record is already durable in its segment *)
+      ignore (compact_result t : (int, string) result)
+  end
+
+let sync t = locked t @@ fun () -> sync_locked t
+let compact t = locked t @@ fun () -> compact_result t
+
+let entries t =
+  locked t @@ fun () ->
+  Hashtbl.fold (fun _ cell acc -> snapshot_entry !cell :: acc) t.tbl []
+  |> sort_entries
+
+let du dir =
+  List.fold_left
+    (fun acc p -> match Unix.stat p with
+      | { Unix.st_size; _ } -> acc + st_size
+      | exception Unix.Unix_error _ -> acc)
+    0
+    (index_path dir :: List.map (seg_path dir) (segment_ids dir))
+
+let stats_of tbl ~segments ~active_id ~folded_up_to ~data_bytes ~salvaged
+    ~truncated_bytes =
+  let total = Hashtbl.fold (fun _ cell acc -> acc + !cell.count) tbl 0 in
+  {
+    distinct = Hashtbl.length tbl;
+    total;
+    segments;
+    active_id;
+    folded_up_to;
+    data_bytes;
+    salvaged;
+    truncated_bytes;
+  }
+
+let stats t =
+  locked t @@ fun () ->
+  stats_of t.tbl
+    ~segments:(t.sealed + 1)
+    ~active_id:t.active_id ~folded_up_to:t.folded_up_to ~data_bytes:(du t.dir)
+    ~salvaged:t.salvaged ~truncated_bytes:t.truncated_bytes
+
+let close t =
+  locked t @@ fun () ->
+  if not t.closed then begin
+    t.closed <- true;
+    sync_locked t;
+    (try Unix.close t.fd with Unix.Unix_error _ -> ());
+    if t.active_bytes = 0 then begin
+      unlink_quiet (seg_path t.dir t.active_id);
+      unlink_quiet (marker_path t.dir t.active_id)
+    end;
+    Mutex.protect local_locks_mu (fun () ->
+        Hashtbl.remove local_locks t.lock_key);
+    try Unix.close t.lock_fd with Unix.Unix_error _ -> ()
+  end
+
+let load dir =
+  if not (Sys.file_exists dir) then Error (dir ^ ": no such directory")
+  else
+    match scan_store ~repair:false dir with
+    | exception Failure m -> Error m
+    | exception Unix.Unix_error (e, fn, arg) ->
+        Error (Printf.sprintf "%s: %s(%s)" (Unix.error_message e) fn arg)
+    | tbl, folded_up_to, live, salvaged, truncated_bytes ->
+        let es =
+          Hashtbl.fold (fun _ cell acc -> !cell :: acc) tbl [] |> sort_entries
+        in
+        let active_id =
+          List.fold_left (fun acc (id, _) -> max acc id) folded_up_to live
+        in
+        Ok
+          ( es,
+            stats_of tbl ~segments:(List.length live) ~active_id ~folded_up_to
+              ~data_bytes:(du dir) ~salvaged ~truncated_bytes )
+
+let select ?top ?since ?obj ?spec es =
+  let keep e =
+    (match since with None -> true | Some cut -> e.last_seen >= cut)
+    && (match obj with
+       | None -> true
+       | Some o -> Crd_base.Obj_id.name e.sample.Record.report.Crd_detector.Report.obj = o)
+    && match spec with None -> true | Some s -> e.sample.Record.spec = s
+  in
+  let es = List.filter keep es in
+  match top with
+  | None -> es
+  | Some n -> List.filteri (fun i _ -> i < n) es
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "@[<v>distinct: %d@,total: %d@,segments: %d (active seg-%08d, folded up \
+     to %d)@,bytes: %d@,salvaged: %d@,truncated: %d@]"
+    s.distinct s.total s.segments s.active_id s.folded_up_to s.data_bytes
+    s.salvaged s.truncated_bytes

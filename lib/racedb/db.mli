@@ -1,0 +1,108 @@
+(** The embedded race database: a crash-safe append-only segment store
+    folded into a deduplicating fingerprint index.
+
+    {2 On-disk layout}
+
+    {v
+    DIR/lock                 writer lock (flock'd while a handle is open)
+    DIR/seg-NNNNNNNN.log     segment: frame*
+    DIR/seg-NNNNNNNN.ok      commit marker: "<bytes>\n" (fsync'd, atomic)
+    DIR/index.crdx           compacted dedup index (atomic rename)
+    frame ::= varint(len) payload{len} crc32_le(payload)
+    v}
+
+    Appends go to the active (highest-numbered) segment and are folded
+    into an in-memory index keyed by {!Report.fingerprint}; [sync]
+    fsyncs the data and publishes a commit marker, journal-style.
+    Compaction seals the active segment, writes the whole in-memory
+    index to [index.crdx] with a [folded_up_to] watermark and only then
+    deletes the folded segments — a crash at any point either keeps the
+    old index plus all segments or the new index with leftovers that
+    the watermark retires at the next open, never a double count.
+
+    Opening scans every surviving segment: complete, checksummed frames
+    beyond a commit marker are {e salvaged} (counted in [stats]), the
+    torn tail after the last valid frame is truncated. A fresh active
+    segment is started on every open, so recovery never appends to a
+    file another process version half-wrote. *)
+
+type t
+
+type entry = {
+  fingerprint : int64;
+  count : int;  (** lifetime occurrences *)
+  first_seen : float;
+  last_seen : float;
+  sample : Record.t;  (** earliest-seen record with this fingerprint *)
+  minutes : Rollup.t;  (** 60 × 1-minute buckets *)
+  hours : Rollup.t;  (** 48 × 1-hour buckets *)
+  days : Rollup.t;  (** 30 × 1-day buckets *)
+}
+
+type stats = {
+  distinct : int;
+  total : int;
+  segments : int;  (** live segment files, active included *)
+  active_id : int;
+  folded_up_to : int;  (** highest segment id folded into the index *)
+  data_bytes : int;  (** bytes across live segments + index *)
+  salvaged : int;  (** records recovered past a commit marker at open *)
+  truncated_bytes : int;  (** torn tail bytes discarded at open *)
+}
+
+val open_db :
+  ?segment_bytes:int ->
+  ?sync_every:int ->
+  ?auto_compact:int ->
+  ?rollups:bool ->
+  string ->
+  (t, string) result
+(** [open_db dir] recovers and opens the database for writing, taking
+    the writer lock ([Error] if another process holds it).
+    [segment_bytes] (default 1 MiB) is the rotation threshold,
+    [sync_every] (default 64) the appends between automatic [sync]s,
+    [auto_compact] (default 8) the sealed-segment count that triggers
+    an inline compaction (0 disables), [rollups] (default [true])
+    whether appends maintain the time rings. *)
+
+val dir : t -> string
+
+val append : t -> Record.t -> unit
+(** Frame, checksum and append one record, and fold it into the index.
+    @raise Crd_fault.Injected when the [racedb_append] point fires
+    (nothing is written).
+    @raise Unix.Unix_error on I/O failure. *)
+
+val sync : t -> unit
+(** Fsync the active segment and publish its commit marker. *)
+
+val compact : t -> (int, string) result
+(** Seal the active segment, persist the index, delete folded segments.
+    Returns the number of distinct entries in the new index. [Error]
+    (with the store intact and still usable) if the [racedb_compact]
+    fault point fires or the index cannot be written. *)
+
+val entries : t -> entry list
+(** Snapshot of the index, most frequent first (ties by fingerprint). *)
+
+val stats : t -> stats
+val close : t -> unit
+
+val load : string -> (entry list * stats, string) result
+(** Read-only view of [dir]: index plus every live segment, salvaging
+    torn tails without modifying anything. Safe against a concurrent
+    writer except that a compaction racing the scan can momentarily
+    hide the records it is folding; query a quiesced store (or the
+    same process' {!entries}) for exact counts. *)
+
+val select :
+  ?top:int ->
+  ?since:float ->
+  ?obj:string ->
+  ?spec:string ->
+  entry list ->
+  entry list
+(** Filter ([last_seen >= since], exact object / spec name) and keep
+    the first [top] entries. *)
+
+val pp_stats : stats Fmt.t

@@ -1,0 +1,194 @@
+open Crd_base
+open Crd_trace
+open Crd_detector
+module Codec = Crd_wire.Codec
+
+type t = { ts : float; spec : string; report : Report.t }
+
+(* Sanity bound for segment-frame scanning: no sane record payload
+   approaches this, so a larger length varint means tail corruption. *)
+let max_bytes = 1 lsl 20
+
+let make ?(ts = 0.) ~spec report = { ts; spec; report }
+let fingerprint t = Report.fingerprint t.report
+
+let equal_obj a b = Obj_id.id a = Obj_id.id b && Obj_id.name a = Obj_id.name b
+
+let equal_action (a : Action.t) (b : Action.t) =
+  equal_obj a.obj b.obj && a.meth = b.meth
+  && List.equal Value.equal a.args b.args
+  && List.equal Value.equal a.rets b.rets
+
+let equal a b =
+  Int64.equal (Int64.bits_of_float a.ts) (Int64.bits_of_float b.ts)
+  && a.spec = b.spec
+  &&
+  let ra = a.report and rb = b.report in
+  ra.Report.index = rb.Report.index
+  && equal_obj ra.obj rb.obj
+  && Tid.to_int ra.tid = Tid.to_int rb.tid
+  && equal_action ra.action rb.action
+  && ra.point = rb.point && ra.conflicting = rb.conflicting
+  && Option.equal
+       (fun (t1, a1) (t2, a2) -> Tid.to_int t1 = Tid.to_int t2 && equal_action a1 a2)
+       ra.prior rb.prior
+
+let pp ppf t =
+  Fmt.pf ppf "@[%s ts=%.3f spec=%s %a@]"
+    (Report.fingerprint_hex t.report)
+    t.ts t.spec Report.pp t.report
+
+(* ------------------------------------------------------------------ *)
+(* Binary form. Varints/zigzag reuse the Crd_wire helpers; values are
+   tagged like the trace codec but carry strings inline (no interning,
+   records decode in isolation). *)
+
+let add_str b s =
+  Codec.add_varint b (String.length s);
+  Buffer.add_string b s
+
+let add_i64 b v =
+  for i = 0 to 7 do
+    Buffer.add_char b (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let add_value b = function
+  | Value.Nil -> Buffer.add_char b '\x00'
+  | Value.Bool false -> Buffer.add_char b '\x01'
+  | Value.Bool true -> Buffer.add_char b '\x02'
+  | Value.Int i ->
+      Buffer.add_char b '\x03';
+      Codec.add_varint b (Codec.zigzag i)
+  | Value.Str s ->
+      Buffer.add_char b '\x04';
+      add_str b s
+  | Value.Ref r ->
+      Buffer.add_char b '\x05';
+      Codec.add_varint b (Codec.zigzag r)
+
+let add_values b vs =
+  Codec.add_varint b (List.length vs);
+  List.iter (add_value b) vs
+
+let add_obj b o =
+  Codec.add_varint b (Codec.zigzag (Obj_id.id o));
+  add_str b (Obj_id.name o)
+
+let add_action b (a : Action.t) =
+  add_obj b a.obj;
+  add_str b a.meth;
+  add_values b a.args;
+  add_values b a.rets
+
+let encode t =
+  let b = Buffer.create 128 in
+  add_i64 b (Int64.bits_of_float t.ts);
+  add_str b t.spec;
+  let r = t.report in
+  Codec.add_varint b r.Report.index;
+  add_obj b r.obj;
+  Codec.add_varint b (Tid.to_int r.tid);
+  add_action b r.action;
+  add_str b r.point;
+  add_str b r.conflicting;
+  (match r.prior with
+  | None -> Buffer.add_char b '\x00'
+  | Some (tid, a) ->
+      Buffer.add_char b '\x01';
+      Codec.add_varint b (Tid.to_int tid);
+      add_action b a);
+  Buffer.contents b
+
+let get_str s pos =
+  let n, pos = Codec.get_varint s pos in
+  if n < 0 || pos + n > String.length s then failwith "record: bad string";
+  (String.sub s pos n, pos + n)
+
+let get_i64 s pos =
+  if pos + 8 > String.length s then failwith "record: bad i64";
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  (!v, pos + 8)
+
+let get_value s pos =
+  if pos >= String.length s then failwith "record: bad value";
+  let tag = Char.code s.[pos] in
+  let pos = pos + 1 in
+  match tag with
+  | 0 -> (Value.Nil, pos)
+  | 1 -> (Value.Bool false, pos)
+  | 2 -> (Value.Bool true, pos)
+  | 3 ->
+      let v, pos = Codec.get_varint s pos in
+      (Value.Int (Codec.unzigzag v), pos)
+  | 4 ->
+      let v, pos = get_str s pos in
+      (Value.Str v, pos)
+  | 5 ->
+      let v, pos = Codec.get_varint s pos in
+      (Value.Ref (Codec.unzigzag v), pos)
+  | _ -> failwith "record: bad value tag"
+
+let get_values s pos =
+  let n, pos = Codec.get_varint s pos in
+  if n < 0 || n > 1 lsl 16 then failwith "record: bad value count";
+  let rec go acc n pos =
+    if n = 0 then (List.rev acc, pos)
+    else
+      let v, pos = get_value s pos in
+      go (v :: acc) (n - 1) pos
+  in
+  go [] n pos
+
+let get_obj s pos =
+  let id, pos = Codec.get_varint s pos in
+  let name, pos = get_str s pos in
+  (Obj_id.make ~name (Codec.unzigzag id), pos)
+
+let get_action s pos =
+  let obj, pos = get_obj s pos in
+  let meth, pos = get_str s pos in
+  let args, pos = get_values s pos in
+  let rets, pos = get_values s pos in
+  (Action.make ~obj ~meth ~args ~rets (), pos)
+
+let decode s =
+  match
+    let bits, pos = get_i64 s 0 in
+    let spec, pos = get_str s pos in
+    let index, pos = Codec.get_varint s pos in
+    let obj, pos = get_obj s pos in
+    let tid, pos = Codec.get_varint s pos in
+    let action, pos = get_action s pos in
+    let point, pos = get_str s pos in
+    let conflicting, pos = get_str s pos in
+    if pos >= String.length s then failwith "record: truncated";
+    let prior, pos =
+      match s.[pos] with
+      | '\x00' -> (None, pos + 1)
+      | '\x01' ->
+          let ptid, pos = Codec.get_varint s (pos + 1) in
+          let pa, pos = get_action s pos in
+          (Some (Tid.of_int ptid, pa), pos)
+      | _ -> failwith "record: bad prior tag"
+    in
+    if pos <> String.length s then failwith "record: trailing bytes";
+    {
+      ts = Int64.float_of_bits bits;
+      spec;
+      report =
+        {
+          Report.index;
+          obj;
+          tid = Tid.of_int tid;
+          action;
+          point;
+          conflicting;
+          prior;
+        };
+    }
+  with
+  | r -> Ok r
+  | exception Failure m -> Error m

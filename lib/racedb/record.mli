@@ -1,0 +1,33 @@
+(** The durable unit of the race database: one report, stamped with the
+    observation time and the specification set that produced it.
+
+    The binary form is self-contained (no interning tables): a record
+    must stay decodable in isolation after compaction has thrown the
+    surrounding session away. It round-trips the {e whole} report —
+    including the optional [prior] [(tid, action)] hint, which the
+    text pipeline previously lost on every serialization boundary. *)
+
+open Crd_detector
+
+type t = { ts : float; spec : string; report : Report.t }
+
+val max_bytes : int
+(** Upper bound on a sane encoded record; frames claiming more are
+    treated as corruption by the segment scanner. *)
+
+val make : ?ts:float -> spec:string -> Report.t -> t
+
+val fingerprint : t -> int64
+(** [Report.fingerprint] of the payload. *)
+
+val equal : t -> t -> bool
+(** Structural equality, object {e names} included (object ids compare
+    by id only elsewhere; the wire form must reproduce names too). *)
+
+val encode : t -> string
+(** Unframed payload; the segment store adds length and checksum. *)
+
+val decode : string -> (t, string) result
+(** Inverse of {!encode}; rejects trailing bytes. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,48 @@
+(** Fixed-size time-bucketed counters (rrd-style).
+
+    A rollup is a ring of [slots] counters at resolution [res] seconds:
+    bucket [b] (i.e. the interval [[b*res, (b+1)*res)]) lives in slot
+    [b mod slots], stamped with its bucket number so a wrapped slot is
+    recognized and reset rather than summed into. Memory is fixed
+    regardless of traffic, and adding a sample is O(1) — the xcp-rrdd
+    aggregation idea, specialized to monotone counters.
+
+    Samples older than the oldest live bucket are dropped on [add] and
+    stale slots are ignored by the query side, so the ring only ever
+    describes the trailing [slots * res] seconds it retains. *)
+
+type t
+
+val create : res:int -> slots:int -> t
+(** @raise Invalid_argument if [res < 1] or [slots < 1]. *)
+
+val res : t -> int
+val slots : t -> int
+
+val copy : t -> t
+
+val add : ?count:int -> t -> float -> unit
+(** [add t ts] counts [count] (default 1) samples in the bucket holding
+    unix time [ts]. Samples older than every live bucket are dropped. *)
+
+val add_bucket : t -> bucket:int -> count:int -> unit
+(** Merge a pre-bucketed count (used when folding rollups together). *)
+
+val merge_into : t -> t -> unit
+(** [merge_into dst src] adds every live bucket of [src] into [dst].
+    @raise Invalid_argument if resolutions differ. *)
+
+val total : t -> int
+(** Sum over all live buckets. *)
+
+val total_since : t -> float -> int
+(** Sum over live buckets whose interval ends after the cutoff. *)
+
+val to_list : t -> (float * int) list
+(** Live buckets as [(bucket_start_unix_time, count)], oldest first. *)
+
+val encode : Buffer.t -> t -> unit
+
+val decode : string -> int -> t * int
+(** [decode s pos] returns the rollup and the next offset.
+    @raise Failure on malformed input. *)

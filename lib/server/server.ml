@@ -58,6 +58,7 @@ type config = {
   retry_after_ms : int;
   journal : string option;
   resync : bool;
+  racedb : string option;
 }
 
 let default_analyzer =
@@ -83,6 +84,7 @@ let default_config ~addr =
     retry_after_ms = 200;
     journal = None;
     resync = false;
+    racedb = None;
   }
 
 type stats = {
@@ -164,6 +166,22 @@ let m_retries =
   Crd_obs.counter ~help:"Sessions whose nonce was seen before (client retries)"
     "server_session_retries_total"
 
+let m_racedb_published =
+  Crd_obs.counter ~help:"Race reports handed to the racedb publisher"
+    "racedb_published_total"
+
+let m_racedb_dropped =
+  Crd_obs.counter ~help:"Race reports dropped at a full racedb queue"
+    "racedb_dropped_total"
+
+let m_racedb_errors =
+  Crd_obs.counter ~help:"Racedb appends that failed (fault or I/O)"
+    "racedb_publish_errors_total"
+
+let m_racedb_queue_hw =
+  Crd_obs.gauge ~help:"High-water of the racedb publish queue"
+    "racedb_queue_depth_hw"
+
 (* Chaos injection points threaded through the ingestion pipeline; see
    Crd_fault. queue_push lives in each session's Bqueue, decode_frame
    in Crd_wire.Codec, journal_append in Journal. *)
@@ -201,8 +219,75 @@ let err_counter =
   in
   fun k -> List.assq k tbl
 
+(* The race-database sink decouples sessions from storage: workers drop
+   records into a bounded queue (never blocking the report path — a full
+   queue drops and counts) and one publisher thread owns every
+   [Db.append]. *)
+type sink = {
+  db : Crd_racedb.Db.t;
+  queue : Crd_racedb.Record.t Bqueue.t;
+  capacity : int;
+  mutable publisher : Thread.t option;
+}
+
+let sink_capacity = 4096
+
+let sink_publish sink ~spec reports =
+  let ts = Unix.gettimeofday () in
+  let spec = if spec = "" then "std" else spec in
+  List.iter
+    (fun r ->
+      let record = Crd_racedb.Record.make ~ts ~spec r in
+      (* Best-effort bound check, then a non-faultable push: the sink
+         must never stall a session, only shed under pressure. *)
+      if Bqueue.length sink.queue >= sink.capacity then
+        Crd_obs.Counter.incr m_racedb_dropped
+      else if Bqueue.push_raw sink.queue record then begin
+        Crd_obs.Counter.incr m_racedb_published;
+        Crd_obs.Gauge.set_max m_racedb_queue_hw (Bqueue.length sink.queue)
+      end
+      else Crd_obs.Counter.incr m_racedb_dropped)
+    reports
+
+let sink_loop sink =
+  let continue = ref true in
+  while !continue do
+    match Bqueue.pop sink.queue with
+    | None -> continue := false
+    | Some record -> (
+        try Crd_racedb.Db.append sink.db record with
+        | Crd_fault.Injected p ->
+            Crd_obs.Counter.incr m_racedb_errors;
+            Crd_obs.Log.warn "racedb_append_fault" [ ("point", p) ]
+        | Unix.Unix_error (e, fn, _) ->
+            Crd_obs.Counter.incr m_racedb_errors;
+            Crd_obs.Log.err "racedb_append_failed"
+              [ ("fn", fn); ("err", Unix.error_message e) ])
+  done
+
+let sink_start dir =
+  match Crd_racedb.Db.open_db dir with
+  | Error e -> Error e
+  | Ok db ->
+      let sink =
+        {
+          db;
+          queue = Bqueue.create ~capacity:sink_capacity ();
+          capacity = sink_capacity;
+          publisher = None;
+        }
+      in
+      sink.publisher <- Some (Thread.create sink_loop sink);
+      Ok sink
+
+let sink_stop sink =
+  Bqueue.close sink.queue;
+  (match sink.publisher with Some th -> Thread.join th | None -> ());
+  Crd_racedb.Db.close sink.db
+
 type t = {
   cfg : config;
+  racedb : sink option;
   listen_fd : Unix.file_descr;
   conns : Unix.file_descr Bqueue.t;
   stopping : bool Atomic.t;
@@ -438,7 +523,7 @@ let analyze_with cfg spec_for ~drain =
             Fmt.pf ppf "OK@.%a@." Analyzer.pp_summary an;
             races_text rd2 (Analyzer.fasttrack_races an)
               (Analyzer.atomicity_violations an);
-            Ok (fin (), Analyzer.events an, List.length rd2)))
+            Ok (fin (), Analyzer.events an, rd2)))
   else
     let trace = Trace.create () in
     match drain ~f:(Trace.append trace) with
@@ -453,7 +538,7 @@ let analyze_with cfg spec_for ~drain =
             Fmt.pf ppf "OK@.%a@." Shard.pp_summary res;
             races_text res.Shard.rd2_reports res.Shard.fasttrack_reports
               res.Shard.atomicity_violations;
-            Ok (fin (), res.Shard.events, List.length res.Shard.rd2_reports))
+            Ok (fin (), res.Shard.events, res.Shard.rd2_reports))
 
 let analyze_session cfg spec_for q =
   analyze_with cfg spec_for ~drain:(fun ~f -> drain_events q ~f)
@@ -500,15 +585,23 @@ let session t conn =
         Crd_fault.inject fp_sock_write;
         Proto.write_all conn s
       in
-      let finish ?journal outcome hw =
+      let finish ?journal ~spec outcome hw =
         (match outcome with
-        | Ok (reply, events, races) ->
+        | Ok (reply, events, reports) ->
+            let races = List.length reports in
             let reply =
               reply
-              ^ Printf.sprintf "STATS events=%d races=%d queue_hw=%d wall_s=%.6f\n"
-                  events races hw
+              ^ Printf.sprintf
+                  "STATS events=%d races=%d distinct=%d queue_hw=%d wall_s=%.6f\n"
+                  events races (Report.distinct reports) hw
                   (Crd_obs.Span.elapsed_s span)
             in
+            (* The verdict is final here: publish it to the race
+               database before the (faultable) reply write, so a lost
+               reply still leaves the race durably counted. *)
+            (match t.racedb with
+            | Some sink -> sink_publish sink ~spec reports
+            | None -> ());
             if Crd_fault.fire fp_report_send then begin
               (* Deliberate stall (not an error): parks this worker with
                  the journal committed and the reply unsent, so a crash
@@ -617,7 +710,7 @@ let session t conn =
                     | Some dir, Some j -> Some (dir, Journal.nonce j)
                     | _ -> None
                   in
-                  finish ?journal:journal_dest outcome !hw)))
+                  finish ?journal:journal_dest ~spec:spec_name outcome !hw)))
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop and worker pool                                         *)
@@ -829,8 +922,16 @@ let recover_journals t =
                   in
                   let text =
                     match outcome with
-                    | Ok (reply, events, races) ->
-                        record t ~events ~races ~error:false;
+                    | Ok (reply, events, reports) ->
+                        record t ~events ~races:(List.length reports)
+                          ~error:false;
+                        (* Republishing a session the dead process may
+                           already have published is safe: the racedb
+                           identity is the fingerprint, so replays can
+                           inflate counts but never the race set. *)
+                        (match t.racedb with
+                        | Some sink -> sink_publish sink ~spec:spec_name reports
+                        | None -> ());
                         reply
                     | Error (kind, msg) ->
                         Crd_obs.Counter.incr (err_counter kind);
@@ -935,12 +1036,33 @@ let start cfg =
           | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
           | None -> ());
           Error msg
-      | Ok metrics ->
+      | Ok metrics -> (
+          let close_listeners () =
+            (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+            (match metrics with
+            | Some (fd, _) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+            | None -> ());
+            List.iter
+              (fun p -> try Unix.unlink p with Unix.Unix_error _ -> ())
+              (List.filter_map Fun.id
+                 [ sock_path; Option.bind metrics snd ])
+          in
+          let racedb =
+            match cfg.racedb with
+            | None -> Ok None
+            | Some dir -> Result.map Option.some (sink_start dir)
+          in
+          match racedb with
+          | Error msg ->
+              close_listeners ();
+              Error ("racedb: " ^ msg)
+          | Ok racedb ->
           Unix.set_nonblock listen_fd;
           let workers = max 1 cfg.workers in
           let t =
             {
               cfg = { cfg with workers };
+              racedb;
               listen_fd;
               conns = Bqueue.create ~capacity:(max 16 (2 * workers)) ();
               stopping = Atomic.make false;
@@ -984,7 +1106,7 @@ let start cfg =
           | None -> ());
           Crd_obs.Log.info "server_started"
             [ ("addr", Fmt.str "%a" pp_addr cfg.addr) ];
-          Ok t)
+          Ok t))
 
 let stop t =
   if not t.stopped then begin
@@ -1009,6 +1131,9 @@ let stop t =
       t.slots;
     List.iter Domain.join t.graveyard;
     t.graveyard <- [];
+    (* Workers are gone, so no session can publish anymore: drain the
+       racedb queue, sync and release the store. *)
+    (match t.racedb with Some sink -> sink_stop sink | None -> ());
     (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
     (match t.metrics_fd with
     | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())

@@ -78,6 +78,13 @@ type config = {
   resync : bool;
       (** decode session streams with {!Crd_wire.Codec.create}[ ~resync:true]:
           corrupt frames are skipped instead of failing the session *)
+  racedb : string option;
+      (** directory of a {!Crd_racedb.Db} race database; every
+          session's verdict (live or journal-replayed) is published to
+          it through a bounded non-blocking queue drained by a single
+          publisher thread ([racedb_published_total],
+          [racedb_dropped_total], [racedb_publish_errors_total]).
+          [None] (the default) disables publication. *)
 }
 
 val default_config : addr:addr -> config

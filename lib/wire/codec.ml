@@ -74,6 +74,21 @@ let zigzag i = (i lsl 1) lxor (i asr 62)
 let unzigzag u = (u lsr 1) lxor (- (u land 1))
 let add_zigzag b i = add_varint b (zigzag i)
 
+(* String-based reader for consumers that frame their own storage (the
+   racedb segment files); the stream decoder below keeps its own copy
+   operating on the reader record. *)
+let get_varint s pos =
+  let len = String.length s in
+  let rec go acc shift pos =
+    if pos >= len then failwith "varint: truncated"
+    else if shift > 56 then failwith "varint: overflow"
+    else
+      let c = Char.code (String.unsafe_get s pos) in
+      let acc = acc lor ((c land 0x7f) lsl shift) in
+      if c land 0x80 = 0 then (acc, pos + 1) else go acc (shift + 7) (pos + 1)
+  in
+  go 0 0 pos
+
 (* Record tags. *)
 let tag_str_def = 0x01
 let tag_obj_def = 0x02

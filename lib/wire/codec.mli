@@ -114,3 +114,15 @@ val of_file : string -> (Trace.t, string) result
 
 val add_varint : Buffer.t -> int -> unit
 (** LEB128 on OCaml's 63-bit ints (at most 9 bytes). *)
+
+val get_varint : string -> int -> int * int
+(** [get_varint s pos] reads one {!add_varint} encoding starting at
+    [pos] and returns [(value, next_pos)].
+    @raise Failure on truncated or over-long input. *)
+
+val zigzag : int -> int
+(** Signed→unsigned bijection on the 63-bit patterns; small negatives
+    stay small on the wire. *)
+
+val unzigzag : int -> int
+(** Inverse of {!zigzag}. *)

@@ -138,7 +138,7 @@ let collect ?(seed = 1L) ?(scale = 1) ?(repeats = 1) ?(jobs = 1) () =
           ft_total = List.length ft_races;
           ft_distinct = Rw_report.distinct_locations ft_races;
           rd2_total = List.length rd2_races;
-          rd2_distinct = Report.distinct_objects rd2_races;
+          rd2_distinct = Report.distinct rd2_races;
         })
       Polepos.all
   in
@@ -181,7 +181,7 @@ let collect ?(seed = 1L) ?(scale = 1) ?(repeats = 1) ?(jobs = 1) () =
       c_ft_total = List.length ft_races;
       c_ft_distinct = Rw_report.distinct_locations ft_races;
       c_rd2_total = List.length rd2_races;
-      c_rd2_distinct = Report.distinct_objects rd2_races;
+      c_rd2_distinct = Report.distinct rd2_races;
     }
   in
   { h2; cassandra }
@@ -226,5 +226,5 @@ let rd2_race_counts ?(seed = 1L) ?(scale = 1) bench =
   in
   if run () then
     let races = Analyzer.rd2_races an in
-    Some (List.length races, Report.distinct_objects races)
+    Some (List.length races, Report.distinct races, Report.distinct_objects races)
   else None

@@ -43,8 +43,10 @@ val collect :
 val print : t Fmt.t
 
 val rd2_race_counts :
-  ?seed:int64 -> ?scale:int -> string -> (int * int) option
+  ?seed:int64 -> ?scale:int -> string -> (int * int * int) option
 (** [rd2_race_counts bench] runs one benchmark (an H2 circuit name or
     ["DynamicEndpointSnitch"]) under RD2 only and returns
-    [(total, distinct)] — used by tests that pin the deterministic race
-    counts. *)
+    [(total, distinct, distinct_objects)] — total races, distinct race
+    fingerprints ({!Crd.Report.distinct}, the per-race identity the
+    table reports), and the coarser distinct racing objects — used by
+    tests that pin the deterministic race counts. *)

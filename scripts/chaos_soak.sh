@@ -10,6 +10,13 @@
 #      sessions, never corrupt them);
 #   3. SIGTERM at the end drains gracefully and the server exits 0.
 #
+# A second phase soaks the race database: a server publishing into
+# --racedb is SIGKILLed (no drain, no final sync), then a compaction is
+# aborted by fault injection in exactly the window a mid-compaction kill
+# would hit (tmp index written, rename pending). After every insult the
+# reopened database must fold to exactly the fingerprint set the offline
+# `rd2 check --fingerprints` reports.
+#
 # The fault sequence is deterministic for a given SEED (decisions are a
 # pure function of (seed, point, hit index) — see Crd_fault), so a
 # failing soak reproduces with the same environment.
@@ -143,3 +150,79 @@ fi
 echo "chaos_soak: server final stats: $(cat "$WORK/server.out")"
 echo "chaos_soak: PASS — $OK sessions verified over $ROUND rounds," \
      "0 mismatches, clean SIGTERM drain"
+
+# --- racedb phase: publish, SIGKILL, aborted compaction ---------------
+"$RD2" check "$WORK/trace.ctrace" --format bin --fingerprints \
+  | grep -E '^[0-9a-f]{16}$' | sort > "$WORK/expected.fps"
+if [ ! -s "$WORK/expected.fps" ]; then
+  echo "chaos_soak: FAIL — offline check found no fingerprints" >&2
+  exit 1
+fi
+
+DBDIR="$WORK/racedb"
+SOCK2="$WORK/serve2.sock"
+RACEDB_SENDS=3
+"$RD2" serve -a "unix:$SOCK2" --workers 2 --racedb "$DBDIR" \
+  > "$WORK/server2.out" 2> "$WORK/server2.err" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [ -S "$SOCK2" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "chaos_soak: FAIL — racedb server died on startup" >&2
+    cat "$WORK/server2.err" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+
+i=1
+while [ "$i" -le "$RACEDB_SENDS" ]; do
+  "$RD2" send "$WORK/trace.ctrace" --format bin -a "unix:$SOCK2" \
+    --retries 5 --backoff 0.05 --nonce "racedb-$i" > /dev/null
+  i=$((i + 1))
+done
+
+query_fps() {
+  "$RD2" query "$DBDIR" --json \
+    | grep -o '"fingerprint":"[0-9a-f]*"' | cut -d'"' -f4 | sort
+}
+
+# The publisher thread appends asynchronously; wait (lock-free reads)
+# until the last session's verdicts hit the segment log, then SIGKILL:
+# no drain, no close, no fsync, no commit marker — recovery must
+# salvage every published verdict from the raw segment bytes.
+for _ in $(seq 1 100); do
+  query_fps > "$WORK/db.fps" 2>/dev/null || true
+  cmp -s "$WORK/db.fps" "$WORK/expected.fps" && break
+  sleep 0.1
+done
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=""
+
+check_fps() {
+  query_fps > "$WORK/db.fps"
+  if ! cmp -s "$WORK/db.fps" "$WORK/expected.fps"; then
+    echo "chaos_soak: FAIL — racedb diverged from rd2 check ($1)" >&2
+    diff "$WORK/expected.fps" "$WORK/db.fps" >&2 || true
+    exit 1
+  fi
+}
+
+check_fps "after SIGKILL"
+
+# Abort a compaction in the kill window (tmp index written, rename
+# pending): the command must fail loudly and the store must be intact.
+if CRD_FAULTS="seed=$SEED,racedb_compact=once" \
+     "$RD2" db compact "$DBDIR" > /dev/null 2>&1; then
+  echo "chaos_soak: FAIL — injected compaction abort reported success" >&2
+  exit 1
+fi
+check_fps "after aborted compaction"
+
+# The clean retry folds everything into the index; still the same set.
+"$RD2" db compact "$DBDIR" > /dev/null
+check_fps "after compaction"
+
+echo "chaos_soak: PASS — racedb fingerprint set stable across SIGKILL," \
+     "aborted compaction, and compaction ($RACEDB_SENDS sessions)"

@@ -1,0 +1,454 @@
+(* The embedded race database: record codec round-trips, torn-tail
+   recovery at every byte offset, compaction (including an injected
+   mid-compaction abort), rollup ring arithmetic, and the fingerprint
+   identity everything folds by. *)
+
+open Crd
+module Db = Crd_racedb.Db
+module Record = Crd_racedb.Record
+module Rollup = Crd_racedb.Rollup
+module Gen = QCheck2.Gen
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "crd-racedb-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  let rec rm p =
+    if Sys.is_directory p then begin
+      Array.iter (fun e -> rm (Filename.concat p e)) (Sys.readdir p);
+      Unix.rmdir p
+    end
+    else Sys.remove p
+  in
+  if Sys.file_exists d then rm d;
+  d
+
+(* --- report / record generators ------------------------------------ *)
+
+let value_gen =
+  Gen.oneof
+    [
+      Gen.return Value.Nil;
+      Gen.map (fun b -> Value.Bool b) Gen.bool;
+      Gen.map (fun i -> Value.Int i) Gen.int;
+      Gen.map (fun s -> Value.Str s) (Gen.string_size (Gen.int_bound 12));
+      Gen.map (fun i -> Value.Ref (abs i)) Gen.nat;
+    ]
+
+let action_gen obj =
+  let open Gen in
+  let* meth = Gen.oneofl [ "put"; "get"; "remove"; "size"; "add" ] in
+  let* args = Gen.list_size (Gen.int_bound 3) value_gen in
+  let* rets = Gen.list_size (Gen.int_bound 2) value_gen in
+  Gen.return (Action.make ~obj ~meth ~args ~rets ())
+
+let report_gen =
+  let open Gen in
+  let* oid = Gen.int_bound 1000 in
+  let* name = Gen.oneofl [ "dictionary:o"; "dictionary"; "counter:c"; "set:s" ] in
+  let obj = Obj_id.make ~name oid in
+  let* index = Gen.nat in
+  let* tid = Gen.int_bound 16 in
+  let* action = action_gen obj in
+  let* point = Gen.string_size (Gen.int_bound 24) in
+  let* conflicting = Gen.string_size (Gen.int_bound 24) in
+  let* prior =
+    Gen.oneof
+      [
+        Gen.return None;
+        (let* ptid = Gen.int_bound 16 in
+         let* pact = action_gen obj in
+         Gen.return (Some (Tid.of_int ptid, pact)));
+      ]
+  in
+  Gen.return
+    {
+      Report.index;
+      obj;
+      tid = Tid.of_int tid;
+      action;
+      point;
+      conflicting;
+      prior;
+    }
+
+let record_gen =
+  let open Gen in
+  let* r = report_gen in
+  let* spec = Gen.oneofl [ "std"; "custom" ] in
+  let* ts = Gen.map (fun n -> float_of_int n /. 7.) (Gen.int_bound 1_000_000) in
+  Gen.return (Record.make ~ts ~spec r)
+
+(* A small deterministic report for the non-property tests. *)
+let mk_report ?(key = "k") ?(meth = "put") ?(name = "dictionary:o") ?prior_meth
+    () =
+  let obj = Obj_id.make ~name 7 in
+  let prior =
+    Option.map
+      (fun m -> (Tid.of_int 1, Action.make ~obj ~meth:m ()))
+      prior_meth
+  in
+  {
+    Report.index = 42;
+    obj;
+    tid = Tid.of_int 2;
+    action = Action.make ~obj ~meth ~args:[ Value.Str key ] ();
+    point = meth ^ ":k[" ^ key ^ "]";
+    conflicting = "put:k[" ^ key ^ "]";
+    prior;
+  }
+
+let mk_record ?key ?meth ?name ?prior_meth ts =
+  Record.make ~ts ~spec:"std" (mk_report ?key ?meth ?name ?prior_meth ())
+
+(* --- fingerprint --------------------------------------------------- *)
+
+let fingerprint_symmetric () =
+  (* swapping the two (method, point) sides folds to one fingerprint *)
+  let obj = Obj_id.make ~name:"dictionary:o" 7 in
+  let a =
+    {
+      Report.index = 1;
+      obj;
+      tid = Tid.of_int 1;
+      action = Action.make ~obj ~meth:"put" ();
+      point = "P";
+      conflicting = "Q";
+      prior = Some (Tid.of_int 2, Action.make ~obj ~meth:"get" ());
+    }
+  in
+  let b =
+    {
+      a with
+      action = Action.make ~obj ~meth:"get" ();
+      point = "Q";
+      conflicting = "P";
+      prior = Some (Tid.of_int 9, Action.make ~obj ~meth:"put" ());
+    }
+  in
+  Alcotest.(check string)
+    "mirror image shares the fingerprint" (Report.fingerprint_hex a)
+    (Report.fingerprint_hex b);
+  Alcotest.(check int) "distinct folds the pair" 1 (Report.distinct [ a; b ])
+
+let fingerprint_invariances () =
+  let r = mk_report ~prior_meth:"get" () in
+  let same =
+    {
+      r with
+      index = 9999;
+      tid = Tid.of_int 13;
+      action = { r.Report.action with Action.args = [ Value.Str "k" ] };
+    }
+  in
+  Alcotest.(check string)
+    "position/thread independent" (Report.fingerprint_hex r)
+    (Report.fingerprint_hex same);
+  let other_key = mk_report ~key:"other" ~prior_meth:"get" () in
+  Alcotest.(check bool)
+    "different access point, different fingerprint" true
+    (Report.fingerprint r <> Report.fingerprint other_key);
+  let other_obj = mk_report ~name:"dictionary:p" ~prior_meth:"get" () in
+  Alcotest.(check bool)
+    "different object, different fingerprint" true
+    (Report.fingerprint r <> Report.fingerprint other_obj)
+
+(* --- record codec --------------------------------------------------- *)
+
+let record_roundtrip_tests =
+  [
+    qcheck "decode (encode r) = r" record_gen (fun r ->
+        match Record.decode (Record.encode r) with
+        | Ok r' -> Record.equal r r'
+        | Error e -> QCheck2.Test.fail_report e);
+    qcheck "strict prefixes are errors" record_gen (fun r ->
+        let s = Record.encode r in
+        String.length s = 0
+        || Result.is_error (Record.decode (String.sub s 0 (String.length s - 1))));
+    qcheck "trailing garbage is an error" record_gen (fun r ->
+        Result.is_error (Record.decode (Record.encode r ^ "\x00")));
+    qcheck ~count:300 "bit flips never raise" record_gen (fun r ->
+        let s = Bytes.of_string (Record.encode r) in
+        let pos = Hashtbl.hash (Bytes.to_string s) mod Bytes.length s in
+        let bit = 1 lsl (Hashtbl.hash pos land 7) in
+        Bytes.set s pos (Char.chr (Char.code (Bytes.get s pos) lxor bit));
+        match Record.decode (Bytes.to_string s) with
+        | Ok _ | Error _ -> true);
+  ]
+
+(* --- rollups -------------------------------------------------------- *)
+
+let rollup_buckets () =
+  let r = Rollup.create ~res:60 ~slots:3 in
+  Rollup.add r 0.;
+  Rollup.add r 59.;
+  Rollup.add r 60.;
+  Rollup.add r 120.;
+  Alcotest.(check int) "all live" 4 (Rollup.total r);
+  Alcotest.(check (list (pair (float 0.) int)))
+    "bucket starts and counts"
+    [ (0., 2); (60., 1); (120., 1) ]
+    (Rollup.to_list r);
+  (* bucket 3 wraps onto slot 0, evicting bucket 0 *)
+  Rollup.add r 180.;
+  Alcotest.(check int) "wrap evicts the oldest" 3 (Rollup.total r);
+  Alcotest.(check (list (pair (float 0.) int)))
+    "window slid" [ (60., 1); (120., 1); (180., 1) ] (Rollup.to_list r);
+  (* a sample older than every live bucket is dropped *)
+  Rollup.add r 0.;
+  Alcotest.(check int) "stale sample dropped" 3 (Rollup.total r);
+  Alcotest.(check int) "total_since cuts buckets" 2
+    (Rollup.total_since r 125.)
+
+let rollup_merge_and_codec () =
+  let a = Rollup.create ~res:60 ~slots:4 in
+  let b = Rollup.create ~res:60 ~slots:4 in
+  Rollup.add ~count:2 a 30.;
+  Rollup.add b 40.;
+  Rollup.add b 100.;
+  Rollup.merge_into a b;
+  Alcotest.(check (list (pair (float 0.) int)))
+    "merge sums buckets"
+    [ (0., 3); (60., 1) ]
+    (Rollup.to_list a);
+  Alcotest.check_raises "resolution mismatch rejected"
+    (Invalid_argument "Rollup.merge_into: resolution mismatch") (fun () ->
+      Rollup.merge_into a (Rollup.create ~res:30 ~slots:4));
+  let buf = Buffer.create 64 in
+  Rollup.encode buf a;
+  let a', pos = Rollup.decode (Buffer.contents buf) 0 in
+  Alcotest.(check int) "decode consumes everything" (Buffer.length buf) pos;
+  Alcotest.(check (list (pair (float 0.) int)))
+    "codec round-trip" (Rollup.to_list a) (Rollup.to_list a')
+
+(* --- segment store -------------------------------------------------- *)
+
+let append_reopen () =
+  let dir = fresh_dir () in
+  let db = Result.get_ok (Db.open_db dir) in
+  Db.append db (mk_record ~key:"a" 10.);
+  Db.append db (mk_record ~key:"a" 20.);
+  Db.append db (mk_record ~key:"b" 15.);
+  let st = Db.stats db in
+  Alcotest.(check int) "distinct live" 2 st.Db.distinct;
+  Alcotest.(check int) "total live" 3 st.Db.total;
+  Db.close db;
+  (* read-only load and a fresh writable open agree *)
+  let es, st = Result.get_ok (Db.load dir) in
+  Alcotest.(check int) "distinct after load" 2 st.Db.distinct;
+  Alcotest.(check int) "total after load" 3 st.Db.total;
+  let top = List.hd es in
+  Alcotest.(check int) "dedup count" 2 top.Db.count;
+  Alcotest.(check (float 0.)) "first_seen" 10. top.Db.first_seen;
+  Alcotest.(check (float 0.)) "last_seen" 20. top.Db.last_seen;
+  Alcotest.(check (float 0.)) "sample is the earliest" 10.
+    top.Db.sample.Record.ts;
+  let db = Result.get_ok (Db.open_db dir) in
+  let st = Db.stats db in
+  Alcotest.(check int) "reopen total" 3 st.Db.total;
+  Alcotest.(check int) "nothing salvaged after clean close" 0 st.Db.salvaged;
+  Db.close db
+
+let locking () =
+  let dir = fresh_dir () in
+  let db = Result.get_ok (Db.open_db dir) in
+  (match Db.open_db dir with
+  | Ok _ -> Alcotest.fail "second writer must be rejected"
+  | Error e ->
+      Alcotest.(check bool) "error mentions the lock" true (contains e "locked"));
+  Db.close db;
+  let db = Result.get_ok (Db.open_db dir) in
+  Db.close db
+
+(* Crash the tail at every byte offset of the last record: open must
+   succeed, keep every earlier record, and account the torn bytes. *)
+let torn_tail_every_offset () =
+  let dir = fresh_dir () in
+  let db = Result.get_ok (Db.open_db dir) in
+  Db.append db (mk_record ~key:"a" 1.);
+  Db.append db (mk_record ~key:"b" 2.);
+  Db.append db (mk_record ~key:"c" 3.);
+  Db.close db;
+  let seg =
+    match
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".log")
+    with
+    | [ s ] -> Filename.concat dir s
+    | l -> Alcotest.failf "expected one segment, got %d" (List.length l)
+  in
+  let marker = Filename.chop_suffix seg ".log" ^ ".ok" in
+  let bytes = In_channel.with_open_bin seg In_channel.input_all in
+  (* the last frame starts where a scan of the first two ends *)
+  let frame r =
+    let payload = Record.encode r in
+    (* varint(len) + payload + crc32 *)
+    let rec varint_len n = if n < 0x80 then 1 else 1 + varint_len (n lsr 7) in
+    varint_len (String.length payload) + String.length payload + 4
+  in
+  let last_start =
+    frame (mk_record ~key:"a" 1.) + frame (mk_record ~key:"b" 2.)
+  in
+  Alcotest.(check int)
+    "frame arithmetic matches the file"
+    (last_start + frame (mk_record ~key:"c" 3.))
+    (String.length bytes);
+  for cut = last_start to String.length bytes - 1 do
+    Out_channel.with_open_bin seg (fun oc ->
+        Out_channel.output_string oc (String.sub bytes 0 cut));
+    (* the crash also lost the final marker *)
+    Out_channel.with_open_bin marker (fun oc ->
+        Out_channel.output_string oc "0\n");
+    (* read-only load observes without repairing *)
+    let _, st = Result.get_ok (Db.load dir) in
+    Alcotest.(check int)
+      (Printf.sprintf "load at cut %d keeps the clean prefix" cut)
+      2 st.Db.total;
+    Alcotest.(check int)
+      (Printf.sprintf "load at cut %d salvages past the marker" cut)
+      2 st.Db.salvaged;
+    Alcotest.(check int)
+      (Printf.sprintf "load at cut %d accounts torn bytes" cut)
+      (cut - last_start) st.Db.truncated_bytes
+  done;
+  (* writable open repairs the worst cut (one byte short of complete) *)
+  let db = Result.get_ok (Db.open_db dir) in
+  let st = Db.stats db in
+  Alcotest.(check int) "repair keeps the clean prefix" 2 st.Db.total;
+  Alcotest.(check int) "repair truncated the tail"
+    (String.length bytes - 1 - last_start)
+    st.Db.truncated_bytes;
+  Db.append db (mk_record ~key:"c" 3.);
+  Db.close db;
+  let _, st = Result.get_ok (Db.load dir) in
+  Alcotest.(check int) "store heals and grows" 3 st.Db.total;
+  Alcotest.(check int) "no damage after repair" 0 st.Db.truncated_bytes
+
+let compaction () =
+  let dir = fresh_dir () in
+  (* tiny segments force rotations; auto_compact=0 keeps it manual *)
+  let db = Result.get_ok (Db.open_db ~segment_bytes:4096 ~auto_compact:0 dir) in
+  for i = 1 to 200 do
+    Db.append db (mk_record ~key:(string_of_int (i mod 5)) (float_of_int i))
+  done;
+  let before = Db.stats db in
+  Alcotest.(check bool) "several segments" true (before.Db.segments > 1);
+  (match Db.compact db with
+  | Ok n -> Alcotest.(check int) "index holds every distinct race" 5 n
+  | Error e -> Alcotest.failf "compact: %s" e);
+  let after = Db.stats db in
+  Alcotest.(check int) "segments folded away" 1 after.Db.segments;
+  Alcotest.(check int) "counts survive compaction" 200 after.Db.total;
+  Db.close db;
+  let es, st = Result.get_ok (Db.load dir) in
+  Alcotest.(check int) "reload from index: distinct" 5 st.Db.distinct;
+  Alcotest.(check int) "reload from index: total" 200 st.Db.total;
+  let e = List.hd es in
+  Alcotest.(check int) "rollups persisted" e.Db.count (Rollup.total e.Db.minutes)
+
+let compaction_abort_is_harmless () =
+  let dir = fresh_dir () in
+  let db = Result.get_ok (Db.open_db ~auto_compact:0 dir) in
+  for i = 1 to 50 do
+    Db.append db (mk_record ~key:(string_of_int (i mod 3)) (float_of_int i))
+  done;
+  Result.get_ok (Crd_fault.configure "seed=7,racedb_compact=once");
+  Fun.protect ~finally:Crd_fault.reset (fun () ->
+      (match Db.compact db with
+      | Ok _ -> Alcotest.fail "compaction must abort under the fault"
+      | Error e ->
+          Alcotest.(check bool)
+            "abort is reported" true (contains e "fault injected"));
+      (* the handle is still fully usable *)
+      Db.append db (mk_record ~key:"fresh" 99.);
+      let st = Db.stats db in
+      Alcotest.(check int) "nothing lost" 51 st.Db.total;
+      (* the once-policy is spent: the retry succeeds *)
+      match Db.compact db with
+      | Ok n -> Alcotest.(check int) "retry compacts" 4 n
+      | Error e -> Alcotest.failf "retry: %s" e);
+  Db.close db;
+  let _, st = Result.get_ok (Db.load dir) in
+  Alcotest.(check int) "counts intact after abort+retry" 51 st.Db.total
+
+(* SIGKILL-shaped crash: copy the store mid-stream (no close, no final
+   sync) and reopen the copy — every appended record must be there. *)
+let crash_copy_recovers_everything () =
+  let dir = fresh_dir () in
+  let crash = fresh_dir () in
+  let db = Result.get_ok (Db.open_db ~sync_every:1000 ~auto_compact:0 dir) in
+  for i = 1 to 25 do
+    Db.append db (mk_record ~key:(string_of_int i) (float_of_int i))
+  done;
+  (* simulate the kernel's view at SIGKILL: files as currently written *)
+  Unix.mkdir crash 0o755;
+  Array.iter
+    (fun f ->
+      if f <> "lock" then
+        let s =
+          In_channel.with_open_bin (Filename.concat dir f) In_channel.input_all
+        in
+        Out_channel.with_open_bin (Filename.concat crash f) (fun oc ->
+            Out_channel.output_string oc s))
+    (Sys.readdir dir);
+  let _, st = Result.get_ok (Db.load crash) in
+  Alcotest.(check int) "every append survives the kill" 25 st.Db.total;
+  Alcotest.(check int) "all past the marker" 25 st.Db.salvaged;
+  Db.close db
+
+let select_filters () =
+  let dir = fresh_dir () in
+  let db = Result.get_ok (Db.open_db dir) in
+  Db.append db (mk_record ~key:"a" ~name:"dictionary:o" 10.);
+  Db.append db (mk_record ~key:"a" ~name:"dictionary:o" 20.);
+  Db.append db (mk_record ~key:"b" ~name:"counter:c" 30.);
+  let es = Db.entries db in
+  Alcotest.(check int) "snapshot size" 2 (List.length es);
+  Alcotest.(check int) "most frequent first" 2 (List.hd es).Db.count;
+  Alcotest.(check int) "top=1" 1 (List.length (Db.select ~top:1 es));
+  Alcotest.(check int) "since filters by last_seen" 1
+    (List.length (Db.select ~since:25. es));
+  Alcotest.(check int) "obj filter" 1
+    (List.length (Db.select ~obj:"counter:c" es));
+  Alcotest.(check int) "spec filter hits" 2
+    (List.length (Db.select ~spec:"std" es));
+  Alcotest.(check int) "spec filter misses" 0
+    (List.length (Db.select ~spec:"custom" es));
+  Db.close db
+
+let suite =
+  ( "racedb",
+    [
+      Alcotest.test_case "fingerprint: symmetry" `Quick fingerprint_symmetric;
+      Alcotest.test_case "fingerprint: invariances" `Quick
+        fingerprint_invariances;
+    ]
+    @ record_roundtrip_tests
+    @ [
+        Alcotest.test_case "rollup: bucket arithmetic" `Quick rollup_buckets;
+        Alcotest.test_case "rollup: merge and codec" `Quick
+          rollup_merge_and_codec;
+        Alcotest.test_case "db: append, close, reopen" `Quick append_reopen;
+        Alcotest.test_case "db: writer lock" `Quick locking;
+        Alcotest.test_case "db: torn tail at every offset" `Quick
+          torn_tail_every_offset;
+        Alcotest.test_case "db: compaction" `Quick compaction;
+        Alcotest.test_case "db: aborted compaction is harmless" `Quick
+          compaction_abort_is_harmless;
+        Alcotest.test_case "db: SIGKILL-shaped crash image" `Quick
+          crash_copy_recovers_everything;
+        Alcotest.test_case "db: select filters" `Quick select_filters;
+      ] )

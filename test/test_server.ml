@@ -661,6 +661,101 @@ let stop_releases_socket () =
   | Ok _ -> Alcotest.fail "connected to a stopped server"
   | Error _ -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Race database publication                                           *)
+(* ------------------------------------------------------------------ *)
+
+let offline_races trace =
+  let an =
+    Analyzer.with_stdspecs
+      ~config:
+        {
+          Analyzer.rd2 = `Constant;
+          direct = false;
+          fasttrack = false;
+          djit = false;
+          atomicity = false;
+        }
+      ()
+  in
+  Trace.iter_events trace ~f:(Analyzer.sink an);
+  Analyzer.rd2_races an
+
+(* Per-fingerprint occurrence counts, the fold [rd2 query] serves. *)
+let fingerprint_fold races =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let fp = Report.fingerprint r in
+      Hashtbl.replace tbl fp (1 + Option.value ~default:0 (Hashtbl.find_opt tbl fp)))
+    races;
+  List.sort compare (Hashtbl.fold (fun fp c acc -> (fp, c) :: acc) tbl [])
+
+(* Every session's verdict lands in the race database; after [stop] the
+   folded fingerprints (and counts) equal the offline analyzer's fold. *)
+let racedb_publication () =
+  let trace = snitch_trace () in
+  let races = offline_races trace in
+  let expected = fingerprint_fold races in
+  Alcotest.(check bool) "snitch races exist" true (List.length races > 0);
+  let dir = fresh_dir "crd-racedb-pub" in
+  with_server
+    ~f_config:(fun c -> { c with Server.racedb = Some dir })
+    (fun ~addr ~server:_ ->
+      let reply = send_exn ~addr trace in
+      (* the STATS line now carries the fingerprint-distinct count *)
+      let distinct =
+        String.split_on_char '\n' reply
+        |> List.find_map (fun l ->
+               Scanf.sscanf_opt l "STATS events=%d races=%d distinct=%d"
+                 (fun _ _ d -> d))
+      in
+      Alcotest.(check (option int))
+        "STATS distinct = offline distinct"
+        (Some (Report.distinct races))
+        distinct;
+      ignore (send_exn ~addr trace));
+  let es, st = Result.get_ok (Crd_racedb.Db.load dir) in
+  Alcotest.(check int)
+    "db total = 2 sessions of races" (2 * List.length races) st.Crd_racedb.Db.total;
+  let folded =
+    List.sort compare
+      (List.map
+         (fun (e : Crd_racedb.Db.entry) ->
+           (e.Crd_racedb.Db.fingerprint, e.Crd_racedb.Db.count))
+         es)
+  in
+  Alcotest.(check (list (pair int64 int)))
+    "db fold = offline fold, doubled"
+    (List.map (fun (fp, c) -> (fp, 2 * c)) expected)
+    folded
+
+(* Journal replay republishes into the race database: the race set of a
+   crashed-but-committed session is durable after recovery. *)
+let racedb_journal_replay () =
+  let trace = snitch_trace () in
+  let expected = fingerprint_fold (offline_races trace) in
+  let jdir = fresh_dir "crd-racedb-j" in
+  let dbdir = fresh_dir "crd-racedb-jdb" in
+  let j = Journal.start ~dir:jdir ~nonce:"replaydb" ~spec:"std" in
+  Journal.append j (encode_trace trace);
+  Journal.commit j;
+  Journal.close j;
+  with_server
+    ~f_config:(fun c ->
+      { c with Server.journal = Some jdir; racedb = Some dbdir })
+    (fun ~addr:_ ~server ->
+      Alcotest.(check int)
+        "one recovered session" 1 (Server.stats server).Server.recovered);
+  let es, _ = Result.get_ok (Crd_racedb.Db.load dbdir) in
+  Alcotest.(check (list (pair int64 int)))
+    "replayed fold = offline fold" expected
+    (List.sort compare
+       (List.map
+          (fun (e : Crd_racedb.Db.entry) ->
+            (e.Crd_racedb.Db.fingerprint, e.Crd_racedb.Db.count))
+          es))
+
 let suite =
   ( "server",
     [
@@ -689,6 +784,9 @@ let suite =
         lost_reply_without_retries;
       Alcotest.test_case "journal replay on start" `Quick
         journal_replay_on_start;
+      Alcotest.test_case "racedb publication = offline fold" `Quick
+        racedb_publication;
+      Alcotest.test_case "racedb journal replay" `Quick racedb_journal_replay;
       Alcotest.test_case "SIGKILL crash recovery" `Quick
         sigkill_crash_recovery;
       Alcotest.test_case "SIGTERM graceful drain" `Quick

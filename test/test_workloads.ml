@@ -206,36 +206,41 @@ let mvstore_commit_bookkeeping () =
 (* ------------------------------------------------------------------ *)
 
 let rd2_counts bench = Option.get (W.Table2.rd2_race_counts ~seed:1L bench)
+let counts = Alcotest.(triple int int int)
 
 let circuits_deterministic () =
   List.iter
     (fun bench ->
       let a = rd2_counts bench and b = rd2_counts bench in
-      Alcotest.(check (pair int int)) (bench ^ " deterministic") a b)
+      Alcotest.check counts (bench ^ " deterministic") a b)
     [ "ComplexConcurrency"; "InsertCentricConcurrency"; "DynamicEndpointSnitch" ]
 
 (* The qualitative Table 2 shape, independent of timing:
    - the concurrency circuits race on a handful of objects,
    - the query-centric and sequential circuits have no commutativity
-     races at all. *)
+     races at all.
+   Both distinct counts are pinned at seed 1: the fingerprint identity
+   (per race pattern, key-sensitive) and the coarser object identity. *)
 let table2_shape () =
   let check_zero bench =
-    Alcotest.(check (pair int int)) (bench ^ " race-free") (0, 0) (rd2_counts bench)
+    Alcotest.check counts (bench ^ " race-free") (0, 0, 0) (rd2_counts bench)
   in
   check_zero "QueryCentricConcurrency";
   check_zero "Complex";
   check_zero "NestedLists";
-  let total, distinct = rd2_counts "ComplexConcurrency" in
+  let total, fp, objs = rd2_counts "ComplexConcurrency" in
   Alcotest.(check bool) "ComplexConcurrency races" true (total > 0);
+  Alcotest.(check int) "ComplexConcurrency distinct fingerprints" 36 fp;
   Alcotest.(check bool) "ComplexConcurrency few objects" true
-    (distinct >= 2 && distinct <= 4);
-  let total, distinct = rd2_counts "InsertCentricConcurrency" in
+    (objs >= 2 && objs <= 4);
+  let total, fp, objs = rd2_counts "InsertCentricConcurrency" in
   Alcotest.(check bool) "InsertCentric races" true (total > 0);
-  Alcotest.(check int) "InsertCentric distinct = {chunks, freedPageSpace}" 2
-    distinct;
-  let total, distinct = rd2_counts "DynamicEndpointSnitch" in
+  Alcotest.(check int) "InsertCentric distinct fingerprints" 37 fp;
+  Alcotest.(check int) "InsertCentric objects = {chunks, freedPageSpace}" 2 objs;
+  let total, fp, objs = rd2_counts "DynamicEndpointSnitch" in
   Alcotest.(check bool) "Snitch races" true (total > 0);
-  Alcotest.(check int) "Snitch distinct = {samples, scores}" 2 distinct
+  Alcotest.(check int) "Snitch distinct fingerprints" 17 fp;
+  Alcotest.(check int) "Snitch objects = {samples, scores}" 2 objs
 
 (* The two harmful H2 races are found on the right objects. *)
 let h2_objects () =
