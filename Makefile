@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all test bench-smoke bench clean
+.PHONY: all test bench-smoke bench-parallel-smoke bench clean
 
 all:
 	dune build
@@ -11,6 +11,10 @@ test:
 # Tables + per-trace RD2 stats + jobs-equality check, no bechamel timing.
 bench-smoke:
 	dune build @bench-smoke
+
+# Capped synthetic corpus + parallel-speedup gate vs BENCH_results.json.
+bench-parallel-smoke:
+	dune build @bench-parallel-smoke
 
 # Full benchmark run; writes BENCH_results.json in the working directory.
 bench:

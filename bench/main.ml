@@ -23,6 +23,12 @@
                           (default BENCH_results.json)
               --quota S   bechamel time budget per benchmark in seconds
                           (default 0.25; raise for lower-noise numbers)
+              --synth-only          only the synthetic parallel-speedup
+                                    corpus (CI's bench-parallel-smoke)
+              --synth-max-events N  drop synth rows above N events
+              --compare FILE        print deltas against a previous JSON;
+                                    fails if a synth parallel speedup fell
+                                    below 70% of the previous run
 
    Alongside the printed tables the harness emits a JSON file recording
    ns-per-replay per benchmark, RD2 lookups/action and same-epoch hit
@@ -85,9 +91,10 @@ let replay mode trace () =
       let an = Analyzer.with_stdspecs ~config:rd2_config () in
       Analyzer.run_trace an trace
 
-(* The sharded offline counterpart of the rd2 replay. *)
+(* The sharded offline counterpart of the rd2 replay. [force] because
+   benchmark traces must actually shard, whatever their size. *)
 let replay_sharded jobs trace () =
-  match Shard.analyze_stdspecs ~jobs ~config:rd2_config trace with
+  match Shard.analyze_stdspecs ~jobs ~force:true ~config:rd2_config trace with
   | Ok res -> ignore res.Shard.rd2_reports
   | Error e -> failwith e
 
@@ -239,14 +246,29 @@ type trace_record = {
   tr_lookups : int;
   tr_same_epoch : int;
   tr_rd2_races : int;
+  tr_rd2_ns : float;  (** best-of-N wall clock, sequential RD2 replay *)
   tr_identical : bool;  (** jobs=1 and jobs=N reports structurally equal *)
 }
+
+(* Wall-clock best-of-N, shared by the trace, synth, codec, server and
+   racedb sections. *)
+let best_of_ns n f =
+  let best = ref infinity in
+  for _ = 1 to n do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
+    if dt < !best then best := dt
+  done;
+  !best
 
 let trace_records ~jobs =
   List.map
     (fun (name, trace) ->
       let analyze jobs =
-        match Shard.analyze_stdspecs ~jobs ~config:rd2_config trace with
+        match
+          Shard.analyze_stdspecs ~jobs ~force:true ~config:rd2_config trace
+        with
         | Ok res -> res
         | Error e -> failwith e
       in
@@ -276,9 +298,109 @@ let trace_records ~jobs =
         tr_lookups = s.Rd2.lookups;
         tr_same_epoch = s.Rd2.same_epoch;
         tr_rd2_races = List.length seq.Shard.rd2_reports;
+        tr_rd2_ns = best_of_ns 3 (fun () -> ignore (analyze 1));
         tr_identical = identical;
       })
     (Lazy.force table2_traces)
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic traces — where parallel analysis has to win               *)
+(* ------------------------------------------------------------------ *)
+
+(* The Table 2 traces top out at ~100k events, too small for domain
+   fan-out to beat its setup cost. The synth corpus measures sharded
+   analysis on traces big enough to matter, at two contention skews.
+   Best-of-N wall clock (not bechamel): one replay of the 2M-event row
+   is seconds, so OLS over many runs is unaffordable. *)
+let synth_corpus =
+  [
+    ("synth/uniform/200k", W.Synth.Uniform, 200_000);
+    ("synth/zipf/200k", W.Synth.Zipf 0.9, 200_000);
+    ("synth/zipf/2m", W.Synth.Zipf 0.9, 2_000_000);
+  ]
+
+let synth_jobs = [ 2; 4 ]
+
+type synth_record = {
+  sy_name : string;
+  sy_events : int;
+  sy_rd2_races : int;
+  sy_seq_ns : float;
+  sy_jobs_ns : (int * float) list;  (** jobs -> best-of-N wall clock *)
+  sy_identical : bool;  (** parallel reports == sequential reports *)
+}
+
+let synth_speedup sy jobs =
+  match List.assoc_opt jobs sy.sy_jobs_ns with
+  | Some ns when ns > 0. -> Some (sy.sy_seq_ns /. ns)
+  | _ -> None
+
+(* The headline number: the best speedup any shard count achieves. *)
+let synth_parallel_speedup sy =
+  List.fold_left
+    (fun acc jobs ->
+      match synth_speedup sy jobs with
+      | Some s -> Float.max acc s
+      | None -> acc)
+    0. synth_jobs
+
+let synth_records ?(max_events = max_int) () =
+  let corpus =
+    List.filter (fun (_, _, events) -> events <= max_events) synth_corpus
+  in
+  List.map
+    (fun (name, skew, events) ->
+      let config = { (W.Synth.default ~events) with W.Synth.skew } in
+      let trace = W.Synth.generate ~seed:7L config in
+      let analyze jobs =
+        match
+          Shard.analyze_stdspecs ~jobs ~force:true ~config:rd2_config trace
+        with
+        | Ok res -> res
+        | Error e -> failwith (name ^ ": " ^ e)
+      in
+      let repeats = if events > 500_000 then 2 else 3 in
+      let seq = analyze 1 in
+      let par = analyze 2 in
+      let identical =
+        seq.Shard.rd2_reports = par.Shard.rd2_reports
+        && seq.Shard.fasttrack_reports = par.Shard.fasttrack_reports
+      in
+      let sy_seq_ns = best_of_ns repeats (fun () -> ignore (analyze 1)) in
+      let sy_jobs_ns =
+        List.map
+          (fun jobs ->
+            (jobs, best_of_ns repeats (fun () -> ignore (analyze jobs))))
+          synth_jobs
+      in
+      {
+        sy_name = name;
+        sy_events = events;
+        sy_rd2_races = List.length seq.Shard.rd2_reports;
+        sy_seq_ns;
+        sy_jobs_ns;
+        sy_identical = identical;
+      })
+    corpus
+
+let print_synth_table synth =
+  Fmt.pr "@.## Synthetic traces — parallel speedup (best-of-N wall clock)@.@.";
+  Fmt.pr "%-24s %9s %10s %12s" "trace" "events" "seq ms" "seq ev/s";
+  List.iter (fun j -> Fmt.pr " %9s" (Printf.sprintf "jobs%d x" j)) synth_jobs;
+  Fmt.pr " %8s@." "jobs-ok";
+  List.iter
+    (fun sy ->
+      Fmt.pr "%-24s %9d %10.1f %12.0f" sy.sy_name sy.sy_events
+        (sy.sy_seq_ns /. 1e6)
+        (float_of_int sy.sy_events /. sy.sy_seq_ns *. 1e9);
+      List.iter
+        (fun j ->
+          match synth_speedup sy j with
+          | Some s -> Fmt.pr " %8.2fx" s
+          | None -> Fmt.pr " %9s" "-")
+        synth_jobs;
+      Fmt.pr " %8b@." sy.sy_identical)
+    synth
 
 (* ------------------------------------------------------------------ *)
 (* Wire codec throughput (wall clock, best-of-N)                       *)
@@ -286,16 +408,6 @@ let trace_records ~jobs =
 
 (* Deliberately independent of bechamel so the codec numbers appear in
    the JSON on every run, including --tables-only / @bench-smoke. *)
-let best_of_ns n f =
-  let best = ref infinity in
-  for _ = 1 to n do
-    let t0 = Unix.gettimeofday () in
-    f ();
-    let dt = (Unix.gettimeofday () -. t0) *. 1e9 in
-    if dt < !best then best := dt
-  done;
-  !best
-
 type codec_record = {
   co_name : string;
   co_events : int;
@@ -456,11 +568,12 @@ let racedb_bench ?(reports = 2000) ?(repeats = 3) () =
 (* Comparing runs                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let schema_version = 3
+let schema_version = 4
 
 (* Minimal reader for our own BENCH_results.json — just enough for
    --compare, not a general JSON parser. Returns the file's
-   schema_version and its benchmarks_ns pairs. *)
+   schema_version, its benchmarks_ns pairs and its synth_speedup pairs
+   (both flat key: number sections). *)
 let load_results path =
   match In_channel.with_open_text path In_channel.input_lines with
   | exception Sys_error e -> Error e
@@ -468,6 +581,7 @@ let load_results path =
       let schema = ref None in
       let section = ref "" in
       let bench = ref [] in
+      let speedups = ref [] in
       List.iter
         (fun line ->
           let line = String.trim line in
@@ -491,24 +605,50 @@ let load_results path =
                   Option.iter
                     (fun v -> bench := (key, v) :: !bench)
                     (float_of_string_opt value)
+                else if String.equal !section "synth_speedup" then
+                  Option.iter
+                    (fun v -> speedups := (key, v) :: !speedups)
+                    (float_of_string_opt value)
             | _ -> ())
         lines;
       match !schema with
       | None -> Error (path ^ ": no schema_version field (pre-versioning run?)")
-      | Some v -> Ok (v, List.rev !bench)
+      | Some v -> Ok (v, List.rev !bench, List.rev !speedups)
+
+(* The flat synth_speedup keys this run produces (mirrored in the JSON
+   emission below, and matched by key against the previous file). *)
+let synth_speedup_pairs synth =
+  List.concat_map
+    (fun sy ->
+      List.filter_map
+        (fun jobs ->
+          Option.map
+            (fun s -> (Printf.sprintf "%s/speedup_jobs%d" sy.sy_name jobs, s))
+            (synth_speedup sy jobs))
+        synth_jobs
+      @ [ (sy.sy_name ^ "/parallel_speedup", synth_parallel_speedup sy) ])
+    synth
+
+(* A parallel-speedup regression below this fraction of the previous run
+   fails --compare. Generous on purpose: wall-clock speedups on shared
+   CI hardware are noisy, and a 1-core box caps every speedup near 1.0 —
+   the gate exists to catch the sharding path collapsing (e.g. a
+   serializing bug), not 10% jitter. *)
+let speedup_regression_tolerance = 0.7
 
 (* Refuses to compare across schema versions; otherwise prints the
-   per-benchmark delta of this run against the previous file. *)
-let compare_results ~prev_path ~benchmarks =
+   per-benchmark delta of this run against the previous file, and fails
+   when a synth parallel speedup regressed below tolerance. *)
+let compare_results ~prev_path ~benchmarks ~synth =
   match load_results prev_path with
   | Error e -> Error ("--compare: " ^ e)
-  | Ok (prev_schema, _) when prev_schema <> schema_version ->
+  | Ok (prev_schema, _, _) when prev_schema <> schema_version ->
       Error
         (Printf.sprintf
            "--compare: %s has schema_version %d but this harness writes %d; \
             regenerate the baseline before comparing"
            prev_path prev_schema schema_version)
-  | Ok (_, prev_bench) ->
+  | Ok (_, prev_bench, prev_speedups) ->
       Fmt.pr "@.## Comparison against %s@.@." prev_path;
       if benchmarks = [] then
         Fmt.pr "(no bechamel benchmarks in this run — --tables-only?)@."
@@ -522,10 +662,33 @@ let compare_results ~prev_path ~benchmarks =
                 Fmt.pr "%-56s %14.0f %14.0f %7.2fx@." name prev now (now /. prev))
           benchmarks
       end;
-      Ok ()
+      let speedups = synth_speedup_pairs synth in
+      let regressions = ref [] in
+      if speedups <> [] then begin
+        Fmt.pr "@.%-44s %10s %10s %8s@." "synth speedup" "prev" "now" "ok";
+        List.iter
+          (fun (key, now) ->
+            match List.assoc_opt key prev_speedups with
+            | None -> Fmt.pr "%-44s %10s %10.2f %8s@." key "-" now "new"
+            | Some prev ->
+                let ok =
+                  prev <= 0. || now >= prev *. speedup_regression_tolerance
+                in
+                if not ok then regressions := key :: !regressions;
+                Fmt.pr "%-44s %10.2f %10.2f %8b@." key prev now ok)
+          speedups
+      end;
+      if !regressions = [] then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "--compare: parallel speedup regressed below %.0f%% of the \
+              previous run: %s"
+             (100. *. speedup_regression_tolerance)
+             (String.concat ", " (List.rev !regressions)))
 
-let write_json ~path ~jobs ~benchmarks ~traces ~codec ~server ~server_journal
-    ~racedb =
+let write_json ~path ~jobs ~benchmarks ~traces ~synth ~codec ~server
+    ~server_journal ~racedb =
   let oc = open_out path in
   let pr fmt = Printf.fprintf oc fmt in
   let rate a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
@@ -549,10 +712,39 @@ let write_json ~path ~jobs ~benchmarks ~traces ~codec ~server ~server_journal
       pr "      \"rd2_same_epoch\": %d,\n" t.tr_same_epoch;
       pr "      \"rd2_same_epoch_rate\": %.4f,\n" (rate t.tr_same_epoch t.tr_actions);
       pr "      \"rd2_races\": %d,\n" t.tr_rd2_races;
+      pr "      \"rd2_ns\": %.0f,\n" t.tr_rd2_ns;
+      pr "      \"events_per_sec\": %.0f,\n" (per_s t.tr_events t.tr_rd2_ns);
       pr "      \"sharded_reports_identical\": %b\n" t.tr_identical;
       pr "    }")
     traces;
   pr "\n  },\n";
+  (* Flat by design: the --compare reader tracks exactly one level of
+     section nesting, so speedups live in their own key:number map. *)
+  pr "  \"synth_speedup\": {";
+  List.iteri
+    (fun i (key, s) ->
+      pr "%s\n    \"%s\": %.3f" (if i = 0 then "" else ",") (json_escape key) s)
+    (synth_speedup_pairs synth);
+  pr "%s  },\n" (if synth = [] then "" else "\n");
+  pr "  \"synth\": {";
+  List.iteri
+    (fun i sy ->
+      pr "%s\n    \"%s\": {\n" (if i = 0 then "" else ",") (json_escape sy.sy_name);
+      pr "      \"events\": %d,\n" sy.sy_events;
+      pr "      \"rd2_races\": %d,\n" sy.sy_rd2_races;
+      pr "      \"seq_ns\": %.0f,\n" sy.sy_seq_ns;
+      pr "      \"events_per_sec\": %.0f,\n" (per_s sy.sy_events sy.sy_seq_ns);
+      List.iter
+        (fun (j, ns) ->
+          pr "      \"jobs%d_ns\": %.0f,\n" j ns;
+          pr "      \"jobs%d_events_per_sec\": %.0f,\n" j
+            (per_s sy.sy_events ns))
+        sy.sy_jobs_ns;
+      pr "      \"parallel_speedup\": %.3f,\n" (synth_parallel_speedup sy);
+      pr "      \"sharded_reports_identical\": %b\n" sy.sy_identical;
+      pr "    }")
+    synth;
+  pr "%s  },\n" (if synth = [] then "" else "\n");
   pr "  \"codec\": {";
   List.iteri
     (fun i c ->
@@ -666,10 +858,33 @@ let () =
   let jobs = max 2 jobs in
   let out = arg_value "--out" ~default:"BENCH_results.json" Fun.id in
   let quota = arg_value "--quota" ~default:0.25 (float_arg "--quota") in
+  let synth_only = Array.exists (String.equal "--synth-only") Sys.argv in
+  let synth_max_events =
+    arg_value "--synth-max-events" ~default:max_int
+      (int_arg "--synth-max-events")
+  in
   let compare_path =
     arg_value "--compare" ~default:"" Fun.id |> function "" -> None | p -> Some p
   in
   Fmt.pr "# Commutativity Race Detection — benchmark harness@.@.";
+  if synth_only then begin
+    (* CI's bench-parallel-smoke path: only the synth corpus (capped by
+       --synth-max-events) and the speedup regression gate; the JSON
+       baseline is left untouched. *)
+    let synth = synth_records ~max_events:synth_max_events () in
+    print_synth_table synth;
+    if List.exists (fun sy -> not sy.sy_identical) synth then
+      failwith "sharded synth analysis diverged from the sequential reports";
+    (match compare_path with
+    | None -> ()
+    | Some prev_path -> (
+        match compare_results ~prev_path ~benchmarks:[] ~synth with
+        | Ok () -> ()
+        | Error e ->
+            Fmt.epr "%s@." e;
+            exit 1));
+    exit 0
+  end;
   (* Table 2 (wall clock, end-to-end, deterministic race counts). *)
   let t = W.Table2.collect ~seed:1L ~scale:1 ~repeats:3 () in
   Fmt.pr "%a@." W.Table2.print t;
@@ -684,18 +899,23 @@ let () =
   in
   let traces = trace_records ~jobs in
   Fmt.pr "@.## RD2 hot path per trace@.@.";
-  Fmt.pr "%-44s %10s %14s %16s %10s@." "trace" "actions" "lookups/act"
-    "same-epoch rate" "jobs-ok";
+  Fmt.pr "%-44s %10s %14s %16s %12s %10s@." "trace" "actions" "lookups/act"
+    "same-epoch rate" "seq ev/s" "jobs-ok";
   List.iter
     (fun tr ->
       let rate a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
-      Fmt.pr "%-44s %10d %14.3f %15.1f%% %10b@." tr.tr_name tr.tr_actions
+      Fmt.pr "%-44s %10d %14.3f %15.1f%% %12.0f %10b@." tr.tr_name tr.tr_actions
         (rate tr.tr_lookups tr.tr_actions)
         (100.0 *. rate tr.tr_same_epoch tr.tr_actions)
+        (per_s tr.tr_events tr.tr_rd2_ns)
         tr.tr_identical)
     traces;
   if List.exists (fun tr -> not tr.tr_identical) traces then
     failwith "sharded analysis diverged from the sequential reports";
+  let synth = synth_records ~max_events:synth_max_events () in
+  print_synth_table synth;
+  if List.exists (fun sy -> not sy.sy_identical) synth then
+    failwith "sharded synth analysis diverged from the sequential reports";
   let codec = codec_records () in
   print_codec_table codec;
   let ((server_ns, server_events) as server) = server_roundtrip () in
@@ -728,8 +948,8 @@ let () =
   Fmt.pr "query --top 10 (cold load): %.2f ms (%d entries)@."
     (racedb.rb_query_ns /. 1e6)
     racedb.rb_distinct;
-  write_json ~path:out ~jobs ~benchmarks ~traces ~codec ~server ~server_journal
-    ~racedb;
+  write_json ~path:out ~jobs ~benchmarks ~traces ~synth ~codec ~server
+    ~server_journal ~racedb;
   Fmt.pr "@.results written to %s (jobs=%d)@." out jobs;
   if Array.exists (String.equal "--stats") Sys.argv then begin
     Fmt.pr "@.## Metrics registry after this run@.@.";
@@ -738,7 +958,7 @@ let () =
   match compare_path with
   | None -> ()
   | Some prev_path -> (
-      match compare_results ~prev_path ~benchmarks with
+      match compare_results ~prev_path ~benchmarks ~synth with
       | Ok () -> ()
       | Error e ->
           Fmt.epr "%s@." e;

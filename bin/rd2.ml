@@ -175,6 +175,23 @@ let check_cmd =
              memory location after one sequential happens-before pass). \
              Reports are identical to the sequential run.")
   in
+  let force_parallel =
+    Arg.(
+      value & flag
+      & info [ "force-parallel" ]
+          ~doc:
+            "Shard even below the parallel threshold (small traces \
+             otherwise fall back to the sequential path, where domain \
+             overhead would dominate).")
+  in
+  let parallel_threshold =
+    Arg.(
+      value & opt int Shard.default_parallel_threshold
+      & info [ "parallel-threshold" ] ~docv:"EVENTS"
+          ~doc:
+            "Minimum trace length for which --jobs > 1 actually shards; \
+             shorter traces run sequentially.")
+  in
   let stats_flag =
     Arg.(
       value & flag
@@ -193,7 +210,7 @@ let check_cmd =
              output is directly comparable to a race database.")
   in
   let run trace_file spec_file format mode direct fasttrack atomicity verbose
-      jobs stats fingerprints =
+      jobs force threshold stats fingerprints =
     let dump_stats () = if stats then print_string (Crd_obs.dump ()) in
     let dump_fingerprints races =
       if fingerprints then
@@ -220,7 +237,7 @@ let check_cmd =
       { Analyzer.rd2 = mode; direct; fasttrack; djit = false; atomicity }
     in
     if jobs > 1 then begin
-      let* res = Shard.analyze ~jobs ~config ~spec_for trace in
+      let* res = Shard.analyze ~jobs ~force ~threshold ~config ~spec_for trace in
       Fmt.pr "%a@." Shard.pp_summary res;
       if verbose then begin
         List.iter (fun r -> Fmt.pr "%a@." Report.pp r) res.Shard.rd2_reports;
@@ -261,8 +278,8 @@ let check_cmd =
     Term.(
       ret
         (const run $ trace_file $ spec_arg $ format_arg $ mode $ direct
-       $ fasttrack $ atomicity $ verbose $ jobs $ stats_flag
-       $ fingerprints_flag))
+       $ fasttrack $ atomicity $ verbose $ jobs $ force_parallel
+       $ parallel_threshold $ stats_flag $ fingerprints_flag))
 
 
 (* ------------------------------------------------------------------ *)
@@ -404,6 +421,177 @@ let record_cmd =
          "Run a built-in workload and dump its event trace (replayable \
           with 'rd2 check' and streamable with 'rd2 send').")
     Term.(ret (const run $ workload $ seed_arg $ scale_arg $ output $ format_arg))
+
+(* ------------------------------------------------------------------ *)
+(* synth                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let synth_cmd =
+  let module Synth = Crd_workloads.Synth in
+  let events =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "n"; "events" ] ~docv:"N"
+          ~doc:"Exact number of events to generate (including forks/joins).")
+  in
+  let threads =
+    Arg.(
+      value & opt int 8
+      & info [ "threads" ] ~docv:"N" ~doc:"Worker threads forked by main.")
+  in
+  let objects =
+    Arg.(
+      value & opt int 1024
+      & info [ "objects" ] ~docv:"N" ~doc:"Number of shared objects.")
+  in
+  let skew =
+    let skew_conv =
+      Arg.conv
+        ( (fun s ->
+            match Synth.skew_of_string s with
+            | Ok sk -> Ok sk
+            | Error e -> Error (`Msg e)),
+          fun ppf sk -> Fmt.string ppf (Synth.skew_to_string sk) )
+    in
+    Arg.(
+      value
+      & opt skew_conv (Synth.Zipf 0.9)
+      & info [ "skew" ] ~docv:"SKEW"
+          ~doc:
+            "Contention skew over objects: uniform, or zipf:THETA (rank 0 \
+             hottest; default zipf:0.9).")
+  in
+  let mix =
+    let mix_conv =
+      Arg.conv
+        ( (fun s ->
+            match Synth.mix_of_string s with
+            | Ok m -> Ok m
+            | Error e -> Error (`Msg e)),
+          fun ppf m -> Fmt.string ppf (Synth.mix_to_string m) )
+    in
+    Arg.(
+      value
+      & opt mix_conv Synth.default_mix
+      & info [ "mix" ] ~docv:"MIX"
+          ~doc:
+            (Printf.sprintf
+               "Specification mix as NAME=WEIGHT,... over %s (default %s)."
+               (String.concat ", " Synth.known_specs)
+               (Synth.mix_to_string Synth.default_mix)))
+  in
+  let sync_period =
+    Arg.(
+      value & opt int 64
+      & info [ "sync-period" ] ~docv:"N"
+          ~doc:"On average one in $(docv) operations runs under a lock.")
+  in
+  let key_space =
+    Arg.(
+      value & opt int 16
+      & info [ "key-space" ] ~docv:"N"
+          ~doc:"Distinct keys per keyed object.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the trace here (default: stdout).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Instead of writing the trace, analyze it in-process (RD2 + \
+             FastTrack with the built-in specifications) and print the \
+             summary.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Shard the --check analysis over $(docv) domains.")
+  in
+  let force_parallel =
+    Arg.(
+      value & flag
+      & info [ "force-parallel" ]
+          ~doc:"Shard the --check analysis even below the parallel threshold.")
+  in
+  let run events threads objects skew mix sync_period key_space seed output
+      format check jobs force =
+    let config =
+      {
+        Synth.threads;
+        objects;
+        events;
+        skew;
+        mix;
+        sync_period;
+        key_space;
+      }
+    in
+    match
+      (try Ok (Synth.generate ~seed config)
+       with Invalid_argument e -> Error e)
+    with
+    | Error e -> `Error (false, e)
+    | Ok trace ->
+        if check then begin
+          Fmt.epr "synth: %a@." Synth.pp_config config;
+          match
+            Shard.analyze_stdspecs ~jobs ~force
+              ~config:
+                {
+                  Analyzer.rd2 = `Constant;
+                  direct = false;
+                  fasttrack = true;
+                  djit = false;
+                  atomicity = false;
+                }
+              trace
+          with
+          | Error e -> `Error (false, e)
+          | Ok res ->
+              Fmt.pr "%a@." Shard.pp_summary res;
+              `Ok ()
+        end
+        else begin
+          match format with
+          | `Text ->
+              let text = Trace_text.to_string trace in
+              (match output with
+              | None -> print_string text
+              | Some path ->
+                  Out_channel.with_open_text path (fun oc ->
+                      Out_channel.output_string oc text));
+              `Ok ()
+          | `Bin -> (
+              match output with
+              | None ->
+                  Out_channel.set_binary_mode stdout true;
+                  Wire.write_channel stdout trace;
+                  `Ok ()
+              | Some path -> (
+                  match Wire.to_file path trace with
+                  | Ok () -> `Ok ()
+                  | Error e -> `Error (false, e)))
+        end
+  in
+  Cmd.v
+    (Cmd.info "synth" ~exits
+       ~doc:
+         "Generate a deterministic synthetic trace (multi-million events, \
+          controllable thread count, contention skew and spec mix) for \
+          parallel-analysis benchmarking; dump it, or --check it in \
+          process.")
+    Term.(
+      ret
+        (const run $ events $ threads $ objects $ skew $ mix $ sync_period
+       $ key_space $ seed_arg $ output $ format_arg $ check $ jobs
+       $ force_parallel))
 
 (* ------------------------------------------------------------------ *)
 (* explore                                                             *)
@@ -1028,7 +1216,8 @@ let main =
        ~doc:"Dynamic commutativity race detection (PLDI 2014 reproduction).")
     [
       specs_cmd; translate_cmd; check_cmd; simulate_cmd; record_cmd;
-      explore_cmd; table2_cmd; serve_cmd; send_cmd; query_cmd; db_cmd;
+      synth_cmd; explore_cmd; table2_cmd; serve_cmd; send_cmd; query_cmd;
+      db_cmd;
     ]
 
 let () = exit (Cmd.eval main)

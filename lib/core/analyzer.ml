@@ -29,6 +29,7 @@ type t = {
   fasttrack : Fasttrack.t option;
   djit : Djit.t option;
   atomicity : Crd_atomicity.Atomicity.t option;
+  pool : Crd_vclock.Vclock.Pool.t;
   mutable events : int;
   mutable published : bool;
 }
@@ -57,12 +58,15 @@ let create ?(config = default_config) ~spec_for () =
      but surface immediate failures for the common single-spec case by
      noticing them lazily in [step]. To keep the API simple we probe
      nothing here and report translation failures by exception. *)
+  let pool =
+    Crd_vclock.Vclock.Pool.create ~capacity:Metrics.default_pool_capacity ()
+  in
   let rd2 =
     match config.rd2 with
     | `Off -> None
     | (`Constant | `Linear) as mode ->
         Some
-          (Rd2.create ~mode
+          (Rd2.create ~mode ~pool
              ~repr_for:(fun o ->
                let r = repr_for o in
                (match !failure with
@@ -84,9 +88,11 @@ let create ?(config = default_config) ~spec_for () =
       hb = Hb.create ();
       rd2;
       direct;
-      fasttrack = (if config.fasttrack then Some (Fasttrack.create ()) else None);
+      fasttrack =
+        (if config.fasttrack then Some (Fasttrack.create ~pool ()) else None);
       djit = (if config.djit then Some (Djit.create ()) else None);
       atomicity;
+      pool;
       events = 0;
       published = false;
     }
@@ -157,6 +163,7 @@ let djit_races t = match t.djit with Some d -> Djit.races d | None -> []
 let publish_stats t =
   if not t.published then begin
     t.published <- true;
+    Metrics.publish_pool t.pool;
     match t.rd2 with
     | Some d -> Metrics.publish_rd2 (Rd2.stats d)
     | None -> ()

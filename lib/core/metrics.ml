@@ -42,9 +42,47 @@ let shard_runs_total =
   Crd_obs.counter ~help:"Sharded offline analyses completed"
     "shard_runs_total"
 
+let shard_fallback_total =
+  Crd_obs.counter
+    ~help:"Parallel analyses that fell back to sequential below the \
+           event threshold"
+    "shard_fallback_total"
+
+let shard_chunks_total =
+  Crd_obs.counter ~help:"Event chunks handed to shard workers"
+    "shard_chunks_total"
+
 let shard_wall_seconds =
   Crd_obs.histogram ~help:"Per-shard detector wall time" "shard_wall_seconds"
 
 let shard_merge_seconds =
   Crd_obs.histogram ~help:"Deterministic report-merge wall time"
     "shard_merge_seconds"
+
+(* Vector-clock arena occupancy, published at the end of each detector
+   run (per shard and per live analyzer). [in_use] is a high-water mark
+   across shards of one run; [grown] counts acquisitions that outran the
+   preallocated capacity — the "arena had to grow" signal. *)
+let vc_pool_in_use =
+  Crd_obs.gauge ~help:"Pooled vector clocks held by detector entries"
+    "vc_pool_in_use"
+
+let vc_pool_available =
+  Crd_obs.gauge ~help:"Pooled vector clocks on the free list"
+    "vc_pool_available"
+
+let vc_pool_grown_total =
+  Crd_obs.counter ~help:"Pool acquisitions that outran the preallocated arena"
+    "vc_pool_grown_total"
+
+let vc_pool_acquired_total =
+  Crd_obs.counter ~help:"Total pool acquisitions (clock allocation pressure)"
+    "vc_pool_acquired_total"
+
+let default_pool_capacity = 1024
+
+let publish_pool (p : Crd_vclock.Vclock.Pool.t) =
+  Crd_obs.Gauge.set_max vc_pool_in_use (Crd_vclock.Vclock.Pool.in_use p);
+  Crd_obs.Gauge.set_max vc_pool_available (Crd_vclock.Vclock.Pool.available p);
+  Crd_obs.Counter.add vc_pool_grown_total (Crd_vclock.Vclock.Pool.grown p);
+  Crd_obs.Counter.add vc_pool_acquired_total (Crd_vclock.Vclock.Pool.acquired p)

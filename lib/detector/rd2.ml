@@ -57,15 +57,17 @@ type t = {
   mode : mode;
   repr_for : Obj_id.t -> Repr.t option;
   objects : (int, obj_state option) Hashtbl.t;
+  pool : Vclock.Pool.t option;  (* component-clock arena (single-owner) *)
   stats : stats;
   mutable reports : Report.t list;  (* newest first *)
 }
 
-let create ?(mode = `Constant) ~repr_for () =
+let create ?(mode = `Constant) ?pool ~repr_for () =
   {
     mode;
     repr_for;
     objects = Hashtbl.create 64;
+    pool;
     stats =
       {
         actions = 0;
@@ -204,7 +206,11 @@ let on_action t ~index tid (action : Action.t) vc =
                   end
                   else begin
                     (* First concurrent toucher: inflate to components. *)
-                    let c = Vclock.bot () in
+                    let c =
+                      match t.pool with
+                      | Some p -> Vclock.Pool.acquire p
+                      | None -> Vclock.bot ()
+                    in
                     Vclock.set c entry.ep_tid entry.ep_clock;
                     Vclock.set c tid own;
                     entry.evc <- Some c;
@@ -217,6 +223,9 @@ let on_action t ~index tid (action : Action.t) vc =
                     (* Every past toucher is ordered before this one:
                        deflate back to a plain epoch. *)
                     entry.evc <- None;
+                    (match t.pool with
+                    | Some p -> Vclock.Pool.release p c
+                    | None -> ());
                     entry.ep_tid <- tid;
                     entry.ep_clock <- own;
                     t.stats.deflations <- t.stats.deflations + 1;

@@ -51,9 +51,18 @@ type stats = {
 
 type t
 
-val create : ?mode:mode -> repr_for:(Obj_id.t -> Repr.t option) -> unit -> t
+val create :
+  ?mode:mode ->
+  ?pool:Vclock.Pool.t ->
+  repr_for:(Obj_id.t -> Repr.t option) ->
+  unit ->
+  t
 (** [repr_for] resolves the access-point representation of each object;
-    objects resolving to [None] are ignored (not monitored). *)
+    objects resolving to [None] are ignored (not monitored). [pool], when
+    given, backs epoch-to-component promotions: promoted clocks are
+    acquired from it and released again on deflation, so the steady-state
+    hot loop allocates no clock storage. The pool must be owned by this
+    detector's domain only. *)
 
 val on_action :
   t -> index:int -> Tid.t -> Action.t -> Vclock.t -> Report.t list

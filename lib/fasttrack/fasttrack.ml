@@ -23,13 +23,15 @@ end)
 
 type t = {
   shadows : shadow LocTbl.t;
+  pool : Vclock.Pool.t option;  (* read-clock arena (single-owner) *)
   stats : stats;
   mutable reports : Rw_report.t list;
 }
 
-let create () =
+let create ?pool () =
   {
     shadows = LocTbl.create 1024;
+    pool;
     stats = { reads = 0; writes = 0; same_epoch = 0; races = 0 };
     reports = [];
   }
@@ -70,7 +72,11 @@ let on_read t ~index tid loc clock =
             s.r <- Repoch e
           else begin
             (* SHARE: inflate to a read vector clock. *)
-            let vc = Vclock.bot () in
+            let vc =
+              match t.pool with
+              | Some p -> Vclock.Pool.acquire p
+              | None -> Vclock.bot ()
+            in
             Vclock.set vc (Epoch.tid re) (Epoch.clock re);
             Vclock.set vc tid (Epoch.clock e);
             s.r <- Rvc vc
@@ -101,7 +107,10 @@ let on_write t ~index tid loc clock =
         if not (Vclock.leq vc clock) then
           races := report t ~index ~tid ~loc Rw_report.Read_write :: !races;
         (* WRITE SHARED deflates read metadata back to a bottom epoch. *)
-        s.r <- Repoch Epoch.none);
+        s.r <- Repoch Epoch.none;
+        (match t.pool with
+        | Some p -> Vclock.Pool.release p vc
+        | None -> ()));
     s.w <- e;
     List.rev !races
   end

@@ -21,7 +21,11 @@ type stats = {
 
 type t
 
-val create : unit -> t
+val create : ?pool:Vclock.Pool.t -> unit -> t
+(** [pool], when given, backs read-epoch inflations (the SHARE
+    transition): read vector clocks are acquired from it and released
+    again when WRITE SHARED deflates the metadata. Single-owner — see
+    {!Vclock.Pool}. *)
 
 val on_read :
   t -> index:int -> Tid.t -> Mem_loc.t -> Vclock.t -> Rw_report.t option

@@ -70,10 +70,10 @@ let step t (e : Event.t) =
       Vclock.join_into ~into:st.clock (lock_clock t l);
       invalidate st
   | Release l ->
-      let lc = lock_clock t l in
-      (* L(l) <- T(tau) *)
-      Hashtbl.replace t.locks (Lock_id.id l) (Vclock.copy st.clock);
-      ignore lc;
+      (* L(l) <- T(tau). The lock clock is owned by this table and never
+         escapes (Acquire only joins from it), so overwrite it in place
+         instead of allocating a fresh copy per release. *)
+      Vclock.copy_into ~into:(lock_clock t l) st.clock;
       Vclock.incr st.clock e.tid;
       invalidate st);
   before

@@ -25,6 +25,26 @@ let to_list t =
 
 let copy t = { data = Array.sub t.data 0 t.hi; hi = t.hi }
 
+let reset t =
+  for i = 0 to t.hi - 1 do
+    Array.unsafe_set t.data i 0
+  done;
+  t.hi <- 0
+
+let copy_into ~into src =
+  let n = src.hi in
+  if Array.length into.data < n then
+    (* Too small: allocate once at the source's size (geometric so a
+       pooled clock stops reallocating after a few cycles). *)
+    into.data <- Array.make (max n (max 4 (2 * Array.length into.data))) 0
+  else
+    (* Reuse the buffer: clear the stale suffix the blit won't cover. *)
+    for i = n to into.hi - 1 do
+      Array.unsafe_set into.data i 0
+    done;
+  Array.blit src.data 0 into.data 0 n;
+  into.hi <- n
+
 let get t tid =
   let i = Tid.to_int tid in
   if i < Array.length t.data then t.data.(i) else 0
@@ -48,8 +68,12 @@ let incr t tid = set t tid (get t tid + 1)
 
 let join_into ~into c =
   ensure into c.hi;
+  let cd = c.data and id = into.data in
+  (* The unsafe loop below relies on exactly this bound. *)
+  assert (c.hi <= Array.length cd && c.hi <= Array.length id);
   for i = 0 to c.hi - 1 do
-    if c.data.(i) > into.data.(i) then into.data.(i) <- c.data.(i)
+    let cv = Array.unsafe_get cd i in
+    if cv > Array.unsafe_get id i then Array.unsafe_set id i cv
   done;
   if c.hi > into.hi then into.hi <- c.hi
 
@@ -59,12 +83,18 @@ let join a b =
   r
 
 let leq a b =
-  let lb = Array.length b.data in
+  let ad = a.data and bd = b.data in
+  let common = min a.hi (Array.length bd) in
+  assert (common <= Array.length ad);
   let ok = ref true in
   let i = ref 0 in
+  while !ok && !i < common do
+    if Array.unsafe_get ad !i > Array.unsafe_get bd !i then ok := false;
+    Stdlib.incr i
+  done;
+  (* Entries of [a] past [b]'s capacity compare against an implicit 0. *)
   while !ok && !i < a.hi do
-    let bv = if !i < lb then b.data.(!i) else 0 in
-    if a.data.(!i) > bv then ok := false;
+    if Array.unsafe_get ad !i > 0 then ok := false;
     Stdlib.incr i
   done;
   !ok
@@ -86,4 +116,63 @@ module Epoch = struct
   let leq e c = e.clock <= get c e.tid
   let of_vclock c tid = { tid; clock = get c tid }
   let pp ppf e = Fmt.pf ppf "%d@@%a" e.clock Tid.pp e.tid
+end
+
+module Pool = struct
+  type vclock = t
+
+  (* A single-owner free-list arena. Not thread-safe by design: each
+     detector instance (one per shard domain) owns its own pool, so
+     acquire/release never cross domains. *)
+  type t = {
+    mutable free : vclock array;
+    mutable free_n : int;
+    mutable in_use : int;
+    mutable grown : int;
+    mutable acquired : int;
+    capacity : int;
+  }
+
+  let create ?(capacity = 256) () =
+    let capacity = max 0 capacity in
+    {
+      free = Array.init capacity (fun _ -> bot ());
+      free_n = capacity;
+      in_use = 0;
+      grown = 0;
+      acquired = 0;
+      capacity;
+    }
+
+  let acquire t =
+    t.acquired <- t.acquired + 1;
+    t.in_use <- t.in_use + 1;
+    if t.free_n > 0 then begin
+      t.free_n <- t.free_n - 1;
+      t.free.(t.free_n)
+    end
+    else begin
+      (* Exhausted: grow by allocating, exactly as the unpooled path
+         would. The [grown] counter makes arena growth observable. *)
+      t.grown <- t.grown + 1;
+      bot ()
+    end
+
+  let release t c =
+    reset c;
+    let cap = Array.length t.free in
+    if t.free_n = cap then begin
+      let free = Array.make (max 8 (2 * cap)) c in
+      Array.blit t.free 0 free 0 cap;
+      t.free <- free
+    end;
+    t.free.(t.free_n) <- c;
+    t.free_n <- t.free_n + 1;
+    t.in_use <- t.in_use - 1
+
+  let in_use t = t.in_use
+  let available t = t.free_n
+  let grown t = t.grown
+  let acquired t = t.acquired
+  let capacity t = t.capacity
 end

@@ -24,6 +24,15 @@ val to_list : t -> int list
     capacity), per call. *)
 
 val copy : t -> t
+
+val copy_into : into:t -> t -> unit
+(** [copy_into ~into src] sets [into] to the value of [src], reusing
+    [into]'s buffer when its capacity suffices — the allocation-free
+    counterpart of [copy] for clocks whose lifetime the caller owns. *)
+
+val reset : t -> unit
+(** [reset c] sets [c] back to bottom without releasing its buffer. *)
+
 val get : t -> Tid.t -> int
 val set : t -> Tid.t -> int -> unit
 
@@ -70,4 +79,46 @@ module Epoch : sig
   (** [of_vclock c tau] is [c(tau)@tau]. *)
 
   val pp : t Fmt.t
+end
+
+module Pool : sig
+  (** A preallocated vector-clock arena: detectors that inflate entries
+      to component clocks ({!Crd_detector.Rd2} promotions,
+      {!Crd_fasttrack.Fasttrack} read shares) acquire from the pool and
+      release on deflation, so the steady-state hot loop allocates no
+      clock storage. When the pool runs dry it grows by allocating —
+      behaviourally identical to the unpooled path — and counts the
+      growth in {!grown}.
+
+      A pool is single-owner and NOT thread-safe: every detector
+      instance (one per shard domain) must own its own pool. *)
+
+  type vclock := t
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [create ~capacity ()] preallocates [capacity] bottom clocks
+      (default 256). *)
+
+  val acquire : t -> vclock
+  (** A bottom clock, reused from the free list when possible. *)
+
+  val release : t -> vclock -> unit
+  (** Return a clock to the pool. The caller must not retain any alias:
+      the clock is {!reset} and will be handed out again. *)
+
+  val in_use : t -> int
+  (** Clocks acquired and not yet released. *)
+
+  val available : t -> int
+  (** Clocks currently on the free list. *)
+
+  val grown : t -> int
+  (** Allocations forced by an empty free list (arena growth). *)
+
+  val acquired : t -> int
+  (** Total acquires — per-event allocation pressure made observable. *)
+
+  val capacity : t -> int
+  (** The preallocated size passed to {!create}. *)
 end

@@ -154,7 +154,9 @@ let sharded_matches_sequential () =
       let an = Analyzer.with_stdspecs ~config () in
       Analyzer.run_trace an trace;
       let seq = Result.get_ok (Shard.analyze_stdspecs ~jobs:1 ~config trace) in
-      let par = Result.get_ok (Shard.analyze_stdspecs ~jobs:4 ~config trace) in
+      let par =
+        Result.get_ok (Shard.analyze_stdspecs ~jobs:4 ~force:true ~config trace)
+      in
       Alcotest.(check bool)
         (name ^ ": jobs=4 rd2 == jobs=1") true
         (par.Shard.rd2_reports = seq.Shard.rd2_reports);

@@ -70,6 +70,36 @@ let epoch_none_and_promotion () =
         (leq e c) (Vclock.leq promoted c))
     check_against
 
+let pool_basics () =
+  let p = Vclock.Pool.create ~capacity:2 () in
+  Alcotest.(check int) "preallocated" 2 (Vclock.Pool.available p);
+  Alcotest.(check int) "capacity" 2 (Vclock.Pool.capacity p);
+  let a = Vclock.Pool.acquire p in
+  let b = Vclock.Pool.acquire p in
+  Alcotest.(check bool) "acquired clocks are bot" true
+    (Vclock.equal a (Vclock.bot ()) && Vclock.equal b (Vclock.bot ()));
+  Alcotest.(check int) "in_use" 2 (Vclock.Pool.in_use p);
+  Alcotest.(check int) "free list drained" 0 (Vclock.Pool.available p);
+  Alcotest.(check int) "no growth yet" 0 (Vclock.Pool.grown p);
+  (* Exhaustion: the third acquire outruns the preallocated arena. *)
+  let c = Vclock.Pool.acquire p in
+  Alcotest.(check int) "grew" 1 (Vclock.Pool.grown p);
+  Alcotest.(check int) "acquired total" 3 (Vclock.Pool.acquired p);
+  Vclock.incr a (Tid.of_int 3);
+  Vclock.Pool.release p a;
+  Alcotest.(check int) "released" 2 (Vclock.Pool.in_use p);
+  (* A released clock comes back reset and physically reused. *)
+  let a' = Vclock.Pool.acquire p in
+  Alcotest.(check bool) "reused" true (a == a');
+  Alcotest.(check bool) "reset on release" true
+    (Vclock.equal a' (Vclock.bot ()));
+  Vclock.Pool.release p a';
+  Vclock.Pool.release p b;
+  Vclock.Pool.release p c;
+  Alcotest.(check int) "all back" 0 (Vclock.Pool.in_use p);
+  Alcotest.(check int) "free list holds growth too" 3
+    (Vclock.Pool.available p)
+
 let to_list_after_zeroing () =
   (* Zero-writes below the tracked bound leave a slack upper bound; the
      list must still trim exactly. *)
@@ -92,6 +122,17 @@ let suite =
       Alcotest.test_case "epochs" `Quick epoch;
       Alcotest.test_case "epoch none and promotion" `Quick
         epoch_none_and_promotion;
+      Alcotest.test_case "pool basics" `Quick pool_basics;
+      qcheck "copy_into matches copy" (Gen.pair clock clock) (fun (a, b) ->
+          (* [b] plays the reused destination buffer, whatever its prior
+             size relative to [a]. *)
+          let dst = Vclock.copy b in
+          Vclock.copy_into ~into:dst a;
+          Vclock.equal dst a && Vclock.to_list dst = Vclock.to_list a);
+      qcheck "reset is bot" clock (fun c ->
+          let c' = Vclock.copy c in
+          Vclock.reset c';
+          Vclock.equal c' (Vclock.bot ()) && Vclock.to_list c' = []);
       qcheck "leq reflexive" clock (fun c -> Vclock.leq c c);
       qcheck "leq antisymmetric" (Gen.pair clock clock) (fun (a, b) ->
           (not (Vclock.leq a b && Vclock.leq b a)) || Vclock.equal a b);
