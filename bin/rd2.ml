@@ -881,8 +881,26 @@ let serve_cmd =
              database at $(docv) (created if missing); query it with \
              'rd2 query'.")
   in
+  let peers =
+    Arg.(
+      value
+      & opt_all (list addr_conv) []
+      & info [ "peers" ] ~docv:"ADDRS"
+          ~doc:
+            "Comma-separated peer servers (unix:PATH or tcp:HOST:PORT) to \
+             anti-entropy the race database with; repeatable. Requires \
+             $(b,--racedb). Each tick runs one CRDT sync exchange against \
+             the next peer, with jitter and per-peer backoff.")
+  in
+  let sync_interval =
+    Arg.(
+      value & opt float 30.
+      & info [ "sync-interval" ] ~docv:"SECONDS"
+          ~doc:"Target seconds for one full sync round over all peers.")
+  in
   let run addr workers queue idle spec_file direct fasttrack atomicity jobs
-      metrics log_level faults journal backlog retry_after resync racedb =
+      metrics log_level faults journal backlog retry_after resync racedb peers
+      sync_interval =
     Crd_obs.Log.set_level log_level;
     let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
     let* () =
@@ -913,6 +931,8 @@ let serve_cmd =
         journal;
         resync;
         racedb;
+        peers = List.concat peers;
+        sync_interval;
       }
     in
     Fmt.epr "rd2 serve: listening on %a@." Crd_server.Server.pp_addr addr;
@@ -942,7 +962,8 @@ let serve_cmd =
       ret
         (const run $ addr_arg $ workers $ queue $ idle $ spec_arg $ direct
        $ fasttrack $ atomicity $ jobs $ metrics $ log_level $ faults
-       $ journal $ backlog $ retry_after $ resync $ racedb))
+       $ journal $ backlog $ retry_after $ resync $ racedb $ peers
+       $ sync_interval))
 
 (* ------------------------------------------------------------------ *)
 (* send                                                                *)
@@ -1108,51 +1129,65 @@ let query_cmd =
   let run dir top since obj spec json =
     match Crd_racedb.Db.load dir with
     | Error e -> `Error (false, e)
-    | Ok (entries, st) ->
+    | Ok view ->
         let now = Unix.gettimeofday () in
         let since = Option.map (fun d -> now -. d) since in
-        let entries = Crd_racedb.Db.select ?top ?since ?obj ?spec entries in
+        let entries =
+          Crd_racedb.Db.select ?top ?since ?obj ?spec
+            view.Crd_racedb.Db.v_entries
+        in
         if json then begin
           let buckets r =
             Crd_racedb.Rollup.to_list r
             |> List.map (fun (t, c) -> Printf.sprintf "[%.0f,%d]" t c)
             |> String.concat ","
           in
-          let entry_json (e : Crd_racedb.Db.entry) =
-            let r = e.Crd_racedb.Db.sample.Crd_racedb.Record.report in
+          let vv_json vv =
+            Crd_racedb.Vv.to_list vv
+            |> List.map (fun (n, v) ->
+                   Printf.sprintf "\"%s\":%d" (json_escape n) v)
+            |> String.concat ","
+          in
+          let entry_json (e : Crd_racedb.Entry.t) =
+            let r = e.Crd_racedb.Entry.sample.Crd_racedb.Record.report in
             Printf.sprintf
-              "{\"fingerprint\":\"%016Lx\",\"count\":%d,\"first_seen\":%.6f,\
+              "{\"fingerprint\":\"%016Lx\",\"count\":%d,\
+               \"node_counts\":{%s},\"version\":{%s},\"first_seen\":%.6f,\
                \"last_seen\":%.6f,\"spec\":\"%s\",\"obj\":\"%s\",\
                \"point\":\"%s\",\"conflicting\":\"%s\",\"prior\":%b,\
                \"minutes\":[%s],\"hours\":[%s],\"days\":[%s]}"
-              e.Crd_racedb.Db.fingerprint e.Crd_racedb.Db.count
-              e.Crd_racedb.Db.first_seen e.Crd_racedb.Db.last_seen
-              (json_escape e.Crd_racedb.Db.sample.Crd_racedb.Record.spec)
+              e.Crd_racedb.Entry.fingerprint
+              (Crd_racedb.Entry.count e)
+              (vv_json e.Crd_racedb.Entry.counts)
+              (vv_json e.Crd_racedb.Entry.ver)
+              e.Crd_racedb.Entry.first_seen e.Crd_racedb.Entry.last_seen
+              (json_escape e.Crd_racedb.Entry.sample.Crd_racedb.Record.spec)
               (json_escape (Obj_id.name r.Report.obj))
               (json_escape r.Report.point)
               (json_escape r.Report.conflicting)
               (Option.is_some r.Report.prior)
-              (buckets e.Crd_racedb.Db.minutes)
-              (buckets e.Crd_racedb.Db.hours)
-              (buckets e.Crd_racedb.Db.days)
+              (buckets e.Crd_racedb.Entry.minutes)
+              (buckets e.Crd_racedb.Entry.hours)
+              (buckets e.Crd_racedb.Entry.days)
           in
           print_string
             ("[" ^ String.concat "," (List.map entry_json entries) ^ "]\n");
           `Ok ()
         end
         else begin
-          Fmt.pr "%a@." Crd_racedb.Db.pp_stats st;
+          Fmt.pr "%a@." Crd_racedb.Db.pp_stats view.Crd_racedb.Db.v_stats;
           List.iter
-            (fun (e : Crd_racedb.Db.entry) ->
+            (fun (e : Crd_racedb.Entry.t) ->
               Fmt.pr "%016Lx  count=%-6d 1h=%-5d 24h=%-5d first=%s  last=%s@."
-                e.Crd_racedb.Db.fingerprint e.Crd_racedb.Db.count
-                (Crd_racedb.Rollup.total_since e.Crd_racedb.Db.minutes
+                e.Crd_racedb.Entry.fingerprint
+                (Crd_racedb.Entry.count e)
+                (Crd_racedb.Rollup.total_since e.Crd_racedb.Entry.minutes
                    (now -. 3600.))
-                (Crd_racedb.Rollup.total_since e.Crd_racedb.Db.hours
+                (Crd_racedb.Rollup.total_since e.Crd_racedb.Entry.hours
                    (now -. 86400.))
-                (iso8601 e.Crd_racedb.Db.first_seen)
-                (iso8601 e.Crd_racedb.Db.last_seen);
-              Fmt.pr "    %a@." Crd_racedb.Record.pp e.Crd_racedb.Db.sample)
+                (iso8601 e.Crd_racedb.Entry.first_seen)
+                (iso8601 e.Crd_racedb.Entry.last_seen);
+              Fmt.pr "    %a@." Crd_racedb.Record.pp e.Crd_racedb.Entry.sample)
             entries;
           `Ok ()
         end
@@ -1195,8 +1230,11 @@ let db_cmd =
     let run dir =
       match Crd_racedb.Db.load dir with
       | Error e -> `Error (false, e)
-      | Ok (_, st) ->
-          Fmt.pr "%a@." Crd_racedb.Db.pp_stats st;
+      | Ok view ->
+          Fmt.pr "%a@." Crd_racedb.Db.pp_stats view.Crd_racedb.Db.v_stats;
+          (if view.Crd_racedb.Db.v_node <> "" then
+             Fmt.pr "node %s  version %a@." view.Crd_racedb.Db.v_node
+               Crd_racedb.Vv.pp view.Crd_racedb.Db.v_version);
           `Ok ()
     in
     Cmd.v
@@ -1209,6 +1247,72 @@ let db_cmd =
     [ compact; stats ]
 
 (* ------------------------------------------------------------------ *)
+(* sync — one-shot anti-entropy exchange                               *)
+(* ------------------------------------------------------------------ *)
+
+let sync_cmd =
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some addr_conv) None
+      & info [] ~docv:"ADDR"
+          ~doc:"Peer server to exchange with (unix:PATH or tcp:HOST:PORT).")
+  in
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "racedb" ] ~docv:"DIR"
+          ~doc:"Local race database to sync (takes the writer lock).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Socket read/write timeout (0 disables).")
+  in
+  let run addr dir timeout =
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    match Crd_fault.configure_env () with
+    | Error e -> `Error (false, e)
+    | Ok () -> (
+        match Crd_racedb.Db.open_db dir with
+        | Error e -> `Error (false, e)
+        | Ok db ->
+            let res =
+              match
+                Crd_fault.inject Crd_sync.fp_connect;
+                Crd_server.Server.connect addr
+              with
+              | exception Crd_fault.Injected p ->
+                  Error ("fault injected: " ^ p)
+              | exception Failure m -> Error m
+              | exception Unix.Unix_error (e, fn, _) ->
+                  Error (Printf.sprintf "%s(%s)" (Unix.error_message e) fn)
+              | fd ->
+                  Fun.protect
+                    ~finally:(fun () ->
+                      try Unix.close fd with Unix.Unix_error _ -> ())
+                    (fun () -> Crd_sync.client ~timeout fd db)
+            in
+            Crd_racedb.Db.close db;
+            (match res with
+            | Ok s ->
+                Fmt.pr "%a@." Crd_sync.pp_summary s;
+                `Ok ()
+            | Error e -> `Error (false, "sync: " ^ e)))
+  in
+  Cmd.v
+    (Cmd.info "sync" ~exits
+       ~doc:
+         "Run one CRDT anti-entropy exchange between a local race database \
+          and a running server: both sides end up with the union of their \
+          entries. Idempotent — re-running against a converged pair \
+          transfers nothing.")
+    Term.(ret (const run $ addr $ dir $ timeout))
+
+(* ------------------------------------------------------------------ *)
 
 let main =
   Cmd.group
@@ -1217,7 +1321,7 @@ let main =
     [
       specs_cmd; translate_cmd; check_cmd; simulate_cmd; record_cmd;
       synth_cmd; explore_cmd; table2_cmd; serve_cmd; send_cmd; query_cmd;
-      db_cmd;
+      db_cmd; sync_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -31,6 +31,14 @@ let m_truncated =
   Crd_obs.counter ~help:"Torn tail bytes truncated at open"
     "racedb_truncated_bytes_total"
 
+let m_merges =
+  Crd_obs.counter ~help:"Remote entries merged into the race database"
+    "racedb_merge_total"
+
+let m_deduped =
+  Crd_obs.counter ~help:"Session publications skipped as already published"
+    "racedb_publish_dedup_total"
+
 let h_append =
   Crd_obs.histogram ~help:"Racedb append latency" "racedb_append_seconds"
 
@@ -111,25 +119,13 @@ let get_u32le s pos =
   done;
   !v
 
-let add_i64le b v =
-  for i = 0 to 7 do
-    Buffer.add_char b
-      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
-  done
-
-let get_i64le s pos =
-  let v = ref 0L in
-  for i = 7 downto 0 do
-    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[pos + i]))
-  done;
-  !v
-
 (* --- paths --------------------------------------------------------- *)
 
 let seg_path dir id = Filename.concat dir (Printf.sprintf "seg-%08d.log" id)
 let marker_path dir id = Filename.concat dir (Printf.sprintf "seg-%08d.ok" id)
 let index_path dir = Filename.concat dir "index.crdx"
 let lock_path dir = Filename.concat dir "lock"
+let node_path dir = Filename.concat dir "node"
 
 let segment_ids dir =
   match Sys.readdir dir with
@@ -142,18 +138,46 @@ let segment_ids dir =
              | None -> None)
       |> List.sort Int.compare
 
-(* --- entries ------------------------------------------------------- *)
+(* --- node identity -------------------------------------------------- *)
 
-type entry = {
-  fingerprint : int64;
-  count : int;
-  first_seen : float;
-  last_seen : float;
-  sample : Record.t;
-  minutes : Rollup.t;
-  hours : Rollup.t;
-  days : Rollup.t;
-}
+let node_counter = Atomic.make 0
+
+let gen_node_id () =
+  let b = Bytes.create 8 in
+  let from_urandom =
+    match Unix.openfile "/dev/urandom" [ Unix.O_RDONLY ] 0 with
+    | fd ->
+        let ok =
+          let rec go off =
+            if off >= 8 then true
+            else
+              match Unix.read fd b off (8 - off) with
+              | 0 -> false
+              | n -> go (off + n)
+          in
+          try go 0 with Unix.Unix_error _ -> false
+        in
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        ok
+    | exception Unix.Unix_error _ -> false
+  in
+  if from_urandom then
+    String.concat ""
+      (List.init 8 (fun i -> Printf.sprintf "%02x" (Char.code (Bytes.get b i))))
+  else
+    Printf.sprintf "%08x%04x%04x"
+      (Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e6)) land 0xffffffff)
+      (Unix.getpid () land 0xffff)
+      (Atomic.fetch_and_add node_counter 1 land 0xffff)
+
+let read_node dir =
+  match read_file (node_path dir) with
+  | None -> None
+  | Some s ->
+      let s = String.trim s in
+      if s = "" || String.length s > Vv.node_max_bytes then None else Some s
+
+(* --- entries ------------------------------------------------------- *)
 
 type stats = {
   distinct : int;
@@ -171,7 +195,28 @@ let fresh_rings () =
     Rollup.create ~res:3600 ~slots:48,
     Rollup.create ~res:86400 ~slots:30 )
 
-let fold_record ~rollups tbl (r : Record.t) =
+let vv_next vvtbl node =
+  let seq = (match Hashtbl.find_opt vvtbl node with Some v -> v | None -> 0) + 1 in
+  Hashtbl.replace vvtbl node seq;
+  seq
+
+let vv_absorb vvtbl ver =
+  List.iter
+    (fun (n, v) ->
+      match Hashtbl.find_opt vvtbl n with
+      | Some cur when cur >= v -> ()
+      | _ -> Hashtbl.replace vvtbl n v)
+    (Vv.to_list ver)
+
+let vv_of_tbl vvtbl =
+  Vv.of_list (Hashtbl.fold (fun n v acc -> (n, v) :: acc) vvtbl [])
+
+(* Fold one locally-observed record: bump our G-counter component and
+   stamp the entry with the next local sequence number. Replay at open
+   re-walks segments in write order, so the same records always get the
+   same sequence numbers back. *)
+let fold_record ~rollups ~node ~vvtbl tbl (r : Record.t) =
+  let seq = vv_next vvtbl node in
   let fp = Record.fingerprint r in
   match Hashtbl.find_opt tbl fp with
   | None ->
@@ -184,8 +229,9 @@ let fold_record ~rollups tbl (r : Record.t) =
       Hashtbl.add tbl fp
         (ref
            {
-             fingerprint = fp;
-             count = 1;
+             Entry.fingerprint = fp;
+             counts = Vv.set Vv.empty node 1;
+             ver = Vv.set Vv.empty node seq;
              first_seen = r.ts;
              last_seen = r.ts;
              sample = r;
@@ -196,74 +242,106 @@ let fold_record ~rollups tbl (r : Record.t) =
   | Some cell ->
       let e = !cell in
       if rollups then begin
-        Rollup.add e.minutes r.ts;
-        Rollup.add e.hours r.ts;
-        Rollup.add e.days r.ts
+        Rollup.add e.Entry.minutes r.ts;
+        Rollup.add e.Entry.hours r.ts;
+        Rollup.add e.Entry.days r.ts
       end;
       cell :=
         {
           e with
-          count = e.count + 1;
-          first_seen = min e.first_seen r.ts;
-          last_seen = max e.last_seen r.ts;
-          sample = (if r.ts < e.first_seen then r else e.sample);
+          Entry.counts = Vv.bump e.Entry.counts node;
+          ver = Vv.set e.Entry.ver node seq;
+          first_seen = min e.Entry.first_seen r.ts;
+          last_seen = max e.Entry.last_seen r.ts;
+          sample = (if r.ts < e.Entry.first_seen then r else e.Entry.sample);
         }
 
-let fold_entry tbl (e : entry) =
-  match Hashtbl.find_opt tbl e.fingerprint with
-  | None ->
-      Hashtbl.add tbl e.fingerprint
-        (ref
-           {
-             e with
-             minutes = Rollup.copy e.minutes;
-             hours = Rollup.copy e.hours;
-             days = Rollup.copy e.days;
-           })
-  | Some cell ->
-      let cur = !cell in
-      Rollup.merge_into cur.minutes e.minutes;
-      Rollup.merge_into cur.hours e.hours;
-      Rollup.merge_into cur.days e.days;
-      cell :=
-        {
-          cur with
-          count = cur.count + e.count;
-          first_seen = min cur.first_seen e.first_seen;
-          last_seen = max cur.last_seen e.last_seen;
-          sample = (if e.first_seen < cur.first_seen then e.sample else cur.sample);
-        }
-
-let snapshot_entry (e : entry) =
-  {
-    e with
-    minutes = Rollup.copy e.minutes;
-    hours = Rollup.copy e.hours;
-    days = Rollup.copy e.days;
-  }
+(* Fold a replicated entry (an index row or a merged-entry frame):
+   a pure lattice join, idempotent under replay. *)
+let fold_entry ~vvtbl tbl (e : Entry.t) =
+  vv_absorb vvtbl e.Entry.ver;
+  match Hashtbl.find_opt tbl e.Entry.fingerprint with
+  | None -> Hashtbl.add tbl e.Entry.fingerprint (ref (Entry.snapshot e))
+  | Some cell -> cell := Entry.merge !cell e
 
 let sort_entries es =
   List.sort
     (fun a b ->
-      match Int.compare b.count a.count with
-      | 0 -> Int64.compare a.fingerprint b.fingerprint
+      match Int.compare (Entry.count b) (Entry.count a) with
+      | 0 -> Int64.compare a.Entry.fingerprint b.Entry.fingerprint
       | c -> c)
     es
 
 (* --- framing ------------------------------------------------------- *)
 
-let frame_record r =
-  let payload = Record.encode r in
+(* Frame payloads are tagged:
+     'R' record            one locally-observed record
+     'B' session batch     nonce + all records of one session, atomic
+     'M' merged entry      post-merge snapshot of a replicated entry
+   A batch is a single checksummed frame so session publication is
+   all-or-nothing: a torn tail can never leave half a session behind
+   the published-nonce marker it carries. *)
+
+let max_frame_bytes = 1 lsl 28
+let batch_chunk_records = 4096
+
+let frame_of_payload payload =
   let b = Buffer.create (String.length payload + 8) in
   Codec.add_varint b (String.length payload);
   Buffer.add_string b payload;
   add_u32le b (crc32 payload 0 (String.length payload));
   Buffer.contents b
 
+let frame_record r =
+  let b = Buffer.create 256 in
+  Buffer.add_char b 'R';
+  Buffer.add_string b (Record.encode r);
+  frame_of_payload (Buffer.contents b)
+
+let frame_batch ~nonce records =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b 'B';
+  Codec.add_varint b (String.length nonce);
+  Buffer.add_string b nonce;
+  Codec.add_varint b (List.length records);
+  List.iter
+    (fun r ->
+      let p = Record.encode r in
+      Codec.add_varint b (String.length p);
+      Buffer.add_string b p)
+    records;
+  frame_of_payload (Buffer.contents b)
+
+let frame_entry e =
+  let b = Buffer.create 512 in
+  Buffer.add_char b 'M';
+  Entry.encode b e;
+  frame_of_payload (Buffer.contents b)
+
+let decode_batch payload =
+  (* payload.[0] = 'B' already consumed by the dispatcher *)
+  let n, pos = Codec.get_varint payload 1 in
+  if n < 0 || n > Vv.node_max_bytes + 8 || pos + n > String.length payload then
+    failwith "batch: bad nonce";
+  let nonce = String.sub payload pos n in
+  let k, pos = Codec.get_varint payload (pos + n) in
+  if k < 0 || k > max_frame_bytes then failwith "batch: bad record count";
+  let rec go acc k pos =
+    if k = 0 then (nonce, List.rev acc)
+    else
+      let n, pos = Codec.get_varint payload pos in
+      if n <= 0 || n > Record.max_bytes || pos + n > String.length payload then
+        failwith "batch: bad record";
+      match Record.decode (String.sub payload pos n) with
+      | Error e -> failwith ("batch: " ^ e)
+      | Ok r -> go (r :: acc) (k - 1) (pos + n)
+  in
+  go [] k pos
+
 (* Scan a segment image: deliver every complete, checksummed, decodable
    frame; stop at the first damage. Returns the clean prefix length and
    how many delivered records lay beyond [committed]. *)
-let scan_segment ~committed bytes f =
+let scan_segment ~committed bytes ~record ~batch ~entry =
   let len = String.length bytes in
   let pos = ref 0 in
   let valid_end = ref 0 in
@@ -273,19 +351,35 @@ let scan_segment ~committed bytes f =
     match Codec.get_varint bytes !pos with
     | exception Failure _ -> stop := true
     | n, data_pos ->
-        if n <= 0 || n > Record.max_bytes || data_pos + n + 4 > len then
+        if n <= 0 || n > max_frame_bytes || data_pos + n + 4 > len then
           stop := true
         else
           let payload = String.sub bytes data_pos n in
           if get_u32le bytes (data_pos + n) <> crc32 payload 0 n then
             stop := true
           else begin
-            match Record.decode payload with
-            | Error _ -> stop := true
-            | Ok r ->
-                let fin = data_pos + n + 4 in
-                if fin > committed then incr salvaged;
-                f r;
+            let fin = data_pos + n + 4 in
+            let deliver =
+              match payload.[0] with
+              | 'R' -> (
+                  match Record.decode (String.sub payload 1 (n - 1)) with
+                  | Error _ -> None
+                  | Ok r -> Some (fun () -> record r; 1))
+              | 'B' -> (
+                  match decode_batch payload with
+                  | exception Failure _ -> None
+                  | nonce, rs -> Some (fun () -> batch ~nonce rs; List.length rs))
+              | 'M' -> (
+                  match Entry.decode payload 1 with
+                  | exception Failure _ -> None
+                  | e, _ -> Some (fun () -> entry e; 1))
+              | _ -> None
+            in
+            match deliver with
+            | None -> stop := true
+            | Some f ->
+                let delivered = f () in
+                if fin > committed then salvaged := !salvaged + delivered;
                 valid_end := fin;
                 pos := fin
           end
@@ -300,46 +394,23 @@ let read_marker dir id =
 (* --- index file ---------------------------------------------------- *)
 
 let index_magic = "CRDX"
-let index_version = 1
+let index_version = 2
 
-let encode_entry b (e : entry) =
-  add_i64le b e.fingerprint;
-  Codec.add_varint b e.count;
-  add_i64le b (Int64.bits_of_float e.first_seen);
-  add_i64le b (Int64.bits_of_float e.last_seen);
-  Rollup.encode b e.minutes;
-  Rollup.encode b e.hours;
-  Rollup.encode b e.days;
-  let sample = Record.encode e.sample in
-  Codec.add_varint b (String.length sample);
-  Buffer.add_string b sample
-
-let decode_entry s pos =
-  let fingerprint = get_i64le s pos in
-  let pos = pos + 8 in
-  let count, pos = Codec.get_varint s pos in
-  let first_seen = Int64.float_of_bits (get_i64le s pos) in
-  let last_seen = Int64.float_of_bits (get_i64le s (pos + 8)) in
-  let pos = pos + 16 in
-  let minutes, pos = Rollup.decode s pos in
-  let hours, pos = Rollup.decode s pos in
-  let days, pos = Rollup.decode s pos in
-  let n, pos = Codec.get_varint s pos in
-  if n < 0 || pos + n > String.length s then failwith "index: bad sample";
-  let sample =
-    match Record.decode (String.sub s pos n) with
-    | Ok r -> r
-    | Error e -> failwith ("index: " ^ e)
-  in
-  ({ fingerprint; count; first_seen; last_seen; sample; minutes; hours; days },
-   pos + n)
-
-let encode_index ~folded_up_to es =
+let encode_index ~folded_up_to ~published es =
   let body = Buffer.create 4096 in
   Codec.add_varint body folded_up_to;
+  Codec.add_varint body (List.length published);
+  List.iter
+    (fun nonce ->
+      Codec.add_varint body (String.length nonce);
+      Buffer.add_string body nonce)
+    (List.sort String.compare published);
   Codec.add_varint body (List.length es);
-  List.iter (encode_entry body)
-    (List.sort (fun a b -> Int64.compare a.fingerprint b.fingerprint) es);
+  List.iter
+    (fun e -> Entry.encode body e)
+    (List.sort
+       (fun a b -> Int64.compare a.Entry.fingerprint b.Entry.fingerprint)
+       es);
   let body = Buffer.contents body in
   let b = Buffer.create (String.length body + 16) in
   Buffer.add_string b index_magic;
@@ -357,15 +428,26 @@ let decode_index s =
   else
     match
       let folded_up_to, pos = Codec.get_varint s 5 in
+      let np, pos = Codec.get_varint s pos in
+      if np < 0 || np > 1 lsl 24 then failwith "index: bad nonce count";
+      let rec nonces acc np pos =
+        if np = 0 then (List.rev acc, pos)
+        else
+          let n, pos = Codec.get_varint s pos in
+          if n < 0 || n > Vv.node_max_bytes + 8 || pos + n > String.length s
+          then failwith "index: bad nonce";
+          nonces (String.sub s pos n :: acc) (np - 1) (pos + n)
+      in
+      let published, pos = nonces [] np pos in
       let n, pos = Codec.get_varint s pos in
       if n < 0 || n > 1 lsl 24 then failwith "index: bad entry count";
       let rec go acc n pos =
         if n = 0 then List.rev acc
         else
-          let e, pos = decode_entry s pos in
+          let e, pos = Entry.decode s pos in
           go (e :: acc) (n - 1) pos
       in
-      (folded_up_to, go [] n pos)
+      (folded_up_to, published, go [] n pos)
     with
     | exception Failure m -> Error m
     | v -> Ok v
@@ -374,12 +456,15 @@ let decode_index s =
 
 type t = {
   dir : string;
+  node : string;
   mu : Mutex.t;
   rollups : bool;
   segment_bytes : int;
   sync_every : int;
   auto_compact : int;
-  tbl : (int64, entry ref) Hashtbl.t;
+  tbl : (int64, Entry.t ref) Hashtbl.t;
+  vvtbl : (string, int) Hashtbl.t;
+  published : (string, unit) Hashtbl.t;
   mutable active_id : int;
   mutable fd : Unix.file_descr;
   mutable active_bytes : int;
@@ -395,6 +480,7 @@ type t = {
 }
 
 let dir t = t.dir
+let node_id t = t.node
 
 let locked t f =
   Mutex.lock t.mu;
@@ -403,8 +489,10 @@ let locked t f =
 (* Shared by the writable open and the read-only [load].  [repair]
    truncates torn tails and retires segments the index already covers;
    the read-only path only observes. *)
-let scan_store ~repair dir =
+let scan_store ~repair ~node dir =
   let tbl = Hashtbl.create 64 in
+  let vvtbl = Hashtbl.create 8 in
+  let published = Hashtbl.create 64 in
   let folded_up_to = ref 0 in
   let salvaged = ref 0 in
   let truncated = ref 0 in
@@ -413,10 +501,20 @@ let scan_store ~repair dir =
   | Some s -> (
       match decode_index s with
       | Error e -> failwith (Printf.sprintf "%s: %s" (index_path dir) e)
-      | Ok (f, es) ->
+      | Ok (f, nonces, es) ->
           folded_up_to := f;
-          List.iter (fold_entry tbl) es));
+          List.iter (fun n -> Hashtbl.replace published n ()) nonces;
+          List.iter (fold_entry ~vvtbl tbl) es));
   if repair then unlink_quiet (index_path dir ^ ".tmp");
+  let record = fold_record ~rollups:true ~node ~vvtbl tbl in
+  let batch ~nonce rs =
+    if nonce <> "" && Hashtbl.mem published nonce then ()
+    else begin
+      List.iter record rs;
+      if nonce <> "" then Hashtbl.replace published nonce ()
+    end
+  in
+  let entry = fold_entry ~vvtbl tbl in
   let live = ref [] in
   List.iter
     (fun id ->
@@ -434,7 +532,7 @@ let scan_store ~repair dir =
         | Some bytes ->
             let committed = min (read_marker dir id) (String.length bytes) in
             let valid_end, salv =
-              scan_segment ~committed bytes (fold_record ~rollups:true tbl)
+              scan_segment ~committed bytes ~record ~batch ~entry
             in
             salvaged := !salvaged + salv;
             if valid_end < String.length bytes then begin
@@ -459,7 +557,7 @@ let scan_store ~repair dir =
               live := (id, valid_end) :: !live
             end)
     (segment_ids dir);
-  (tbl, !folded_up_to, List.rev !live, !salvaged, !truncated)
+  (tbl, vvtbl, published, !folded_up_to, List.rev !live, !salvaged, !truncated)
 
 (* [lockf] record locks never conflict within one process, so the
    cross-process lock below is paired with a process-local registry
@@ -498,12 +596,20 @@ let open_db ?(segment_bytes = 1 lsl 20) ?(sync_every = 64) ?(auto_compact = 8)
         release_local ();
         Unix.close lock_fd;
         failwith (dir ^ ": race database locked by another process"));
-    match scan_store ~repair:true dir with
+    let node =
+      match read_node dir with
+      | Some n -> n
+      | None ->
+          let n = gen_node_id () in
+          write_file_atomic ~dir (node_path dir) (n ^ "\n");
+          n
+    in
+    match scan_store ~repair:true ~node dir with
     | exception e ->
         release_local ();
         (try Unix.close lock_fd with Unix.Unix_error _ -> ());
         raise e
-    | tbl, folded_up_to, live, salvaged, truncated ->
+    | tbl, vvtbl, published, folded_up_to, live, salvaged, truncated ->
         Crd_obs.Counter.add m_salvaged salvaged;
         Crd_obs.Counter.add m_truncated truncated;
         let max_id =
@@ -519,12 +625,15 @@ let open_db ?(segment_bytes = 1 lsl 20) ?(sync_every = 64) ?(auto_compact = 8)
         Ok
           {
             dir;
+            node;
             mu = Mutex.create ();
             rollups;
             segment_bytes = max 4096 segment_bytes;
             sync_every = max 1 sync_every;
             auto_compact;
             tbl;
+            vvtbl;
+            published;
             active_id;
             fd;
             active_bytes = 0;
@@ -578,7 +687,8 @@ let compact_locked t =
   rotate_locked t;
   let folded_up_to = t.active_id - 1 in
   let es = Hashtbl.fold (fun _ cell acc -> !cell :: acc) t.tbl [] in
-  let bytes = encode_index ~folded_up_to es in
+  let published = Hashtbl.fold (fun n () acc -> n :: acc) t.published [] in
+  let bytes = encode_index ~folded_up_to ~published es in
   let path = index_path t.dir in
   let tmp = path ^ ".tmp" in
   let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
@@ -615,33 +725,119 @@ let compact_result t =
       Crd_obs.Counter.incr m_compact_failures;
       Error (Printf.sprintf "%s: %s(%s)" (Unix.error_message e) fn arg)
 
-let append t r =
-  Crd_obs.time h_append @@ fun () ->
-  locked t @@ fun () ->
-  if t.closed then invalid_arg "Crd_racedb.Db.append: closed";
-  Crd_fault.inject fp_append;
-  let frame = frame_record r in
+let append_frame_locked t frame ~records =
   write_all t.fd frame;
   t.active_bytes <- t.active_bytes + String.length frame;
-  t.dirty <- t.dirty + 1;
-  fold_record ~rollups:t.rollups t.tbl r;
-  Crd_obs.Counter.incr m_appends;
+  t.dirty <- t.dirty + max 1 records;
+  Crd_obs.Counter.add m_appends records;
   Crd_obs.Counter.add m_bytes (String.length frame);
   if t.dirty >= t.sync_every then sync_locked t;
   if t.active_bytes >= t.segment_bytes then begin
     rotate_locked t;
     if t.auto_compact > 0 && t.sealed >= t.auto_compact then
       (* auto-compaction failure must not fail the append that
-         triggered it; the record is already durable in its segment *)
+         triggered it; the data is already durable in its segment *)
       ignore (compact_result t : (int, string) result)
   end
+
+let append t r =
+  Crd_obs.time h_append @@ fun () ->
+  locked t @@ fun () ->
+  if t.closed then invalid_arg "Crd_racedb.Db.append: closed";
+  Crd_fault.inject fp_append;
+  let frame = frame_record r in
+  fold_record ~rollups:t.rollups ~node:t.node ~vvtbl:t.vvtbl t.tbl r;
+  append_frame_locked t frame ~records:1
+
+(* Chunk nonces are derived deterministically from the record order, so
+   a crash replay re-publishing the same session computes the same
+   chunk identities and the dedup holds chunk by chunk. *)
+let chunk_nonces nonce records =
+  let rec chunks acc i = function
+    | [] -> List.rev acc
+    | rs ->
+        let rec take n acc rs =
+          match (n, rs) with
+          | 0, _ | _, [] -> (List.rev acc, rs)
+          | n, r :: rs -> take (n - 1) (r :: acc) rs
+        in
+        let chunk, rest = take batch_chunk_records [] rs in
+        let cn =
+          if nonce = "" then ""
+          else if i = 0 then nonce
+          else Printf.sprintf "%s#%d" nonce i
+        in
+        chunks ((cn, chunk) :: acc) (i + 1) rest
+  in
+  chunks [] 0 records
+
+let publish t ~nonce records =
+  if records = [] then true
+  else
+    Crd_obs.time h_append @@ fun () ->
+    locked t @@ fun () ->
+    if t.closed then invalid_arg "Crd_racedb.Db.publish: closed";
+    Crd_fault.inject fp_append;
+    let wrote = ref false in
+    List.iter
+      (fun (cn, chunk) ->
+        if cn <> "" && Hashtbl.mem t.published cn then
+          Crd_obs.Counter.incr m_deduped
+        else begin
+          let frame = frame_batch ~nonce:cn chunk in
+          List.iter
+            (fold_record ~rollups:t.rollups ~node:t.node ~vvtbl:t.vvtbl t.tbl)
+            chunk;
+          if cn <> "" then Hashtbl.replace t.published cn ();
+          append_frame_locked t frame ~records:(List.length chunk);
+          wrote := true
+        end)
+      (chunk_nonces nonce records);
+    !wrote
+
+let published t nonce = locked t @@ fun () -> Hashtbl.mem t.published nonce
+
+let merge t es =
+  locked t @@ fun () ->
+  if t.closed then invalid_arg "Crd_racedb.Db.merge: closed";
+  let changed = ref 0 in
+  List.iter
+    (fun (e : Entry.t) ->
+      let apply merged =
+        Crd_fault.inject fp_append;
+        let frame = frame_entry merged in
+        vv_absorb t.vvtbl e.Entry.ver;
+        Hashtbl.replace t.tbl e.Entry.fingerprint (ref merged);
+        append_frame_locked t frame ~records:1;
+        incr changed;
+        Crd_obs.Counter.incr m_merges
+      in
+      match Hashtbl.find_opt t.tbl e.Entry.fingerprint with
+      | None -> apply (Entry.snapshot e)
+      | Some cell ->
+          let merged = Entry.merge !cell e in
+          if not (Entry.equal merged !cell) then apply merged)
+    es;
+  if !changed > 0 then sync_locked t;
+  !changed
+
+let version t = locked t @@ fun () -> vv_of_tbl t.vvtbl
+
+let delta t ~since =
+  locked t @@ fun () ->
+  Hashtbl.fold
+    (fun _ cell acc ->
+      let e = !cell in
+      if Vv.dominates since e.Entry.ver then acc else Entry.snapshot e :: acc)
+    t.tbl []
+  |> List.sort (fun a b -> Int64.compare a.Entry.fingerprint b.Entry.fingerprint)
 
 let sync t = locked t @@ fun () -> sync_locked t
 let compact t = locked t @@ fun () -> compact_result t
 
 let entries t =
   locked t @@ fun () ->
-  Hashtbl.fold (fun _ cell acc -> snapshot_entry !cell :: acc) t.tbl []
+  Hashtbl.fold (fun _ cell acc -> Entry.snapshot !cell :: acc) t.tbl []
   |> sort_entries
 
 let du dir =
@@ -654,7 +850,7 @@ let du dir =
 
 let stats_of tbl ~segments ~active_id ~folded_up_to ~data_bytes ~salvaged
     ~truncated_bytes =
-  let total = Hashtbl.fold (fun _ cell acc -> acc + !cell.count) tbl 0 in
+  let total = Hashtbl.fold (fun _ cell acc -> acc + Entry.count !cell) tbl 0 in
   {
     distinct = Hashtbl.length tbl;
     total;
@@ -688,14 +884,22 @@ let close t =
     try Unix.close t.lock_fd with Unix.Unix_error _ -> ()
   end
 
+type view = {
+  v_entries : Entry.t list;
+  v_stats : stats;
+  v_node : string;
+  v_version : Vv.t;
+}
+
 let load dir =
   if not (Sys.file_exists dir) then Error (dir ^ ": no such directory")
   else
-    match scan_store ~repair:false dir with
+    let node = match read_node dir with Some n -> n | None -> "" in
+    match scan_store ~repair:false ~node dir with
     | exception Failure m -> Error m
     | exception Unix.Unix_error (e, fn, arg) ->
         Error (Printf.sprintf "%s: %s(%s)" (Unix.error_message e) fn arg)
-    | tbl, folded_up_to, live, salvaged, truncated_bytes ->
+    | tbl, vvtbl, _published, folded_up_to, live, salvaged, truncated_bytes ->
         let es =
           Hashtbl.fold (fun _ cell acc -> !cell :: acc) tbl [] |> sort_entries
         in
@@ -703,17 +907,24 @@ let load dir =
           List.fold_left (fun acc (id, _) -> max acc id) folded_up_to live
         in
         Ok
-          ( es,
-            stats_of tbl ~segments:(List.length live) ~active_id ~folded_up_to
-              ~data_bytes:(du dir) ~salvaged ~truncated_bytes )
+          {
+            v_entries = es;
+            v_stats =
+              stats_of tbl ~segments:(List.length live) ~active_id
+                ~folded_up_to ~data_bytes:(du dir) ~salvaged ~truncated_bytes;
+            v_node = node;
+            v_version = vv_of_tbl vvtbl;
+          }
 
 let select ?top ?since ?obj ?spec es =
-  let keep e =
-    (match since with None -> true | Some cut -> e.last_seen >= cut)
+  let keep (e : Entry.t) =
+    (match since with None -> true | Some cut -> e.Entry.last_seen >= cut)
     && (match obj with
        | None -> true
-       | Some o -> Crd_base.Obj_id.name e.sample.Record.report.Crd_detector.Report.obj = o)
-    && match spec with None -> true | Some s -> e.sample.Record.spec = s
+       | Some o ->
+           Crd_base.Obj_id.name e.Entry.sample.Record.report.Crd_detector.Report.obj
+           = o)
+    && match spec with None -> true | Some s -> e.Entry.sample.Record.spec = s
   in
   let es = List.filter keep es in
   match top with

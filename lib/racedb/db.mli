@@ -1,43 +1,49 @@
 (** The embedded race database: a crash-safe append-only segment store
-    folded into a deduplicating fingerprint index.
+    folded into a deduplicating fingerprint index, shaped as a
+    state-based CRDT so independent nodes converge by merging
+    ({!Entry}, {!Vv}).
 
     {2 On-disk layout}
 
     {v
     DIR/lock                 writer lock (flock'd while a handle is open)
+    DIR/node                 stable node id (created at first open)
     DIR/seg-NNNNNNNN.log     segment: frame*
     DIR/seg-NNNNNNNN.ok      commit marker: "<bytes>\n" (fsync'd, atomic)
     DIR/index.crdx           compacted dedup index (atomic rename)
-    frame ::= varint(len) payload{len} crc32_le(payload)
+    frame   ::= varint(len) payload{len} crc32_le(payload)
+    payload ::= 'R' record                      one local record
+              | 'B' nonce record*               one session, atomic
+              | 'M' entry                       merged replicated entry
     v}
 
     Appends go to the active (highest-numbered) segment and are folded
     into an in-memory index keyed by {!Report.fingerprint}; [sync]
     fsyncs the data and publishes a commit marker, journal-style.
     Compaction seals the active segment, writes the whole in-memory
-    index to [index.crdx] with a [folded_up_to] watermark and only then
-    deletes the folded segments — a crash at any point either keeps the
-    old index plus all segments or the new index with leftovers that
-    the watermark retires at the next open, never a double count.
+    index (entries plus the published-nonce set) to [index.crdx] with a
+    [folded_up_to] watermark and only then deletes the folded segments —
+    a crash at any point either keeps the old index plus all segments
+    or the new index with leftovers that the watermark retires at the
+    next open, never a double count.
 
     Opening scans every surviving segment: complete, checksummed frames
     beyond a commit marker are {e salvaged} (counted in [stats]), the
     torn tail after the last valid frame is truncated. A fresh active
     segment is started on every open, so recovery never appends to a
-    file another process version half-wrote. *)
+    file another process version half-wrote.
+
+    {2 Replication model}
+
+    Every locally-observed record bumps this node's G-counter component
+    and is stamped with the next local sequence number; segments replay
+    in write order, so recovery reassigns identical sequence numbers.
+    [version] is the database's version vector (pointwise max over
+    entry [ver]s), [delta ~since] the entries a peer with that vector
+    has not seen, and [merge] the idempotent lattice join — the
+    {!Crd_sync} exchange is built from exactly these three. *)
 
 type t
-
-type entry = {
-  fingerprint : int64;
-  count : int;  (** lifetime occurrences *)
-  first_seen : float;
-  last_seen : float;
-  sample : Record.t;  (** earliest-seen record with this fingerprint *)
-  minutes : Rollup.t;  (** 60 × 1-minute buckets *)
-  hours : Rollup.t;  (** 48 × 1-hour buckets *)
-  days : Rollup.t;  (** 30 × 1-day buckets *)
-}
 
 type stats = {
   distinct : int;
@@ -58,20 +64,51 @@ val open_db :
   string ->
   (t, string) result
 (** [open_db dir] recovers and opens the database for writing, taking
-    the writer lock ([Error] if another process holds it).
-    [segment_bytes] (default 1 MiB) is the rotation threshold,
-    [sync_every] (default 64) the appends between automatic [sync]s,
-    [auto_compact] (default 8) the sealed-segment count that triggers
-    an inline compaction (0 disables), [rollups] (default [true])
-    whether appends maintain the time rings. *)
+    the writer lock ([Error] if another process holds it) and minting
+    [DIR/node] on first open. [segment_bytes] (default 1 MiB) is the
+    rotation threshold, [sync_every] (default 64) the appends between
+    automatic [sync]s, [auto_compact] (default 8) the sealed-segment
+    count that triggers an inline compaction (0 disables), [rollups]
+    (default [true]) whether appends maintain the time rings. *)
 
 val dir : t -> string
 
+val node_id : t -> string
+(** This database's stable node id (the content of [DIR/node]). *)
+
 val append : t -> Record.t -> unit
-(** Frame, checksum and append one record, and fold it into the index.
+(** Frame, checksum and append one record, and fold it into the index
+    attributed to this node.
     @raise Crd_fault.Injected when the [racedb_append] point fires
     (nothing is written).
     @raise Unix.Unix_error on I/O failure. *)
+
+val publish : t -> nonce:string -> Record.t list -> bool
+(** Publish one session's records as atomic batch frames keyed by the
+    session [nonce]. Returns [false] (writing nothing) when the nonce
+    was already published — the dedup that makes journal replay after
+    a crash count-safe. An empty [nonce] disables dedup; an empty
+    record list is a no-op. Oversized sessions split into chunks with
+    derived nonces ([nonce#1], ...), deduped chunk by chunk.
+    @raise Crd_fault.Injected / Unix.Unix_error as {!append}. *)
+
+val published : t -> string -> bool
+(** Has this session nonce already been published (durably)? *)
+
+val merge : t -> Entry.t list -> int
+(** Merge replicated entries (the receive side of a sync exchange):
+    each entry joins its local counterpart via {!Entry.merge}; changed
+    results are appended durably as merged-entry frames and the store
+    is fsynced before returning. Entries already dominated by local
+    state write nothing, so re-merging a converged delta is a no-op.
+    Returns the number of entries that changed. *)
+
+val version : t -> Vv.t
+(** Current version vector: pointwise max over all entry [ver]s. *)
+
+val delta : t -> since:Vv.t -> Entry.t list
+(** Entries carrying at least one update a peer at [since] has not
+    seen, sorted by fingerprint. [delta ~since:(version t)] is []. *)
 
 val sync : t -> unit
 (** Fsync the active segment and publish its commit marker. *)
@@ -82,13 +119,20 @@ val compact : t -> (int, string) result
     (with the store intact and still usable) if the [racedb_compact]
     fault point fires or the index cannot be written. *)
 
-val entries : t -> entry list
+val entries : t -> Entry.t list
 (** Snapshot of the index, most frequent first (ties by fingerprint). *)
 
 val stats : t -> stats
 val close : t -> unit
 
-val load : string -> (entry list * stats, string) result
+type view = {
+  v_entries : Entry.t list;  (** most frequent first *)
+  v_stats : stats;
+  v_node : string;  (** "" when [DIR/node] is missing *)
+  v_version : Vv.t;
+}
+
+val load : string -> (view, string) result
 (** Read-only view of [dir]: index plus every live segment, salvaging
     torn tails without modifying anything. Safe against a concurrent
     writer except that a compaction racing the scan can momentarily
@@ -100,9 +144,12 @@ val select :
   ?since:float ->
   ?obj:string ->
   ?spec:string ->
-  entry list ->
-  entry list
+  Entry.t list ->
+  Entry.t list
 (** Filter ([last_seen >= since], exact object / spec name) and keep
     the first [top] entries. *)
+
+val sort_entries : Entry.t list -> Entry.t list
+(** Most frequent first, ties by fingerprint — the [entries] order. *)
 
 val pp_stats : stats Fmt.t

@@ -44,6 +44,27 @@ let merge_into dst src =
       if bucket >= 0 then add_bucket dst ~bucket ~count:src.counts.(slot))
     src.buckets
 
+(* Slot-wise lattice join: per slot keep the lexicographically greater
+   (bucket, count) pair. Unlike [merge_into] this never adds, so joining
+   replicas of the same ring is idempotent — the replication merge. *)
+let join dst src =
+  if dst.res <> src.res then invalid_arg "Rollup.join: resolution mismatch";
+  if Array.length dst.buckets <> Array.length src.buckets then
+    invalid_arg "Rollup.join: slot count mismatch";
+  Array.iteri
+    (fun slot bucket ->
+      let cur = dst.buckets.(slot) in
+      if bucket > cur then begin
+        dst.buckets.(slot) <- bucket;
+        dst.counts.(slot) <- src.counts.(slot)
+      end
+      else if bucket = cur && src.counts.(slot) > dst.counts.(slot) then
+        dst.counts.(slot) <- src.counts.(slot))
+    src.buckets
+
+let equal a b =
+  a.res = b.res && a.buckets = b.buckets && a.counts = b.counts
+
 (* A slot is live iff its bucket is within one window of the newest
    bucket; older tenants survive only in slots never reused since. *)
 let iter_live t f =

@@ -32,6 +32,16 @@ val merge_into : t -> t -> unit
 (** [merge_into dst src] adds every live bucket of [src] into [dst].
     @raise Invalid_argument if resolutions differ. *)
 
+val join : t -> t -> unit
+(** [join dst src] is the replication merge: per slot, keep the
+    lexicographically greater [(bucket, count)] pair. Commutative,
+    associative and idempotent (a lattice join), unlike the additive
+    [merge_into] used when folding disjoint local data.
+    @raise Invalid_argument if resolution or slot count differ. *)
+
+val equal : t -> t -> bool
+(** Structural equality over the full ring state (stale slots too). *)
+
 val total : t -> int
 (** Sum over all live buckets. *)
 

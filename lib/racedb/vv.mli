@@ -1,0 +1,41 @@
+(** Version vectors over racedb node ids.
+
+    A vector maps node ids to logical sequence numbers; components are
+    strictly positive ([get] returns 0 for absent nodes) and the
+    representation is a canonical sorted association list, so structural
+    equality is semantic equality. [join] is the pointwise max — the
+    same lattice join used for G-counter merge, which is why the type
+    doubles as the per-node count map in {!Entry}. *)
+
+type t = private (string * int) list
+
+val empty : t
+val get : t -> string -> int
+
+val set : t -> string -> int -> t
+(** Functional update. @raise Invalid_argument if the value is [<= 0]. *)
+
+val bump : t -> string -> t
+(** [set t node (get t node + 1)]. *)
+
+val join : t -> t -> t
+(** Pointwise max. Commutative, associative, idempotent. *)
+
+val dominates : t -> t -> bool
+(** [dominates a b] iff every component of [b] is [<=] in [a]. *)
+
+val equal : t -> t -> bool
+val to_list : t -> (string * int) list
+
+val of_list : (string * int) list -> t
+(** Canonicalize: sort, drop non-positive components, join duplicates. *)
+
+val node_max_bytes : int
+(** Longest node id [decode] accepts (64 bytes). *)
+
+val encode : Buffer.t -> t -> unit
+
+val decode : string -> int -> t * int
+(** @raise Failure on malformed input. *)
+
+val pp : t Fmt.t

@@ -88,25 +88,38 @@ let read_lstring fd ~max ~what =
       | None -> Error "connection closed during handshake"
       | Some s -> Ok s)
 
-let read_handshake fd =
+type preamble = Session | Sync of int
+
+(* The session and sync protocols share the listener: the first five
+   bytes (magic + version) say which one this connection speaks. *)
+let read_preamble fd =
   match read_exact fd (String.length magic + 1) with
   | None -> Error "connection closed during handshake"
   | Some h ->
-      if not (String.equal (String.sub h 0 (String.length magic)) magic) then
-        Error "bad handshake magic (not a CRDS client)"
-      else
-        let v = Char.code h.[String.length magic] in
+      let m = String.sub h 0 (String.length magic) in
+      let v = Char.code h.[String.length magic] in
+      if String.equal m magic then
         if v <> version then
           Error (Printf.sprintf "unsupported protocol version %d" v)
-        else (
-          match read_lstring fd ~max:max_nonce ~what:"session nonce" with
-          | Error e -> Error e
-          | Ok nonce when not (valid_nonce nonce) ->
-              Error "invalid session nonce (want [A-Za-z0-9_-]{0,64})"
-          | Ok nonce -> (
-              match read_lstring fd ~max:max_spec_name ~what:"spec name" with
-              | Error e -> Error e
-              | Ok spec -> Ok { nonce; spec }))
+        else Ok Session
+      else if String.equal m Crd_wire.Codec.sync_magic then Ok (Sync v)
+      else Error "bad handshake magic (not a CRDS client)"
+
+let read_handshake_body fd =
+  match read_lstring fd ~max:max_nonce ~what:"session nonce" with
+  | Error e -> Error e
+  | Ok nonce when not (valid_nonce nonce) ->
+      Error "invalid session nonce (want [A-Za-z0-9_-]{0,64})"
+  | Ok nonce -> (
+      match read_lstring fd ~max:max_spec_name ~what:"spec name" with
+      | Error e -> Error e
+      | Ok spec -> Ok { nonce; spec })
+
+let read_handshake fd =
+  match read_preamble fd with
+  | Error e -> Error e
+  | Ok (Sync _) -> Error "sync connection on a session read path"
+  | Ok Session -> read_handshake_body fd
 
 let read_handshake_reply fd =
   match read_exact fd 1 with

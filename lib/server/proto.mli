@@ -46,8 +46,20 @@ val send_reject : Unix.file_descr -> string -> unit
 val send_busy : Unix.file_descr -> retry_ms:int -> unit
 (** Overload shed: the client should back off [retry_ms] and retry. *)
 
+type preamble =
+  | Session  (** a CRDS trace session *)
+  | Sync of int  (** a CRDY racedb sync exchange, with its version *)
+
+val read_preamble : Unix.file_descr -> (preamble, string) result
+(** Server side: consume the 5-byte magic + version and classify the
+    connection. Session and sync clients share the listener. *)
+
+val read_handshake_body : Unix.file_descr -> (handshake, string) result
+(** The nonce + spec-set part that follows a [Session] preamble. *)
+
 val read_handshake : Unix.file_descr -> (handshake, string) result
-(** Server side: the requested session nonce and spec-set name. *)
+(** [read_preamble] + [read_handshake_body]; rejects sync preambles.
+    Server side: the requested session nonce and spec-set name. *)
 
 val read_handshake_reply : Unix.file_descr -> (reply, string) result
 (** Client side: decode accept/reject/busy. [Error _] is a transport or

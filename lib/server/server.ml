@@ -59,6 +59,8 @@ type config = {
   journal : string option;
   resync : bool;
   racedb : string option;
+  peers : addr list;
+  sync_interval : float;
 }
 
 let default_analyzer =
@@ -85,6 +87,8 @@ let default_config ~addr =
     journal = None;
     resync = false;
     racedb = None;
+    peers = [];
+    sync_interval = 30.;
   }
 
 type stats = {
@@ -220,42 +224,47 @@ let err_counter =
   fun k -> List.assq k tbl
 
 (* The race-database sink decouples sessions from storage: workers drop
-   records into a bounded queue (never blocking the report path — a full
-   queue drops and counts) and one publisher thread owns every
-   [Db.append]. *)
+   whole session batches into a bounded queue (never blocking the report
+   path — a full queue drops and counts) and one publisher thread owns
+   every [Db.publish]. A batch carries its session nonce so the db can
+   deduplicate: a journal replay of an already-published session is a
+   no-op instead of an inflated count. *)
 type sink = {
   db : Crd_racedb.Db.t;
-  queue : Crd_racedb.Record.t Bqueue.t;
+  queue : (string * Crd_racedb.Record.t list) Bqueue.t;
   capacity : int;
   mutable publisher : Thread.t option;
 }
 
 let sink_capacity = 4096
 
-let sink_publish sink ~spec reports =
-  let ts = Unix.gettimeofday () in
-  let spec = if spec = "" then "std" else spec in
-  List.iter
-    (fun r ->
-      let record = Crd_racedb.Record.make ~ts ~spec r in
-      (* Best-effort bound check, then a non-faultable push: the sink
-         must never stall a session, only shed under pressure. *)
-      if Bqueue.length sink.queue >= sink.capacity then
-        Crd_obs.Counter.incr m_racedb_dropped
-      else if Bqueue.push_raw sink.queue record then begin
-        Crd_obs.Counter.incr m_racedb_published;
-        Crd_obs.Gauge.set_max m_racedb_queue_hw (Bqueue.length sink.queue)
-      end
-      else Crd_obs.Counter.incr m_racedb_dropped)
-    reports
+let sink_publish sink ~nonce ~spec reports =
+  if reports <> [] then begin
+    let ts = Unix.gettimeofday () in
+    let spec = if spec = "" then "std" else spec in
+    let records = List.map (fun r -> Crd_racedb.Record.make ~ts ~spec r) reports in
+    let n = List.length records in
+    (* Best-effort bound check, then a non-faultable push: the sink
+       must never stall a session, only shed under pressure. *)
+    if Bqueue.length sink.queue >= sink.capacity then
+      Crd_obs.Counter.add m_racedb_dropped n
+    else if Bqueue.push_raw sink.queue (nonce, records) then begin
+      Crd_obs.Counter.add m_racedb_published n;
+      Crd_obs.Gauge.set_max m_racedb_queue_hw (Bqueue.length sink.queue)
+    end
+    else Crd_obs.Counter.add m_racedb_dropped n
+  end
 
 let sink_loop sink =
   let continue = ref true in
   while !continue do
     match Bqueue.pop sink.queue with
     | None -> continue := false
-    | Some record -> (
-        try Crd_racedb.Db.append sink.db record with
+    | Some (nonce, records) -> (
+        try
+          if not (Crd_racedb.Db.publish sink.db ~nonce records) then
+            Crd_obs.Log.info "racedb_publish_dedup" [ ("nonce", nonce) ]
+        with
         | Crd_fault.Injected p ->
             Crd_obs.Counter.incr m_racedb_errors;
             Crd_obs.Log.warn "racedb_append_fault" [ ("point", p) ]
@@ -297,6 +306,7 @@ type t = {
   deaths : int Bqueue.t;  (* crashed worker slots, for the supervisor *)
   mutable graveyard : unit Domain.t list;  (* dead workers awaiting join *)
   mutable supervisor : Thread.t option;
+  mutable syncer : Thread.t option;  (* anti-entropy loop over [cfg.peers] *)
   mutable metrics_d : unit Domain.t option;
   metrics_fd : Unix.file_descr option;
   metrics_path : string option;
@@ -585,7 +595,7 @@ let session t conn =
         Crd_fault.inject fp_sock_write;
         Proto.write_all conn s
       in
-      let finish ?journal ~spec outcome hw =
+      let finish ?journal ~nonce ~spec outcome hw =
         (match outcome with
         | Ok (reply, events, reports) ->
             let races = List.length reports in
@@ -600,7 +610,7 @@ let session t conn =
                database before the (faultable) reply write, so a lost
                reply still leaves the race durably counted. *)
             (match t.racedb with
-            | Some sink -> sink_publish sink ~spec reports
+            | Some sink -> sink_publish sink ~nonce ~spec reports
             | None -> ());
             if Crd_fault.fire fp_report_send then begin
               (* Deliberate stall (not an error): parks this worker with
@@ -638,19 +648,49 @@ let session t conn =
         try Unix.close conn with Unix.Unix_error _ -> ()
       in
       let hs = Crd_obs.Span.start m_handshake_seconds in
-      let handshake =
+      let wrap_io f =
         (* An idle or dead client must fail this session, not escape
            into the worker loop and look like a worker crash. *)
-        try Proto.read_handshake conn with
+        try f () with
         | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
             Error "idle timeout during handshake"
         | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
       in
-      match handshake with
+      match wrap_io (fun () -> Proto.read_preamble conn) with
       | Error msg ->
           Crd_obs.Span.finish hs;
           reject Handshake msg
-      | Ok { Proto.nonce; spec = spec_name } -> (
+      | Ok (Proto.Sync v) ->
+          (* A CRDY preamble on the shared listener: hand the socket to
+             Crd_sync. Sync exchanges are not sessions — no journal, no
+             stats row, no reject reply (the peer speaks sync frames). *)
+          Crd_obs.Span.finish hs;
+          (match t.racedb with
+          | None ->
+              Crd_sync.refuse conn "server runs without --racedb";
+              Crd_obs.Log.warn "sync_refused" [ ("reason", "no racedb") ]
+          | Some sink -> (
+              match
+                Crd_sync.serve ~timeout:cfg.idle_timeout ~version:v conn
+                  sink.db
+              with
+              | Ok s ->
+                  Crd_obs.Log.info "sync_served"
+                    [
+                      ("peer", s.Crd_sync.peer);
+                      ("sent", string_of_int s.Crd_sync.sent);
+                      ("received", string_of_int s.Crd_sync.received);
+                      ("applied", string_of_int s.Crd_sync.applied);
+                    ]
+              | Error e -> Crd_obs.Log.warn "sync_failed" [ ("err", e) ]));
+          (try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+          (try Unix.close conn with Unix.Unix_error _ -> ())
+      | Ok Proto.Session -> (
+          match wrap_io (fun () -> Proto.read_handshake_body conn) with
+          | Error msg ->
+              Crd_obs.Span.finish hs;
+              reject Handshake msg
+          | Ok { Proto.nonce; spec = spec_name } -> (
           match resolve_spec_set cfg spec_name with
           | Error msg ->
               Crd_obs.Span.finish hs;
@@ -710,7 +750,16 @@ let session t conn =
                     | Some dir, Some j -> Some (dir, Journal.nonce j)
                     | _ -> None
                   in
-                  finish ?journal:journal_dest ~spec:spec_name outcome !hw)))
+                  (* Publish under the journal nonce when there is one:
+                     that is the name a post-crash replay will present,
+                     so the dedup matches replay against live. *)
+                  let publish_nonce =
+                    match journal_dest with
+                    | Some (_, jn) -> jn
+                    | None -> nonce
+                  in
+                  finish ?journal:journal_dest ~nonce:publish_nonce
+                    ~spec:spec_name outcome !hw))))
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop and worker pool                                         *)
@@ -925,12 +974,14 @@ let recover_journals t =
                     | Ok (reply, events, reports) ->
                         record t ~events ~races:(List.length reports)
                           ~error:false;
-                        (* Republishing a session the dead process may
-                           already have published is safe: the racedb
-                           identity is the fingerprint, so replays can
-                           inflate counts but never the race set. *)
+                        (* Publish under the session's journal nonce:
+                           if the dead process already published before
+                           the kill, [Db.publish] sees the nonce in its
+                           durable published set and drops the replay —
+                           counts never inflate. *)
                         (match t.racedb with
-                        | Some sink -> sink_publish sink ~spec:spec_name reports
+                        | Some sink ->
+                            sink_publish sink ~nonce ~spec:spec_name reports
                         | None -> ());
                         reply
                     | Error (kind, msg) ->
@@ -959,6 +1010,16 @@ let unix_socket_live path =
       | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
       | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Gone
       | exception Unix.Unix_error (e, _, _) -> `Unknown (Unix.error_message e))
+
+let resolve_host host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } ->
+        failwith (Printf.sprintf "cannot resolve host %s" host)
+    | h -> h.Unix.h_addr_list.(0)
+    | exception Not_found ->
+        failwith (Printf.sprintf "cannot resolve host %s" host))
 
 let bind_listen addr =
   match addr with
@@ -989,25 +1050,89 @@ let bind_listen addr =
       Unix.listen fd 64;
       (fd, Some path)
   | Tcp (host, port) ->
-      let ip =
-        try Unix.inet_addr_of_string host
-        with Failure _ -> (
-          match Unix.gethostbyname host with
-          | { Unix.h_addr_list = [||]; _ } ->
-              failwith (Printf.sprintf "cannot resolve host %s" host)
-          | h -> h.Unix.h_addr_list.(0)
-          | exception Not_found ->
-              failwith (Printf.sprintf "cannot resolve host %s" host))
-      in
+      let ip = resolve_host host in
       let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
       Unix.setsockopt fd Unix.SO_REUSEADDR true;
       Unix.bind fd (Unix.ADDR_INET (ip, port));
       Unix.listen fd 64;
       (fd, None)
 
+let connect addr =
+  let sock domain sockaddr =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd sockaddr
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+  in
+  match addr with
+  | Unix_sock path -> sock Unix.PF_UNIX (Unix.ADDR_UNIX path)
+  | Tcp (host, port) ->
+      sock Unix.PF_INET (Unix.ADDR_INET (resolve_host host, port))
+
+(* --- anti-entropy over [cfg.peers] --------------------------------- *)
+
+let sync_once sink addr =
+  match
+    Crd_fault.inject Crd_sync.fp_connect;
+    connect addr
+  with
+  | exception Crd_fault.Injected p -> Error ("fault injected: " ^ p)
+  | exception Failure m -> Error m
+  | exception Unix.Unix_error (e, fn, _) ->
+      Error (Printf.sprintf "%s(%s)" (Unix.error_message e) fn)
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () -> Crd_sync.client fd sink.db)
+
+(* Round-robin over the peer list, one exchange per tick. The delay is
+   full-jitter ([0.5x, 1.5x]) so restarted fleets do not thunder in
+   lockstep, and doubles per consecutive failure against a peer (capped
+   at 60 s) so a dead peer costs one cheap connect a minute, not a
+   busy-loop. *)
+let sync_loop t sink =
+  let peers = Array.of_list t.cfg.peers in
+  let n = Array.length peers in
+  let streak = Array.make n 0 in
+  let rng =
+    Random.State.make
+      [| Unix.getpid (); int_of_float (Unix.gettimeofday () *. 1e6) |]
+  in
+  let sleep s =
+    let until = Unix.gettimeofday () +. s in
+    while (not (Atomic.get t.stopping)) && Unix.gettimeofday () < until do
+      Unix.sleepf 0.05
+    done
+  in
+  let i = ref 0 in
+  while not (Atomic.get t.stopping) do
+    let k = !i mod n in
+    incr i;
+    let base = Float.max 0.05 (t.cfg.sync_interval /. float_of_int n) in
+    let d = Float.min 60. (base *. (2. ** float_of_int (min 6 streak.(k)))) in
+    sleep (d *. (0.5 +. Random.State.float rng 1.));
+    if not (Atomic.get t.stopping) then begin
+      let peer = Fmt.str "%a" pp_addr peers.(k) in
+      match sync_once sink peers.(k) with
+      | Ok s ->
+          streak.(k) <- 0;
+          Crd_obs.Log.info "sync_exchange"
+            [ ("peer", peer); ("summary", Fmt.str "%a" Crd_sync.pp_summary s) ]
+      | Error e ->
+          streak.(k) <- streak.(k) + 1;
+          Crd_obs.Log.warn "sync_peer_failed"
+            [ ("peer", peer); ("err", e); ("streak", string_of_int streak.(k)) ]
+    end
+  done
+
 let start cfg =
   (* A dead client must surface as EPIPE on write, not kill the server. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  if cfg.peers <> [] && cfg.racedb = None then
+    Error "sync peers configured without a race database (--peers needs --racedb)"
+  else
   match bind_listen cfg.addr with
   | exception Failure msg -> Error msg
   | exception Unix.Unix_error (e, fn, arg) ->
@@ -1072,6 +1197,7 @@ let start cfg =
               deaths = Bqueue.create ~capacity:(max 16 workers) ();
               graveyard = [];
               supervisor = None;
+              syncer = None;
               metrics_d = None;
               metrics_fd = Option.map fst metrics;
               metrics_path = Option.bind metrics snd;
@@ -1098,6 +1224,10 @@ let start cfg =
             spawn_worker t idx
           done;
           t.supervisor <- Some (Thread.create (fun () -> supervisor_loop t) ());
+          (match (t.racedb, t.cfg.peers) with
+          | Some sink, _ :: _ ->
+              t.syncer <- Some (Thread.create (fun () -> sync_loop t sink) ())
+          | _ -> ());
           t.accept_d <- Some (Domain.spawn (fun () -> accept_loop t));
           (match t.metrics_fd with
           | Some mfd ->
@@ -1131,6 +1261,9 @@ let stop t =
       t.slots;
     List.iter Domain.join t.graveyard;
     t.graveyard <- [];
+    (* The syncer holds a reference to the db: retire it before the
+       sink releases the store. *)
+    (match t.syncer with Some th -> Thread.join th | None -> ());
     (* Workers are gone, so no session can publish anymore: drain the
        racedb queue, sync and release the store. *)
     (match t.racedb with Some sink -> sink_stop sink | None -> ());

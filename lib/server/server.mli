@@ -85,6 +85,18 @@ type config = {
           publisher thread ([racedb_published_total],
           [racedb_dropped_total], [racedb_publish_errors_total]).
           [None] (the default) disables publication. *)
+  peers : addr list;
+      (** other rd2 servers to anti-entropy the race database with: a
+          background thread round-robins the list, running one
+          {!Crd_sync} exchange per tick with full-jitter scheduling and
+          per-peer exponential backoff (capped at 60 s) on failure.
+          Requires {!field-racedb}; [[]] (the default) disables the
+          loop. Peers also reach {e this} server through the regular
+          listener — a ["CRDY"] preamble on {!field-addr} routes the
+          connection to {!Crd_sync.serve}. *)
+  sync_interval : float;
+      (** target seconds for one full round over {!field-peers}
+          (default 30); each peer's tick is jittered in [0.5x, 1.5x] *)
 }
 
 val default_config : addr:addr -> config
@@ -135,6 +147,11 @@ val stats : t -> stats
 
 val serve : config -> (stats, string) result
 (** {!start}, then block until SIGTERM or SIGINT, then {!stop}. *)
+
+val connect : addr -> Unix.file_descr
+(** Open a client connection to [addr] (used by [rd2 sync] and the
+    anti-entropy loop). Raises [Unix.Unix_error] or [Failure] on
+    connect/resolve errors. *)
 
 val inject_accept_error : t -> Unix.error -> unit
 (** Test instrumentation: the next time the accept loop wakes up for a

@@ -1,0 +1,299 @@
+module Db = Crd_racedb.Db
+module Entry = Crd_racedb.Entry
+module Vv = Crd_racedb.Vv
+module Codec = Crd_wire.Codec
+
+(* --- observability ------------------------------------------------- *)
+
+let m_exchanges =
+  Crd_obs.counter ~help:"Sync exchanges completed" "sync_exchanges_total"
+
+let m_failures =
+  Crd_obs.counter ~help:"Sync exchanges failed (fault, I/O, protocol)"
+    "sync_failures_total"
+
+let m_sent =
+  Crd_obs.counter ~help:"Racedb entries sent to peers" "sync_entries_sent_total"
+
+let m_received =
+  Crd_obs.counter ~help:"Racedb entries received from peers"
+    "sync_entries_recv_total"
+
+let m_applied =
+  Crd_obs.counter ~help:"Received entries that changed local state"
+    "sync_entries_applied_total"
+
+let m_bytes_sent =
+  Crd_obs.counter ~help:"Sync frame bytes written" "sync_bytes_sent_total"
+
+let m_bytes_recv =
+  Crd_obs.counter ~help:"Sync frame bytes read" "sync_bytes_recv_total"
+
+let h_exchange =
+  Crd_obs.histogram ~help:"Wall time of one sync exchange" "sync_seconds"
+
+(* --- fault points --------------------------------------------------- *)
+
+let fp_connect = Crd_fault.point "sync_connect"
+let fp_read = Crd_fault.point "sync_read"
+let fp_write = Crd_fault.point "sync_write"
+let fp_merge = Crd_fault.point "sync_merge"
+
+(* --- fd plumbing ---------------------------------------------------- *)
+
+let max_frame_bytes = 1 lsl 28
+let delta_batch = 64
+
+let set_timeouts fd timeout =
+  if timeout > 0. then begin
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout
+     with Unix.Unix_error _ | Invalid_argument _ -> ());
+    try Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+    with Unix.Unix_error _ | Invalid_argument _ -> ()
+  end
+
+let write_all fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then go (off + Unix.write fd b off (len - off))
+  in
+  go 0
+
+let read_exact fd n ~what =
+  let b = Bytes.create n in
+  let rec go off =
+    if off < n then
+      match Unix.read fd b off (n - off) with
+      | 0 -> failwith (Printf.sprintf "sync: eof reading %s" what)
+      | k -> go (off + k)
+  in
+  go 0;
+  Bytes.unsafe_to_string b
+
+let read_varint_fd fd ~what =
+  let b = Bytes.create 1 in
+  let rec go acc shift n =
+    if shift > 56 then failwith "sync: varint overflow";
+    match Unix.read fd b 0 1 with
+    | 0 -> failwith (Printf.sprintf "sync: eof reading %s" what)
+    | _ ->
+        let c = Char.code (Bytes.get b 0) in
+        let acc = acc lor ((c land 0x7f) lsl shift) in
+        if c land 0x80 = 0 then (acc, n + 1) else go acc (shift + 7) (n + 1)
+  in
+  go 0 0 0
+
+let write_frame fd payload =
+  Crd_fault.inject fp_write;
+  let b = Buffer.create (String.length payload + 4) in
+  Codec.add_varint b (String.length payload);
+  Buffer.add_string b payload;
+  let s = Buffer.contents b in
+  write_all fd s;
+  Crd_obs.Counter.add m_bytes_sent (String.length s)
+
+let read_frame fd =
+  Crd_fault.inject fp_read;
+  let len, hdr = read_varint_fd fd ~what:"frame length" in
+  if len <= 0 || len > max_frame_bytes then failwith "sync: bad frame length";
+  let p = read_exact fd len ~what:"frame" in
+  Crd_obs.Counter.add m_bytes_recv (len + hdr);
+  p
+
+(* --- frame payloads ------------------------------------------------- *)
+
+type frame =
+  | Hello of string * Vv.t
+  | Delta of Entry.t list
+  | Ack of Vv.t * int
+  | Refused of string
+
+let hello_payload ~node ~vv =
+  let b = Buffer.create 64 in
+  Buffer.add_char b (Char.chr Codec.sync_hello);
+  Codec.add_varint b (String.length node);
+  Buffer.add_string b node;
+  Vv.encode b vv;
+  Buffer.contents b
+
+let delta_payload entries =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b (Char.chr Codec.sync_delta);
+  Codec.add_varint b (List.length entries);
+  List.iter (Entry.encode b) entries;
+  Buffer.contents b
+
+let ack_payload ~vv ~applied =
+  let b = Buffer.create 64 in
+  Buffer.add_char b (Char.chr Codec.sync_ack);
+  Vv.encode b vv;
+  Codec.add_varint b applied;
+  Buffer.contents b
+
+let error_payload msg =
+  let msg =
+    if String.length msg > 512 then String.sub msg 0 512 else msg
+  in
+  let b = Buffer.create (String.length msg + 4) in
+  Buffer.add_char b (Char.chr Codec.sync_error);
+  Codec.add_varint b (String.length msg);
+  Buffer.add_string b msg;
+  Buffer.contents b
+
+let parse_frame p =
+  if p = "" then failwith "sync: empty frame";
+  let kind = Char.code p.[0] in
+  if kind = Codec.sync_hello then begin
+    let n, pos = Codec.get_varint p 1 in
+    if n <= 0 || n > Vv.node_max_bytes || pos + n > String.length p then
+      failwith "sync: bad peer node id";
+    let node = String.sub p pos n in
+    let vv, _ = Vv.decode p (pos + n) in
+    Hello (node, vv)
+  end
+  else if kind = Codec.sync_delta then begin
+    let n, pos = Codec.get_varint p 1 in
+    if n < 0 || n > 1 lsl 20 then failwith "sync: bad delta count";
+    let rec go acc n pos =
+      if n = 0 then Delta (List.rev acc)
+      else
+        let e, pos = Entry.decode p pos in
+        go (e :: acc) (n - 1) pos
+    in
+    go [] n pos
+  end
+  else if kind = Codec.sync_ack then begin
+    let vv, pos = Vv.decode p 1 in
+    let applied, _ = Codec.get_varint p pos in
+    Ack (vv, applied)
+  end
+  else if kind = Codec.sync_error then begin
+    let n, pos = Codec.get_varint p 1 in
+    if n < 0 || pos + n > String.length p then failwith "sync: bad error";
+    Refused (String.sub p pos n)
+  end
+  else failwith (Printf.sprintf "sync: unknown frame kind %d" kind)
+
+(* --- the exchange --------------------------------------------------- *)
+
+type summary = {
+  peer : string;
+  sent : int;
+  received : int;
+  applied : int;
+  peer_applied : int;
+}
+
+let pp_summary ppf s =
+  Fmt.pf ppf "peer %s: sent %d, received %d, applied %d (peer applied %d)"
+    s.peer s.sent s.received s.applied s.peer_applied
+
+(* Stream every entry the peer (at [since]) has not seen, in batches,
+   closed by an ACK carrying our current vector and how many of the
+   peer's entries we applied so far. *)
+let send_deltas fd db ~since ~applied =
+  let es = Db.delta db ~since in
+  let rec batches = function
+    | [] -> ()
+    | es ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | e :: rest -> take (n - 1) (e :: acc) rest
+        in
+        let batch, rest = take delta_batch [] es in
+        write_frame fd (delta_payload batch);
+        batches rest
+  in
+  batches es;
+  write_frame fd (ack_payload ~vv:(Db.version db) ~applied);
+  let n = List.length es in
+  Crd_obs.Counter.add m_sent n;
+  n
+
+(* Buffer delta batches until the peer's ACK, then apply them in one
+   merge. The all-or-nothing apply is load-bearing: the version vector
+   is the pointwise max over stored entry [ver]s, so merging a prefix
+   of the stream can advance it past entries never received — the next
+   round's [delta ~since] would then silently skip them forever. A
+   stream that dies early must therefore apply nothing; the retry
+   re-sends the full delta and the merge stays idempotent. *)
+let recv_deltas fd db =
+  let rec go acc received =
+    match parse_frame (read_frame fd) with
+    | Delta es -> go (es :: acc) (received + List.length es)
+    | Ack (_vv, peer_applied) ->
+        (List.concat (List.rev acc), received, peer_applied)
+    | Refused m -> failwith ("sync: peer error: " ^ m)
+    | Hello _ -> failwith "sync: unexpected hello"
+  in
+  let entries, received, peer_applied = go [] 0 in
+  Crd_fault.inject fp_merge;
+  let applied = Db.merge db entries in
+  Crd_obs.Counter.add m_received received;
+  Crd_obs.Counter.add m_applied applied;
+  (received, applied, peer_applied)
+
+let fail m =
+  Crd_obs.Counter.incr m_failures;
+  Error m
+
+let run f =
+  Crd_obs.time h_exchange @@ fun () ->
+  match f () with
+  | v ->
+      Crd_obs.Counter.incr m_exchanges;
+      Ok v
+  | exception Failure m -> fail m
+  | exception Crd_fault.Injected m -> fail ("fault injected: " ^ m)
+  | exception Unix.Unix_error (e, fn, _) ->
+      fail (Printf.sprintf "sync: %s(%s)" (Unix.error_message e) fn)
+
+let expect_hello fd =
+  match parse_frame (read_frame fd) with
+  | Hello (node, vv) -> (node, vv)
+  | Refused m -> failwith ("sync: peer refused: " ^ m)
+  | Delta _ | Ack _ -> failwith "sync: expected hello"
+
+let client ?(timeout = 30.) fd db =
+  run
+    (fun () ->
+      set_timeouts fd timeout;
+      Crd_fault.inject fp_write;
+      write_all fd
+        (Codec.sync_magic ^ String.make 1 (Char.chr Codec.sync_version));
+      Crd_obs.Counter.add m_bytes_sent 5;
+      write_frame fd (hello_payload ~node:(Db.node_id db) ~vv:(Db.version db));
+      let peer, peer_vv = expect_hello fd in
+      (* the peer streams its missing entries first, then we answer
+         with ours computed against the vector it advertised *)
+      let received, applied, _ = recv_deltas fd db in
+      let sent = send_deltas fd db ~since:peer_vv ~applied in
+      match parse_frame (read_frame fd) with
+      | Ack (_vv, peer_applied) -> { peer; sent; received; applied; peer_applied }
+      | Refused m -> failwith ("sync: peer error: " ^ m)
+      | Delta _ | Hello _ -> failwith "sync: expected final ack")
+
+
+let serve ?(timeout = 30.) ~version fd db =
+  run
+    (fun () ->
+      if version <> Codec.sync_version then begin
+        (try write_frame fd
+           (error_payload (Printf.sprintf "unsupported sync version %d" version))
+         with _ -> ());
+        failwith (Printf.sprintf "sync: unsupported version %d" version)
+      end;
+      set_timeouts fd timeout;
+      let peer, peer_vv = expect_hello fd in
+      write_frame fd (hello_payload ~node:(Db.node_id db) ~vv:(Db.version db));
+      let sent = send_deltas fd db ~since:peer_vv ~applied:0 in
+      let received, applied, peer_applied = recv_deltas fd db in
+      write_frame fd (ack_payload ~vv:(Db.version db) ~applied);
+      { peer; sent; received; applied; peer_applied })
+
+
+let refuse fd msg =
+  try write_frame fd (error_payload msg) with
+  | Failure _ | Unix.Unix_error _ | Crd_fault.Injected _ -> ()

@@ -3,6 +3,16 @@ open Crd_trace
 
 let version = 1
 let magic = "CRDW"
+
+(* SYNC: the racedb replication exchange rides the same varint framing
+   (varint(len) payload) after its own magic; payloads open with a
+   frame-kind byte. Crd_sync owns the payload encodings. *)
+let sync_magic = "CRDY"
+let sync_version = 1
+let sync_hello = 1
+let sync_delta = 2
+let sync_ack = 3
+let sync_error = 4
 let default_chunk_bytes = 32768
 
 (* A frame longer than this is rejected rather than buffered: one

@@ -32,6 +32,31 @@ open Crd_trace
 val version : int
 (** Wire format version written by this encoder (currently 1). *)
 
+(** {1 SYNC frames}
+
+    The racedb replication protocol ({!Crd_sync}) reuses the CRDW
+    varint framing after its own magic: a connection opens with
+    ["CRDY" version] and then exchanges [varint(len) payload] frames
+    whose payloads begin with one of the kind bytes below. *)
+
+val sync_magic : string
+(** ["CRDY"]. *)
+
+val sync_version : int
+(** Sync protocol version (currently 1). *)
+
+val sync_hello : int
+(** Frame kind: node id + version vector, opens both directions. *)
+
+val sync_delta : int
+(** Frame kind: a batch of replicated racedb entries. *)
+
+val sync_ack : int
+(** Frame kind: end of a delta stream — version vector + merged count. *)
+
+val sync_error : int
+(** Frame kind: human-readable refusal, connection closes after. *)
+
 (** {1 Errors} *)
 
 type error =

@@ -7,6 +7,7 @@ open Crd
 module Db = Crd_racedb.Db
 module Record = Crd_racedb.Record
 module Rollup = Crd_racedb.Rollup
+module Entry = Crd_racedb.Entry
 module Gen = QCheck2.Gen
 
 let qcheck ?(count = 100) name gen prop =
@@ -247,15 +248,16 @@ let append_reopen () =
   Alcotest.(check int) "total live" 3 st.Db.total;
   Db.close db;
   (* read-only load and a fresh writable open agree *)
-  let es, st = Result.get_ok (Db.load dir) in
+  let v = Result.get_ok (Db.load dir) in
+  let es = v.Db.v_entries and st = v.Db.v_stats in
   Alcotest.(check int) "distinct after load" 2 st.Db.distinct;
   Alcotest.(check int) "total after load" 3 st.Db.total;
   let top = List.hd es in
-  Alcotest.(check int) "dedup count" 2 top.Db.count;
-  Alcotest.(check (float 0.)) "first_seen" 10. top.Db.first_seen;
-  Alcotest.(check (float 0.)) "last_seen" 20. top.Db.last_seen;
+  Alcotest.(check int) "dedup count" 2 (Entry.count top);
+  Alcotest.(check (float 0.)) "first_seen" 10. top.Entry.first_seen;
+  Alcotest.(check (float 0.)) "last_seen" 20. top.Entry.last_seen;
   Alcotest.(check (float 0.)) "sample is the earliest" 10.
-    top.Db.sample.Record.ts;
+    top.Entry.sample.Record.ts;
   let db = Result.get_ok (Db.open_db dir) in
   let st = Db.stats db in
   Alcotest.(check int) "reopen total" 3 st.Db.total;
@@ -294,10 +296,10 @@ let torn_tail_every_offset () =
   let bytes = In_channel.with_open_bin seg In_channel.input_all in
   (* the last frame starts where a scan of the first two ends *)
   let frame r =
-    let payload = Record.encode r in
-    (* varint(len) + payload + crc32 *)
+    (* varint(len) + 'R' tag + record + crc32 *)
+    let payload_len = 1 + String.length (Record.encode r) in
     let rec varint_len n = if n < 0x80 then 1 else 1 + varint_len (n lsr 7) in
-    varint_len (String.length payload) + String.length payload + 4
+    varint_len payload_len + payload_len + 4
   in
   let last_start =
     frame (mk_record ~key:"a" 1.) + frame (mk_record ~key:"b" 2.)
@@ -313,7 +315,7 @@ let torn_tail_every_offset () =
     Out_channel.with_open_bin marker (fun oc ->
         Out_channel.output_string oc "0\n");
     (* read-only load observes without repairing *)
-    let _, st = Result.get_ok (Db.load dir) in
+    let st = (Result.get_ok (Db.load dir)).Db.v_stats in
     Alcotest.(check int)
       (Printf.sprintf "load at cut %d keeps the clean prefix" cut)
       2 st.Db.total;
@@ -333,7 +335,7 @@ let torn_tail_every_offset () =
     st.Db.truncated_bytes;
   Db.append db (mk_record ~key:"c" 3.);
   Db.close db;
-  let _, st = Result.get_ok (Db.load dir) in
+  let st = (Result.get_ok (Db.load dir)).Db.v_stats in
   Alcotest.(check int) "store heals and grows" 3 st.Db.total;
   Alcotest.(check int) "no damage after repair" 0 st.Db.truncated_bytes
 
@@ -353,11 +355,12 @@ let compaction () =
   Alcotest.(check int) "segments folded away" 1 after.Db.segments;
   Alcotest.(check int) "counts survive compaction" 200 after.Db.total;
   Db.close db;
-  let es, st = Result.get_ok (Db.load dir) in
+  let v = Result.get_ok (Db.load dir) in
+  let es = v.Db.v_entries and st = v.Db.v_stats in
   Alcotest.(check int) "reload from index: distinct" 5 st.Db.distinct;
   Alcotest.(check int) "reload from index: total" 200 st.Db.total;
   let e = List.hd es in
-  Alcotest.(check int) "rollups persisted" e.Db.count (Rollup.total e.Db.minutes)
+  Alcotest.(check int) "rollups persisted" (Entry.count e) (Rollup.total e.Entry.minutes)
 
 let compaction_abort_is_harmless () =
   let dir = fresh_dir () in
@@ -381,7 +384,7 @@ let compaction_abort_is_harmless () =
       | Ok n -> Alcotest.(check int) "retry compacts" 4 n
       | Error e -> Alcotest.failf "retry: %s" e);
   Db.close db;
-  let _, st = Result.get_ok (Db.load dir) in
+  let st = (Result.get_ok (Db.load dir)).Db.v_stats in
   Alcotest.(check int) "counts intact after abort+retry" 51 st.Db.total
 
 (* SIGKILL-shaped crash: copy the store mid-stream (no close, no final
@@ -404,7 +407,7 @@ let crash_copy_recovers_everything () =
         Out_channel.with_open_bin (Filename.concat crash f) (fun oc ->
             Out_channel.output_string oc s))
     (Sys.readdir dir);
-  let _, st = Result.get_ok (Db.load crash) in
+  let st = (Result.get_ok (Db.load crash)).Db.v_stats in
   Alcotest.(check int) "every append survives the kill" 25 st.Db.total;
   Alcotest.(check int) "all past the marker" 25 st.Db.salvaged;
   Db.close db
@@ -417,7 +420,7 @@ let select_filters () =
   Db.append db (mk_record ~key:"b" ~name:"counter:c" 30.);
   let es = Db.entries db in
   Alcotest.(check int) "snapshot size" 2 (List.length es);
-  Alcotest.(check int) "most frequent first" 2 (List.hd es).Db.count;
+  Alcotest.(check int) "most frequent first" 2 (Entry.count (List.hd es));
   Alcotest.(check int) "top=1" 1 (List.length (Db.select ~top:1 es));
   Alcotest.(check int) "since filters by last_seen" 1
     (List.length (Db.select ~since:25. es));

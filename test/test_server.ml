@@ -715,14 +715,15 @@ let racedb_publication () =
         (Some (Report.distinct races))
         distinct;
       ignore (send_exn ~addr trace));
-  let es, st = Result.get_ok (Crd_racedb.Db.load dir) in
+  let v = Result.get_ok (Crd_racedb.Db.load dir) in
+  let es = v.Crd_racedb.Db.v_entries and st = v.Crd_racedb.Db.v_stats in
   Alcotest.(check int)
     "db total = 2 sessions of races" (2 * List.length races) st.Crd_racedb.Db.total;
   let folded =
     List.sort compare
       (List.map
-         (fun (e : Crd_racedb.Db.entry) ->
-           (e.Crd_racedb.Db.fingerprint, e.Crd_racedb.Db.count))
+         (fun (e : Crd_racedb.Entry.t) ->
+           (e.Crd_racedb.Entry.fingerprint, Crd_racedb.Entry.count e))
          es)
   in
   Alcotest.(check (list (pair int64 int)))
@@ -747,13 +748,50 @@ let racedb_journal_replay () =
     (fun ~addr:_ ~server ->
       Alcotest.(check int)
         "one recovered session" 1 (Server.stats server).Server.recovered);
-  let es, _ = Result.get_ok (Crd_racedb.Db.load dbdir) in
+  let es = (Result.get_ok (Crd_racedb.Db.load dbdir)).Crd_racedb.Db.v_entries in
   Alcotest.(check (list (pair int64 int)))
     "replayed fold = offline fold" expected
     (List.sort compare
        (List.map
-          (fun (e : Crd_racedb.Db.entry) ->
-            (e.Crd_racedb.Db.fingerprint, e.Crd_racedb.Db.count))
+          (fun (e : Crd_racedb.Entry.t) ->
+            (e.Crd_racedb.Entry.fingerprint, Crd_racedb.Entry.count e))
+          es))
+
+(* Regression: a SIGKILLed process that had already published its
+   session must not publish it again when the committed journal is
+   replayed on restart. The batch frame carries the session nonce and
+   the store's durable published-nonce set drops the replay. *)
+let racedb_replay_no_double_count () =
+  let trace = snitch_trace () in
+  let races = offline_races trace in
+  let expected = fingerprint_fold races in
+  let jdir = fresh_dir "crd-racedb-dd-j" in
+  let dbdir = fresh_dir "crd-racedb-dd-db" in
+  let j = Journal.start ~dir:jdir ~nonce:"dedup1" ~spec:"std" in
+  Journal.append j (encode_trace trace);
+  Journal.commit j;
+  Journal.close j;
+  (* what the dead process did before the kill: publish, but never
+     write the .report that would retire the journal *)
+  let db = Result.get_ok (Crd_racedb.Db.open_db dbdir) in
+  ignore
+    (Crd_racedb.Db.publish db ~nonce:"dedup1"
+       (List.map (fun r -> Crd_racedb.Record.make ~ts:1000. ~spec:"std" r) races)
+      : bool);
+  Crd_racedb.Db.close db;
+  with_server
+    ~f_config:(fun c ->
+      { c with Server.journal = Some jdir; racedb = Some dbdir })
+    (fun ~addr:_ ~server ->
+      Alcotest.(check int)
+        "journal replayed" 1 (Server.stats server).Server.recovered);
+  let es = (Result.get_ok (Crd_racedb.Db.load dbdir)).Crd_racedb.Db.v_entries in
+  Alcotest.(check (list (pair int64 int)))
+    "replay did not inflate counts" expected
+    (List.sort compare
+       (List.map
+          (fun (e : Crd_racedb.Entry.t) ->
+            (e.Crd_racedb.Entry.fingerprint, Crd_racedb.Entry.count e))
           es))
 
 let suite =
@@ -787,6 +825,8 @@ let suite =
       Alcotest.test_case "racedb publication = offline fold" `Quick
         racedb_publication;
       Alcotest.test_case "racedb journal replay" `Quick racedb_journal_replay;
+      Alcotest.test_case "racedb replay never double-counts" `Quick
+        racedb_replay_no_double_count;
       Alcotest.test_case "SIGKILL crash recovery" `Quick
         sigkill_crash_recovery;
       Alcotest.test_case "SIGTERM graceful drain" `Quick
