@@ -278,9 +278,13 @@ let sort_entries es =
      'R' record            one locally-observed record
      'B' session batch     nonce + all records of one session, atomic
      'M' merged entry      post-merge snapshot of a replicated entry
-   A batch is a single checksummed frame so session publication is
-   all-or-nothing: a torn tail can never leave half a session behind
-   the published-nonce marker it carries. *)
+     'G' merge batch       all entries changed by one [merge], atomic
+   A batch ('B' or 'G') is a single checksummed frame so session
+   publication and replica merges are all-or-nothing: a torn tail can
+   never leave half a session behind the published-nonce marker it
+   carries, nor a prefix of a merge behind a version vector that
+   claims the whole delta. Untagged frames are pre-replication (v1)
+   segments: a bare record payload, accepted for upgrade. *)
 
 let max_frame_bytes = 1 lsl 28
 let batch_chunk_records = 4096
@@ -312,11 +316,26 @@ let frame_batch ~nonce records =
     records;
   frame_of_payload (Buffer.contents b)
 
-let frame_entry e =
-  let b = Buffer.create 512 in
-  Buffer.add_char b 'M';
-  Entry.encode b e;
+(* 'M' single-entry frames are only ever read these days (segments
+   written before merges batched into 'G' frames); see [scan_segment]. *)
+let frame_merge_batch es =
+  let b = Buffer.create 4096 in
+  Buffer.add_char b 'G';
+  Codec.add_varint b (List.length es);
+  List.iter (Entry.encode b) es;
   frame_of_payload (Buffer.contents b)
+
+let decode_merge_batch payload =
+  (* payload.[0] = 'G' already consumed by the dispatcher *)
+  let n, pos = Codec.get_varint payload 1 in
+  if n < 0 || n > 1 lsl 24 then failwith "merge batch: bad entry count";
+  let rec go acc n pos =
+    if n = 0 then List.rev acc
+    else
+      let e, pos = Entry.decode payload pos in
+      go (e :: acc) (n - 1) pos
+  in
+  go [] n pos
 
 let decode_batch payload =
   (* payload.[0] = 'B' already consumed by the dispatcher *)
@@ -373,7 +392,21 @@ let scan_segment ~committed bytes ~record ~batch ~entry =
                   match Entry.decode payload 1 with
                   | exception Failure _ -> None
                   | e, _ -> Some (fun () -> entry e; 1))
+              | 'G' -> (
+                  match decode_merge_batch payload with
+                  | exception Failure _ -> None
+                  | es -> Some (fun () -> List.iter entry es; List.length es))
               | _ -> None
+            in
+            (* no tag matched (or its decode failed): try the whole
+               payload as a bare pre-replication (v1) record frame *)
+            let deliver =
+              match deliver with
+              | Some _ -> deliver
+              | None -> (
+                  match Record.decode payload with
+                  | Error _ -> None
+                  | Ok r -> Some (fun () -> record r; 1))
             in
             match deliver with
             | None -> stop := true
@@ -395,6 +428,24 @@ let read_marker dir id =
 
 let index_magic = "CRDX"
 let index_version = 2
+
+(* v1 (pre-replication) index body: watermark, then plain-count entries
+   with no published-nonce set and no vectors. Migrate every entry onto
+   [node] via {!Entry.decode_v1}, numbering vers in stored (fingerprint)
+   order — each open of an unmigrated store reassigns identical vectors,
+   and the first compaction rewrites the file as v2. *)
+let decode_index_v1 ~node s =
+  let node = if node = "" then "legacy" else node in
+  let folded_up_to, pos = Codec.get_varint s 5 in
+  let n, pos = Codec.get_varint s pos in
+  if n < 0 || n > 1 lsl 24 then failwith "index: bad entry count";
+  let rec go acc seq n pos =
+    if n = 0 then List.rev acc
+    else
+      let e, pos = Entry.decode_v1 ~node ~seq s pos in
+      go (e :: acc) (seq + 1) (n - 1) pos
+  in
+  (folded_up_to, [], go [] 1 n pos)
 
 let encode_index ~folded_up_to ~published es =
   let body = Buffer.create 4096 in
@@ -419,12 +470,17 @@ let encode_index ~folded_up_to ~published es =
   add_u32le b (crc32 body 0 (String.length body));
   Buffer.contents b
 
-let decode_index s =
+let decode_index ~node s =
   let len = String.length s in
   if len < 9 || String.sub s 0 4 <> index_magic then Error "index: bad magic"
-  else if Char.code s.[4] <> index_version then Error "index: bad version"
+  else if Char.code s.[4] <> index_version && Char.code s.[4] <> 1 then
+    Error "index: bad version"
   else if get_u32le s (len - 4) <> crc32 s 5 (len - 9) then
     Error "index: checksum mismatch"
+  else if Char.code s.[4] = 1 then
+    match decode_index_v1 ~node s with
+    | exception Failure m -> Error m
+    | v -> Ok v
   else
     match
       let folded_up_to, pos = Codec.get_varint s 5 in
@@ -499,7 +555,7 @@ let scan_store ~repair ~node dir =
   (match read_file (index_path dir) with
   | None -> ()
   | Some s -> (
-      match decode_index s with
+      match decode_index ~node s with
       | Error e -> failwith (Printf.sprintf "%s: %s" (index_path dir) e)
       | Ok (f, nonces, es) ->
           folded_up_to := f;
@@ -797,29 +853,57 @@ let publish t ~nonce records =
 
 let published t nonce = locked t @@ fun () -> Hashtbl.mem t.published nonce
 
+(* The apply is all-or-nothing: every change is staged off to the side,
+   then written as ONE checksummed 'G' frame, because the version
+   vector is the pointwise max over stored entry [ver]s — durably
+   applying a prefix of the batch would advance it past entries never
+   applied, and the peer's next [delta ~since] would skip them forever
+   (the invariant crd_sync.mli's failure model leans on). A crash mid-
+   write leaves a torn frame the next open discards whole; the fault
+   point fires before anything is staged or written. Memory is mutated
+   before the write so a compaction triggered by the append folds an
+   index consistent with the segment it retires. *)
 let merge t es =
   locked t @@ fun () ->
   if t.closed then invalid_arg "Crd_racedb.Db.merge: closed";
-  let changed = ref 0 in
+  Crd_fault.inject fp_append;
+  let staged = Hashtbl.create 16 in
   List.iter
     (fun (e : Entry.t) ->
-      let apply merged =
-        Crd_fault.inject fp_append;
-        let frame = frame_entry merged in
-        vv_absorb t.vvtbl e.Entry.ver;
-        Hashtbl.replace t.tbl e.Entry.fingerprint (ref merged);
-        append_frame_locked t frame ~records:1;
-        incr changed;
-        Crd_obs.Counter.incr m_merges
+      let cur =
+        match Hashtbl.find_opt staged e.Entry.fingerprint with
+        | Some m -> Some m
+        | None ->
+            Option.map (fun c -> !c) (Hashtbl.find_opt t.tbl e.Entry.fingerprint)
       in
-      match Hashtbl.find_opt t.tbl e.Entry.fingerprint with
-      | None -> apply (Entry.snapshot e)
-      | Some cell ->
-          let merged = Entry.merge !cell e in
-          if not (Entry.equal merged !cell) then apply merged)
+      match cur with
+      | None -> Hashtbl.replace staged e.Entry.fingerprint (Entry.snapshot e)
+      | Some cur ->
+          let merged = Entry.merge cur e in
+          if not (Entry.equal merged cur) then
+            Hashtbl.replace staged e.Entry.fingerprint merged)
     es;
-  if !changed > 0 then sync_locked t;
-  !changed
+  let changed =
+    Hashtbl.fold (fun _ m acc -> m :: acc) staged []
+    |> List.sort (fun (a : Entry.t) b ->
+           Int64.compare a.Entry.fingerprint b.Entry.fingerprint)
+  in
+  match changed with
+  | [] -> 0
+  | changed ->
+      let frame = frame_merge_batch changed in
+      if String.length frame > max_frame_bytes then
+        failwith "racedb merge: batch exceeds the frame limit";
+      List.iter
+        (fun (m : Entry.t) ->
+          vv_absorb t.vvtbl m.Entry.ver;
+          Hashtbl.replace t.tbl m.Entry.fingerprint (ref m))
+        changed;
+      let n = List.length changed in
+      append_frame_locked t frame ~records:n;
+      Crd_obs.Counter.add m_merges n;
+      sync_locked t;
+      n
 
 let version t = locked t @@ fun () -> vv_of_tbl t.vvtbl
 

@@ -15,7 +15,14 @@
     payload ::= 'R' record                      one local record
               | 'B' nonce record*               one session, atomic
               | 'M' entry                       merged replicated entry
+              | 'G' entry*                      one whole merge, atomic
     v}
+
+    Pre-replication stores are read transparently: a v1 [index.crdx]
+    (plain counts, no vectors) is migrated onto this node's G-counter
+    and version components at open — deterministically, so every open
+    before the first compaction rewrites it as v2 agrees — and bare
+    untagged record frames in old segments still replay.
 
     Appends go to the active (highest-numbered) segment and are folded
     into an in-memory index keyed by {!Report.fingerprint}; [sync]
@@ -97,11 +104,18 @@ val published : t -> string -> bool
 
 val merge : t -> Entry.t list -> int
 (** Merge replicated entries (the receive side of a sync exchange):
-    each entry joins its local counterpart via {!Entry.merge}; changed
-    results are appended durably as merged-entry frames and the store
-    is fsynced before returning. Entries already dominated by local
-    state write nothing, so re-merging a converged delta is a no-op.
-    Returns the number of entries that changed. *)
+    each entry joins its local counterpart via {!Entry.merge}; all
+    changed results are appended durably as a {e single} checksummed
+    merge-batch frame and the store is fsynced before returning, so the
+    apply is all-or-nothing — a crash or fault mid-merge can never
+    durably apply a prefix of the batch and advance [version] past
+    entries never applied. Entries already dominated by local state
+    write nothing, so re-merging a converged delta is a no-op. Returns
+    the number of distinct entries that changed.
+    @raise Failure if the encoded batch exceeds the frame limit
+    (256 MiB) — nothing is applied; split the batch and retry.
+    @raise Crd_fault.Injected when [racedb_append] fires (nothing is
+    staged or written). *)
 
 val version : t -> Vv.t
 (** Current version vector: pointwise max over all entry [ver]s. *)

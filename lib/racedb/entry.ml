@@ -113,6 +113,42 @@ let decode s pos =
   ( { fingerprint; counts; ver; first_seen; last_seen; sample; minutes; hours; days },
     pos + n )
 
+(* Pre-replication (index v1) entries carry a plain integer count and
+   no vectors; migrate both onto [node]'s components — the count as its
+   G-counter value, [seq] as its version — so an upgraded store gossips
+   its history as if this node had observed it all along. *)
+let decode_v1 ~node ~seq s pos =
+  let fingerprint = get_i64le s pos in
+  let pos = pos + 8 in
+  let count, pos = Codec.get_varint s pos in
+  if count <= 0 then failwith "entry: bad v1 count";
+  let first_seen = Int64.float_of_bits (get_i64le s pos) in
+  let last_seen = Int64.float_of_bits (get_i64le s (pos + 8)) in
+  let pos = pos + 16 in
+  let minutes, pos = Rollup.decode s pos in
+  let hours, pos = Rollup.decode s pos in
+  let days, pos = Rollup.decode s pos in
+  let n, pos = Codec.get_varint s pos in
+  if n < 0 || n > Record.max_bytes || pos + n > String.length s then
+    failwith "entry: bad sample";
+  let sample =
+    match Record.decode (String.sub s pos n) with
+    | Ok r -> r
+    | Error e -> failwith ("entry: " ^ e)
+  in
+  ( {
+      fingerprint;
+      counts = Vv.set Vv.empty node count;
+      ver = Vv.set Vv.empty node seq;
+      first_seen;
+      last_seen;
+      sample;
+      minutes;
+      hours;
+      days;
+    },
+    pos + n )
+
 let pp ppf e =
   Fmt.pf ppf "%016Lx n=%d counts=%a ver=%a" e.fingerprint (count e) Vv.pp
     e.counts Vv.pp e.ver

@@ -44,4 +44,12 @@ val decode : string -> int -> t * int
 (** Self-delimiting; returns the next offset.
     @raise Failure on malformed input. *)
 
+val decode_v1 : node:string -> seq:int -> string -> int -> t * int
+(** Decode a pre-replication (index v1) entry — plain integer count, no
+    vectors — migrating it onto [node]: the count becomes [node]'s
+    G-counter component and [seq] its [ver] component. Deterministic
+    given the same inputs, so re-migrating an unmodified v1 store
+    reassigns identical vectors.
+    @raise Failure on malformed input. *)
+
 val pp : t Fmt.t

@@ -46,7 +46,12 @@ let merge_into dst src =
 
 (* Slot-wise lattice join: per slot keep the lexicographically greater
    (bucket, count) pair. Unlike [merge_into] this never adds, so joining
-   replicas of the same ring is idempotent — the replication merge. *)
+   replicas of the same ring is idempotent — the replication merge.
+   The price of idempotence without per-node rings: when two nodes
+   independently observe the same fingerprint in the same bucket the
+   join keeps max(a, b), not a + b, so replicated time-series are
+   LOWER BOUNDS on the fleet-wide rate. The per-node G-counter
+   (Entry.counts) stays exact; query totals should come from it. *)
 let join dst src =
   if dst.res <> src.res then invalid_arg "Rollup.join: resolution mismatch";
   if Array.length dst.buckets <> Array.length src.buckets then

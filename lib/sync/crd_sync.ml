@@ -41,8 +41,24 @@ let fp_merge = Crd_fault.point "sync_merge"
 
 (* --- fd plumbing ---------------------------------------------------- *)
 
-let max_frame_bytes = 1 lsl 28
+(* Sync frames are small by construction — the sender flushes a delta
+   batch at [delta_batch] entries or [delta_soft_bytes], whichever
+   comes first, so one frame never much exceeds the soft limit plus a
+   single entry (itself bounded by Record.max_bytes + fixed rings).
+   16 MiB leaves an order of magnitude of slack while refusing the
+   gigabyte length prefixes a hostile peer could otherwise make us
+   allocate. *)
+let max_frame_bytes = 1 lsl 24
 let delta_batch = 64
+let delta_soft_bytes = 1 lsl 20
+
+(* Aggregate bounds on one exchange's buffered delta stream. The frames
+   must be held until the closing ACK (the all-or-nothing apply), and
+   the listener shares the unauthenticated session port — without a cap
+   any peer could stream frames indefinitely and OOM the server before
+   ever sending its ACK. *)
+let max_exchange_entries = 1 lsl 20
+let max_exchange_bytes = 1 lsl 26
 
 let set_timeouts fd timeout =
   if timeout > 0. then begin
@@ -117,13 +133,6 @@ let hello_payload ~node ~vv =
   Vv.encode b vv;
   Buffer.contents b
 
-let delta_payload entries =
-  let b = Buffer.create 1024 in
-  Buffer.add_char b (Char.chr Codec.sync_delta);
-  Codec.add_varint b (List.length entries);
-  List.iter (Entry.encode b) entries;
-  Buffer.contents b
-
 let ack_payload ~vv ~applied =
   let b = Buffer.create 64 in
   Buffer.add_char b (Char.chr Codec.sync_ack);
@@ -189,24 +198,37 @@ let pp_summary ppf s =
   Fmt.pf ppf "peer %s: sent %d, received %d, applied %d (peer applied %d)"
     s.peer s.sent s.received s.applied s.peer_applied
 
-(* Stream every entry the peer (at [since]) has not seen, in batches,
-   closed by an ACK carrying our current vector and how many of the
-   peer's entries we applied so far. *)
+let refuse fd msg =
+  try write_frame fd (error_payload msg) with
+  | Failure _ | Unix.Unix_error _ | Crd_fault.Injected _ -> ()
+
+(* Stream every entry the peer (at [since]) has not seen, in batches
+   bounded by entry count AND encoded size (so frames stay far under
+   [max_frame_bytes]), closed by an ACK carrying our current vector and
+   how many of the peer's entries we applied so far. *)
 let send_deltas fd db ~since ~applied =
   let es = Db.delta db ~since in
-  let rec batches = function
-    | [] -> ()
-    | es ->
-        let rec take n acc = function
-          | rest when n = 0 -> (List.rev acc, rest)
-          | [] -> (List.rev acc, [])
-          | e :: rest -> take (n - 1) (e :: acc) rest
-        in
-        let batch, rest = take delta_batch [] es in
-        write_frame fd (delta_payload batch);
-        batches rest
+  let entries_buf = Buffer.create 4096 in
+  let count = ref 0 in
+  let flush () =
+    if !count > 0 then begin
+      let b = Buffer.create (Buffer.length entries_buf + 8) in
+      Buffer.add_char b (Char.chr Codec.sync_delta);
+      Codec.add_varint b !count;
+      Buffer.add_buffer b entries_buf;
+      write_frame fd (Buffer.contents b);
+      Buffer.clear entries_buf;
+      count := 0
+    end
   in
-  batches es;
+  List.iter
+    (fun e ->
+      Entry.encode entries_buf e;
+      incr count;
+      if !count >= delta_batch || Buffer.length entries_buf >= delta_soft_bytes
+      then flush ())
+    es;
+  flush ();
   write_frame fd (ack_payload ~vv:(Db.version db) ~applied);
   let n = List.length es in
   Crd_obs.Counter.add m_sent n;
@@ -220,15 +242,24 @@ let send_deltas fd db ~since ~applied =
    stream that dies early must therefore apply nothing; the retry
    re-sends the full delta and the merge stays idempotent. *)
 let recv_deltas fd db =
-  let rec go acc received =
-    match parse_frame (read_frame fd) with
-    | Delta es -> go (es :: acc) (received + List.length es)
+  let rec go acc received bytes =
+    let p = read_frame fd in
+    match parse_frame p with
+    | Delta es ->
+        let received = received + List.length es in
+        let bytes = bytes + String.length p in
+        if received > max_exchange_entries || bytes > max_exchange_bytes
+        then begin
+          refuse fd "delta stream exceeds exchange limits";
+          failwith "sync: delta stream exceeds exchange limits"
+        end;
+        go (es :: acc) received bytes
     | Ack (_vv, peer_applied) ->
         (List.concat (List.rev acc), received, peer_applied)
     | Refused m -> failwith ("sync: peer error: " ^ m)
     | Hello _ -> failwith "sync: unexpected hello"
   in
-  let entries, received, peer_applied = go [] 0 in
+  let entries, received, peer_applied = go [] 0 0 in
   Crd_fault.inject fp_merge;
   let applied = Db.merge db entries in
   Crd_obs.Counter.add m_received received;
@@ -292,8 +323,3 @@ let serve ?(timeout = 30.) ~version fd db =
       let received, applied, peer_applied = recv_deltas fd db in
       write_frame fd (ack_payload ~vv:(Db.version db) ~applied);
       { peer; sent; received; applied; peer_applied })
-
-
-let refuse fd msg =
-  try write_frame fd (error_payload msg) with
-  | Failure _ | Unix.Unix_error _ | Crd_fault.Injected _ -> ()

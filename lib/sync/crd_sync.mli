@@ -33,8 +33,18 @@
     past entries never received and the next round would skip them
     forever. A connection dying mid-delta therefore applies nothing;
     the retry re-sends the full delta and the merge stays idempotent.
-    No exchange ever blocks a server's ingest path: the single apply
-    takes the db lock once, not for the connection's lifetime. *)
+    The apply itself is a single durable merge-batch frame
+    ({!Crd_racedb.Db.merge}), so a crash or injected fault {e inside}
+    the merge also applies nothing. No exchange ever blocks a server's
+    ingest path: the single apply takes the db lock once, not for the
+    connection's lifetime.
+
+    Because the stream must be buffered until its ACK and the listener
+    shares the unauthenticated session port, one exchange's delta
+    stream is capped (2^20 entries, 64 MiB of frame payload; frames
+    themselves at 16 MiB). A peer exceeding the caps gets a best-effort
+    [sync_error] frame and the exchange fails without applying
+    anything. *)
 
 type summary = {
   peer : string;  (** the peer's node id *)

@@ -432,6 +432,126 @@ let select_filters () =
     (List.length (Db.select ~spec:"custom" es));
   Db.close db
 
+(* --- v1 (pre-replication) store migration --------------------------- *)
+
+(* Byte-for-byte what the pre-replication code wrote: a v1 index
+   (plain counts, no vectors, no nonce set) plus untagged record
+   frames. Upgraded binaries must open these, not refuse them. *)
+
+let crc_table =
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
+
+let crc32 s =
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch -> c := crc_table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff
+
+let add_u32le b v =
+  for i = 0 to 3 do
+    Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let add_i64le b v =
+  for i = 0 to 7 do
+    Buffer.add_char b
+      (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff))
+  done
+
+let v1_frame r =
+  let payload = Record.encode r in
+  let b = Buffer.create 64 in
+  Crd_wire.Codec.add_varint b (String.length payload);
+  Buffer.add_string b payload;
+  add_u32le b (crc32 payload);
+  Buffer.contents b
+
+let v1_entry b ~count (r : Record.t) =
+  add_i64le b (Record.fingerprint r);
+  Crd_wire.Codec.add_varint b count;
+  add_i64le b (Int64.bits_of_float r.Record.ts);
+  add_i64le b (Int64.bits_of_float r.Record.ts);
+  let minutes = Rollup.create ~res:60 ~slots:60 in
+  let hours = Rollup.create ~res:3600 ~slots:48 in
+  let days = Rollup.create ~res:86400 ~slots:30 in
+  Rollup.add ~count minutes r.Record.ts;
+  Rollup.add ~count hours r.Record.ts;
+  Rollup.add ~count days r.Record.ts;
+  Rollup.encode b minutes;
+  Rollup.encode b hours;
+  Rollup.encode b days;
+  let sample = Record.encode r in
+  Crd_wire.Codec.add_varint b (String.length sample);
+  Buffer.add_string b sample
+
+let v1_index ~folded_up_to entries =
+  let body = Buffer.create 256 in
+  Crd_wire.Codec.add_varint body folded_up_to;
+  Crd_wire.Codec.add_varint body (List.length entries);
+  List.iter (fun (count, r) -> v1_entry body ~count r) entries;
+  let body = Buffer.contents body in
+  let b = Buffer.create (String.length body + 16) in
+  Buffer.add_string b "CRDX";
+  Buffer.add_char b '\x01';
+  Buffer.add_string b body;
+  add_u32le b (crc32 body);
+  Buffer.contents b
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let v1_store_migrates () =
+  let dir = fresh_dir () in
+  Unix.mkdir dir 0o755;
+  let r_idx = mk_record ~key:"folded" 100. in
+  let r_seg = mk_record ~key:"live" 200. in
+  (* seg-1 was compacted into the index (count 3); seg-2 is still live *)
+  write_file (Filename.concat dir "index.crdx")
+    (v1_index ~folded_up_to:1 [ (3, r_idx) ]);
+  let seg = v1_frame r_seg in
+  write_file (Filename.concat dir "seg-00000002.log") seg;
+  write_file (Filename.concat dir "seg-00000002.ok")
+    (Printf.sprintf "%d\n" (String.length seg));
+  (* read-only load migrates without touching anything *)
+  let v = Result.get_ok (Db.load dir) in
+  Alcotest.(check int) "load: distinct" 2 v.Db.v_stats.Db.distinct;
+  Alcotest.(check int) "load: total" 4 v.Db.v_stats.Db.total;
+  (* writable open attributes history to the freshly minted node id,
+     identically on every open until compaction rewrites the index *)
+  let count_of db fp =
+    match
+      List.find_opt (fun (e : Entry.t) -> e.Entry.fingerprint = fp) (Db.entries db)
+    with
+    | Some e -> Entry.count e
+    | None -> 0
+  in
+  let db = Result.get_ok (Db.open_db dir) in
+  let node = Db.node_id db in
+  Alcotest.(check bool) "node id minted" true (node <> "");
+  Alcotest.(check int) "folded count survives" 3
+    (count_of db (Record.fingerprint r_idx));
+  Alcotest.(check int) "live segment survives" 1
+    (count_of db (Record.fingerprint r_seg));
+  Alcotest.(check int) "version covers the migration" 2
+    (Crd_racedb.Vv.get (Db.version db) node);
+  Db.close db;
+  let db = Result.get_ok (Db.open_db dir) in
+  Alcotest.(check int) "re-migration is deterministic" 2
+    (Crd_racedb.Vv.get (Db.version db) node);
+  Db.append db (mk_record ~key:"folded" 300.);
+  Alcotest.(check bool) "compaction rewrites as v2" true
+    (Result.is_ok (Db.compact db));
+  Db.close db;
+  let v = Result.get_ok (Db.load dir) in
+  Alcotest.(check int) "post-compaction total" 5 v.Db.v_stats.Db.total;
+  Alcotest.(check string) "view sees the node" node v.Db.v_node
+
 let suite =
   ( "racedb",
     [
@@ -454,4 +574,6 @@ let suite =
         Alcotest.test_case "db: SIGKILL-shaped crash image" `Quick
           crash_copy_recovers_everything;
         Alcotest.test_case "db: select filters" `Quick select_filters;
+        Alcotest.test_case "db: v1 store migrates on open" `Quick
+          v1_store_migrates;
       ] )

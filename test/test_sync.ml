@@ -385,7 +385,7 @@ let faulted_exchanges_still_converge () =
   publish b "fb" [ report_pool.(2); report_pool.(3) ];
   Result.get_ok
     (Crd_fault.configure
-       "seed=11,sync_read=p:0.15,sync_write=p:0.15,sync_merge=p:0.15");
+       "seed=11,sync_read=p:0.15,sync_write=p:0.15,sync_merge=p:0.15,racedb_append=p:0.1");
   let failures = ref 0 in
   Fun.protect ~finally:Crd_fault.reset (fun () ->
       for _attempt = 1 to 12 do
@@ -415,6 +415,148 @@ let faulted_exchanges_still_converge () =
   Db.close a;
   Db.close b
 
+(* --- a merge torn mid-frame applies nothing -------------------------- *)
+
+(* The disk image of a crash inside Db.merge: the single merge-batch
+   frame half-written, no commit marker yet. Reopening must apply NONE
+   of the delta — a durably applied prefix would advance the version
+   vector past entries never applied and the peer would skip them
+   forever — and a clean retry must still converge. *)
+let torn_merge_applies_nothing () =
+  let a = Result.get_ok (Db.open_db (fresh_dir ())) in
+  let dir_b = fresh_dir () in
+  let b = Result.get_ok (Db.open_db dir_b) in
+  ignore
+    (Db.publish a ~nonce:"ta"
+       [
+         Record.make ~ts:10. ~spec:"std" report_pool.(0);
+         Record.make ~ts:20. ~spec:"std" report_pool.(1);
+       ]
+      : bool);
+  ignore
+    (Db.publish b ~nonce:"tb" [ Record.make ~ts:30. ~spec:"std" report_pool.(2) ]
+      : bool);
+  let vv_before = Db.version b in
+  let seg_of dir =
+    match
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".log")
+    with
+    | [ s ] -> Filename.concat dir s
+    | l -> Alcotest.failf "expected one segment, got %d" (List.length l)
+  in
+  let seg = seg_of dir_b in
+  let pre_merge = (Unix.stat seg).Unix.st_size in
+  let snap = Db.entries a in
+  Alcotest.(check bool) "merge applied" true (Db.merge b snap > 0);
+  Db.close b;
+  let post_merge = (Unix.stat seg).Unix.st_size in
+  Alcotest.(check bool) "merge wrote one frame" true (post_merge > pre_merge);
+  (* tear the merge frame in half and lose the marker, as a crash
+     mid-write would *)
+  let bytes = In_channel.with_open_bin seg In_channel.input_all in
+  let cut = pre_merge + ((post_merge - pre_merge) / 2) in
+  Out_channel.with_open_bin seg (fun oc ->
+      Out_channel.output_string oc (String.sub bytes 0 cut));
+  Sys.remove (Filename.chop_suffix seg ".log" ^ ".ok");
+  let b = Result.get_ok (Db.open_db dir_b) in
+  Alcotest.(check bool)
+    "version did not advance past the torn merge" true
+    (Vv.equal (Db.version b) vv_before);
+  Alcotest.(check int) "none of the delta applied" 1
+    (List.length (Db.entries b));
+  (* the retry re-sends the full delta and converges *)
+  Alcotest.(check bool) "retry applies everything" true (Db.merge b snap > 0);
+  gossip a b;
+  Alcotest.(check bool) "replicas converged" true (same_state a b);
+  Db.close a;
+  Db.close b
+
+(* --- an unbounded delta stream is refused, not buffered -------------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let by = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then go (off + Unix.write fd by off (len - off))
+  in
+  go 0
+
+let framed payload =
+  let b = Buffer.create (String.length payload + 4) in
+  Crd_wire.Codec.add_varint b (String.length payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+(* a hostile "server" that answers the hello and then streams delta
+   frames forever, never sending the closing ACK *)
+let oversized_delta_stream_refused () =
+  let b = Result.get_ok (Db.open_db (fresh_dir ())) in
+  let sa, sb = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let hello =
+    let buf = Buffer.create 32 in
+    Buffer.add_char buf (Char.chr Crd_wire.Codec.sync_hello);
+    Crd_wire.Codec.add_varint buf 4;
+    Buffer.add_string buf "evil";
+    Vv.encode buf Vv.empty;
+    framed (Buffer.contents buf)
+  in
+  let delta_frame =
+    (* ~6.4 MB per frame: entries whose sample drags a ~200 kB key *)
+    let key = String.make 200_000 'x' in
+    let sample = Record.make ~ts:1. ~spec:"std" (mk_report ~key ()) in
+    let e =
+      {
+        Entry.fingerprint = Record.fingerprint sample;
+        counts = Vv.set Vv.empty "evil" 1;
+        ver = Vv.set Vv.empty "evil" 1;
+        first_seen = 1.;
+        last_seen = 1.;
+        sample;
+        minutes = Rollup.create ~res:60 ~slots:60;
+        hours = Rollup.create ~res:3600 ~slots:48;
+        days = Rollup.create ~res:86400 ~slots:30;
+      }
+    in
+    let buf = Buffer.create (1 lsl 23) in
+    Buffer.add_char buf (Char.chr Crd_wire.Codec.sync_delta);
+    Crd_wire.Codec.add_varint buf 8;
+    for _ = 1 to 8 do
+      Entry.encode buf e
+    done;
+    framed (Buffer.contents buf)
+  in
+  let th =
+    Thread.create
+      (fun () ->
+        (try
+           write_all sa hello;
+           (* far more than the 64 MiB exchange cap; the client trips
+              the limit and closes, surfacing here as EPIPE *)
+           for _ = 1 to 40 do
+             write_all sa delta_frame
+           done
+         with Unix.Unix_error _ -> ());
+        try Unix.close sa with Unix.Unix_error _ -> ())
+      ()
+  in
+  (match Crd_sync.client ~timeout:10. sb b with
+  | Ok _ -> Alcotest.fail "client must refuse an unbounded delta stream"
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "limit error surfaced (got %S)" e)
+        true
+        (let needle = "exceeds exchange limits" in
+         let nh = String.length e and nn = String.length needle in
+         let rec go i =
+           i + nn <= nh && (String.sub e i nn = needle || go (i + 1))
+         in
+         go 0));
+  (try Unix.close sb with Unix.Unix_error _ -> ());
+  Thread.join th;
+  Alcotest.(check int) "nothing was merged" 0 (List.length (Db.entries b));
+  Db.close b
+
 let suite =
   ( "sync",
     vv_laws @ rollup_laws @ entry_laws
@@ -430,4 +572,8 @@ let suite =
           refused_without_racedb;
         Alcotest.test_case "faulted exchanges still converge" `Quick
           faulted_exchanges_still_converge;
+        Alcotest.test_case "torn merge frame applies nothing" `Quick
+          torn_merge_applies_nothing;
+        Alcotest.test_case "oversized delta stream refused" `Quick
+          oversized_delta_stream_refused;
       ] )
