@@ -414,13 +414,26 @@ type codec_record = {
   co_text_bytes : int;
   co_bin_bytes : int;
   co_encode_ns : float;
-  co_decode_ns : float;
+  co_decode_ns : float;  (** legacy string decoder *)
+  co_big_ns : float;  (** zero-copy bigstring decoder on the same bytes *)
+  co_stream_ns : float;  (** legacy streaming decode: 64 KiB feeds, push *)
+  co_stream_big_ns : float;  (** zero-copy streaming decode over the slice *)
 }
 
 let mb_per_s bytes ns = float_of_int bytes /. ns *. 1e9 /. 1e6
 let per_s count ns = float_of_int count /. ns *. 1e9
 
-let codec_records ?(repeats = 5) () =
+(* The codec corpus: the Table 2 traces (tens of KB — fixed decoder
+   overheads dominate) plus one synthetic trace at ingest scale, where
+   the zero-copy path's per-event wins show. *)
+let codec_records ?(repeats = 5) ?(synth_events = 200_000) () =
+  let corpus =
+    Lazy.force table2_traces
+    @ [
+        ( Printf.sprintf "synth/uniform/%dk" (synth_events / 1000),
+          W.Synth.generate ~seed:7L (W.Synth.default ~events:synth_events) );
+      ]
+  in
   List.map
     (fun (name, trace) ->
       let text = Trace_text.to_string trace in
@@ -429,6 +442,35 @@ let codec_records ?(repeats = 5) () =
       | Ok t when Trace.length t = Trace.length trace -> ()
       | Ok _ -> failwith (name ^ ": codec round-trip changed the event count")
       | Error e -> failwith (name ^ ": " ^ Wire.error_to_string e));
+      (* Differential guard: timing a decoder that produces different
+         events would be meaningless. *)
+      let big = Bigwire.bigstring_of_string bin in
+      (match (Bigwire.decode_bigstring big, Wire.decode_string bin) with
+      | Ok a, Ok b when Trace.to_list a = Trace.to_list b -> ()
+      | Ok _, Ok _ -> failwith (name ^ ": bigstring decode diverged from legacy")
+      | Error e, _ | _, Error e -> failwith (name ^ ": " ^ Wire.error_to_string e));
+      (* Streaming decode, the server-ingest shape: events are handed to
+         a consumer and dropped, not accumulated into a trace. The
+         legacy decoder is fed in 64 KiB slices (what a socket read
+         loop gives it) and pays its per-feed list; the zero-copy
+         decoder streams straight off the slice. *)
+      let stream_legacy () =
+        let dec = Wire.Decoder.create () in
+        let n = String.length bin in
+        let pos = ref 0 in
+        while !pos < n do
+          let len = min 65536 (n - !pos) in
+          (match Wire.Decoder.feed dec ~off:!pos ~len bin with
+          | Ok events -> List.iter ignore events
+          | Error e -> failwith (name ^ ": " ^ Wire.error_to_string e));
+          pos := !pos + len
+        done
+      in
+      let stream_big () =
+        match Bigwire.iter_bigstring big ~f:ignore with
+        | Ok () -> ()
+        | Error e -> failwith (name ^ ": " ^ Wire.error_to_string e)
+      in
       {
         co_name = name;
         co_events = Trace.length trace;
@@ -438,21 +480,52 @@ let codec_records ?(repeats = 5) () =
           best_of_ns repeats (fun () -> ignore (Wire.encode_trace trace));
         co_decode_ns =
           best_of_ns repeats (fun () -> ignore (Wire.decode_string bin));
+        co_big_ns =
+          best_of_ns repeats (fun () -> ignore (Bigwire.decode_bigstring big));
+        co_stream_ns = best_of_ns repeats stream_legacy;
+        co_stream_big_ns = best_of_ns repeats stream_big;
       })
-    (Lazy.force table2_traces)
+    corpus
+
+let big_decode_speedup c = c.co_decode_ns /. c.co_big_ns
+let big_stream_speedup c = c.co_stream_ns /. c.co_stream_big_ns
 
 let print_codec_table codec =
   Fmt.pr "@.## Wire codec throughput (best-of-N wall clock)@.@.";
-  Fmt.pr "%-44s %8s %9s %7s %12s %12s@." "trace" "events" "bytes" "B/ev"
-    "enc MB/s" "dec MB/s";
+  Fmt.pr "%-44s %8s %9s %10s %10s %10s %6s %10s %10s %7s@." "trace" "events"
+    "bytes" "enc MB/s" "dec MB/s" "big MB/s" "big x" "strm MB/s" "bstrm MB/s"
+    "strm x";
   List.iter
     (fun c ->
-      Fmt.pr "%-44s %8d %9d %7.2f %12.1f %12.1f@." c.co_name c.co_events
-        c.co_bin_bytes
-        (float_of_int c.co_bin_bytes /. float_of_int (max 1 c.co_events))
+      Fmt.pr "%-44s %8d %9d %10.1f %10.1f %10.1f %5.2fx %10.1f %10.1f %6.2fx@."
+        c.co_name c.co_events c.co_bin_bytes
         (mb_per_s c.co_bin_bytes c.co_encode_ns)
-        (mb_per_s c.co_bin_bytes c.co_decode_ns))
+        (mb_per_s c.co_bin_bytes c.co_decode_ns)
+        (mb_per_s c.co_bin_bytes c.co_big_ns)
+        (big_decode_speedup c)
+        (mb_per_s c.co_bin_bytes c.co_stream_ns)
+        (mb_per_s c.co_bin_bytes c.co_stream_big_ns)
+        (big_stream_speedup c))
     codec
+
+(* The bench-smoke gate: the zero-copy decoder must beat the legacy
+   decoder in aggregate over the Table 2 corpus — in every run, not
+   just when a baseline file is at hand. Aggregated because the
+   smallest rows are tens of microseconds and individually noisy. *)
+let assert_big_decoder_wins codec =
+  let sum f = List.fold_left (fun a c -> a +. f c) 0. codec in
+  let check label legacy big =
+    if codec <> [] && big >= legacy then
+      failwith
+        (Printf.sprintf
+           "codec_big regression: bigstring %s decode (%.0f ns total) is not \
+            faster than the legacy decoder (%.0f ns total)"
+           label big legacy)
+  in
+  check "full" (sum (fun c -> c.co_decode_ns)) (sum (fun c -> c.co_big_ns));
+  check "streaming"
+    (sum (fun c -> c.co_stream_ns))
+    (sum (fun c -> c.co_stream_big_ns))
 
 (* ------------------------------------------------------------------ *)
 (* Server round trip (in-process, Unix socket)                         *)
@@ -463,19 +536,20 @@ let print_codec_table codec =
    race report back. With [journal] set the same session also appends
    every chunk to a session journal and fsyncs a commit marker — the
    cost of crash safety, reported as a separate row. *)
-let server_roundtrip ?journal ?(repeats = 3) () =
+let server_roundtrip ?journal ?(repeats = 3) ?(tag = "") ?trace () =
   let path =
     Filename.concat
       (Filename.get_temp_dir_name ())
-      (Printf.sprintf "crd-bench-%d%s.sock" (Unix.getpid ())
-         (match journal with Some _ -> "-j" | None -> ""))
+      (Printf.sprintf "crd-bench-%d%s%s.sock" (Unix.getpid ())
+         (match journal with Some _ -> "-j" | None -> "")
+         tag)
   in
   let addr = Crd_server.Server.Unix_sock path in
   let config = { (Crd_server.Server.default_config ~addr) with journal } in
   match Crd_server.Server.start config with
   | Error e -> failwith ("server benchmark: " ^ e)
   | Ok server ->
-      let trace = record_snitch () in
+      let trace = match trace with Some t -> t | None -> record_snitch () in
       let run () =
         match Crd_server.Client.send_trace ~addr trace with
         | Ok _ -> ()
@@ -570,12 +644,15 @@ let racedb_bench ?(reports = 2000) ?(repeats = 3) () =
 (* Comparing runs                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let schema_version = 4
+(* 5: codec rows gained big_decode_* / streaming-decode fields, new flat
+   codec_big_speedup section, server section gained the synth ingest
+   row, traces rows are marked forced_parallel. *)
+let schema_version = 5
 
 (* Minimal reader for our own BENCH_results.json — just enough for
    --compare, not a general JSON parser. Returns the file's
-   schema_version, its benchmarks_ns pairs and its synth_speedup pairs
-   (both flat key: number sections). *)
+   schema_version, its benchmarks_ns pairs, and its synth_speedup and
+   codec_big_speedup pairs (flat key: number sections). *)
 let load_results path =
   match In_channel.with_open_text path In_channel.input_lines with
   | exception Sys_error e -> Error e
@@ -584,6 +661,7 @@ let load_results path =
       let section = ref "" in
       let bench = ref [] in
       let speedups = ref [] in
+      let big_speedups = ref [] in
       List.iter
         (fun line ->
           let line = String.trim line in
@@ -611,11 +689,16 @@ let load_results path =
                   Option.iter
                     (fun v -> speedups := (key, v) :: !speedups)
                     (float_of_string_opt value)
+                else if String.equal !section "codec_big_speedup" then
+                  Option.iter
+                    (fun v -> big_speedups := (key, v) :: !big_speedups)
+                    (float_of_string_opt value)
             | _ -> ())
         lines;
       match !schema with
       | None -> Error (path ^ ": no schema_version field (pre-versioning run?)")
-      | Some v -> Ok (v, List.rev !bench, List.rev !speedups)
+      | Some v ->
+          Ok (v, List.rev !bench, List.rev !speedups, List.rev !big_speedups)
 
 (* The flat synth_speedup keys this run produces (mirrored in the JSON
    emission below, and matched by key against the previous file). *)
@@ -631,6 +714,19 @@ let synth_speedup_pairs synth =
       @ [ (sy.sy_name ^ "/parallel_speedup", synth_parallel_speedup sy) ])
     synth
 
+(* The flat codec_big_speedup keys: legacy-vs-bigstring decode ratio per
+   Table 2 trace. Gated by --compare like the synth speedups, but never
+   skipped — single-threaded decode throughput does not depend on the
+   host's core count. *)
+let codec_big_speedup_pairs codec =
+  List.concat_map
+    (fun c ->
+      [
+        (c.co_name ^ "/big_decode_speedup", big_decode_speedup c);
+        (c.co_name ^ "/big_stream_speedup", big_stream_speedup c);
+      ])
+    codec
+
 (* A parallel-speedup regression below this fraction of the previous run
    fails --compare. Generous on purpose: wall-clock speedups on shared
    CI hardware are noisy, and a 1-core box caps every speedup near 1.0 —
@@ -640,17 +736,20 @@ let speedup_regression_tolerance = 0.7
 
 (* Refuses to compare across schema versions; otherwise prints the
    per-benchmark delta of this run against the previous file, and fails
-   when a synth parallel speedup regressed below tolerance. *)
-let compare_results ~prev_path ~benchmarks ~synth =
+   when a synth parallel speedup or a codec big-decode speedup regressed
+   below tolerance. Only [synth/*] keys feed the parallel gate: the
+   table2 rd2-jobsN benchmark rows force sharding onto traces far too
+   small to win, so their ratios are noise, not signal. *)
+let compare_results ~prev_path ~benchmarks ~synth ~codec =
   match load_results prev_path with
   | Error e -> Error ("--compare: " ^ e)
-  | Ok (prev_schema, _, _) when prev_schema <> schema_version ->
+  | Ok (prev_schema, _, _, _) when prev_schema <> schema_version ->
       Error
         (Printf.sprintf
            "--compare: %s has schema_version %d but this harness writes %d; \
             regenerate the baseline before comparing"
            prev_path prev_schema schema_version)
-  | Ok (_, prev_bench, prev_speedups) ->
+  | Ok (_, prev_bench, prev_speedups, prev_big) ->
       Fmt.pr "@.## Comparison against %s@.@." prev_path;
       if benchmarks = [] then
         Fmt.pr "(no bechamel benchmarks in this run — --tables-only?)@."
@@ -664,43 +763,54 @@ let compare_results ~prev_path ~benchmarks ~synth =
                 Fmt.pr "%-56s %14.0f %14.0f %7.2fx@." name prev now (now /. prev))
           benchmarks
       end;
-      let speedups = synth_speedup_pairs synth in
-      let regressions = ref [] in
-      if speedups <> [] then begin
-        Fmt.pr "@.%-44s %10s %10s %8s@." "synth speedup" "prev" "now" "ok";
-        List.iter
-          (fun (key, now) ->
-            match List.assoc_opt key prev_speedups with
-            | None -> Fmt.pr "%-44s %10s %10.2f %8s@." key "-" now "new"
-            | Some prev ->
-                let ok =
-                  prev <= 0. || now >= prev *. speedup_regression_tolerance
-                in
-                if not ok then regressions := key :: !regressions;
-                Fmt.pr "%-44s %10.2f %10.2f %8b@." key prev now ok)
-          speedups
-      end;
-      if !regressions = [] then Ok ()
-      else if Domain.recommended_domain_count () < 2 then begin
-        (* A 1-core box caps every parallel speedup near 1.0 — any
-           baseline recorded on real hardware would "regress". Report,
-           but do not gate. *)
-        Fmt.pr
-          "@.(speedup gate skipped: this host recommends %d domain(s), \
-           parallel speedups are meaningless here)@."
-          (Domain.recommended_domain_count ());
-        Ok ()
-      end
-      else
-        Error
-          (Printf.sprintf
-             "--compare: parallel speedup regressed below %.0f%% of the \
-              previous run: %s"
-             (100. *. speedup_regression_tolerance)
-             (String.concat ", " (List.rev !regressions)))
+      let gate ~label ~prev pairs regressions =
+        if pairs <> [] then begin
+          Fmt.pr "@.%-44s %10s %10s %8s@." label "prev" "now" "ok";
+          List.iter
+            (fun (key, now) ->
+              match List.assoc_opt key prev with
+              | None -> Fmt.pr "%-44s %10s %10.2f %8s@." key "-" now "new"
+              | Some p ->
+                  let ok = p <= 0. || now >= p *. speedup_regression_tolerance in
+                  if not ok then regressions := key :: !regressions;
+                  Fmt.pr "%-44s %10.2f %10.2f %8b@." key p now ok)
+            pairs
+        end
+      in
+      let synth_regr = ref [] and big_regr = ref [] in
+      gate ~label:"synth speedup" ~prev:prev_speedups
+        (List.filter
+           (fun (k, _) -> String.length k >= 6 && String.sub k 0 6 = "synth/")
+           (synth_speedup_pairs synth))
+        synth_regr;
+      gate ~label:"codec big-decode speedup" ~prev:prev_big
+        (codec_big_speedup_pairs codec)
+        big_regr;
+      let synth_regr =
+        if !synth_regr <> [] && Domain.recommended_domain_count () < 2 then begin
+          (* A 1-core box caps every parallel speedup near 1.0 — any
+             baseline recorded on real hardware would "regress". Report,
+             but do not gate. *)
+          Fmt.pr
+            "@.(parallel speedup gate skipped: this host recommends %d \
+             domain(s), parallel speedups are meaningless here)@."
+            (Domain.recommended_domain_count ());
+          []
+        end
+        else List.rev !synth_regr
+      in
+      match synth_regr @ List.rev !big_regr with
+      | [] -> Ok ()
+      | regressions ->
+          Error
+            (Printf.sprintf
+               "--compare: speedup regressed below %.0f%% of the previous \
+                run: %s"
+               (100. *. speedup_regression_tolerance)
+               (String.concat ", " regressions))
 
 let write_json ~path ~jobs ~benchmarks ~traces ~synth ~codec ~server
-    ~server_journal ~racedb =
+    ~server_journal ~server_ingest ~racedb =
   let oc = open_out path in
   let pr fmt = Printf.fprintf oc fmt in
   let rate a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
@@ -727,6 +837,10 @@ let write_json ~path ~jobs ~benchmarks ~traces ~synth ~codec ~server
       pr "      \"rd2_races\": %d,\n" t.tr_rd2_races;
       pr "      \"rd2_ns\": %.0f,\n" t.tr_rd2_ns;
       pr "      \"events_per_sec\": %.0f,\n" (per_s t.tr_events t.tr_rd2_ns);
+      (* The jobs2 identity check (and the rd2-jobsN benchmark rows over
+         these traces) force sharding onto traces far below the parallel
+         threshold: correctness signal, not a speedup claim. *)
+      pr "      \"forced_parallel\": true,\n";
       pr "      \"sharded_reports_identical\": %b\n" t.tr_identical;
       pr "    }")
     traces;
@@ -758,6 +872,14 @@ let write_json ~path ~jobs ~benchmarks ~traces ~synth ~codec ~server
       pr "    }")
     synth;
   pr "%s  },\n" (if synth = [] then "" else "\n");
+  (* Flat like synth_speedup, for the same reason: the --compare reader
+     gates these key: number pairs against the previous baseline. *)
+  pr "  \"codec_big_speedup\": {";
+  List.iteri
+    (fun i (key, s) ->
+      pr "%s\n    \"%s\": %.3f" (if i = 0 then "" else ",") (json_escape key) s)
+    (codec_big_speedup_pairs codec);
+  pr "%s  },\n" (if codec = [] then "" else "\n");
   pr "  \"codec\": {";
   List.iteri
     (fun i c ->
@@ -769,22 +891,39 @@ let write_json ~path ~jobs ~benchmarks ~traces ~synth ~codec ~server
         (rate c.co_bin_bytes (max 1 c.co_events));
       pr "      \"encode_ns\": %.0f,\n" c.co_encode_ns;
       pr "      \"decode_ns\": %.0f,\n" c.co_decode_ns;
+      pr "      \"big_decode_ns\": %.0f,\n" c.co_big_ns;
       pr "      \"encode_mb_s\": %.2f,\n" (mb_per_s c.co_bin_bytes c.co_encode_ns);
       pr "      \"decode_mb_s\": %.2f,\n" (mb_per_s c.co_bin_bytes c.co_decode_ns);
+      pr "      \"big_decode_mb_s\": %.2f,\n" (mb_per_s c.co_bin_bytes c.co_big_ns);
+      pr "      \"big_decode_speedup\": %.3f,\n" (big_decode_speedup c);
+      pr "      \"stream_decode_ns\": %.0f,\n" c.co_stream_ns;
+      pr "      \"big_stream_decode_ns\": %.0f,\n" c.co_stream_big_ns;
+      pr "      \"stream_decode_mb_s\": %.2f,\n"
+        (mb_per_s c.co_bin_bytes c.co_stream_ns);
+      pr "      \"big_stream_decode_mb_s\": %.2f,\n"
+        (mb_per_s c.co_bin_bytes c.co_stream_big_ns);
+      pr "      \"big_stream_speedup\": %.3f,\n" (big_stream_speedup c);
       pr "      \"encode_events_s\": %.0f,\n" (per_s c.co_events c.co_encode_ns);
-      pr "      \"decode_events_s\": %.0f\n" (per_s c.co_events c.co_decode_ns);
+      pr "      \"decode_events_s\": %.0f,\n" (per_s c.co_events c.co_decode_ns);
+      pr "      \"big_decode_events_s\": %.0f,\n" (per_s c.co_events c.co_big_ns);
+      pr "      \"big_stream_events_s\": %.0f\n"
+        (per_s c.co_events c.co_stream_big_ns);
       pr "    }")
     codec;
   pr "\n  },\n";
   let server_ns, server_events = server in
   let journal_ns, _ = server_journal in
+  let ingest_ns, ingest_events = server_ingest in
   pr "  \"server\": {\n";
   pr "    \"roundtrip_ns\": %.0f,\n" server_ns;
   pr "    \"roundtrip_events\": %d,\n" server_events;
   pr "    \"roundtrip_events_s\": %.0f,\n" (per_s server_events server_ns);
   pr "    \"journal_roundtrip_ns\": %.0f,\n" journal_ns;
   pr "    \"journal_roundtrip_events_s\": %.0f,\n" (per_s server_events journal_ns);
-  pr "    \"journal_overhead\": %.3f\n" (journal_ns /. server_ns);
+  pr "    \"journal_overhead\": %.3f,\n" (journal_ns /. server_ns);
+  pr "    \"ingest_ns\": %.0f,\n" ingest_ns;
+  pr "    \"ingest_events\": %d,\n" ingest_events;
+  pr "    \"ingest_events_s\": %.0f\n" (per_s ingest_events ingest_ns);
   pr "  },\n";
   pr "  \"racedb\": {\n";
   pr "    \"reports\": %d,\n" racedb.rb_reports;
@@ -891,7 +1030,7 @@ let () =
     (match compare_path with
     | None -> ()
     | Some prev_path -> (
-        match compare_results ~prev_path ~benchmarks:[] ~synth with
+        match compare_results ~prev_path ~benchmarks:[] ~synth ~codec:[] with
         | Ok () -> ()
         | Error e ->
             Fmt.epr "%s@." e;
@@ -929,8 +1068,11 @@ let () =
   print_synth_table synth;
   if List.exists (fun sy -> not sy.sy_identical) synth then
     failwith "sharded synth analysis diverged from the sequential reports";
-  let codec = codec_records () in
+  let codec =
+    codec_records ~synth_events:(min 200_000 (max 50_000 synth_max_events)) ()
+  in
   print_codec_table codec;
+  assert_big_decoder_wins codec;
   let ((server_ns, server_events) as server) = server_roundtrip () in
   let jdir =
     Filename.concat
@@ -940,6 +1082,15 @@ let () =
   let ((journal_ns, _) as server_journal) =
     server_roundtrip ~journal:jdir ()
   in
+  (* The ingest row: a bigger synthetic trace through the zero-copy
+     server path, so the events/s number measures streaming decode +
+     online analysis rather than session setup. *)
+  let ((ingest_ns, ingest_events) as server_ingest) =
+    let events = min 200_000 (max 50_000 synth_max_events) in
+    server_roundtrip ~tag:"-i"
+      ~trace:(W.Synth.generate ~seed:7L (W.Synth.default ~events))
+      ()
+  in
   Fmt.pr "@.## Server round trip (snitch, online RD2 over a Unix socket)@.@.";
   Fmt.pr "%d events in %.2f ms (%.0f events/s)@." server_events
     (server_ns /. 1e6)
@@ -948,6 +1099,9 @@ let () =
     (journal_ns /. 1e6)
     (per_s server_events journal_ns)
     (journal_ns /. server_ns);
+  Fmt.pr "ingest (synth/uniform/%dk): %.2f ms (%.0f events/s)@."
+    (ingest_events / 1000) (ingest_ns /. 1e6)
+    (per_s ingest_events ingest_ns);
   let racedb = racedb_bench () in
   Fmt.pr "@.## Race database (racedb_ingest / query_top)@.@.";
   Fmt.pr "%d reports ingested in %.2f ms (%.0f reports/s with rollups)@."
@@ -962,7 +1116,7 @@ let () =
     (racedb.rb_query_ns /. 1e6)
     racedb.rb_distinct;
   write_json ~path:out ~jobs ~benchmarks ~traces ~synth ~codec ~server
-    ~server_journal ~racedb;
+    ~server_journal ~server_ingest ~racedb;
   Fmt.pr "@.results written to %s (jobs=%d)@." out jobs;
   if Array.exists (String.equal "--stats") Sys.argv then begin
     Fmt.pr "@.## Metrics registry after this run@.@.";
@@ -971,7 +1125,7 @@ let () =
   match compare_path with
   | None -> ()
   | Some prev_path -> (
-      match compare_results ~prev_path ~benchmarks ~synth with
+      match compare_results ~prev_path ~benchmarks ~synth ~codec with
       | Ok () -> ()
       | Error e ->
           Fmt.epr "%s@." e;

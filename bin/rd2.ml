@@ -28,7 +28,7 @@ let format_arg =
 let load_trace format path =
   match format with
   | `Text -> Trace_text.parse_file path
-  | `Bin -> Wire.of_file path
+  | `Bin -> Bigwire.of_file path
 
 let addr_conv =
   Arg.conv

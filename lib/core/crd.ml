@@ -31,6 +31,7 @@ module Event = Crd_trace.Event
 module Trace = Crd_trace.Trace
 module Trace_text = Crd_trace.Trace_text
 module Wire = Crd_wire.Codec
+module Bigwire = Crd_wire.Bigcodec
 module Hb = Crd_trace.Hb
 module Atom = Crd_spec.Atom
 module Formula = Crd_spec.Formula

@@ -169,7 +169,7 @@ let send_file ~addr ?spec ?retries ?backoff ?timeout ?nonce ~format path =
             In_channel.with_open_text path (fun ic ->
                 Trace_text.iter_channel ic ~f:push)
         | `Bin ->
-            In_channel.with_open_bin path (fun ic ->
-                Result.map_error Wire.error_to_string
-                  (Wire.iter_channel ic ~f:push))
+            (* mmap + zero-copy decode; unmappable inputs (pipes) fall
+               back to the channel path inside [iter_file]. *)
+            Bigwire.iter_file path ~f:push
       with Sys_error msg -> Error msg)

@@ -6,7 +6,24 @@ let m_commits =
   Crd_obs.counter ~help:"Session journals committed (fsync'd end marker)"
     "journal_commits_total"
 
+let m_mmap =
+  Crd_obs.counter ~help:"Committed journals replayed via mmap"
+    "journal_mmap_total"
+
+let m_mmap_bytes =
+  Crd_obs.counter ~help:"Committed journal bytes mapped for replay"
+    "journal_mmap_bytes_total"
+
+let m_mmap_fallback =
+  Crd_obs.counter ~help:"Journal mmap failures served by the read path"
+    "journal_mmap_fallback_total"
+
 let fp_append = Crd_fault.point "journal_append"
+
+(* When armed, [map_committed] behaves as if mmap failed and takes the
+   read-everything fallback — chaos coverage for filesystems (or
+   platforms) where [Unix.map_file] is unavailable. *)
+let fp_mmap = Crd_fault.point "journal_mmap"
 
 let data_path dir nonce = Filename.concat dir (nonce ^ ".crdj")
 let commit_path dir nonce = Filename.concat dir (nonce ^ ".commit")
@@ -76,12 +93,14 @@ let start ~dir ~nonce ~spec =
 
 let nonce t = t.nonce
 
-let append t ?(off = 0) ?len s =
-  let len = match len with Some l -> l | None -> String.length s - off in
+let append_bytes t ?(off = 0) ?len b =
+  let len = match len with Some l -> l | None -> Bytes.length b - off in
   Crd_fault.inject fp_append;
-  Proto.write_all t.fd (String.sub s off len);
+  Proto.write_sub t.fd b off len;
   t.size <- t.size + len;
   Crd_obs.Counter.add m_bytes len
+
+let append t ?off ?len s = append_bytes t ?off ?len (Bytes.unsafe_of_string s)
 
 (* The marker records the committed byte count and the handshake's spec
    name — everything recovery needs to replay the session exactly. *)
@@ -116,7 +135,7 @@ let committed_unreported ~dir =
              else None)
       |> List.sort String.compare
 
-let read_committed ~dir ~nonce =
+let read_marker ~dir ~nonce =
   let marker = commit_path dir nonce in
   match In_channel.with_open_bin marker In_channel.input_all with
   | exception Sys_error e -> Error e
@@ -131,16 +150,51 @@ let read_committed ~dir ~nonce =
       in
       match size with
       | None -> Error (Printf.sprintf "%s: malformed commit marker" marker)
-      | Some size -> (
-          let data = data_path dir nonce in
-          match In_channel.with_open_bin data In_channel.input_all with
-          | exception Sys_error e -> Error e
-          | bytes ->
-              if String.length bytes < size then
-                Error
-                  (Printf.sprintf "%s: %d bytes but %d committed" data
-                     (String.length bytes) size)
-              else
-                (* Bytes past the marker were never committed (a crash
-                   mid-append after a retry): replay only the prefix. *)
-                Ok (String.sub bytes 0 size, spec)))
+      | Some size -> Ok (size, spec))
+
+let read_committed ~dir ~nonce =
+  match read_marker ~dir ~nonce with
+  | Error e -> Error e
+  | Ok (size, spec) -> (
+      let data = data_path dir nonce in
+      match In_channel.with_open_bin data In_channel.input_all with
+      | exception Sys_error e -> Error e
+      | bytes ->
+          if String.length bytes < size then
+            Error
+              (Printf.sprintf "%s: %d bytes but %d committed" data
+                 (String.length bytes) size)
+          else
+            (* Bytes past the marker were never committed (a crash
+               mid-append after a retry): replay only the prefix. *)
+            Ok (String.sub bytes 0 size, spec))
+
+let map_committed ~dir ~nonce =
+  match read_marker ~dir ~nonce with
+  | Error e -> Error e
+  | Ok (size, spec) -> (
+      let data = data_path dir nonce in
+      let fallback () =
+        Crd_obs.Counter.incr m_mmap_fallback;
+        match read_committed ~dir ~nonce with
+        | Error e -> Error e
+        | Ok (bytes, spec) ->
+            Ok (Crd_wire.Bigcodec.bigstring_of_string bytes, spec)
+      in
+      let mapped =
+        if Crd_fault.fire fp_mmap then Error "fault injected: journal_mmap"
+        else Crd_wire.Bigcodec.map_file data
+      in
+      match mapped with
+      | Error _ -> fallback ()
+      | Ok b ->
+          let dim = Bigarray.Array1.dim b in
+          if dim < size then
+            Error (Printf.sprintf "%s: %d bytes but %d committed" data dim size)
+          else begin
+            Crd_obs.Counter.incr m_mmap;
+            Crd_obs.Counter.add m_mmap_bytes size;
+            (* The torn tail past the marker stays unmapped for the
+               decoder: replay sees exactly the committed prefix. *)
+            Ok (Bigarray.Array1.sub b 0 size, spec)
+          end)

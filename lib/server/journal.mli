@@ -33,6 +33,11 @@ val start : dir:string -> nonce:string -> spec:string -> t
 val nonce : t -> string
 val append : t -> ?off:int -> ?len:int -> string -> unit
 
+val append_bytes : t -> ?off:int -> ?len:int -> Bytes.t -> unit
+(** Like {!append} but straight from a read buffer — the slice goes to
+    the fd without an intermediate string copy. The caller must not
+    mutate [b.[off..off+len)] during the call. *)
+
 val commit : t -> unit
 (** fsync the data, then atomically publish the commit marker. *)
 
@@ -50,6 +55,17 @@ val read_committed :
   dir:string -> nonce:string -> (string * string, string) result
 (** The committed byte prefix of a journal plus its spec-set name
     (bytes past the marker were never acknowledged and are dropped). *)
+
+val map_committed :
+  dir:string ->
+  nonce:string ->
+  (Crd_wire.Bigcodec.bigstring * string, string) result
+(** Like {!read_committed} but zero-copy: the committed prefix is
+    [Unix.map_file]'d and returned as a bigstring slice — a torn tail
+    past the marker is simply not part of the mapping. Increments
+    [journal_mmap_total] / [journal_mmap_bytes_total]; if the map fails
+    (or the [journal_mmap] fault point fires) the read path serves the
+    request instead and [journal_mmap_fallback_total] counts it. *)
 
 val fresh_nonce : unit -> string
 (** Process-unique filename-safe nonce for clients (and for journaling

@@ -424,8 +424,8 @@ type item = Ev of Crd_trace.Event.t | Bad of err_kind * string
    Error items travel via [Bqueue.push_raw]: the [queue_push] fault must
    not be able to fault away its own error report. *)
 let read_loop ?journal ~resync conn q hw =
-  let dec = Crd_wire.Codec.Decoder.create ~resync () in
-  let buf = Bytes.create 32768 in
+  let dec = Crd_wire.Bigcodec.Decoder.create ~resync () in
+  let buf = Bytes.create 65536 in
   let stop = ref false in
   let bad kind msg =
     ignore (Bqueue.push_raw q (Bad (kind, msg)));
@@ -435,7 +435,7 @@ let read_loop ?journal ~resync conn q hw =
     match
       if Crd_fault.fire fp_sock_read then
         raise (Unix.Unix_error (Unix.EIO, "read", "injected fault: sock_read"));
-      Unix.read conn buf 0 (Bytes.length buf)
+      Proto.read_retry conn buf 0 (Bytes.length buf)
     with
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         bad Timeout "idle timeout: no client bytes"
@@ -444,14 +444,16 @@ let read_loop ?journal ~resync conn q hw =
           (if arg = "" then Unix.error_message e
            else Unix.error_message e ^ " (" ^ arg ^ ")")
     | 0 ->
-        (match Crd_wire.Codec.Decoder.finish dec with
+        (match Crd_wire.Bigcodec.Decoder.finish dec with
         | Ok () -> ()
         | Error e -> bad Decode (Crd_wire.Codec.error_to_string e));
         stop := true
     | n -> (
+        (* Journal and decoder consume the same read slice in place:
+           no [Bytes.sub_string] copies on the hot ingest path. *)
         (match journal with
         | Some j -> (
-            try Journal.append j (Bytes.sub_string buf 0 n)
+            try Journal.append_bytes j ~len:n buf
             with
             | Crd_fault.Injected p ->
                 bad Io (Printf.sprintf "injected fault: %s" p)
@@ -459,15 +461,18 @@ let read_loop ?journal ~resync conn q hw =
                 bad Io (Printf.sprintf "journal %s: %s" fn (Unix.error_message e)))
         | None -> ());
         if not !stop then
-          match Crd_wire.Codec.Decoder.feed dec (Bytes.sub_string buf 0 n) with
+          match
+            (* Events go straight from the decoder into the queue: no
+               per-read event list on the hot ingest path. *)
+            try
+              Crd_wire.Bigcodec.Decoder.feed_bytes_iter dec ~len:n buf
+                ~f:(fun e -> if not (Bqueue.push q (Ev e)) then stop := true)
+            with Crd_fault.Injected p ->
+              bad Io (Printf.sprintf "injected fault: %s" p);
+              Ok ()
+          with
           | Error e -> bad Decode (Crd_wire.Codec.error_to_string e)
-          | Ok events ->
-              (try
-                 List.iter
-                   (fun e -> if not (Bqueue.push q (Ev e)) then stop := true)
-                   events
-               with Crd_fault.Injected p ->
-                 bad Io (Printf.sprintf "injected fault: %s" p));
+          | Ok () ->
               let depth = Bqueue.length q in
               if depth > !hw then begin
                 hw := depth;
@@ -475,7 +480,7 @@ let read_loop ?journal ~resync conn q hw =
               end;
               (* The end-of-stream frame, not EOF, ends ingestion: the
                  client keeps the socket open to read its report. *)
-              if Crd_wire.Codec.Decoder.finished dec && not !stop then begin
+              if Crd_wire.Bigcodec.Decoder.finished dec && not !stop then begin
                 (match journal with
                 | Some j -> (
                     try Journal.commit j
@@ -553,16 +558,17 @@ let analyze_with cfg spec_for ~drain =
 let analyze_session cfg spec_for q =
   analyze_with cfg spec_for ~drain:(fun ~f -> drain_events q ~f)
 
-(* Recovery drain: replay a committed journal's bytes through the same
-   decoder configuration a live session would use. *)
-let drain_of_bytes bytes ~resync ~f =
-  let dec = Crd_wire.Codec.Decoder.create ~resync () in
+(* Recovery drain: replay a committed journal's mapped bytes through
+   the same decoder configuration a live session would use. The
+   bigstring typically aliases the journal file ([Journal.map_committed]),
+   so replay never loads the trace into the OCaml heap. *)
+let drain_of_big big ~resync ~f =
+  let dec = Crd_wire.Bigcodec.Decoder.create ~resync () in
   try
-    match Crd_wire.Codec.Decoder.feed dec bytes with
+    match Crd_wire.Bigcodec.Decoder.feed_iter dec big ~f with
     | Error e -> Error (Decode, Crd_wire.Codec.error_to_string e)
-    | Ok events -> (
-        List.iter f events;
-        match Crd_wire.Codec.Decoder.finish dec with
+    | Ok () -> (
+        match Crd_wire.Bigcodec.Decoder.finish dec with
         | Ok () -> Ok ()
         | Error e -> Error (Decode, Crd_wire.Codec.error_to_string e))
   with Invalid_argument e -> Error (Analysis, e)
@@ -957,16 +963,16 @@ let recover_journals t =
             Crd_obs.Log.err "journal_recovery_failed"
               [ ("nonce", nonce); ("err", msg) ]
           in
-          match Journal.read_committed ~dir ~nonce with
+          match Journal.map_committed ~dir ~nonce with
           | Error msg -> fail msg
-          | Ok (bytes, spec_name) -> (
+          | Ok (big, spec_name) -> (
               match resolve_spec_set t.cfg spec_name with
               | Error msg -> fail msg
               | Ok spec_for ->
                   let outcome =
                     try
                       analyze_with t.cfg spec_for
-                        ~drain:(drain_of_bytes bytes ~resync:t.cfg.resync)
+                        ~drain:(drain_of_big big ~resync:t.cfg.resync)
                     with e -> Error (Analysis, Printexc.to_string e)
                   in
                   let text =

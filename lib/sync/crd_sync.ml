@@ -68,11 +68,35 @@ let set_timeouts fd timeout =
     with Unix.Unix_error _ | Invalid_argument _ -> ()
   end
 
+(* EINTR-retrying syscall wrappers. [crd_server] cannot be a dependency
+   here (it depends on us), so these mirror [Proto.read_retry] /
+   [Proto.write_retry] and share the same ["io_eintr"] fault point by
+   name — one chaos spec storms both layers. *)
+let fp_io_eintr = Crd_fault.point "io_eintr"
+
+let rec read_retry fd b off len =
+  match
+    if Crd_fault.fire fp_io_eintr then
+      raise (Unix.Unix_error (Unix.EINTR, "read", ""))
+    else Unix.read fd b off len
+  with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_retry fd b off len
+
+let rec write_retry fd b off len =
+  match
+    if Crd_fault.fire fp_io_eintr then
+      raise (Unix.Unix_error (Unix.EINTR, "write", ""))
+    else Unix.write fd b off len
+  with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_retry fd b off len
+
 let write_all fd s =
   let len = String.length s in
   let b = Bytes.unsafe_of_string s in
   let rec go off =
-    if off < len then go (off + Unix.write fd b off (len - off))
+    if off < len then go (off + write_retry fd b off (len - off))
   in
   go 0
 
@@ -80,7 +104,7 @@ let read_exact fd n ~what =
   let b = Bytes.create n in
   let rec go off =
     if off < n then
-      match Unix.read fd b off (n - off) with
+      match read_retry fd b off (n - off) with
       | 0 -> failwith (Printf.sprintf "sync: eof reading %s" what)
       | k -> go (off + k)
   in
@@ -91,7 +115,7 @@ let read_varint_fd fd ~what =
   let b = Bytes.create 1 in
   let rec go acc shift n =
     if shift > 56 then failwith "sync: varint overflow";
-    match Unix.read fd b 0 1 with
+    match read_retry fd b 0 1 with
     | 0 -> failwith (Printf.sprintf "sync: eof reading %s" what)
     | _ ->
         let c = Char.code (Bytes.get b 0) in

@@ -151,3 +151,48 @@ val zigzag : int -> int
 
 val unzigzag : int -> int
 (** Inverse of {!zigzag}. *)
+
+val magic : string
+(** ["CRDW"]. *)
+
+val default_chunk_bytes : int
+val max_frame_bytes : int
+
+(** {1 Record tags} (shared with {!Bigcodec}, the zero-copy decoder)
+
+    One byte each. [0x01]-[0x03] are interning definitions; [0x10]+ are
+    events; locations and values carry their own sub-tag byte. *)
+
+val tag_str_def : int
+val tag_obj_def : int
+val tag_lock_def : int
+val tag_call : int
+val tag_read : int
+val tag_write : int
+val tag_fork : int
+val tag_join : int
+val tag_acquire : int
+val tag_release : int
+val tag_begin : int
+val tag_end : int
+val loc_global : int
+val loc_field : int
+val loc_slot : int
+val val_nil : int
+val val_false : int
+val val_true : int
+val val_int : int
+val val_str : int
+val val_ref : int
+
+(** {1 Shared decoder plumbing}
+
+    Both decoders report into the same metrics and consult the same
+    [decode_frame] fault point, so dashboards and chaos specs do not
+    care which decoder a path uses. *)
+
+val rx_bytes_total : Crd_obs.Counter.t
+val frames_total : Crd_obs.Counter.t
+val decode_errors_total : Crd_obs.Counter.t
+val resync_total : Crd_obs.Counter.t
+val fp_decode_frame : Crd_fault.point

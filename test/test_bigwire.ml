@@ -1,0 +1,314 @@
+(* Differential testing of the zero-copy [Bigwire] decoder against the
+   legacy string decoder, which is the reference oracle: on every input
+   — valid, truncated, bit-flipped, or random — both decoders must
+   produce identical events and identical typed errors, under every
+   feed chunking (chunk boundaries split varints and string
+   definitions) and in resync mode. *)
+
+open Crd
+module Gen = QCheck2.Gen
+module Big = Bigwire
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let trace_gen =
+  Gen.oneof
+    [
+      Generators.dict_trace ~threads:3 ~objects:2 ~len:60;
+      Generators.rw_trace ~threads:3 ~len:60;
+    ]
+
+(* Both decoders on the same whole input: same events or same error. *)
+let agree ?resync s =
+  match (Wire.decode_string ?resync s, Big.decode_string ?resync s) with
+  | Ok t1, Ok t2 -> Trace.to_list t1 = Trace.to_list t2
+  | Error e1, Error e2 -> e1 = e2
+  | Ok _, Error _ | Error _, Ok _ -> false
+
+(* Feed the big decoder in [chunk]-byte slices of one mapped bigstring:
+   the first feed takes the zero-copy direct path, an incomplete tail
+   rides the pending buffer, later feeds alternate between the two. *)
+let decode_big_chunked ?resync ~chunk s =
+  let b = Big.bigstring_of_string s in
+  let d = Big.Decoder.create ?resync () in
+  let events = ref [] in
+  let err = ref None in
+  let pos = ref 0 in
+  while !err = None && !pos < String.length s do
+    let len = min chunk (String.length s - !pos) in
+    (match Big.Decoder.feed d ~off:!pos ~len b with
+    | Ok evs -> events := List.rev_append evs !events
+    | Error e -> err := Some e);
+    pos := !pos + len
+  done;
+  match !err with
+  | Some e -> Error e
+  | None -> (
+      match Big.Decoder.finish d with
+      | Ok () -> Ok (List.rev !events)
+      | Error e -> Error e)
+
+(* The same through [feed_bytes] — the server ingest path. *)
+let decode_big_bytes ?resync ~chunk s =
+  let d = Big.Decoder.create ?resync () in
+  let src = Bytes.of_string s in
+  let events = ref [] in
+  let err = ref None in
+  let pos = ref 0 in
+  while !err = None && !pos < String.length s do
+    let len = min chunk (String.length s - !pos) in
+    (match Big.Decoder.feed_bytes d ~off:!pos ~len src with
+    | Ok evs -> events := List.rev_append evs !events
+    | Error e -> err := Some e);
+    pos := !pos + len
+  done;
+  match !err with
+  | Some e -> Error e
+  | None -> (
+      match Big.Decoder.finish d with
+      | Ok () -> Ok (List.rev !events)
+      | Error e -> Error e)
+
+let whole_legacy ?resync s =
+  match Wire.decode_string ?resync s with
+  | Ok t -> Ok (Trace.to_list t)
+  | Error e -> Error e
+
+let sample_bin () = Wire.encode_trace ~chunk_bytes:16 (Test_wire.sample_trace ())
+
+(* --- deterministic cases ------------------------------------------- *)
+
+let sample_identity () =
+  let bin = sample_bin () in
+  Alcotest.(check bool) "whole input agrees" true (agree bin);
+  List.iter
+    (fun chunk ->
+      Alcotest.(check bool)
+        (Printf.sprintf "chunk=%d agrees" chunk)
+        true
+        (decode_big_chunked ~chunk bin = whole_legacy bin
+        && decode_big_bytes ~chunk bin = whole_legacy bin))
+    [ 1; 2; 3; 7; 16; 1 lsl 20 ]
+
+(* max_int / min_int zigzag round trip through both decoders, as values
+   and as [Ref]s. *)
+let zigzag_extremes () =
+  let t = Trace.create () in
+  let obj = Obj_id.make ~name:"dictionary:x" (-7) in
+  Trace.append t
+    (Event.call (Tid.of_int 0)
+       (Action.make ~obj ~meth:"put"
+          ~args:[ Value.Int max_int; Value.Int min_int; Value.Ref min_int ]
+          ~rets:[ Value.Int (-1); Value.Ref max_int ]
+          ()));
+  let bin = Wire.encode_trace t in
+  (match Big.decode_string bin with
+  | Ok t' ->
+      Alcotest.(check bool)
+        "extreme ints round trip" true
+        (Trace.to_list t' = Trace.to_list t)
+  | Error e -> Alcotest.failf "decode: %a" Wire.pp_error e);
+  Alcotest.(check bool)
+    "bytewise agrees on extremes" true
+    (decode_big_chunked ~chunk:1 bin = whole_legacy bin)
+
+let header_errors () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "agree on %S" s) true (agree s))
+    [ ""; "C"; "CRD"; "XRDW\x01\x00"; "CRDW"; "CRDW\x07\x00"; "CRDW\x01" ]
+
+let trailing_garbage () =
+  let bin = sample_bin () ^ "junk" in
+  Alcotest.(check bool) "agree on trailing garbage" true (agree bin);
+  Alcotest.(check bool)
+    "agree on trailing garbage under resync" true
+    (agree ~resync:true bin)
+
+let all_prefixes_agree () =
+  let bin = sample_bin () in
+  for cut = 0 to String.length bin - 1 do
+    if not (agree (String.sub bin 0 cut)) then
+      Alcotest.failf "decoders disagree on prefix of %d bytes" cut
+  done
+
+let bit_flips_agree () =
+  let bin = sample_bin () in
+  let b = Bytes.of_string bin in
+  for i = 0 to Bytes.length b - 1 do
+    let orig = Bytes.get b i in
+    Bytes.set b i (Char.chr (Char.code orig lxor 0x10));
+    let s = Bytes.to_string b in
+    if not (agree s) then Alcotest.failf "disagree on flip at byte %d" i;
+    if not (agree ~resync:true s) then
+      Alcotest.failf "resync disagree on flip at byte %d" i;
+    Bytes.set b i orig
+  done
+
+(* The intern pool must materialize one string per distinct content:
+   two definitions of the same bytes yield physically equal strings. *)
+let intern_materializes_once () =
+  let t = Trace.create () in
+  (* Two objects with distinct ids but the same name: the encoder
+     interns the name once, but a second def of equal content arrives
+     via the method names below. *)
+  let o1 = Obj_id.make ~name:"set:s" 1 in
+  let o2 = Obj_id.make ~name:"set:t" 2 in
+  Trace.append t
+    (Event.call (Tid.of_int 0)
+       (Action.make ~obj:o1 ~meth:"add" ~args:[ Value.Str "payload" ] ~rets:[] ()));
+  Trace.append t
+    (Event.call (Tid.of_int 1)
+       (Action.make ~obj:o2 ~meth:"add" ~args:[ Value.Str "payload" ] ~rets:[] ()));
+  match Big.decode_string (Wire.encode_trace t) with
+  | Error e -> Alcotest.failf "decode: %a" Wire.pp_error e
+  | Ok t' -> (
+      match Trace.to_list t' with
+      | [ { Event.op = Event.Call a1; _ }; { Event.op = Event.Call a2; _ } ] ->
+          Alcotest.(check bool)
+            "equal method names share one string" true
+            (a1.Action.meth == a2.Action.meth)
+      | _ -> Alcotest.fail "unexpected decoded shape")
+
+(* The push-based entry points must deliver the same events in the same
+   order as the list-returning API, with chunk boundaries anywhere. *)
+let streaming_iter_agrees () =
+  let bin = sample_bin () in
+  let expected = whole_legacy bin in
+  let via_iter ~chunk =
+    let b = Big.bigstring_of_string bin in
+    let d = Big.Decoder.create () in
+    let events = ref [] in
+    let err = ref None in
+    let pos = ref 0 in
+    while !err = None && !pos < String.length bin do
+      let len = min chunk (String.length bin - !pos) in
+      (match Big.Decoder.feed_iter d ~off:!pos ~len b ~f:(fun e -> events := e :: !events) with
+      | Ok () -> ()
+      | Error e -> err := Some e);
+      pos := !pos + len
+    done;
+    match !err with
+    | Some e -> Error e
+    | None -> (
+        match Big.Decoder.finish d with
+        | Ok () -> Ok (List.rev !events)
+        | Error e -> Error e)
+  in
+  List.iter
+    (fun chunk ->
+      Alcotest.(check bool)
+        (Printf.sprintf "feed_iter chunk=%d = legacy" chunk)
+        true
+        (via_iter ~chunk = expected))
+    [ 1; 7; 1 lsl 20 ];
+  let via_bytes_iter =
+    let d = Big.Decoder.create () in
+    let events = ref [] in
+    match
+      Big.Decoder.feed_bytes_iter d (Bytes.of_string bin) ~f:(fun e ->
+          events := e :: !events)
+    with
+    | Error e -> Error e
+    | Ok () -> (
+        match Big.Decoder.finish d with
+        | Ok () -> Ok (List.rev !events)
+        | Error e -> Error e)
+  in
+  Alcotest.(check bool) "feed_bytes_iter = legacy" true (via_bytes_iter = expected)
+
+(* An exception raised by the consumer callback must reach the caller
+   unchanged — not be swallowed into a [Corrupt] decode error. *)
+let consumer_exception_propagates () =
+  let bin = sample_bin () in
+  let b = Big.bigstring_of_string bin in
+  let d = Big.Decoder.create () in
+  let seen = ref 0 in
+  Alcotest.check_raises "consumer exception surfaces" Exit (fun () ->
+      ignore
+        (Big.Decoder.feed_iter d b ~f:(fun _ ->
+             incr seen;
+             if !seen = 3 then raise Exit)));
+  Alcotest.(check int) "consumer saw events up to the raise" 3 !seen
+
+let mapped_file_roundtrip () =
+  let t = Test_wire.sample_trace () in
+  let path = Filename.temp_file "crd-bigwire" ".crdw" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (match Wire.to_file path t with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "to_file: %s" e);
+      (match Big.map_file path with
+      | Error e -> Alcotest.failf "map_file: %s" e
+      | Ok b -> (
+          match Big.decode_bigstring b with
+          | Error e -> Alcotest.failf "decode_bigstring: %a" Wire.pp_error e
+          | Ok t' ->
+              Alcotest.(check bool)
+                "mmap decode = original" true
+                (Trace.to_list t' = Trace.to_list t)));
+      match Big.of_file path with
+      | Error e -> Alcotest.failf "of_file: %s" e
+      | Ok t' ->
+          Alcotest.(check bool)
+            "of_file = original" true
+            (Trace.to_list t' = Trace.to_list t))
+
+let suite =
+  ( "bigwire",
+    [
+      Alcotest.test_case "sample stream identity" `Quick sample_identity;
+      Alcotest.test_case "zigzag extremes" `Quick zigzag_extremes;
+      Alcotest.test_case "header errors agree" `Quick header_errors;
+      Alcotest.test_case "trailing garbage agrees" `Quick trailing_garbage;
+      Alcotest.test_case "all prefixes agree" `Quick all_prefixes_agree;
+      Alcotest.test_case "bit flips agree" `Quick bit_flips_agree;
+      Alcotest.test_case "intern pool materializes once" `Quick
+        intern_materializes_once;
+      Alcotest.test_case "mmap'd file round trip" `Quick mapped_file_roundtrip;
+      Alcotest.test_case "streaming iter agrees" `Quick streaming_iter_agrees;
+      Alcotest.test_case "consumer exception propagates" `Quick
+        consumer_exception_propagates;
+      qcheck "valid streams decode identically" trace_gen (fun trace ->
+          agree (Wire.encode_trace ~chunk_bytes:64 trace));
+      qcheck "chunked big decode = whole legacy decode"
+        Gen.(pair trace_gen (int_range 1 9))
+        (fun (trace, chunk) ->
+          let bin = Wire.encode_trace ~chunk_bytes:32 trace in
+          decode_big_chunked ~chunk bin = whole_legacy bin
+          && decode_big_bytes ~chunk bin = whole_legacy bin);
+      qcheck "corrupted streams agree"
+        Gen.(triple trace_gen (int_range 0 max_int) (int_range 0 7))
+        (fun (trace, n, bit) ->
+          let b = Bytes.of_string (Wire.encode_trace ~chunk_bytes:32 trace) in
+          let i = n mod Bytes.length b in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+          agree (Bytes.to_string b));
+      qcheck "corrupted streams agree under resync"
+        Gen.(triple trace_gen (int_range 0 max_int) (int_range 0 7))
+        (fun (trace, n, bit) ->
+          let b = Bytes.of_string (Wire.encode_trace ~chunk_bytes:32 trace) in
+          let i = n mod Bytes.length b in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+          agree ~resync:true (Bytes.to_string b));
+      qcheck "resync chunked agrees with legacy chunked"
+        Gen.(
+          quad trace_gen (int_range 0 max_int) (int_range 0 7) (int_range 1 9))
+        (fun (trace, n, bit, chunk) ->
+          let b = Bytes.of_string (Wire.encode_trace ~chunk_bytes:32 trace) in
+          let i = n mod Bytes.length b in
+          Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+          let s = Bytes.to_string b in
+          let legacy =
+            match Test_wire.decode_chunked ~resync:true ~chunk s with
+            | Ok evs -> Ok evs
+            | Error e -> Error e
+          in
+          decode_big_chunked ~resync:true ~chunk s = legacy);
+      qcheck "random bytes never raise and agree" ~count:500
+        Gen.(string_size ~gen:char (int_range 0 120))
+        (fun s -> agree s);
+    ] )

@@ -138,6 +138,89 @@ let fault_point () =
              the write, exactly like a full-disk failure would. *)
           Alcotest.(check string) "faulted append skipped" "okfine" bytes)
 
+let metric name =
+  String.split_on_char '\n' (Crd_obs.dump ())
+  |> List.find_map (fun l ->
+         match String.index_opt l ' ' with
+         | Some i when String.sub l 0 i = name ->
+             int_of_string_opt (String.sub l (i + 1) (String.length l - i - 1))
+         | _ -> None)
+  |> Option.value ~default:0
+
+let big_to_string b =
+  String.init (Bigarray.Array1.dim b) (fun i -> Bigarray.Array1.get b i)
+
+let append_bytes_off_len () =
+  let dir = fresh_dir () in
+  let j = Journal.start ~dir ~nonce:"b1" ~spec:"std" in
+  Journal.append_bytes j ~off:2 ~len:3 (Bytes.of_string "xxabcyy");
+  Journal.commit j;
+  Journal.close j;
+  match Journal.read_committed ~dir ~nonce:"b1" with
+  | Error e -> Alcotest.failf "read_committed: %s" e
+  | Ok (bytes, _) -> Alcotest.(check string) "sub-range appended" "abc" bytes
+
+(* The mmap replay path must see exactly what read_committed sees — and
+   nothing of a torn tail past the commit marker. *)
+let map_committed_torn_tail () =
+  let dir = fresh_dir () in
+  let j = Journal.start ~dir ~nonce:"b2" ~spec:"custom" in
+  Journal.append j "durable";
+  Journal.commit j;
+  Journal.append j "torn-tail";
+  Journal.close j;
+  let mmaps = metric "journal_mmap_total" in
+  let mbytes = metric "journal_mmap_bytes_total" in
+  match Journal.map_committed ~dir ~nonce:"b2" with
+  | Error e -> Alcotest.failf "map_committed: %s" e
+  | Ok (big, spec) ->
+      Alcotest.(check string) "committed prefix only" "durable" (big_to_string big);
+      Alcotest.(check string) "spec" "custom" spec;
+      Alcotest.(check bool) "journal_mmap_total incremented" true
+        (metric "journal_mmap_total" > mmaps);
+      Alcotest.(check int) "journal_mmap_bytes_total counts the prefix"
+        (mbytes + 7)
+        (metric "journal_mmap_bytes_total")
+
+(* With the journal_mmap fault armed, replay degrades to the read path
+   and still returns the same bytes. *)
+let map_committed_fallback () =
+  (match Crd_fault.configure "journal_mmap=p:1.0" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "configure: %s" e);
+  Fun.protect ~finally:Crd_fault.reset (fun () ->
+      let dir = fresh_dir () in
+      let j = Journal.start ~dir ~nonce:"b3" ~spec:"std" in
+      Journal.append j "durable";
+      Journal.commit j;
+      Journal.close j;
+      let falls = metric "journal_mmap_fallback_total" in
+      match Journal.map_committed ~dir ~nonce:"b3" with
+      | Error e -> Alcotest.failf "map_committed under fault: %s" e
+      | Ok (big, _) ->
+          Alcotest.(check string) "fallback serves the bytes" "durable"
+            (big_to_string big);
+          Alcotest.(check bool) "fallback counted" true
+            (metric "journal_mmap_fallback_total" > falls))
+
+let map_committed_short_data () =
+  let dir = fresh_dir () in
+  let j = Journal.start ~dir ~nonce:"b4" ~spec:"std" in
+  Journal.append j "12345678";
+  Journal.commit j;
+  Journal.close j;
+  Out_channel.with_open_bin
+    (Filename.concat dir "b4.crdj")
+    (fun oc -> Out_channel.output_string oc "1234");
+  match Journal.map_committed ~dir ~nonce:"b4" with
+  | Ok (big, _) ->
+      Alcotest.failf "truncated journal mapped back %S" (big_to_string big)
+  | Error e ->
+      Alcotest.(check bool)
+        (Printf.sprintf "names the shortfall (%s)" e)
+        true
+        (String.length e > 0)
+
 let fresh_nonce_unique () =
   let a = Journal.fresh_nonce () and b = Journal.fresh_nonce () in
   Alcotest.(check bool) "distinct" true (not (String.equal a b));
@@ -160,6 +243,13 @@ let suite =
       Alcotest.test_case "short data is an error" `Quick short_data_is_an_error;
       Alcotest.test_case "commit marker format" `Quick commit_marker_format;
       Alcotest.test_case "journal_append fault point" `Quick fault_point;
+      Alcotest.test_case "append_bytes off/len" `Quick append_bytes_off_len;
+      Alcotest.test_case "map_committed drops the torn tail" `Quick
+        map_committed_torn_tail;
+      Alcotest.test_case "map_committed falls back under fault" `Quick
+        map_committed_fallback;
+      Alcotest.test_case "map_committed short data is an error" `Quick
+        map_committed_short_data;
       Alcotest.test_case "fresh nonces are valid and unique" `Quick
         fresh_nonce_unique;
     ] )

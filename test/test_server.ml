@@ -383,6 +383,25 @@ let fresh_dir tag =
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 
+(* Regression for the EINTR abort: a signal landing mid-[read]/[write]
+   used to kill the session (the raw fd loops treated [EINTR] as a hard
+   error). With the [io_eintr] fault interrupting every third raw
+   syscall on both sides of the connection — handshake, trace stream,
+   journal append, report — the retries must make the session
+   indistinguishable from a calm one. *)
+let eintr_storm () =
+  let trace = snitch_trace () in
+  let expected = offline_race_lines trace in
+  let dir = fresh_dir "crd-eintr" in
+  with_faults "io_eintr=every:3" (fun () ->
+      with_server
+        ~f_config:(fun c -> { c with Server.journal = Some dir })
+        (fun ~addr ~server:_ ->
+          let reply = send_exn ~addr trace in
+          Alcotest.(check (list string))
+            "races under EINTR storm = offline races" expected
+            (reply_race_lines reply)))
+
 (* With one busy worker and a full backlog, the next connection must be
    shed with a BUSY reply carrying the configured retry hint — before
    its handshake is even read. *)
@@ -815,6 +834,7 @@ let suite =
       Alcotest.test_case "addr_of_string table" `Quick addr_of_string_table;
       Alcotest.test_case "stop releases the socket" `Quick stop_releases_socket;
       Alcotest.test_case "overload shed replies BUSY" `Quick busy_shed;
+      Alcotest.test_case "session survives an EINTR storm" `Quick eintr_storm;
       Alcotest.test_case "worker crash respawn" `Quick worker_crash_respawn;
       Alcotest.test_case "retry recovers a lost reply" `Quick
         retry_on_lost_reply;
