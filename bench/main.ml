@@ -561,6 +561,76 @@ let server_roundtrip ?journal ?(repeats = 3) ?(tag = "") ?trace () =
       (ns, Trace.length trace)
 
 (* ------------------------------------------------------------------ *)
+(* Sustained overload (spill-tier acceptance rate)                     *)
+(* ------------------------------------------------------------------ *)
+
+type overload_record = {
+  ov_clients : int;
+  ov_events : int;  (** per client *)
+  ov_burst_ns : float;  (** wall clock until every concurrent session is acked *)
+  ov_spilled : int;
+  ov_caught_up : int;
+}
+
+let overload_accepted_events_s ov =
+  per_s (ov.ov_clients * ov.ov_events) ov.ov_burst_ns
+
+(* [clients] concurrent sessions against one worker with the smallest
+   spill watermark: all but the first are acked through the spill tier
+   at decoder-plus-journal speed, so the acceptance rate measures the
+   degradation ladder's ingest path, not the analyzer. The catch-up
+   drain runs after the timed window (stop waits for it) — spilled
+   evidence is analyzed, just not on the clients' clock. *)
+let sustained_overload ?(clients = 4) ~events () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "crd-bench-%d-ov.sock" (Unix.getpid ()))
+  in
+  let jdir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "crd-bench-ov-journal-%d" (Unix.getpid ()))
+  in
+  let addr = Crd_server.Server.Unix_sock path in
+  let config =
+    {
+      (Crd_server.Server.default_config ~addr) with
+      workers = 1;
+      spill_watermark = 1;
+      journal = Some jdir;
+    }
+  in
+  match Crd_server.Server.start config with
+  | Error e -> failwith ("overload benchmark: " ^ e)
+  | Ok server ->
+      let trace = W.Synth.generate ~seed:7L (W.Synth.default ~events) in
+      let send i =
+        match
+          Crd_server.Client.send_trace ~addr
+            ~nonce:(Printf.sprintf "bench-ov-%d" i)
+            trace
+        with
+        | Ok _ -> ()
+        | Error e -> failwith ("overload benchmark: " ^ e)
+      in
+      send 0 (* warm-up: first session pays domain/socket setup *);
+      let t0 = Unix.gettimeofday () in
+      let threads =
+        List.init clients (fun i -> Thread.create (fun () -> send (i + 1)) ())
+      in
+      List.iter Thread.join threads;
+      let burst_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+      let st = Crd_server.Server.stop server in
+      {
+        ov_clients = clients;
+        ov_events = Trace.length trace;
+        ov_burst_ns = burst_ns;
+        ov_spilled = st.Crd_server.Server.spilled;
+        ov_caught_up = st.Crd_server.Server.caught_up;
+      }
+
+(* ------------------------------------------------------------------ *)
 (* Race database: ingest throughput and query latency                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -646,8 +716,10 @@ let racedb_bench ?(reports = 2000) ?(repeats = 3) () =
 
 (* 5: codec rows gained big_decode_* / streaming-decode fields, new flat
    codec_big_speedup section, server section gained the synth ingest
-   row, traces rows are marked forced_parallel. *)
-let schema_version = 5
+   row, traces rows are marked forced_parallel.
+   6: new flat overload section (sustained_overload acceptance rate,
+   gated by --compare). *)
+let schema_version = 6
 
 (* Minimal reader for our own BENCH_results.json — just enough for
    --compare, not a general JSON parser. Returns the file's
@@ -662,6 +734,7 @@ let load_results path =
       let bench = ref [] in
       let speedups = ref [] in
       let big_speedups = ref [] in
+      let overload = ref [] in
       List.iter
         (fun line ->
           let line = String.trim line in
@@ -693,12 +766,21 @@ let load_results path =
                   Option.iter
                     (fun v -> big_speedups := (key, v) :: !big_speedups)
                     (float_of_string_opt value)
+                else if String.equal !section "overload" then
+                  Option.iter
+                    (fun v -> overload := (key, v) :: !overload)
+                    (float_of_string_opt value)
             | _ -> ())
         lines;
       match !schema with
       | None -> Error (path ^ ": no schema_version field (pre-versioning run?)")
       | Some v ->
-          Ok (v, List.rev !bench, List.rev !speedups, List.rev !big_speedups)
+          Ok
+            ( v,
+              List.rev !bench,
+              List.rev !speedups,
+              List.rev !big_speedups,
+              List.rev !overload )
 
 (* The flat synth_speedup keys this run produces (mirrored in the JSON
    emission below, and matched by key against the previous file). *)
@@ -727,6 +809,19 @@ let codec_big_speedup_pairs codec =
       ])
     codec
 
+(* The flat overload keys: the spill-tier acceptance rate from the
+   sustained_overload burst. Gated by --compare — a ladder change that
+   drags spill ingest below decoder speed (e.g. analysis sneaking back
+   onto the admission path) regresses this rate far beyond tolerance. *)
+let overload_pairs ov =
+  match ov with
+  | None -> []
+  | Some ov ->
+      [
+        ( "sustained_overload/accepted_events_s",
+          overload_accepted_events_s ov );
+      ]
+
 (* A parallel-speedup regression below this fraction of the previous run
    fails --compare. Generous on purpose: wall-clock speedups on shared
    CI hardware are noisy, and a 1-core box caps every speedup near 1.0 —
@@ -740,16 +835,16 @@ let speedup_regression_tolerance = 0.7
    below tolerance. Only [synth/*] keys feed the parallel gate: the
    table2 rd2-jobsN benchmark rows force sharding onto traces far too
    small to win, so their ratios are noise, not signal. *)
-let compare_results ~prev_path ~benchmarks ~synth ~codec =
+let compare_results ~prev_path ~benchmarks ~synth ~codec ~overload =
   match load_results prev_path with
   | Error e -> Error ("--compare: " ^ e)
-  | Ok (prev_schema, _, _, _) when prev_schema <> schema_version ->
+  | Ok (prev_schema, _, _, _, _) when prev_schema <> schema_version ->
       Error
         (Printf.sprintf
            "--compare: %s has schema_version %d but this harness writes %d; \
             regenerate the baseline before comparing"
            prev_path prev_schema schema_version)
-  | Ok (_, prev_bench, prev_speedups, prev_big) ->
+  | Ok (_, prev_bench, prev_speedups, prev_big, prev_overload) ->
       Fmt.pr "@.## Comparison against %s@.@." prev_path;
       if benchmarks = [] then
         Fmt.pr "(no bechamel benchmarks in this run — --tables-only?)@."
@@ -777,7 +872,7 @@ let compare_results ~prev_path ~benchmarks ~synth ~codec =
             pairs
         end
       in
-      let synth_regr = ref [] and big_regr = ref [] in
+      let synth_regr = ref [] and big_regr = ref [] and ov_regr = ref [] in
       gate ~label:"synth speedup" ~prev:prev_speedups
         (List.filter
            (fun (k, _) -> String.length k >= 6 && String.sub k 0 6 = "synth/")
@@ -786,6 +881,8 @@ let compare_results ~prev_path ~benchmarks ~synth ~codec =
       gate ~label:"codec big-decode speedup" ~prev:prev_big
         (codec_big_speedup_pairs codec)
         big_regr;
+      gate ~label:"overload acceptance (events/s)" ~prev:prev_overload
+        (overload_pairs overload) ov_regr;
       let synth_regr =
         if !synth_regr <> [] && Domain.recommended_domain_count () < 2 then begin
           (* A 1-core box caps every parallel speedup near 1.0 — any
@@ -799,7 +896,7 @@ let compare_results ~prev_path ~benchmarks ~synth ~codec =
         end
         else List.rev !synth_regr
       in
-      match synth_regr @ List.rev !big_regr with
+      match synth_regr @ List.rev !big_regr @ List.rev !ov_regr with
       | [] -> Ok ()
       | regressions ->
           Error
@@ -810,7 +907,7 @@ let compare_results ~prev_path ~benchmarks ~synth ~codec =
                (String.concat ", " regressions))
 
 let write_json ~path ~jobs ~benchmarks ~traces ~synth ~codec ~server
-    ~server_journal ~server_ingest ~racedb =
+    ~server_journal ~server_ingest ~overload ~racedb =
   let oc = open_out path in
   let pr fmt = Printf.fprintf oc fmt in
   let rate a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
@@ -925,6 +1022,25 @@ let write_json ~path ~jobs ~benchmarks ~traces ~synth ~codec ~server
   pr "    \"ingest_events\": %d,\n" ingest_events;
   pr "    \"ingest_events_s\": %.0f\n" (per_s ingest_events ingest_ns);
   pr "  },\n";
+  (* Flat like synth_speedup: the --compare reader gates the spill-tier
+     acceptance rate against the previous baseline. *)
+  pr "  \"overload\": {";
+  List.iteri
+    (fun i (key, v) ->
+      pr "%s\n    \"%s\": %.0f" (if i = 0 then "" else ",") (json_escape key) v)
+    (overload_pairs overload);
+  pr "%s  },\n" (match overload with None -> "" | Some _ -> "\n");
+  (match overload with
+  | None -> ()
+  | Some ov ->
+      pr "  \"sustained_overload\": {\n";
+      pr "    \"clients\": %d,\n" ov.ov_clients;
+      pr "    \"events_per_client\": %d,\n" ov.ov_events;
+      pr "    \"burst_ns\": %.0f,\n" ov.ov_burst_ns;
+      pr "    \"accepted_events_s\": %.0f,\n" (overload_accepted_events_s ov);
+      pr "    \"spilled_sessions\": %d,\n" ov.ov_spilled;
+      pr "    \"caught_up\": %d\n" ov.ov_caught_up;
+      pr "  },\n");
   pr "  \"racedb\": {\n";
   pr "    \"reports\": %d,\n" racedb.rb_reports;
   pr "    \"ingest_ns\": %.0f,\n" racedb.rb_ingest_ns;
@@ -1030,7 +1146,10 @@ let () =
     (match compare_path with
     | None -> ()
     | Some prev_path -> (
-        match compare_results ~prev_path ~benchmarks:[] ~synth ~codec:[] with
+        match
+          compare_results ~prev_path ~benchmarks:[] ~synth ~codec:[]
+            ~overload:None
+        with
         | Ok () -> ()
         | Error e ->
             Fmt.epr "%s@." e;
@@ -1102,6 +1221,24 @@ let () =
   Fmt.pr "ingest (synth/uniform/%dk): %.2f ms (%.0f events/s)@."
     (ingest_events / 1000) (ingest_ns /. 1e6)
     (per_s ingest_events ingest_ns);
+  (* Sustained overload: a concurrent burst against one worker, most of
+     it acked through the spill tier at decoder-plus-journal speed. *)
+  let overload =
+    Some
+      (sustained_overload
+         ~events:(min 100_000 (max 20_000 (synth_max_events / 10)))
+         ())
+  in
+  (match overload with
+  | None -> ()
+  | Some ov ->
+      Fmt.pr
+        "sustained overload (%d clients x %dk, 1 worker): %.2f ms \
+         (%.0f accepted events/s, %d spilled, %d caught up)@."
+        ov.ov_clients (ov.ov_events / 1000)
+        (ov.ov_burst_ns /. 1e6)
+        (overload_accepted_events_s ov)
+        ov.ov_spilled ov.ov_caught_up);
   let racedb = racedb_bench () in
   Fmt.pr "@.## Race database (racedb_ingest / query_top)@.@.";
   Fmt.pr "%d reports ingested in %.2f ms (%.0f reports/s with rollups)@."
@@ -1116,7 +1253,7 @@ let () =
     (racedb.rb_query_ns /. 1e6)
     racedb.rb_distinct;
   write_json ~path:out ~jobs ~benchmarks ~traces ~synth ~codec ~server
-    ~server_journal ~server_ingest ~racedb;
+    ~server_journal ~server_ingest ~overload ~racedb;
   Fmt.pr "@.results written to %s (jobs=%d)@." out jobs;
   if Array.exists (String.equal "--stats") Sys.argv then begin
     Fmt.pr "@.## Metrics registry after this run@.@.";
@@ -1125,7 +1262,7 @@ let () =
   match compare_path with
   | None -> ()
   | Some prev_path -> (
-      match compare_results ~prev_path ~benchmarks ~synth ~codec with
+      match compare_results ~prev_path ~benchmarks ~synth ~codec ~overload with
       | Ok () -> ()
       | Error e ->
           Fmt.epr "%s@." e;

@@ -898,9 +898,59 @@ let serve_cmd =
       & info [ "sync-interval" ] ~docv:"SECONDS"
           ~doc:"Target seconds for one full sync round over all peers.")
   in
+  let bytes_conv =
+    (* 64m, 2g, 512k, or plain bytes. *)
+    let parse s =
+      let fail () = Error (`Msg (Printf.sprintf "bad byte count %S" s)) in
+      if s = "" then fail ()
+      else
+        let n = String.length s in
+        let unit, digits =
+          match Char.lowercase_ascii s.[n - 1] with
+          | 'k' -> (1024, String.sub s 0 (n - 1))
+          | 'm' -> (1024 * 1024, String.sub s 0 (n - 1))
+          | 'g' -> (1024 * 1024 * 1024, String.sub s 0 (n - 1))
+          | _ -> (1, s)
+        in
+        match int_of_string_opt digits with
+        | Some v when v >= 0 -> Ok (v * unit)
+        | _ -> fail ()
+    in
+    Arg.conv (parse, fun ppf v -> Fmt.pf ppf "%d" v)
+  in
+  let memory_budget =
+    Arg.(
+      value & opt bytes_conv 0
+      & info [ "memory-budget" ] ~docv:"BYTES"
+          ~doc:
+            "Degradation ladder: accounted-memory bytes (suffixes k/m/g) \
+             past which new connections are shed with BUSY. Queue pressure \
+             alone never sheds — it spills (see $(b,--spill-watermark)). \
+             0 disables (the default).")
+  in
+  let spill_watermark =
+    Arg.(
+      value & opt int 0
+      & info [ "spill-watermark" ] ~docv:"N"
+          ~doc:
+            "Degradation ladder: with all workers busy and $(docv) sessions \
+             already pending, new sessions are acked and journaled at \
+             decoder speed (no online analysis) and replayed by a \
+             background catch-up drainer. Requires $(b,--journal). \
+             0 disables (the default).")
+  in
+  let stall_timeout =
+    Arg.(
+      value & opt float 0.
+      & info [ "stall-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Watchdog: recycle a worker making no per-batch progress for \
+             $(docv) seconds; its session gets a retryable ERR. Should \
+             exceed $(b,--idle-timeout). 0 disables (the default).")
+  in
   let run addr workers queue idle spec_file direct fasttrack atomicity jobs
       metrics log_level faults journal backlog retry_after resync racedb peers
-      sync_interval =
+      sync_interval memory_budget spill_watermark stall_timeout =
     Crd_obs.Log.set_level log_level;
     let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
     let* () =
@@ -933,6 +983,9 @@ let serve_cmd =
         racedb;
         peers = List.concat peers;
         sync_interval;
+        memory_budget;
+        spill_watermark;
+        stall_timeout;
       }
     in
     Fmt.epr "rd2 serve: listening on %a@." Crd_server.Server.pp_addr addr;
@@ -945,11 +998,13 @@ let serve_cmd =
     let* st = Crd_server.Server.serve config in
     Fmt.pr
       "sessions %d  events %d  races %d  errors %d  accept_errors %d  busy %d \
-       \ worker_crashes %d  recovered %d@."
+       \ worker_crashes %d  recovered %d  spilled %d  caught_up %d  stalls %d@."
       st.Crd_server.Server.sessions st.Crd_server.Server.events
       st.Crd_server.Server.races st.Crd_server.Server.errors
       st.Crd_server.Server.accept_errors st.Crd_server.Server.busy
-      st.Crd_server.Server.worker_crashes st.Crd_server.Server.recovered;
+      st.Crd_server.Server.worker_crashes st.Crd_server.Server.recovered
+      st.Crd_server.Server.spilled st.Crd_server.Server.caught_up
+      st.Crd_server.Server.stalls;
     `Ok ()
   in
   Cmd.v
@@ -963,7 +1018,7 @@ let serve_cmd =
         (const run $ addr_arg $ workers $ queue $ idle $ spec_arg $ direct
        $ fasttrack $ atomicity $ jobs $ metrics $ log_level $ faults
        $ journal $ backlog $ retry_after $ resync $ racedb $ peers
-       $ sync_interval))
+       $ sync_interval $ memory_budget $ spill_watermark $ stall_timeout))
 
 (* ------------------------------------------------------------------ *)
 (* send                                                                *)
@@ -1271,7 +1326,17 @@ let sync_cmd =
       & info [ "timeout" ] ~docv:"SECONDS"
           ~doc:"Socket read/write timeout (0 disables).")
   in
-  let run addr dir timeout =
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Whole-exchange deadline: fail the sync after $(docv) seconds \
+             of wall clock even if the peer keeps trickling bytes \
+             (default 10x the timeout, 0 disables).")
+  in
+  let run addr dir timeout deadline =
     (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
      with Invalid_argument _ -> ());
     match Crd_fault.configure_env () with
@@ -1294,7 +1359,7 @@ let sync_cmd =
                   Fun.protect
                     ~finally:(fun () ->
                       try Unix.close fd with Unix.Unix_error _ -> ())
-                    (fun () -> Crd_sync.client ~timeout fd db)
+                    (fun () -> Crd_sync.client ~timeout ?deadline fd db)
             in
             Crd_racedb.Db.close db;
             (match res with
@@ -1310,7 +1375,68 @@ let sync_cmd =
           and a running server: both sides end up with the union of their \
           entries. Idempotent — re-running against a converged pair \
           transfers nothing.")
-    Term.(ret (const run $ addr $ dir $ timeout))
+    Term.(ret (const run $ addr $ dir $ timeout $ deadline))
+
+(* ------------------------------------------------------------------ *)
+(* health — one-line server summary                                    *)
+(* ------------------------------------------------------------------ *)
+
+let health_cmd =
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some addr_conv) None
+      & info [] ~docv:"ADDR"
+          ~doc:"Server to probe (unix:PATH or tcp:HOST:PORT).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 5.
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Socket read/write timeout (0 disables).")
+  in
+  let run addr timeout =
+    (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+     with Invalid_argument _ -> ());
+    match Crd_server.Server.connect addr with
+    | exception Failure m -> `Error (false, m)
+    | exception Unix.Unix_error (e, fn, _) ->
+        `Error (false, Printf.sprintf "%s(%s)" (Unix.error_message e) fn)
+    | fd ->
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            if timeout > 0. then begin
+              (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout
+               with Unix.Unix_error _ | Invalid_argument _ -> ());
+              try Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+              with Unix.Unix_error _ | Invalid_argument _ -> ()
+            end;
+            match
+              Crd_server.Proto.write_all fd "HEALTH\n";
+              Crd_server.Proto.read_to_eof fd
+            with
+            | exception Unix.Unix_error (e, fn, _) ->
+                `Error (false, Printf.sprintf "%s(%s)" (Unix.error_message e) fn)
+            | "" -> `Error (false, "server closed the connection without a reply")
+            | reply when reply.[0] = '\x02' ->
+                (* A shedding server answers admission itself: the BUSY
+                   preamble byte arrives before the probe is even read. *)
+                Fmt.pr "HEALTH tier=shed (server is shedding: BUSY)@.";
+                `Ok ()
+            | reply ->
+                Fmt.pr "%s" reply;
+                if String.length reply > 0 && reply.[String.length reply - 1] <> '\n'
+                then Fmt.pr "@.";
+                `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "health" ~exits
+       ~doc:
+         "Print a running server's one-line health summary: admission tier, \
+          active/pending sessions, spill backlog, accounted memory against \
+          the budget, and watchdog stalls.")
+    Term.(ret (const run $ addr $ timeout))
 
 (* ------------------------------------------------------------------ *)
 
@@ -1321,7 +1447,7 @@ let main =
     [
       specs_cmd; translate_cmd; check_cmd; simulate_cmd; record_cmd;
       synth_cmd; explore_cmd; table2_cmd; serve_cmd; send_cmd; query_cmd;
-      db_cmd; sync_cmd;
+      db_cmd; sync_cmd; health_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -58,9 +58,7 @@ let create ?(config = default_config) ~spec_for () =
      but surface immediate failures for the common single-spec case by
      noticing them lazily in [step]. To keep the API simple we probe
      nothing here and report translation failures by exception. *)
-  let pool =
-    Crd_vclock.Vclock.Pool.create ~capacity:Metrics.default_pool_capacity ()
-  in
+  let pool = Metrics.create_pool () in
   let rd2 =
     match config.rd2 with
     | `Off -> None

@@ -81,8 +81,30 @@ let vc_pool_acquired_total =
 
 let default_pool_capacity = 1024
 
+(* Approximate bytes per pooled clock (header + a small elems buffer) —
+   the multiplier behind [mem_vcpool_bytes], the VC-arena leg of the
+   server's overload memory accounting. Growth past the preallocated
+   capacity is deliberately not charged: it is already surfaced by
+   [vc_pool_grown_total], and under-charging there errs toward shedding
+   later, never toward phantom memory. *)
+let pool_clock_bytes = 160
+
+let mem_vcpool_bytes =
+  Crd_obs.gauge
+    ~help:"Approximate bytes preallocated in live vector-clock arenas"
+    "mem_vcpool_bytes"
+
+(* Every detector pool must come from here and end in {!publish_pool}
+   exactly once: the pair keeps the [mem_vcpool_bytes] charge/release
+   symmetric (capacity is fixed at creation). *)
+let create_pool () =
+  Crd_obs.Gauge.add mem_vcpool_bytes (pool_clock_bytes * default_pool_capacity);
+  Crd_vclock.Vclock.Pool.create ~capacity:default_pool_capacity ()
+
 let publish_pool (p : Crd_vclock.Vclock.Pool.t) =
   Crd_obs.Gauge.set_max vc_pool_in_use (Crd_vclock.Vclock.Pool.in_use p);
   Crd_obs.Gauge.set_max vc_pool_available (Crd_vclock.Vclock.Pool.available p);
   Crd_obs.Counter.add vc_pool_grown_total (Crd_vclock.Vclock.Pool.grown p);
-  Crd_obs.Counter.add vc_pool_acquired_total (Crd_vclock.Vclock.Pool.acquired p)
+  Crd_obs.Counter.add vc_pool_acquired_total (Crd_vclock.Vclock.Pool.acquired p);
+  Crd_obs.Gauge.add mem_vcpool_bytes
+    (-pool_clock_bytes * Crd_vclock.Vclock.Pool.capacity p)

@@ -56,9 +56,7 @@ type shard_out = {
 }
 
 let make_detectors (config : Analyzer.config) ~repr_for ~spec_for () =
-  let pool =
-    Vclock.Pool.create ~capacity:Metrics.default_pool_capacity ()
-  in
+  let pool = Metrics.create_pool () in
   {
     rd2 =
       (match config.rd2 with

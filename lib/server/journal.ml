@@ -80,10 +80,14 @@ type t = {
 let start ~dir ~nonce ~spec =
   mkdir_p dir;
   (* A reconnect with the same nonce is a fresh run of the same logical
-     session: drop any partial or stale state before the first byte. *)
+     session: drop any partial or stale state before the first byte.
+     The data file is unlinked rather than O_TRUNC'd: a catch-up
+     drainer may still hold an mmap of the previous segment, and
+     truncating a mapped file turns its next load into SIGBUS — the
+     unlink keeps the old inode alive until the mapping drops. *)
   List.iter
     (fun p -> try Unix.unlink p with Unix.Unix_error _ -> ())
-    [ commit_path dir nonce; report_path dir nonce ];
+    [ commit_path dir nonce; report_path dir nonce; data_path dir nonce ];
   let fd =
     Unix.openfile (data_path dir nonce)
       [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
@@ -92,6 +96,7 @@ let start ~dir ~nonce ~spec =
   { dir; nonce; spec; fd; size = 0; closed = false }
 
 let nonce t = t.nonce
+let size t = t.size
 
 let append_bytes t ?(off = 0) ?len b =
   let len = match len with Some l -> l | None -> Bytes.length b - off in

@@ -31,6 +31,10 @@ val start : dir:string -> nonce:string -> spec:string -> t
     marker so recovery replays the same analysis. *)
 
 val nonce : t -> string
+
+val size : t -> int
+(** Bytes appended so far — after {!commit}, the committed byte count. *)
+
 val append : t -> ?off:int -> ?len:int -> string -> unit
 
 val append_bytes : t -> ?off:int -> ?len:int -> Bytes.t -> unit

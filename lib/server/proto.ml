@@ -114,10 +114,16 @@ let read_lstring fd ~max ~what =
       | None -> Error "connection closed during handshake"
       | Some s -> Ok s)
 
-type preamble = Session | Sync of int
+type preamble = Session | Sync of int | Health
 
-(* The session and sync protocols share the listener: the first five
-   bytes (magic + version) say which one this connection speaks. *)
+(* An operator or script asking for the one-line health summary sends
+   the ASCII line "HEALTH\n"; its first five bytes land where the
+   binary magic would. *)
+let health_magic = "HEALT"
+
+(* The session, sync and health protocols share the listener: the
+   first five bytes (magic + version) say which one this connection
+   speaks. *)
 let read_preamble fd =
   match read_exact fd (String.length magic + 1) with
   | None -> Error "connection closed during handshake"
@@ -129,6 +135,18 @@ let read_preamble fd =
           Error (Printf.sprintf "unsupported protocol version %d" v)
         else Ok Session
       else if String.equal m Crd_wire.Codec.sync_magic then Ok (Sync v)
+      else if String.equal h health_magic then begin
+        (* Consume the rest of the ASCII line ("H\n") so the close after
+           the reply never RSTs unread probe bytes back at the client. *)
+        let rec eat n =
+          if n > 0 then
+            match read_exact fd 1 with
+            | Some c when not (String.equal c "\n") -> eat (n - 1)
+            | _ -> ()
+        in
+        eat 8;
+        Ok Health
+      end
       else Error "bad handshake magic (not a CRDS client)"
 
 let read_handshake_body fd =
@@ -145,6 +163,7 @@ let read_handshake fd =
   match read_preamble fd with
   | Error e -> Error e
   | Ok (Sync _) -> Error "sync connection on a session read path"
+  | Ok Health -> Error "health probe on a session read path"
   | Ok Session -> read_handshake_body fd
 
 let read_handshake_reply fd =

@@ -67,10 +67,13 @@ val send_busy : Unix.file_descr -> retry_ms:int -> unit
 type preamble =
   | Session  (** a CRDS trace session *)
   | Sync of int  (** a CRDY racedb sync exchange, with its version *)
+  | Health
+      (** an ASCII ["HEALTH\n"] probe: the server answers one
+          [key=value] line (tier, backlog, memory budget) and closes *)
 
 val read_preamble : Unix.file_descr -> (preamble, string) result
 (** Server side: consume the 5-byte magic + version and classify the
-    connection. Session and sync clients share the listener. *)
+    connection. Session, sync and health clients share the listener. *)
 
 val read_handshake_body : Unix.file_descr -> (handshake, string) result
 (** The nonce + spec-set part that follows a [Session] preamble. *)

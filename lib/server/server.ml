@@ -61,6 +61,9 @@ type config = {
   racedb : string option;
   peers : addr list;
   sync_interval : float;
+  memory_budget : int;
+  spill_watermark : int;
+  stall_timeout : float;
 }
 
 let default_analyzer =
@@ -89,6 +92,9 @@ let default_config ~addr =
     racedb = None;
     peers = [];
     sync_interval = 30.;
+    memory_budget = 0;
+    spill_watermark = 0;
+    stall_timeout = 0.;
   }
 
 type stats = {
@@ -100,6 +106,9 @@ type stats = {
   busy : int;
   worker_crashes : int;
   recovered : int;
+  spilled : int;
+  caught_up : int;
+  stalls : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -298,7 +307,16 @@ type t = {
   cfg : config;
   racedb : sink option;
   listen_fd : Unix.file_descr;
-  conns : Unix.file_descr Bqueue.t;
+  (* Each admitted connection carries the tier it was admitted under:
+     the spill decision is made once, at admission, so tests (and
+     operators reading logs) see deterministic per-session verdicts
+     instead of a race against the signals draining. *)
+  conns : (Unix.file_descr * Overload.tier) Bqueue.t;
+  overload : Overload.t;
+  heartbeats : Overload.Heartbeat.t array;  (* one per worker slot *)
+  catchup : (string * float * int) Bqueue.t;  (* nonce, committed_at, bytes *)
+  mutable catchup_th : Thread.t option;  (* spill catch-up drainer *)
+  mutable watchdog_th : Thread.t option;
   stopping : bool Atomic.t;
   active : int Atomic.t;  (* sessions currently held by workers *)
   mutable accept_d : unit Domain.t option;
@@ -366,6 +384,36 @@ let record_recovered t =
   Mutex.unlock t.mu;
   Crd_obs.Counter.incr m_recovered
 
+(* A spilled session is complete from the client's point of view (its
+   events are committed and acked) but its races are still pending:
+   they arrive later via [record_catchup], which adds only the race
+   count so totals never double-count. *)
+let record_spilled t ~events =
+  Mutex.lock t.mu;
+  t.st <-
+    {
+      t.st with
+      sessions = t.st.sessions + 1;
+      events = t.st.events + events;
+      spilled = t.st.spilled + 1;
+    };
+  Mutex.unlock t.mu;
+  Crd_obs.Counter.incr m_sessions;
+  Crd_obs.Counter.add m_events events
+
+let record_catchup t ~races =
+  Mutex.lock t.mu;
+  t.st <-
+    { t.st with races = t.st.races + races; caught_up = t.st.caught_up + 1 };
+  Mutex.unlock t.mu;
+  Crd_obs.Counter.add m_races races
+
+let record_stall t =
+  Mutex.lock t.mu;
+  t.st <- { t.st with stalls = t.st.stalls + 1 };
+  Mutex.unlock t.mu;
+  Crd_obs.Counter.incr Overload.m_stalls
+
 (* True iff this nonce was already seen by this server instance — a
    client retry of the same logical session. *)
 let note_nonce t nonce =
@@ -411,10 +459,23 @@ let resolve_spec_set cfg = function
 
 type item = Ev of Crd_trace.Event.t | Bad of err_kind * string
 
+(* The rough per-item byte cost charged into [mem_queue_bytes]: an
+   [Event.t] is a small record plus an op constructor and its payload
+   boxes. A constant keeps the weight function allocation-free. *)
+let item_weight = function
+  | Ev _ -> 128
+  | Bad (_, msg) -> 64 + String.length msg
+
+(* Events per Bqueue handoff slice. One mutex round per slice instead
+   of per event — the cheapest analyzer-throughput win the ROADMAP
+   names, observable in the [bqueue_batch_size] histogram. *)
+let handoff_batch = 256
+
 (* Socket-reader: decode incoming bytes and push events into the
-   session's bounded queue. Runs in its own thread so that a full queue
-   blocks this reader (and, transitively, the client) rather than
-   growing server memory. [hw] tracks the queue's high-water mark.
+   session's bounded queue, [handoff_batch] events per push. Runs in
+   its own thread so that a full queue blocks this reader (and,
+   transitively, the client) rather than growing server memory. [hw]
+   tracks the queue's high-water mark.
 
    With a journal attached, every raw byte is appended before it is
    decoded, and the journal is committed the moment the decoder sees
@@ -427,88 +488,134 @@ let read_loop ?journal ~resync conn q hw =
   let dec = Crd_wire.Bigcodec.Decoder.create ~resync () in
   let buf = Bytes.create 65536 in
   let stop = ref false in
+  (* The pending handoff slice. Slots are always overwritten before
+     [blen] reaches them; the placeholder is never observed. *)
+  let batch = Array.make handoff_batch (Bad (Io, "uninitialized")) in
+  let blen = ref 0 in
+  let flush () =
+    if !blen > 0 then begin
+      let n = Bqueue.push_slice q batch 0 !blen in
+      if n < !blen then stop := true;
+      blen := 0
+    end
+  in
   let bad kind msg =
+    (* Events decoded before the failure still count: deliver them
+       ahead of the error item so the analyzer's totals are exact. *)
+    (try flush () with Crd_fault.Injected _ -> blen := 0);
     ignore (Bqueue.push_raw q (Bad (kind, msg)));
     stop := true
   in
-  while not !stop do
-    match
-      if Crd_fault.fire fp_sock_read then
-        raise (Unix.Unix_error (Unix.EIO, "read", "injected fault: sock_read"));
-      Proto.read_retry conn buf 0 (Bytes.length buf)
-    with
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-        bad Timeout "idle timeout: no client bytes"
-    | exception Unix.Unix_error (e, _, arg) ->
-        bad Io
-          (if arg = "" then Unix.error_message e
-           else Unix.error_message e ^ " (" ^ arg ^ ")")
-    | 0 ->
-        (match Crd_wire.Bigcodec.Decoder.finish dec with
-        | Ok () -> ()
-        | Error e -> bad Decode (Crd_wire.Codec.error_to_string e));
-        stop := true
-    | n -> (
-        (* Journal and decoder consume the same read slice in place:
-           no [Bytes.sub_string] copies on the hot ingest path. *)
-        (match journal with
-        | Some j -> (
-            try Journal.append_bytes j ~len:n buf
-            with
-            | Crd_fault.Injected p ->
-                bad Io (Printf.sprintf "injected fault: %s" p)
-            | Unix.Unix_error (e, fn, _) ->
-                bad Io (Printf.sprintf "journal %s: %s" fn (Unix.error_message e)))
-        | None -> ());
-        if not !stop then
-          match
-            (* Events go straight from the decoder into the queue: no
-               per-read event list on the hot ingest path. *)
-            try
-              Crd_wire.Bigcodec.Decoder.feed_bytes_iter dec ~len:n buf
-                ~f:(fun e -> if not (Bqueue.push q (Ev e)) then stop := true)
-            with Crd_fault.Injected p ->
-              bad Io (Printf.sprintf "injected fault: %s" p);
-              Ok ()
-          with
-          | Error e -> bad Decode (Crd_wire.Codec.error_to_string e)
-          | Ok () ->
-              let depth = Bqueue.length q in
-              if depth > !hw then begin
-                hw := depth;
-                Crd_obs.Gauge.set_max m_session_queue_hw depth
-              end;
-              (* The end-of-stream frame, not EOF, ends ingestion: the
-                 client keeps the socket open to read its report. *)
-              if Crd_wire.Bigcodec.Decoder.finished dec && not !stop then begin
-                (match journal with
-                | Some j -> (
-                    try Journal.commit j
-                    with Unix.Unix_error (e, fn, _) ->
-                      bad Io
-                        (Printf.sprintf "journal %s: %s" fn
-                           (Unix.error_message e)))
-                | None -> ());
-                stop := true
-              end)
-  done;
-  (match journal with Some j -> Journal.close j | None -> ());
-  Bqueue.close q
+  let push_ev e =
+    batch.(!blen) <- Ev e;
+    incr blen;
+    if !blen >= handoff_batch then flush ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Crd_wire.Bigcodec.Decoder.release dec;
+      (match journal with Some j -> Journal.close j | None -> ());
+      Bqueue.close q)
+    (fun () ->
+      while not !stop do
+        match
+          if Crd_fault.fire fp_sock_read then
+            raise
+              (Unix.Unix_error (Unix.EIO, "read", "injected fault: sock_read"));
+          Proto.read_retry conn buf 0 (Bytes.length buf)
+        with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            bad Timeout "idle timeout: no client bytes"
+        | exception Unix.Unix_error (e, _, arg) ->
+            bad Io
+              (if arg = "" then Unix.error_message e
+               else Unix.error_message e ^ " (" ^ arg ^ ")")
+        | 0 ->
+            (match Crd_wire.Bigcodec.Decoder.finish dec with
+            | Ok () -> ()
+            | Error e -> bad Decode (Crd_wire.Codec.error_to_string e));
+            stop := true
+        | n -> (
+            (* Journal and decoder consume the same read slice in place:
+               no [Bytes.sub_string] copies on the hot ingest path. *)
+            (match journal with
+            | Some j -> (
+                try Journal.append_bytes j ~len:n buf
+                with
+                | Crd_fault.Injected p ->
+                    bad Io (Printf.sprintf "injected fault: %s" p)
+                | Unix.Unix_error (e, fn, _) ->
+                    bad Io
+                      (Printf.sprintf "journal %s: %s" fn (Unix.error_message e)))
+            | None -> ());
+            if not !stop then
+              match
+                (* Events go from the decoder into the handoff slice and
+                   from there into the queue in batches: no per-read
+                   event list and no per-event lock on the hot path. *)
+                try
+                  let r =
+                    Crd_wire.Bigcodec.Decoder.feed_bytes_iter dec ~len:n buf
+                      ~f:push_ev
+                  in
+                  flush ();
+                  r
+                with Crd_fault.Injected p ->
+                  bad Io (Printf.sprintf "injected fault: %s" p);
+                  Ok ()
+              with
+              | Error e -> bad Decode (Crd_wire.Codec.error_to_string e)
+              | Ok () ->
+                  let depth = Bqueue.length q in
+                  if depth > !hw then begin
+                    hw := depth;
+                    Crd_obs.Gauge.set_max m_session_queue_hw depth
+                  end;
+                  (* The end-of-stream frame, not EOF, ends ingestion:
+                     the client keeps the socket open to read its
+                     report. *)
+                  if Crd_wire.Bigcodec.Decoder.finished dec && not !stop
+                  then begin
+                    (match journal with
+                    | Some j -> (
+                        try Journal.commit j
+                        with Unix.Unix_error (e, fn, _) ->
+                          bad Io
+                            (Printf.sprintf "journal %s: %s" fn
+                               (Unix.error_message e)))
+                    | None -> ());
+                    stop := true
+                  end)
+      done)
 
 (* The one guarded drain both analysis paths share: a malformed event
    surfaces as Invalid_argument from the analyzers (e.g. [Repr.eta] on a
    wrong-arity call), and must become a clean [ERR] line for the client,
-   never a generic exception dump — under any [jobs] setting. *)
-let drain_events q ~f =
-  let rec go () =
-    match Bqueue.pop q with
-    | None -> Ok ()
-    | Some (Bad (kind, msg)) -> Error (kind, msg)
-    | Some (Ev e) ->
-        f e;
-        go ()
-  in
-  try go () with Invalid_argument e -> Error (Analysis, e)
+   never a generic exception dump — under any [jobs] setting.
+
+   Items arrive a [pop_batch] slice at a time (matching the reader's
+   batched handoff); [beat], when given, hears each batch size — it is
+   the worker's progress heartbeat for the stall watchdog. *)
+let drain_events ?beat q ~f =
+  let result = ref None in
+  (try
+     while !result = None do
+       let slice = Bqueue.pop_batch q ~max:handoff_batch in
+       let n = Array.length slice in
+       if n = 0 then result := Some (Ok ())
+       else begin
+         (match beat with Some b -> b n | None -> ());
+         let i = ref 0 in
+         while !result = None && !i < n do
+           (match slice.(!i) with
+           | Ev e -> f e
+           | Bad (kind, msg) -> result := Some (Error (kind, msg)));
+           incr i
+         done
+       end
+     done
+   with Invalid_argument e -> result := Some (Error (Analysis, e)));
+  Option.get !result
 
 (* The one analysis entry point both live sessions and journal recovery
    go through, so a replayed session's report is byte-identical to the
@@ -555,8 +662,8 @@ let analyze_with cfg spec_for ~drain =
               res.Shard.atomicity_violations;
             Ok (fin (), res.Shard.events, res.Shard.rd2_reports))
 
-let analyze_session cfg spec_for q =
-  analyze_with cfg spec_for ~drain:(fun ~f -> drain_events q ~f)
+let analyze_session ?beat cfg spec_for q =
+  analyze_with cfg spec_for ~drain:(fun ~f -> drain_events ?beat q ~f)
 
 (* Recovery drain: replay a committed journal's mapped bytes through
    the same decoder configuration a live session would use. The
@@ -564,21 +671,103 @@ let analyze_session cfg spec_for q =
    so replay never loads the trace into the OCaml heap. *)
 let drain_of_big big ~resync ~f =
   let dec = Crd_wire.Bigcodec.Decoder.create ~resync () in
-  try
-    match Crd_wire.Bigcodec.Decoder.feed_iter dec big ~f with
-    | Error e -> Error (Decode, Crd_wire.Codec.error_to_string e)
-    | Ok () -> (
-        match Crd_wire.Bigcodec.Decoder.finish dec with
-        | Ok () -> Ok ()
-        | Error e -> Error (Decode, Crd_wire.Codec.error_to_string e))
-  with Invalid_argument e -> Error (Analysis, e)
+  Fun.protect
+    ~finally:(fun () -> Crd_wire.Bigcodec.Decoder.release dec)
+    (fun () ->
+      try
+        match Crd_wire.Bigcodec.Decoder.feed_iter dec big ~f with
+        | Error e -> Error (Decode, Crd_wire.Codec.error_to_string e)
+        | Ok () -> (
+            match Crd_wire.Bigcodec.Decoder.finish dec with
+            | Ok () -> Ok ()
+            | Error e -> Error (Decode, Crd_wire.Codec.error_to_string e))
+      with Invalid_argument e -> Error (Analysis, e))
 
-let session t conn =
+(* The one-line operator probe: everything an "is it keeping up?" glance
+   needs, answered straight off the session listener. *)
+let health_line t =
+  let st = stats t in
+  Printf.sprintf
+    "HEALTH tier=%s active=%d pending=%d workers=%d spill_backlog=%d \
+     spill_bytes=%d mem_used=%d mem_budget=%d stalls=%d sessions=%d \
+     spilled=%d caught_up=%d events=%d races=%d\n"
+    (Overload.tier_name (Overload.tier t.overload))
+    (Atomic.get t.active) (Bqueue.length t.conns) t.cfg.workers
+    (Overload.spill_backlog ()) (Overload.spill_bytes ())
+    (Overload.mem_used ()) t.cfg.memory_budget st.stalls st.sessions st.spilled
+    st.caught_up st.events st.races
+
+(* Spill-tier ingestion: stream the session's bytes straight to the
+   fsync'd journal at decoder speed, counting events but analyzing
+   nothing — the catch-up drainer owns the deferred analysis. Returns
+   the event count once the end-of-stream frame commits the journal. *)
+let spill_ingest conn j ~resync =
+  let dec = Crd_wire.Bigcodec.Decoder.create ~resync () in
+  let buf = Bytes.create 65536 in
+  let events = ref 0 in
+  let result = ref None in
+  let fail kind msg = result := Some (Error (kind, msg)) in
+  Fun.protect
+    ~finally:(fun () -> Crd_wire.Bigcodec.Decoder.release dec)
+    (fun () ->
+      while !result = None do
+        match
+          if Crd_fault.fire fp_sock_read then
+            raise
+              (Unix.Unix_error (Unix.EIO, "read", "injected fault: sock_read"));
+          Proto.read_retry conn buf 0 (Bytes.length buf)
+        with
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            fail Timeout "idle timeout: no client bytes"
+        | exception Unix.Unix_error (e, _, arg) ->
+            fail Io
+              (if arg = "" then Unix.error_message e
+               else Unix.error_message e ^ " (" ^ arg ^ ")")
+        | 0 -> (
+            match Crd_wire.Bigcodec.Decoder.finish dec with
+            | Ok () -> fail Decode "connection closed before end-of-stream"
+            | Error e -> fail Decode (Crd_wire.Codec.error_to_string e))
+        | n -> (
+            match
+              try
+                Journal.append_bytes j ~len:n buf;
+                Ok ()
+              with
+              | Crd_fault.Injected p ->
+                  Error (Printf.sprintf "injected fault: %s" p)
+              | Unix.Unix_error (e, fn, _) ->
+                  Error
+                    (Printf.sprintf "journal %s: %s" fn (Unix.error_message e))
+            with
+            | Error msg -> fail Io msg
+            | Ok () -> (
+                match
+                  Crd_wire.Bigcodec.Decoder.feed_bytes_iter dec ~len:n buf
+                    ~f:(fun _ -> incr events)
+                with
+                | Error e -> fail Decode (Crd_wire.Codec.error_to_string e)
+                | Ok () ->
+                    if Crd_wire.Bigcodec.Decoder.finished dec then (
+                      match Journal.commit j with
+                      | () -> result := Some (Ok !events)
+                      | exception Unix.Unix_error (e, fn, _) ->
+                          fail Io
+                            (Printf.sprintf "journal %s: %s" fn
+                               (Unix.error_message e)))))
+      done;
+      Option.get !result)
+
+(* [tier] is the admission-time verdict from the accept loop; [hb] is
+   this worker slot's heartbeat, stamped as event batches drain so the
+   watchdog can tell "slow" from "stuck". *)
+let session t hb tier conn =
   let cfg = t.cfg in
   Crd_obs.Gauge.incr m_active;
   let span = Crd_obs.Span.start m_session_seconds in
+  Overload.Heartbeat.start_session hb conn;
   Fun.protect
     ~finally:(fun () ->
+      Overload.Heartbeat.end_session hb;
       Crd_obs.Gauge.decr m_active;
       Crd_obs.Span.finish span)
     (fun () ->
@@ -586,6 +775,14 @@ let session t conn =
         try Unix.setsockopt_float conn Unix.SO_RCVTIMEO cfg.idle_timeout
         with Unix.Unix_error _ -> ()
       end;
+      (* Every close goes through here: the heartbeat surrenders the fd
+         first, so the watchdog can never shutdown() a descriptor number
+         the kernel may already have reused. *)
+      let close_conn () =
+        Overload.Heartbeat.end_session hb;
+        (try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        try Unix.close conn with Unix.Unix_error _ -> ()
+      in
       let reject kind msg =
         Crd_obs.Counter.incr m_rejected;
         Crd_obs.Counter.incr (err_counter kind);
@@ -593,7 +790,7 @@ let session t conn =
           [ ("kind", err_kind_label kind); ("err", msg) ];
         (try Proto.send_reject conn msg with Unix.Unix_error _ -> ());
         record t ~events:0 ~races:0 ~error:true;
-        try Unix.close conn with Unix.Unix_error _ -> ()
+        close_conn ()
       in
       (* Every reply byte goes through the sock_write fault point; a
          fired hit loses the reply exactly as a dead link would. *)
@@ -650,8 +847,7 @@ let session t conn =
             (try write_reply ("ERR " ^ msg ^ "\n")
              with Unix.Unix_error _ | Crd_fault.Injected _ -> ());
             record t ~events:0 ~races:0 ~error:true);
-        (try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-        try Unix.close conn with Unix.Unix_error _ -> ()
+        close_conn ()
       in
       let hs = Crd_obs.Span.start m_handshake_seconds in
       let wrap_io f =
@@ -666,6 +862,12 @@ let session t conn =
       | Error msg ->
           Crd_obs.Span.finish hs;
           reject Handshake msg
+      | Ok Proto.Health ->
+          (* Not a session: answer the one-line summary and close.
+             Nothing is recorded — probes must not skew the stats. *)
+          Crd_obs.Span.finish hs;
+          (try Proto.write_all conn (health_line t) with Unix.Unix_error _ -> ());
+          close_conn ()
       | Ok (Proto.Sync v) ->
           (* A CRDY preamble on the shared listener: hand the socket to
              Crd_sync. Sync exchanges are not sessions — no journal, no
@@ -689,8 +891,7 @@ let session t conn =
                       ("applied", string_of_int s.Crd_sync.applied);
                     ]
               | Error e -> Crd_obs.Log.warn "sync_failed" [ ("err", e) ]));
-          (try Unix.shutdown conn Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-          (try Unix.close conn with Unix.Unix_error _ -> ())
+          close_conn ()
       | Ok Proto.Session -> (
           match wrap_io (fun () -> Proto.read_handshake_body conn) with
           | Error msg ->
@@ -723,7 +924,7 @@ let session t conn =
               | Error msg ->
                   Crd_obs.Span.finish hs;
                   reject Io msg
-              | Ok journal ->
+              | Ok journal -> (
                   (try Proto.send_accept conn with Unix.Unix_error _ -> ());
                   Crd_obs.Span.finish hs;
                   (* Simulated session-body bug: raises past this
@@ -731,41 +932,102 @@ let session t conn =
                      after the handshake so the client sees a clean
                      stream-phase ERR. *)
                   Crd_fault.inject fp_worker_body;
-                  let q =
-                    Bqueue.create ~fault:fp_queue_push
-                      ~capacity:cfg.queue_capacity ()
-                  in
-                  let hw = ref 0 in
-                  let reader =
-                    Thread.create
-                      (fun () ->
-                        read_loop ?journal ~resync:cfg.resync conn q hw)
-                      ()
-                  in
-                  let outcome =
-                    Crd_obs.time m_analyze_seconds (fun () ->
-                        try analyze_session cfg spec_for q
-                        with e -> Error (Analysis, Printexc.to_string e))
-                  in
-                  (* On an analysis-side abort the reader may still be
-                     blocked pushing: closing the queue releases it. *)
-                  Bqueue.close q;
-                  Thread.join reader;
-                  let journal_dest =
-                    match (cfg.journal, journal) with
-                    | Some dir, Some j -> Some (dir, Journal.nonce j)
-                    | _ -> None
-                  in
-                  (* Publish under the journal nonce when there is one:
-                     that is the name a post-crash replay will present,
-                     so the dedup matches replay against live. *)
-                  let publish_nonce =
-                    match journal_dest with
-                    | Some (_, jn) -> jn
-                    | None -> nonce
-                  in
-                  finish ?journal:journal_dest ~nonce:publish_nonce
-                    ~spec:spec_name outcome !hw))))
+                  (* Simulated wedged worker: parks here until the
+                     watchdog cancels this slot's heartbeat, then raises
+                     into the same crash handling. *)
+                  if Crd_fault.fire Overload.fp_stall then
+                    Overload.stall_until_cancelled hb;
+                  match (tier, journal) with
+                  | Overload.Spill, Some j -> (
+                      (* Spill tier: journal at decoder speed, ack, and
+                         hand the committed segment to the catch-up
+                         drainer. No online analysis, no [.report] — a
+                         crash before catch-up leaves the segment
+                         committed-unreported, exactly what restart
+                         recovery replays. *)
+                      let jn = Journal.nonce j in
+                      match
+                        Crd_obs.time m_analyze_seconds (fun () ->
+                            try spill_ingest conn j ~resync:cfg.resync
+                            with e -> Error (Analysis, Printexc.to_string e))
+                      with
+                      | Ok events ->
+                          let bytes = Journal.size j in
+                          Journal.close j;
+                          record_spilled t ~events;
+                          Overload.note_spilled ~bytes;
+                          ignore
+                            (Bqueue.push_raw t.catchup
+                               (jn, Crd_obs.now_s (), bytes));
+                          Crd_obs.Log.info "session_spilled"
+                            [
+                              ("nonce", jn);
+                              ("events", string_of_int events);
+                              ("bytes", string_of_int bytes);
+                            ];
+                          let reply =
+                            Printf.sprintf
+                              "OK\n\
+                               spilled: analysis deferred to catch-up\n\
+                               STATS events=%d races=0 distinct=0 \
+                               queue_hw=0 spilled=1 wall_s=%.6f\n"
+                              events
+                              (Crd_obs.Span.elapsed_s span)
+                          in
+                          (try write_reply reply
+                           with Unix.Unix_error _ | Crd_fault.Injected _ -> ());
+                          close_conn ()
+                      | Error (kind, msg) ->
+                          Journal.close j;
+                          Crd_obs.Counter.incr (err_counter kind);
+                          Crd_obs.Log.warn "session_error"
+                            [ ("kind", err_kind_label kind); ("err", msg) ];
+                          (try write_reply ("ERR " ^ msg ^ "\n")
+                           with Unix.Unix_error _ | Crd_fault.Injected _ -> ());
+                          record t ~events:0 ~races:0 ~error:true;
+                          close_conn ())
+                  | _ ->
+                      let q =
+                        Bqueue.create ~fault:fp_queue_push ~weight:item_weight
+                          ~capacity:cfg.queue_capacity ()
+                      in
+                      let hw = ref 0 in
+                      let reader =
+                        Thread.create
+                          (fun () ->
+                            read_loop ?journal ~resync:cfg.resync conn q hw)
+                          ()
+                      in
+                      let outcome =
+                        Crd_obs.time m_analyze_seconds (fun () ->
+                            try
+                              analyze_session
+                                ~beat:(Overload.Heartbeat.beat hb)
+                                cfg spec_for q
+                            with e -> Error (Analysis, Printexc.to_string e))
+                      in
+                      (* On an analysis-side abort the reader may still be
+                         blocked pushing: closing the queue releases it.
+                         The discard returns any undrained items' bytes to
+                         the memory accounting. *)
+                      Bqueue.close q;
+                      Thread.join reader;
+                      ignore (Bqueue.discard q);
+                      let journal_dest =
+                        match (cfg.journal, journal) with
+                        | Some dir, Some j -> Some (dir, Journal.nonce j)
+                        | _ -> None
+                      in
+                      (* Publish under the journal nonce when there is one:
+                         that is the name a post-crash replay will present,
+                         so the dedup matches replay against live. *)
+                      let publish_nonce =
+                        match journal_dest with
+                        | Some (_, jn) -> jn
+                        | None -> nonce
+                      in
+                      finish ?journal:journal_dest ~nonce:publish_nonce
+                        ~spec:spec_name outcome !hw)))))
 
 (* ------------------------------------------------------------------ *)
 (* Accept loop and worker pool                                         *)
@@ -829,19 +1091,31 @@ let accept_loop t =
                 backoff := 0.01;
                 Crd_obs.Counter.incr m_accepted;
                 Unix.clear_nonblock conn;
-                (* Overload shedding: with every worker busy and the
-                   pending backlog at the bound, tell the client to come
-                   back instead of letting it queue unboundedly deep. *)
-                if
+                let pending = Bqueue.length t.conns in
+                let active = Atomic.get t.active in
+                (* The degradation ladder decides this connection's tier
+                   once, here at admission; the tag rides with the fd so
+                   the worker's verdict is deterministic. *)
+                let tier =
+                  Overload.evaluate t.overload ~pending ~active
+                    ~workers:t.cfg.workers
+                in
+                (* Legacy bound: [--shed-backlog] sheds on queue depth
+                   alone, ladder or no ladder. The ladder itself sheds
+                   only on memory-budget exhaustion. *)
+                let legacy_shed =
                   t.cfg.shed_backlog > 0
-                  && Atomic.get t.active >= t.cfg.workers
-                  && Bqueue.length t.conns >= t.cfg.shed_backlog
-                then begin
+                  && active >= t.cfg.workers
+                  && pending >= t.cfg.shed_backlog
+                in
+                if tier = Overload.Shed || legacy_shed then begin
                   record_busy t;
                   Crd_obs.Log.warn "session_shed"
                     [
-                      ("active", string_of_int (Atomic.get t.active));
-                      ("pending", string_of_int (Bqueue.length t.conns));
+                      ("tier", Overload.tier_name tier);
+                      ("active", string_of_int active);
+                      ("pending", string_of_int pending);
+                      ("mem_used", string_of_int (Overload.mem_used ()));
                     ];
                   (try Proto.send_busy conn ~retry_ms:t.cfg.retry_after_ms
                    with Unix.Unix_error _ -> ());
@@ -849,7 +1123,7 @@ let accept_loop t =
                    with Unix.Unix_error _ -> ());
                   try Unix.close conn with Unix.Unix_error _ -> ()
                 end
-                else if not (Bqueue.push t.conns conn) then (
+                else if not (Bqueue.push t.conns (conn, tier)) then (
                   try Unix.close conn with Unix.Unix_error _ -> ())
                 else
                   Crd_obs.Gauge.set_max m_conn_queue_hw (Bqueue.length t.conns)))
@@ -860,14 +1134,15 @@ let accept_loop t =
    crash: the client gets a clean ERR line, the connection closes, the
    exception re-raises to kill this domain, and the supervisor respawns
    a replacement into the same slot. *)
-let worker_loop t =
+let worker_loop t idx =
+  let hb = t.heartbeats.(idx) in
   let continue = ref true in
   while !continue do
     match Bqueue.pop t.conns with
     | None -> continue := false
-    | Some conn -> (
+    | Some (conn, tier) -> (
         Atomic.incr t.active;
-        match session t conn with
+        match session t hb tier conn with
         | () -> Atomic.decr t.active
         | exception e ->
             Atomic.decr t.active;
@@ -893,7 +1168,7 @@ let rec spawn_worker t idx =
   t.slots.(idx) <-
     Some
       (Domain.spawn (fun () ->
-           try worker_loop t
+           try worker_loop t idx
            with _ -> ignore (Bqueue.push_raw t.deaths idx)))
 
 and supervisor_loop t =
@@ -906,6 +1181,105 @@ and supervisor_loop t =
       t.slots.(idx) <- None;
       if not (Atomic.get t.stopping) then spawn_worker t idx;
       supervisor_loop t
+
+(* ------------------------------------------------------------------ *)
+(* Spill catch-up and the stall watchdog                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Replay one committed spill segment: mmap the journal, run it through
+   the sharded chunk pipeline (never the online analyzer — catch-up must
+   not compete with live sessions for single-threaded throughput), and
+   publish under the session nonce, where the racedb's durable dedup
+   makes a replay of an already-published segment a no-op. An
+   unanalyzable segment gets an [ERR] report so it is not replayed
+   forever — here or by restart recovery. *)
+let catchup_one t dir (nonce, committed_at, bytes) =
+  Fun.protect
+    ~finally:(fun () ->
+      Overload.note_caught_up ~bytes
+        ~lag_s:(Float.max 0. (Crd_obs.now_s () -. committed_at)))
+    (fun () ->
+      let fail kind msg =
+        Crd_obs.Counter.incr (err_counter kind);
+        Crd_obs.Log.err "catchup_failed" [ ("nonce", nonce); ("err", msg) ];
+        try Journal.write_report ~dir ~nonce ("ERR " ^ msg ^ "\n")
+        with Unix.Unix_error _ | Sys_error _ -> ()
+      in
+      match Journal.map_committed ~dir ~nonce with
+      | Error msg -> fail Io msg
+      | Ok (big, spec_name) -> (
+          match resolve_spec_set t.cfg spec_name with
+          | Error msg -> fail Spec msg
+          | Ok spec_for -> (
+              let cfg = { t.cfg with jobs = max t.cfg.jobs 2 } in
+              match
+                try
+                  analyze_with cfg spec_for
+                    ~drain:(drain_of_big big ~resync:t.cfg.resync)
+                with e -> Error (Analysis, Printexc.to_string e)
+              with
+              | Error (kind, msg) -> fail kind msg
+              | Ok (reply, events, reports) ->
+                  record_catchup t ~races:(List.length reports);
+                  (match t.racedb with
+                  | Some sink -> sink_publish sink ~nonce ~spec:spec_name reports
+                  | None -> ());
+                  (try Journal.write_report ~dir ~nonce reply
+                   with Unix.Unix_error _ | Sys_error _ ->
+                     Crd_obs.Log.warn "catchup_report_unwritable"
+                       [ ("nonce", nonce) ]);
+                  Crd_obs.Log.info "catchup_done"
+                    [
+                      ("nonce", nonce);
+                      ("events", string_of_int events);
+                      ("races", string_of_int (List.length reports));
+                    ])))
+
+let catchup_loop t dir =
+  let continue = ref true in
+  while !continue do
+    match Bqueue.pop t.catchup with
+    | None -> continue := false
+    | Some seg -> (
+        try catchup_one t dir seg
+        with e ->
+          Crd_obs.Log.err "catchup_crashed" [ ("err", Printexc.to_string e) ])
+  done
+
+(* The stall watchdog: scan every worker slot's heartbeat; one stuck
+   past [--stall-timeout] gets the retryable ERR written and its socket
+   shut down from here (unwedging any blocked I/O), while the
+   cooperative cancel flag raises the worker into the supervisor's
+   respawn path the next time it looks. The timeout should exceed the
+   idle timeout: a worker legitimately blocked on a slow client is
+   "waiting", not "stuck", and the socket timeouts already bound it. *)
+let watchdog_loop t =
+  let timeout = t.cfg.stall_timeout in
+  let interval = Float.max 0.01 (Float.min 1.0 (timeout /. 5.)) in
+  while not (Atomic.get t.stopping) do
+    Unix.sleepf interval;
+    let now = Crd_obs.now_s () in
+    Array.iteri
+      (fun idx hb ->
+        match Overload.Heartbeat.check_stall hb ~now ~timeout with
+        | None -> ()
+        | Some fd ->
+            record_stall t;
+            Crd_obs.Log.err "worker_stalled"
+              [
+                ("slot", string_of_int idx);
+                ("events", string_of_int (Overload.Heartbeat.events hb));
+                ("timeout_s", Printf.sprintf "%.3f" timeout);
+              ];
+            (try
+               Proto.write_all fd
+                 "ERR internal: worker stalled past --stall-timeout; retry\n"
+             with Unix.Unix_error _ -> ());
+            (* Shutdown, never close: the session still owns the fd and
+               will close it on its own way out. *)
+            (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()))
+      t.heartbeats
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Metrics listener                                                    *)
@@ -1079,7 +1453,7 @@ let connect addr =
 
 (* --- anti-entropy over [cfg.peers] --------------------------------- *)
 
-let sync_once sink addr =
+let sync_once ?timeout sink addr =
   match
     Crd_fault.inject Crd_sync.fp_connect;
     connect addr
@@ -1091,7 +1465,7 @@ let sync_once sink addr =
   | fd ->
       Fun.protect
         ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-        (fun () -> Crd_sync.client fd sink.db)
+        (fun () -> Crd_sync.client ?timeout fd sink.db)
 
 (* Round-robin over the peer list, one exchange per tick. The delay is
    full-jitter ([0.5x, 1.5x]) so restarted fleets do not thunder in
@@ -1121,7 +1495,13 @@ let sync_loop t sink =
     sleep (d *. (0.5 +. Random.State.float rng 1.));
     if not (Atomic.get t.stopping) then begin
       let peer = Fmt.str "%a" pp_addr peers.(k) in
-      match sync_once sink peers.(k) with
+      (* The exchange inherits the session idle timeout per read and a
+         10x whole-exchange deadline, so one black-hole peer can never
+         pin the anti-entropy thread past its turn. *)
+      let timeout =
+        if t.cfg.idle_timeout > 0. then t.cfg.idle_timeout else 30.
+      in
+      match sync_once ~timeout sink peers.(k) with
       | Ok s ->
           streak.(k) <- 0;
           Crd_obs.Log.info "sync_exchange"
@@ -1138,6 +1518,10 @@ let start cfg =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   if cfg.peers <> [] && cfg.racedb = None then
     Error "sync peers configured without a race database (--peers needs --racedb)"
+  else if cfg.spill_watermark > 0 && cfg.journal = None then
+    Error
+      "spill needs somewhere durable to put the trace (--spill-watermark \
+       needs --journal)"
   else
   match bind_listen cfg.addr with
   | exception Failure msg -> Error msg
@@ -1196,6 +1580,18 @@ let start cfg =
               racedb;
               listen_fd;
               conns = Bqueue.create ~capacity:(max 16 (2 * workers)) ();
+              overload =
+                Overload.create
+                  {
+                    Overload.memory_budget = cfg.memory_budget;
+                    spill_watermark = cfg.spill_watermark;
+                    stall_timeout = cfg.stall_timeout;
+                  };
+              heartbeats =
+                Array.init workers (fun _ -> Overload.Heartbeat.create ());
+              catchup = Bqueue.create ~capacity:4096 ();
+              catchup_th = None;
+              watchdog_th = None;
               stopping = Atomic.make false;
               active = Atomic.make 0;
               accept_d = None;
@@ -1218,6 +1614,9 @@ let start cfg =
                   busy = 0;
                   worker_crashes = 0;
                   recovered = 0;
+                  spilled = 0;
+                  caught_up = 0;
+                  stalls = 0;
                 };
               seen_nonces = Hashtbl.create 64;
               sock_path;
@@ -1230,6 +1629,14 @@ let start cfg =
             spawn_worker t idx
           done;
           t.supervisor <- Some (Thread.create (fun () -> supervisor_loop t) ());
+          (match t.cfg.journal with
+          | Some dir when t.cfg.spill_watermark > 0 ->
+              t.catchup_th <-
+                Some (Thread.create (fun () -> catchup_loop t dir) ())
+          | _ -> ());
+          if t.cfg.stall_timeout > 0. then
+            t.watchdog_th <-
+              Some (Thread.create (fun () -> watchdog_loop t) ());
           (match (t.racedb, t.cfg.peers) with
           | Some sink, _ :: _ ->
               t.syncer <- Some (Thread.create (fun () -> sync_loop t sink) ())
@@ -1267,6 +1674,13 @@ let stop t =
       t.slots;
     List.iter Domain.join t.graveyard;
     t.graveyard <- [];
+    (* Workers are gone, so nothing can spill anymore: close the
+       catch-up queue and let the drainer finish every committed
+       segment — a spilled session's evidence is never abandoned at
+       shutdown. *)
+    Bqueue.close t.catchup;
+    (match t.catchup_th with Some th -> Thread.join th | None -> ());
+    (match t.watchdog_th with Some th -> Thread.join th | None -> ());
     (* The syncer holds a reference to the db: retire it before the
        sink releases the store. *)
     (match t.syncer with Some th -> Thread.join th | None -> ());

@@ -44,7 +44,17 @@
       fsync-committed at end-of-stream; {!start} replays
       committed-but-unreported journals from a previous (possibly
       SIGKILLed) process through the normal analysis path
-      ([server_recovered_total]). See {!Journal}. *)
+      ([server_recovered_total]). See {!Journal}.
+    - {e degradation ladder} — with {!config.spill_watermark} and/or
+      {!config.memory_budget} set, admission runs {!Overload.evaluate}:
+      queue pressure degrades to the {e spill} tier (ack + journal now,
+      analyze in the background — no evidence dropped), and only
+      memory-budget exhaustion sheds with [BUSY]. An ASCII ["HEALTH\n"]
+      line on the session listener answers a one-line tier/backlog
+      summary.
+    - {e stall watchdog} — with {!config.stall_timeout}[ > 0.], a
+      supervisor-side watchdog recycles any worker that stops making
+      per-batch progress, sending its client a retryable [ERR]. *)
 
 open Crd
 
@@ -97,6 +107,24 @@ type config = {
   sync_interval : float;
       (** target seconds for one full round over {!field-peers}
           (default 30); each peer's tick is jittered in [0.5x, 1.5x] *)
+  memory_budget : int;
+      (** accounted-memory bytes ([mem_queue_bytes] + [mem_intern_bytes]
+          + [mem_vcpool_bytes]) past which admission sheds with [BUSY];
+          [0] (the default) never sheds on memory. See {!Overload}. *)
+  spill_watermark : int;
+      (** admitted-but-unclaimed sessions that flip admission to the
+          {e spill} tier while every worker is busy: new sessions are
+          acked and journaled at decoder speed (no online analysis) and
+          a background drainer replays them through the sharded
+          pipeline later, publishing to the racedb under the session
+          nonce so race sets match the online path exactly. Requires
+          {!field-journal}; [0] (the default) disables spilling. *)
+  stall_timeout : float;
+      (** seconds without per-worker progress before the watchdog
+          writes a retryable [ERR] to the wedged session, shuts its
+          socket down and recycles the worker through the respawn path
+          ([server_stalls_total]). Should exceed {!field-idle_timeout}.
+          [0.] (the default) disables the watchdog. *)
 }
 
 val default_config : addr:addr -> config
@@ -128,6 +156,16 @@ type stats = {
       (** journal sessions replayed by {!start} after a crash; counted
           in {!field-sessions} (and {!field-errors} if the replayed
           analysis failed) *)
+  spilled : int;
+      (** sessions acked via the spill tier; counted in
+          {!field-sessions} with their event totals — their races
+          arrive later via {!field-caught_up} *)
+  caught_up : int;
+      (** spilled segments the catch-up drainer has finished (their
+          race counts land in {!field-races} at that point) *)
+  stalls : int;
+      (** workers recycled by the stall watchdog; each stalled session
+          is also counted as a worker crash and an error session *)
 }
 
 type t

@@ -100,21 +100,34 @@ let write_all fd s =
   in
   go 0
 
-let read_exact fd n ~what =
+(* The per-read socket timeout resets on every byte, so a peer dripping
+   one byte per window could hold an exchange — and its buffered,
+   capped-but-large delta stream — open indefinitely. [dl] is the
+   absolute wall-clock deadline (Crd_obs.now_s) for the whole exchange:
+   0. means none, and every read/write step checks it, so the exchange
+   overruns the deadline by at most one socket-timeout window. *)
+let check_deadline dl =
+  if dl > 0. && Crd_obs.now_s () > dl then
+    failwith "sync: exchange deadline exceeded"
+
+let read_exact ~dl fd n ~what =
   let b = Bytes.create n in
   let rec go off =
-    if off < n then
+    if off < n then begin
+      check_deadline dl;
       match read_retry fd b off (n - off) with
       | 0 -> failwith (Printf.sprintf "sync: eof reading %s" what)
       | k -> go (off + k)
+    end
   in
   go 0;
   Bytes.unsafe_to_string b
 
-let read_varint_fd fd ~what =
+let read_varint_fd ~dl fd ~what =
   let b = Bytes.create 1 in
   let rec go acc shift n =
     if shift > 56 then failwith "sync: varint overflow";
+    check_deadline dl;
     match read_retry fd b 0 1 with
     | 0 -> failwith (Printf.sprintf "sync: eof reading %s" what)
     | _ ->
@@ -124,8 +137,9 @@ let read_varint_fd fd ~what =
   in
   go 0 0 0
 
-let write_frame fd payload =
+let write_frame ~dl fd payload =
   Crd_fault.inject fp_write;
+  check_deadline dl;
   let b = Buffer.create (String.length payload + 4) in
   Codec.add_varint b (String.length payload);
   Buffer.add_string b payload;
@@ -133,11 +147,12 @@ let write_frame fd payload =
   write_all fd s;
   Crd_obs.Counter.add m_bytes_sent (String.length s)
 
-let read_frame fd =
+let read_frame ~dl fd =
   Crd_fault.inject fp_read;
-  let len, hdr = read_varint_fd fd ~what:"frame length" in
+  check_deadline dl;
+  let len, hdr = read_varint_fd ~dl fd ~what:"frame length" in
   if len <= 0 || len > max_frame_bytes then failwith "sync: bad frame length";
-  let p = read_exact fd len ~what:"frame" in
+  let p = read_exact ~dl fd len ~what:"frame" in
   Crd_obs.Counter.add m_bytes_recv (len + hdr);
   p
 
@@ -223,14 +238,14 @@ let pp_summary ppf s =
     s.peer s.sent s.received s.applied s.peer_applied
 
 let refuse fd msg =
-  try write_frame fd (error_payload msg) with
+  try write_frame ~dl:0. fd (error_payload msg) with
   | Failure _ | Unix.Unix_error _ | Crd_fault.Injected _ -> ()
 
 (* Stream every entry the peer (at [since]) has not seen, in batches
    bounded by entry count AND encoded size (so frames stay far under
    [max_frame_bytes]), closed by an ACK carrying our current vector and
    how many of the peer's entries we applied so far. *)
-let send_deltas fd db ~since ~applied =
+let send_deltas ~dl fd db ~since ~applied =
   let es = Db.delta db ~since in
   let entries_buf = Buffer.create 4096 in
   let count = ref 0 in
@@ -240,7 +255,7 @@ let send_deltas fd db ~since ~applied =
       Buffer.add_char b (Char.chr Codec.sync_delta);
       Codec.add_varint b !count;
       Buffer.add_buffer b entries_buf;
-      write_frame fd (Buffer.contents b);
+      write_frame ~dl fd (Buffer.contents b);
       Buffer.clear entries_buf;
       count := 0
     end
@@ -253,7 +268,7 @@ let send_deltas fd db ~since ~applied =
       then flush ())
     es;
   flush ();
-  write_frame fd (ack_payload ~vv:(Db.version db) ~applied);
+  write_frame ~dl fd (ack_payload ~vv:(Db.version db) ~applied);
   let n = List.length es in
   Crd_obs.Counter.add m_sent n;
   n
@@ -265,9 +280,9 @@ let send_deltas fd db ~since ~applied =
    round's [delta ~since] would then silently skip them forever. A
    stream that dies early must therefore apply nothing; the retry
    re-sends the full delta and the merge stays idempotent. *)
-let recv_deltas fd db =
+let recv_deltas ~dl fd db =
   let rec go acc received bytes =
-    let p = read_frame fd in
+    let p = read_frame ~dl fd in
     match parse_frame p with
     | Delta es ->
         let received = received + List.length es in
@@ -305,45 +320,58 @@ let run f =
   | exception Unix.Unix_error (e, fn, _) ->
       fail (Printf.sprintf "sync: %s(%s)" (Unix.error_message e) fn)
 
-let expect_hello fd =
-  match parse_frame (read_frame fd) with
+let expect_hello ~dl fd =
+  match parse_frame (read_frame ~dl fd) with
   | Hello (node, vv) -> (node, vv)
   | Refused m -> failwith ("sync: peer refused: " ^ m)
   | Delta _ | Ack _ -> failwith "sync: expected hello"
 
-let client ?(timeout = 30.) fd db =
+(* The whole-exchange deadline, from the per-read timeout when the
+   caller gives none: generous enough that a healthy exchange (a few
+   round trips plus bounded delta streams) never trips it, tight
+   enough that a dripping peer cannot pin the exchange for hours. *)
+let deadline_of ~timeout ~deadline =
+  match deadline with
+  | Some d when d > 0. -> Crd_obs.now_s () +. d
+  | Some _ -> 0.
+  | None -> if timeout > 0. then Crd_obs.now_s () +. (10. *. timeout) else 0.
+
+let client ?(timeout = 30.) ?deadline fd db =
   run
     (fun () ->
+      let dl = deadline_of ~timeout ~deadline in
       set_timeouts fd timeout;
       Crd_fault.inject fp_write;
       write_all fd
         (Codec.sync_magic ^ String.make 1 (Char.chr Codec.sync_version));
       Crd_obs.Counter.add m_bytes_sent 5;
-      write_frame fd (hello_payload ~node:(Db.node_id db) ~vv:(Db.version db));
-      let peer, peer_vv = expect_hello fd in
+      write_frame ~dl fd
+        (hello_payload ~node:(Db.node_id db) ~vv:(Db.version db));
+      let peer, peer_vv = expect_hello ~dl fd in
       (* the peer streams its missing entries first, then we answer
          with ours computed against the vector it advertised *)
-      let received, applied, _ = recv_deltas fd db in
-      let sent = send_deltas fd db ~since:peer_vv ~applied in
-      match parse_frame (read_frame fd) with
+      let received, applied, _ = recv_deltas ~dl fd db in
+      let sent = send_deltas ~dl fd db ~since:peer_vv ~applied in
+      match parse_frame (read_frame ~dl fd) with
       | Ack (_vv, peer_applied) -> { peer; sent; received; applied; peer_applied }
       | Refused m -> failwith ("sync: peer error: " ^ m)
       | Delta _ | Hello _ -> failwith "sync: expected final ack")
 
 
-let serve ?(timeout = 30.) ~version fd db =
+let serve ?(timeout = 30.) ?deadline ~version fd db =
   run
     (fun () ->
+      let dl = deadline_of ~timeout ~deadline in
       if version <> Codec.sync_version then begin
-        (try write_frame fd
+        (try write_frame ~dl fd
            (error_payload (Printf.sprintf "unsupported sync version %d" version))
          with _ -> ());
         failwith (Printf.sprintf "sync: unsupported version %d" version)
       end;
       set_timeouts fd timeout;
-      let peer, peer_vv = expect_hello fd in
-      write_frame fd (hello_payload ~node:(Db.node_id db) ~vv:(Db.version db));
-      let sent = send_deltas fd db ~since:peer_vv ~applied:0 in
-      let received, applied, peer_applied = recv_deltas fd db in
-      write_frame fd (ack_payload ~vv:(Db.version db) ~applied);
+      let peer, peer_vv = expect_hello ~dl fd in
+      write_frame ~dl fd (hello_payload ~node:(Db.node_id db) ~vv:(Db.version db));
+      let sent = send_deltas ~dl fd db ~since:peer_vv ~applied:0 in
+      let received, applied, peer_applied = recv_deltas ~dl fd db in
+      write_frame ~dl fd (ack_payload ~vv:(Db.version db) ~applied);
       { peer; sent; received; applied; peer_applied })

@@ -58,22 +58,29 @@ val pp_summary : summary Fmt.t
 
 val client :
   ?timeout:float ->
+  ?deadline:float ->
   Unix.file_descr ->
   Crd_racedb.Db.t ->
   (summary, string) result
 (** [client fd db] runs one full exchange as the initiating side over a
     connected socket. [timeout] (default 30 s, 0 disables) bounds each
-    socket read/write. Never raises: faults, I/O and protocol errors
-    come back as [Error]. *)
+    socket read/write; [deadline] (seconds, default [10 * timeout],
+    0 disables) bounds the {e whole} exchange — per-read timeouts reset
+    on every byte, so without it a peer dripping one byte per window
+    could hold the exchange (and its buffered delta stream) open
+    indefinitely. Never raises: faults, I/O and protocol errors come
+    back as [Error]. *)
 
 val serve :
   ?timeout:float ->
+  ?deadline:float ->
   version:int ->
   Unix.file_descr ->
   Crd_racedb.Db.t ->
   (summary, string) result
 (** [serve ~version fd db] answers an exchange after the accept loop
-    consumed the ["CRDY" version] preamble. *)
+    consumed the ["CRDY" version] preamble. [timeout] and [deadline]
+    as in {!client}. *)
 
 val refuse : Unix.file_descr -> string -> unit
 (** Best-effort [sync_error] frame for connections that cannot be

@@ -77,6 +77,18 @@ module Decoder = struct
   let fail e = raise (Fail e)
   let corrupt fmt = Fmt.kstr (fun s -> fail (Codec.Corrupt s)) fmt
 
+  (* Approximate bytes held by live decoders (pending buffers, intern
+     pools, ref tables) — the [mem_intern_bytes] leg of the server's
+     overload memory accounting. Charged incrementally as tables grow,
+     released wholesale by {!release} (or the GC finalizer backstop);
+     resync rollbacks keep their high-water charge, which errs toward
+     shedding, never toward under-counting. *)
+  let mem_intern_bytes =
+    lazy
+      (Crd_obs.gauge
+         ~help:"Approximate bytes held by live CRDW decoder state"
+         "mem_intern_bytes")
+
   type state = Header | Frames | Finished | Failed of Codec.error
 
   (* Ids above this bound (from a hand-crafted stream — real encoders
@@ -101,23 +113,50 @@ module Decoder = struct
     mutable objs_spill : (int, Obj_id.t) Hashtbl.t;
     mutable locks : Lock_id.t option array;
     mutable locks_spill : (int, Lock_id.t) Hashtbl.t;
+    mutable mem : int;  (* bytes charged to [mem_intern_bytes] *)
+    mutable released : bool;
   }
 
+  let charge t n =
+    if not t.released then begin
+      t.mem <- t.mem + n;
+      Crd_obs.Gauge.add (Lazy.force mem_intern_bytes) n
+    end
+
+  (* Give the decoder's whole charge back. Idempotent; called by the
+     convenience wrappers, by server sessions when a decode ends, and
+     as a GC-finalizer backstop for decoders dropped without one. *)
+  let release t =
+    if not t.released then begin
+      t.released <- true;
+      Crd_obs.Gauge.add (Lazy.force mem_intern_bytes) (-t.mem);
+      t.mem <- 0
+    end
+
+  let mem t = t.mem
+
   let create ?(resync = false) () =
-    {
-      state = Header;
-      resync;
-      buf = create_bigstring 65536;
-      pos = 0;
-      fill = 0;
-      strings = Array.make 64 "";
-      next_string = 0;
-      pool = Hashtbl.create 64;
-      objs = Array.make 64 None;
-      objs_spill = Hashtbl.create 8;
-      locks = Array.make 16 None;
-      locks_spill = Hashtbl.create 8;
-    }
+    let t =
+      {
+        state = Header;
+        resync;
+        buf = create_bigstring 65536;
+        pos = 0;
+        fill = 0;
+        strings = Array.make 64 "";
+        next_string = 0;
+        pool = Hashtbl.create 64;
+        objs = Array.make 64 None;
+        objs_spill = Hashtbl.create 8;
+        locks = Array.make 16 None;
+        locks_spill = Hashtbl.create 8;
+        mem = 0;
+        released = false;
+      }
+    in
+    charge t (65536 + (8 * (64 + 64 + 16)));
+    Gc.finalise release t;
+    t
 
   let finished t = t.state = Finished
 
@@ -196,6 +235,8 @@ module Decoder = struct
       | [] ->
           let s = bigstring_to_string b pos len in
           Hashtbl.add t.pool h s;
+          (* string header + content + a pool bucket, roughly *)
+          charge t (len + 48);
           s
       | s :: rest -> if slice_equal b pos len s then s else find rest
     in
@@ -210,6 +251,7 @@ module Decoder = struct
     if t.next_string >= Array.length t.strings then begin
       let bigger = Array.make (2 * Array.length t.strings) "" in
       Array.blit t.strings 0 bigger 0 t.next_string;
+      charge t (8 * (Array.length bigger - Array.length t.strings));
       t.strings <- bigger
     end;
     Array.unsafe_set t.strings t.next_string s;
@@ -233,26 +275,36 @@ module Decoder = struct
 
   let def_obj t id o =
     if id >= 0 && id < dense_limit then begin
-      if id >= Array.length t.objs then t.objs <- grow_dense t.objs id;
+      if id >= Array.length t.objs then begin
+        let old = Array.length t.objs in
+        t.objs <- grow_dense t.objs id;
+        charge t (8 * (Array.length t.objs - old))
+      end;
       match Array.unsafe_get t.objs id with
       | Some _ -> corrupt "duplicate object %d" id
       | None -> Array.unsafe_set t.objs id (Some o)
     end
     else begin
       if Hashtbl.mem t.objs_spill id then corrupt "duplicate object %d" id;
-      Hashtbl.add t.objs_spill id o
+      Hashtbl.add t.objs_spill id o;
+      charge t 48
     end
 
   let def_lock t id l =
     if id >= 0 && id < dense_limit then begin
-      if id >= Array.length t.locks then t.locks <- grow_dense t.locks id;
+      if id >= Array.length t.locks then begin
+        let old = Array.length t.locks in
+        t.locks <- grow_dense t.locks id;
+        charge t (8 * (Array.length t.locks - old))
+      end;
       match Array.unsafe_get t.locks id with
       | Some _ -> corrupt "duplicate lock %d" id
       | None -> Array.unsafe_set t.locks id (Some l)
     end
     else begin
       if Hashtbl.mem t.locks_spill id then corrupt "duplicate lock %d" id;
-      Hashtbl.add t.locks_spill id l
+      Hashtbl.add t.locks_spill id l;
+      charge t 48
     end
 
   let r_obj_ref t c =
@@ -493,6 +545,7 @@ module Decoder = struct
         while t.fill + extra > !cap do
           cap := 2 * !cap
         done;
+        charge t (!cap - Bigarray.Array1.dim t.buf);
         let bigger = create_bigstring !cap in
         if t.fill > 0 then
           Bigarray.Array1.blit
@@ -655,9 +708,12 @@ end
 
 let iter_bigstring ?resync b ~f =
   let dec = Decoder.create ?resync () in
-  match Decoder.feed_iter dec b ~f with
-  | Error e -> Error e
-  | Ok () -> Decoder.finish dec
+  Fun.protect
+    ~finally:(fun () -> Decoder.release dec)
+    (fun () ->
+      match Decoder.feed_iter dec b ~f with
+      | Error e -> Error e
+      | Ok () -> Decoder.finish dec)
 
 (* Events append straight into the trace's array — no intermediate
    list, so the only promoted data is the decoded trace itself. A
@@ -666,10 +722,13 @@ let iter_bigstring ?resync b ~f =
 let decode_with feed_one ?resync () =
   let dec = Decoder.create ?resync () in
   let trace = Trace.create () in
-  match feed_one dec (Trace.append trace) with
-  | Error e -> Error e
-  | Ok () -> (
-      match Decoder.finish dec with Error e -> Error e | Ok () -> Ok trace)
+  Fun.protect
+    ~finally:(fun () -> Decoder.release dec)
+    (fun () ->
+      match feed_one dec (Trace.append trace) with
+      | Error e -> Error e
+      | Ok () -> (
+          match Decoder.finish dec with Error e -> Error e | Ok () -> Ok trace))
 
 let decode_bigstring ?resync b =
   decode_with (fun dec f -> Decoder.feed_iter dec b ~f) ?resync ()

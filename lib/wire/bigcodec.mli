@@ -81,6 +81,19 @@ module Decoder : sig
 
   val finished : t -> bool
   val finish : t -> (unit, Codec.error) result
+
+  val release : t -> unit
+  (** Return the decoder's charge against the process-wide
+      [mem_intern_bytes] gauge (pending buffer, intern pool, ref
+      tables — the memory-accounting input of the server's overload
+      controller). Idempotent; the decoder remains usable but stops
+      accounting. Decoders dropped without [release] are reclaimed by
+      a GC-finalizer backstop, but long-lived servers should release
+      eagerly so the load signal tracks live sessions, not the GC. *)
+
+  val mem : t -> int
+  (** Current accounted bytes (0 after {!release}). Approximate —
+      table capacities and intern content, not a malloc census. *)
 end
 
 (** {1 Whole-value convenience} *)

@@ -1,0 +1,558 @@
+(* The degradation ladder end to end: tier decisions, spill admission
+   with catch-up race-set identity, shedding only on memory-budget
+   exhaustion, the stall watchdog, batched queue handoff, and the sync
+   exchange deadline. *)
+
+open Crd
+module Server = Crd_server.Server
+module Client = Crd_server.Client
+module Proto = Crd_server.Proto
+module Journal = Crd_server.Journal
+module Overload = Crd_server.Overload
+module Bqueue = Crd_server.Bqueue
+module W = Crd_workloads
+
+let sock_counter = ref 0
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let fresh_addr () =
+  incr sock_counter;
+  Server.Unix_sock
+    (Filename.concat
+       (Filename.get_temp_dir_name ())
+       (Printf.sprintf "crd-ovl-%d-%d.sock" (Unix.getpid ()) !sock_counter))
+
+let fresh_dir tag =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "%s-%d-%d" tag (Unix.getpid ())
+         (incr sock_counter;
+          !sock_counter))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  dir
+
+let with_server ?(f_config = Fun.id) k =
+  let addr = fresh_addr () in
+  let config = f_config (Server.default_config ~addr) in
+  match Server.start config with
+  | Error e -> Alcotest.failf "server start: %s" e
+  | Ok server ->
+      Fun.protect
+        ~finally:(fun () -> ignore (Server.stop server))
+        (fun () -> k ~addr ~server)
+
+let with_faults spec k =
+  (match Crd_fault.configure spec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "configure %S: %s" spec e);
+  Fun.protect ~finally:Crd_fault.reset k
+
+let poll ?(tries = 400) ?(interval = 0.025) msg cond =
+  let rec go n =
+    if cond () then ()
+    else if n = 0 then Alcotest.fail msg
+    else begin
+      Unix.sleepf interval;
+      go (n - 1)
+    end
+  in
+  go tries
+
+let snitch_trace () =
+  let trace = Trace.create () in
+  ignore (W.Snitch.run ~seed:1L ~sink:(Trace.append trace) ());
+  trace
+
+let offline_races trace =
+  let an =
+    Analyzer.with_stdspecs
+      ~config:
+        {
+          Analyzer.rd2 = `Constant;
+          direct = false;
+          fasttrack = false;
+          djit = false;
+          atomicity = false;
+        }
+      ()
+  in
+  Trace.iter_events trace ~f:(Analyzer.sink an);
+  Analyzer.rd2_races an
+
+let offline_race_lines trace =
+  List.map (fun r -> Fmt.str "%a" Report.pp r) (offline_races trace)
+
+let reply_race_lines reply =
+  String.split_on_char '\n' reply
+  |> List.filter (fun l ->
+         String.length l >= 4 && String.equal (String.sub l 0 4) "comm")
+
+let fingerprint_fold races =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let fp = Report.fingerprint r in
+      Hashtbl.replace tbl fp
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl fp)))
+    races;
+  List.sort compare (Hashtbl.fold (fun fp c acc -> (fp, c) :: acc) tbl [])
+
+let send_exn ~addr ?spec trace =
+  match Client.send_trace ~addr ?spec trace with
+  | Ok reply -> reply
+  | Error e -> Alcotest.failf "send: %s" e
+
+let encode_trace trace =
+  let buf = Buffer.create 4096 in
+  let enc = Wire.Encoder.create ~emit:(Buffer.add_string buf) () in
+  Trace.iter_events trace ~f:(Wire.Encoder.event enc);
+  Wire.Encoder.close enc;
+  Buffer.contents buf
+
+let metric_value dump name =
+  String.split_on_char '\n' dump
+  |> List.find_map (fun l ->
+         match String.index_opt l ' ' with
+         | Some i when String.sub l 0 i = name ->
+             int_of_string_opt (String.sub l (i + 1) (String.length l - i - 1))
+         | _ -> None)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+let g_queue = Crd_obs.gauge "mem_queue_bytes"
+let g_intern = Crd_obs.gauge "mem_intern_bytes"
+
+(* ------------------------------------------------------------------ *)
+(* Tier decisions                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The ladder as a pure decision table: spill needs both busy workers
+   and a backlog at the watermark, hysteresis holds spill until the
+   backlog has really drained, and only the memory budget sheds. *)
+let tier_ladder () =
+  let base = Overload.mem_used () in
+  let ov =
+    Overload.create
+      {
+        Overload.memory_budget = base + 4096;
+        spill_watermark = 4;
+        stall_timeout = 0.;
+      }
+  in
+  let check msg expect ~pending ~active =
+    Alcotest.(check string)
+      msg
+      (Overload.tier_name expect)
+      (Overload.tier_name (Overload.evaluate ov ~pending ~active ~workers:2))
+  in
+  check "idle is normal" Overload.Normal ~pending:0 ~active:0;
+  check "backlog with a free worker stays normal" Overload.Normal ~pending:5
+    ~active:1;
+  check "busy workers below watermark stay normal" Overload.Normal ~pending:3
+    ~active:2;
+  check "busy workers at watermark spill" Overload.Spill ~pending:4 ~active:2;
+  check "hysteresis: backlog above half holds spill" Overload.Spill ~pending:3
+    ~active:1;
+  check "hysteresis: busy workers hold spill" Overload.Spill ~pending:0
+    ~active:2;
+  check "drained backlog with a free worker recovers" Overload.Normal
+    ~pending:1 ~active:1;
+  let charge = 8192 in
+  Fun.protect
+    ~finally:(fun () -> Crd_obs.Gauge.add g_queue (-charge))
+    (fun () ->
+      Crd_obs.Gauge.add g_queue charge;
+      check "memory budget exhaustion sheds" Overload.Shed ~pending:0 ~active:0);
+  check "released memory recovers" Overload.Normal ~pending:0 ~active:0
+
+(* ------------------------------------------------------------------ *)
+(* Batched queue handoff                                               *)
+(* ------------------------------------------------------------------ *)
+
+let bqueue_batching () =
+  let base = Crd_obs.Gauge.get g_queue in
+  let q = Bqueue.create ~weight:String.length ~capacity:32 () in
+  let items = Array.init 20 (fun i -> Printf.sprintf "item-%02d" i) in
+  let weight = Array.fold_left (fun a s -> a + String.length s) 0 items in
+  Alcotest.(check int)
+    "push_slice admits the whole slice" 20
+    (Bqueue.push_slice q items 0 20);
+  Alcotest.(check int)
+    "slice weight accounted" (base + weight)
+    (Crd_obs.Gauge.get g_queue);
+  let b1 = Bqueue.pop_batch q ~max:8 in
+  Alcotest.(check (array string))
+    "first batch in order" (Array.sub items 0 8) b1;
+  let b2 = Bqueue.pop_batch q ~max:100 in
+  Alcotest.(check (array string))
+    "second batch drains the rest" (Array.sub items 8 12) b2;
+  Alcotest.(check int)
+    "drained weight released" base
+    (Crd_obs.Gauge.get g_queue);
+  Alcotest.(check bool)
+    "batch sizes observed" true
+    (contains (Crd_obs.dump ()) "bqueue_batch_size");
+  (* error path: a queue abandoned with items still in it must return
+     their accounted bytes *)
+  Alcotest.(check int) "refill" 5 (Bqueue.push_slice q items 0 5);
+  Alcotest.(check int) "discard count" 5 (Bqueue.discard q);
+  Alcotest.(check int)
+    "discard releases weight" base
+    (Crd_obs.Gauge.get g_queue);
+  Bqueue.close q;
+  Alcotest.(check (array string))
+    "closed and drained pops empty" [||]
+    (Bqueue.pop_batch q ~max:8)
+
+(* ------------------------------------------------------------------ *)
+(* HEALTH probe                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let health_probe () =
+  with_server (fun ~addr ~server ->
+      let path = match addr with Server.Unix_sock p -> p | _ -> assert false in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX path);
+          Proto.write_all fd "HEALTH\n";
+          let line = Proto.read_to_eof fd in
+          List.iter
+            (fun needle ->
+              Alcotest.(check bool)
+                (Printf.sprintf "health line carries %s" needle)
+                true (contains line needle))
+            [
+              "HEALTH tier=normal"; "mem_used="; "mem_budget=";
+              "spill_backlog="; "stalls=";
+            ]);
+      (* probes are not sessions and must not skew the stats *)
+      Alcotest.(check int) "no session recorded" 0
+        (Server.stats server).Server.sessions)
+
+(* ------------------------------------------------------------------ *)
+(* Spill tier: deterministic admission, catch-up identity              *)
+(* ------------------------------------------------------------------ *)
+
+(* With one worker pinned and one session already pending, the next
+   connection is tagged spill at admission. Its client gets an
+   immediate ack (races deferred); the catch-up drainer then replays
+   the committed journal and the race set — report file and racedb
+   fold — is identical to the offline analyzer's. *)
+let spill_catchup_identity () =
+  let trace = snitch_trace () in
+  let expected_lines = offline_race_lines trace in
+  let expected_fold = fingerprint_fold (offline_races trace) in
+  Alcotest.(check bool)
+    "snitch races exist" true
+    (List.length expected_lines > 0);
+  let jdir = fresh_dir "crd-ovl-spill-j" in
+  let dbdir = fresh_dir "crd-ovl-spill-db" in
+  let q0 = Crd_obs.Gauge.get g_queue and i0 = Crd_obs.Gauge.get g_intern in
+  with_server
+    ~f_config:(fun c ->
+      {
+        c with
+        Server.workers = 1;
+        spill_watermark = 1;
+        journal = Some jdir;
+        racedb = Some dbdir;
+      })
+    (fun ~addr ~server ->
+      let path = match addr with Server.Unix_sock p -> p | _ -> assert false in
+      let conn () =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+      in
+      (* c1 pins the lone worker (blocked reading its preamble)... *)
+      let c1 = conn () in
+      poll "worker never picked up the pin" (fun () ->
+          match metric_value (Crd_obs.dump ()) "server_sessions_active" with
+          | Some v -> v >= 1
+          | None -> false);
+      (* ...c2 is admitted normal and waits (pending = 1)... *)
+      let spill0 =
+        Option.value ~default:0
+          (metric_value (Crd_obs.dump ()) "overload_to_spill_total")
+      in
+      let c2 = conn () in
+      (* ...so c3 — accepted after c2 by the single accept loop — is
+         evaluated at pending >= watermark with every worker busy and
+         tagged spill at admission, whatever happens afterwards. The
+         pins stay open until the transition counter proves the tag:
+         releasing them earlier could free the worker before c3 is
+         even accepted. *)
+      let c3 = conn () in
+      poll "c3 never admitted on the spill tier" (fun () ->
+          match metric_value (Crd_obs.dump ()) "overload_to_spill_total" with
+          | Some v -> v > spill0
+          | None -> false);
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            [ c1; c2; c3 ])
+        (fun () ->
+          Proto.send_handshake c3 ~nonce:"spill1" ~spec:"std" ();
+          (* release the worker; it burns through the two dead pins and
+             then serves c3 on the spill path *)
+          List.iter
+            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+            [ c1; c2 ];
+          Proto.write_all c3 (encode_trace trace);
+          (match Proto.read_handshake_reply c3 with
+          | Ok Proto.Accepted -> ()
+          | Ok _ | Error _ -> Alcotest.fail "spill handshake not accepted");
+          let reply = Proto.read_to_eof c3 in
+          Alcotest.(check bool)
+            (Printf.sprintf "spill ack defers analysis (%s)" reply)
+            true
+            (contains reply "spilled: analysis deferred"
+            && contains reply "spilled=1" && contains reply "races=0");
+          Alcotest.(check bool)
+            "spill ack counts the events" true
+            (contains reply
+               (Printf.sprintf "events=%d" (Trace.length trace))));
+      poll "catch-up never drained the segment" (fun () ->
+          (Server.stats server).Server.caught_up >= 1);
+      let st = Server.stats server in
+      Alcotest.(check int) "one spilled session" 1 st.Server.spilled;
+      Alcotest.(check int) "one caught-up segment" 1 st.Server.caught_up;
+      Alcotest.(check int)
+        "spilled events counted" (Trace.length trace) st.Server.events;
+      Alcotest.(check int)
+        "catch-up races counted"
+        (List.length expected_lines)
+        st.Server.races;
+      Alcotest.(check int)
+        "two dead pins, no spill errors" 2 st.Server.errors;
+      (* the backlog gauges move in the drainer's finally, a beat after
+         the stats row *)
+      poll "spill backlog never drained" (fun () ->
+          Overload.spill_backlog () = 0 && Overload.spill_bytes () = 0));
+  (* the catch-up report carries exactly the offline race lines *)
+  let report = read_file (Filename.concat jdir "spill1.report") in
+  Alcotest.(check (list string))
+    "catch-up races = offline races" expected_lines (reply_race_lines report);
+  (* ...and the racedb fold matches too (published under the session
+     nonce, so a restart replay would dedup against it) *)
+  let es = (Result.get_ok (Crd_racedb.Db.load dbdir)).Crd_racedb.Db.v_entries in
+  Alcotest.(check (list (pair int64 int)))
+    "racedb fold = offline fold" expected_fold
+    (List.sort compare
+       (List.map
+          (fun (e : Crd_racedb.Entry.t) ->
+            (e.Crd_racedb.Entry.fingerprint, Crd_racedb.Entry.count e))
+          es));
+  (* memory accounting returns to baseline once everything drained *)
+  Alcotest.(check int) "mem_queue_bytes back to baseline" q0
+    (Crd_obs.Gauge.get g_queue);
+  Alcotest.(check int) "mem_intern_bytes back to baseline" i0
+    (Crd_obs.Gauge.get g_intern)
+
+(* ------------------------------------------------------------------ *)
+(* Shed tier: memory budget only                                       *)
+(* ------------------------------------------------------------------ *)
+
+let shed_on_memory_budget () =
+  let budget = Overload.mem_used () + 1024 in
+  let charge = budget + 4096 in
+  with_server
+    ~f_config:(fun c ->
+      { c with Server.memory_budget = budget; retry_after_ms = 321 })
+    (fun ~addr ~server ->
+      let path = match addr with Server.Unix_sock p -> p | _ -> assert false in
+      Fun.protect
+        ~finally:(fun () -> Crd_obs.Gauge.add g_queue (-charge))
+        (fun () ->
+          Crd_obs.Gauge.add g_queue charge;
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              Unix.connect fd (Unix.ADDR_UNIX path);
+              match Proto.read_handshake_reply fd with
+              | Ok (Proto.Busy ms) ->
+                  Alcotest.(check int) "retry-after hint" 321 ms
+              | Ok Proto.Accepted -> Alcotest.fail "expected BUSY, got accept"
+              | Ok (Proto.Rejected m) ->
+                  Alcotest.failf "expected BUSY, got reject %s" m
+              | Error e -> Alcotest.failf "shed reply: %s" e));
+      (* budget released: admission recovers without a restart *)
+      let trace = snitch_trace () in
+      let reply = send_exn ~addr trace in
+      Alcotest.(check bool)
+        "session served after release" true
+        (String.length reply >= 2 && String.equal (String.sub reply 0 2) "OK");
+      let st = Server.stats server in
+      Alcotest.(check int) "one shed connection" 1 st.Server.busy;
+      Alcotest.(check int) "shed is not a session" 1 st.Server.sessions)
+
+(* ------------------------------------------------------------------ *)
+(* Stall watchdog                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A worker wedged by the [worker_stall] fault is recycled by the
+   watchdog: its client gets a retryable ERR (and succeeds on retry
+   against the respawned worker), and the stall is counted. *)
+let watchdog_recycles_stall () =
+  let trace = snitch_trace () in
+  let expected = offline_race_lines trace in
+  with_faults "seed=11,worker_stall=once" (fun () ->
+      with_server
+        ~f_config:(fun c -> { c with Server.workers = 1; stall_timeout = 0.3 })
+        (fun ~addr ~server ->
+          match Client.send_trace ~addr ~retries:1 ~backoff:0.05 trace with
+          | Error e -> Alcotest.failf "retry never recovered: %s" e
+          | Ok reply ->
+              Alcotest.(check (list string))
+                "races after recycle = offline races" expected
+                (reply_race_lines reply);
+              poll "crash never counted" (fun () ->
+                  (Server.stats server).Server.worker_crashes >= 1);
+              let st = Server.stats server in
+              Alcotest.(check int) "one stall" 1 st.Server.stalls;
+              Alcotest.(check int) "one worker recycled" 1
+                st.Server.worker_crashes;
+              Alcotest.(check int) "stalled session is an error" 1
+                st.Server.errors;
+              Alcotest.(check int) "both attempts counted" 2 st.Server.sessions))
+
+(* ------------------------------------------------------------------ *)
+(* Sync exchange deadline                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A black-hole peer that drips one varint continuation byte per tick:
+   every byte lands inside the per-read timeout (which resets on each
+   byte), so only the whole-exchange deadline can end the exchange. *)
+let sync_deadline_drip () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let stop = Atomic.make false in
+  let dripper =
+    Thread.create
+      (fun () ->
+        let buf = Bytes.create 4096 in
+        (* absorb the client's hello, then drip *)
+        (try ignore (Unix.read b buf 0 4096) with Unix.Unix_error _ -> ());
+        try
+          while not (Atomic.get stop) do
+            ignore (Unix.write b (Bytes.make 1 '\x80') 0 1);
+            Unix.sleepf 0.1
+          done
+        with Unix.Unix_error _ -> ())
+      ()
+  in
+  let dir = fresh_dir "crd-ovl-sync-dl" in
+  let db = Result.get_ok (Crd_racedb.Db.open_db dir) in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      Thread.join dripper;
+      (try Unix.close b with Unix.Unix_error _ -> ());
+      Crd_racedb.Db.close db)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      match Crd_sync.client ~timeout:5. ~deadline:0.4 a db with
+      | Ok s ->
+          Alcotest.failf "drip peer completed an exchange: %a"
+            Crd_sync.pp_summary s
+      | Error e ->
+          let dt = Unix.gettimeofday () -. t0 in
+          Alcotest.(check bool)
+            (Printf.sprintf "deadline error (%s)" e)
+            true (contains e "deadline");
+          Alcotest.(check bool)
+            (Printf.sprintf "deadline fired promptly (%.2fs)" dt)
+            true
+            (dt < 3.0))
+
+(* ------------------------------------------------------------------ *)
+(* Bounded under sustained over-capacity                                *)
+(* ------------------------------------------------------------------ *)
+
+(* 4 concurrent clients against 1 worker with a tiny watermark: every
+   client is acked OK (spilled or live), no evidence is dropped — the
+   race total converges to 4x the offline set once catch-up drains —
+   and the accounted memory returns to baseline. *)
+let overcapacity_bounded () =
+  let trace = snitch_trace () in
+  let expected_races = List.length (offline_races trace) in
+  let jdir = fresh_dir "crd-ovl-cap-j" in
+  let n = 4 in
+  let q0 = Crd_obs.Gauge.get g_queue and i0 = Crd_obs.Gauge.get g_intern in
+  with_server
+    ~f_config:(fun c ->
+      {
+        c with
+        Server.workers = 1;
+        queue_capacity = 64;
+        spill_watermark = 1;
+        journal = Some jdir;
+      })
+    (fun ~addr ~server ->
+      let replies = Array.make n (Error "never ran") in
+      let threads =
+        List.init n (fun i ->
+            Thread.create
+              (fun () -> replies.(i) <- Client.send_trace ~addr trace)
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Error e -> Alcotest.failf "client %d: %s" i e
+          | Ok reply ->
+              Alcotest.(check bool)
+                (Printf.sprintf "client %d acked" i)
+                true
+                (String.length reply >= 2
+                && String.equal (String.sub reply 0 2) "OK"))
+        replies;
+      poll "race total never converged" (fun () ->
+          let st = Server.stats server in
+          st.Server.caught_up = st.Server.spilled
+          && st.Server.races = n * expected_races);
+      let st = Server.stats server in
+      Alcotest.(check int) "no errors" 0 st.Server.errors;
+      Alcotest.(check int) "no sheds" 0 st.Server.busy;
+      Alcotest.(check int) "all sessions counted" n st.Server.sessions;
+      Alcotest.(check int)
+        "all events counted"
+        (n * Trace.length trace)
+        st.Server.events;
+      (* stats caught_up ticks inside catch-up; the backlog gauge drops
+         a beat later in its cleanup — poll, don't assert instantly. *)
+      poll "spill backlog never drained" (fun () ->
+          Overload.spill_backlog () = 0 && Overload.spill_bytes () = 0));
+  Alcotest.(check int) "mem_queue_bytes back to baseline" q0
+    (Crd_obs.Gauge.get g_queue);
+  Alcotest.(check int) "mem_intern_bytes back to baseline" i0
+    (Crd_obs.Gauge.get g_intern)
+
+let suite =
+  ( "overload",
+    [
+      Alcotest.test_case "tier ladder decisions" `Quick tier_ladder;
+      Alcotest.test_case "bqueue slice batching" `Quick bqueue_batching;
+      Alcotest.test_case "HEALTH probe" `Quick health_probe;
+      Alcotest.test_case "spill admission, catch-up identity" `Quick
+        spill_catchup_identity;
+      Alcotest.test_case "shed only on memory budget" `Quick
+        shed_on_memory_budget;
+      Alcotest.test_case "watchdog recycles a stalled worker" `Quick
+        watchdog_recycles_stall;
+      Alcotest.test_case "sync deadline beats a drip peer" `Quick
+        sync_deadline_drip;
+      Alcotest.test_case "bounded under 2x over-capacity" `Quick
+        overcapacity_bounded;
+    ] )

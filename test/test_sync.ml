@@ -285,6 +285,7 @@ let exchange server_db client_db =
            | Ok (Crd_server.Proto.Sync v) ->
                Crd_sync.serve ~timeout:5. ~version:v sa server_db
            | Ok Crd_server.Proto.Session -> Error "classified as a session"
+           | Ok Crd_server.Proto.Health -> Error "classified as a health probe"
            | Error e -> Error e
            | exception e -> Error (Printexc.to_string e));
         (try Unix.shutdown sa Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
