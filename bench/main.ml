@@ -711,6 +711,64 @@ let racedb_bench ?(reports = 2000) ?(repeats = 3) () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* Predictive pass — predicted-race uplift over the witnessed set      *)
+(* ------------------------------------------------------------------ *)
+
+type predict_record = {
+  pu_name : string;
+  pu_events : int;
+  pu_witnessed : int;  (* distinct witnessed fingerprints *)
+  pu_predicted : int;  (* predicted-only fingerprints on top of those *)
+  pu_candidates : int;
+  pu_capped : int;
+  pu_ns : float;
+}
+
+(* The Table 2 corpus plus one contended synthetic trace (every 16th
+   operation under a lock — the regime where sound reorderings actually
+   unshadow races). Counts are deterministic; only [pu_ns] is timing. *)
+let predict_records ~max_events () =
+  let distinct reports =
+    List.length
+      (List.sort_uniq String.compare
+         (List.map Report.fingerprint_hex reports))
+  in
+  let contended =
+    let events = min 50_000 (max 10_000 max_events) in
+    W.Synth.generate ~seed:7L
+      { (W.Synth.default ~events) with W.Synth.sync_period = 16 }
+  in
+  List.map
+    (fun (name, trace) ->
+      let run () =
+        match Predict.analyze_stdspecs trace with
+        | Ok r -> r
+        | Error e -> failwith ("predict benchmark: " ^ e)
+      in
+      let r = run () in
+      {
+        pu_name = name;
+        pu_events = r.Predict.stats.Predict.events;
+        pu_witnessed = distinct r.Predict.witnessed;
+        pu_predicted = List.length r.Predict.predicted;
+        pu_candidates = r.Predict.stats.Predict.candidates;
+        pu_capped = r.Predict.stats.Predict.capped;
+        pu_ns = best_of_ns 3 (fun () -> ignore (run ()));
+      })
+    (Lazy.force table2_traces @ [ ("synth/contended", contended) ])
+
+let print_predict_table predict =
+  Fmt.pr "@.## Predictive pass (rd2 predict) — predicted-race uplift@.@.";
+  Fmt.pr "%-44s %10s %10s %10s %10s %12s@." "trace" "events" "witnessed"
+    "predicted" "capped" "events/s";
+  List.iter
+    (fun p ->
+      Fmt.pr "%-44s %10d %10d %10d %10d %12.0f@." p.pu_name p.pu_events
+        p.pu_witnessed p.pu_predicted p.pu_capped
+        (per_s p.pu_events p.pu_ns))
+    predict
+
+(* ------------------------------------------------------------------ *)
 (* Comparing runs                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -718,8 +776,11 @@ let racedb_bench ?(reports = 2000) ?(repeats = 3) () =
    codec_big_speedup section, server section gained the synth ingest
    row, traces rows are marked forced_parallel.
    6: new flat overload section (sustained_overload acceptance rate,
-   gated by --compare). *)
-let schema_version = 6
+   gated by --compare).
+   7: new predict section (per-trace predictive-pass rows) and flat
+   predict_uplift section (predicted-only race counts, gated by
+   --compare). *)
+let schema_version = 7
 
 (* Minimal reader for our own BENCH_results.json — just enough for
    --compare, not a general JSON parser. Returns the file's
@@ -735,6 +796,7 @@ let load_results path =
       let speedups = ref [] in
       let big_speedups = ref [] in
       let overload = ref [] in
+      let uplift = ref [] in
       List.iter
         (fun line ->
           let line = String.trim line in
@@ -770,6 +832,10 @@ let load_results path =
                   Option.iter
                     (fun v -> overload := (key, v) :: !overload)
                     (float_of_string_opt value)
+                else if String.equal !section "predict_uplift" then
+                  Option.iter
+                    (fun v -> uplift := (key, v) :: !uplift)
+                    (float_of_string_opt value)
             | _ -> ())
         lines;
       match !schema with
@@ -780,7 +846,8 @@ let load_results path =
               List.rev !bench,
               List.rev !speedups,
               List.rev !big_speedups,
-              List.rev !overload )
+              List.rev !overload,
+              List.rev !uplift )
 
 (* The flat synth_speedup keys this run produces (mirrored in the JSON
    emission below, and matched by key against the previous file). *)
@@ -822,6 +889,15 @@ let overload_pairs ov =
           overload_accepted_events_s ov );
       ]
 
+(* The flat predict_uplift keys: distinct predicted-only races per
+   trace. Deterministic counts (same seed, same closure), so the 70%
+   gate only fires when a closure-construction change actually loses
+   predicted races — never from host noise. *)
+let predict_uplift_pairs predict =
+  List.map
+    (fun p -> (p.pu_name ^ "/predicted", float_of_int p.pu_predicted))
+    predict
+
 (* A parallel-speedup regression below this fraction of the previous run
    fails --compare. Generous on purpose: wall-clock speedups on shared
    CI hardware are noisy, and a 1-core box caps every speedup near 1.0 —
@@ -835,16 +911,17 @@ let speedup_regression_tolerance = 0.7
    below tolerance. Only [synth/*] keys feed the parallel gate: the
    table2 rd2-jobsN benchmark rows force sharding onto traces far too
    small to win, so their ratios are noise, not signal. *)
-let compare_results ~prev_path ~benchmarks ~synth ~codec ~overload =
+let compare_results ~prev_path ~benchmarks ~synth ~codec ~overload ~predict =
   match load_results prev_path with
   | Error e -> Error ("--compare: " ^ e)
-  | Ok (prev_schema, _, _, _, _) when prev_schema <> schema_version ->
+  | Ok (prev_schema, _, _, _, _, _) when prev_schema <> schema_version ->
       Error
         (Printf.sprintf
            "--compare: %s has schema_version %d but this harness writes %d; \
             regenerate the baseline before comparing"
            prev_path prev_schema schema_version)
-  | Ok (_, prev_bench, prev_speedups, prev_big, prev_overload) ->
+  | Ok (_, prev_bench, prev_speedups, prev_big, prev_overload, prev_uplift)
+    ->
       Fmt.pr "@.## Comparison against %s@.@." prev_path;
       if benchmarks = [] then
         Fmt.pr "(no bechamel benchmarks in this run — --tables-only?)@."
@@ -872,7 +949,10 @@ let compare_results ~prev_path ~benchmarks ~synth ~codec ~overload =
             pairs
         end
       in
-      let synth_regr = ref [] and big_regr = ref [] and ov_regr = ref [] in
+      let synth_regr = ref []
+      and big_regr = ref []
+      and ov_regr = ref []
+      and up_regr = ref [] in
       gate ~label:"synth speedup" ~prev:prev_speedups
         (List.filter
            (fun (k, _) -> String.length k >= 6 && String.sub k 0 6 = "synth/")
@@ -883,6 +963,8 @@ let compare_results ~prev_path ~benchmarks ~synth ~codec ~overload =
         big_regr;
       gate ~label:"overload acceptance (events/s)" ~prev:prev_overload
         (overload_pairs overload) ov_regr;
+      gate ~label:"predicted-race uplift" ~prev:prev_uplift
+        (predict_uplift_pairs predict) up_regr;
       let synth_regr =
         if !synth_regr <> [] && Domain.recommended_domain_count () < 2 then begin
           (* A 1-core box caps every parallel speedup near 1.0 — any
@@ -896,7 +978,10 @@ let compare_results ~prev_path ~benchmarks ~synth ~codec ~overload =
         end
         else List.rev !synth_regr
       in
-      match synth_regr @ List.rev !big_regr @ List.rev !ov_regr with
+      match
+        synth_regr @ List.rev !big_regr @ List.rev !ov_regr
+        @ List.rev !up_regr
+      with
       | [] -> Ok ()
       | regressions ->
           Error
@@ -907,7 +992,7 @@ let compare_results ~prev_path ~benchmarks ~synth ~codec ~overload =
                (String.concat ", " regressions))
 
 let write_json ~path ~jobs ~benchmarks ~traces ~synth ~codec ~server
-    ~server_journal ~server_ingest ~overload ~racedb =
+    ~server_journal ~server_ingest ~overload ~predict ~racedb =
   let oc = open_out path in
   let pr fmt = Printf.fprintf oc fmt in
   let rate a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
@@ -1041,6 +1126,29 @@ let write_json ~path ~jobs ~benchmarks ~traces ~synth ~codec ~server
       pr "    \"spilled_sessions\": %d,\n" ov.ov_spilled;
       pr "    \"caught_up\": %d\n" ov.ov_caught_up;
       pr "  },\n");
+  (* Flat like synth_speedup: the --compare reader gates the predicted
+     race counts against the previous baseline. *)
+  pr "  \"predict_uplift\": {";
+  List.iteri
+    (fun i (key, v) ->
+      pr "%s\n    \"%s\": %.0f" (if i = 0 then "" else ",") (json_escape key) v)
+    (predict_uplift_pairs predict);
+  pr "%s  },\n" (if predict = [] then "" else "\n");
+  pr "  \"predict\": {";
+  List.iteri
+    (fun i p ->
+      pr "%s\n    \"%s\": {\n" (if i = 0 then "" else ",")
+        (json_escape p.pu_name);
+      pr "      \"events\": %d,\n" p.pu_events;
+      pr "      \"witnessed_distinct\": %d,\n" p.pu_witnessed;
+      pr "      \"predicted\": %d,\n" p.pu_predicted;
+      pr "      \"candidates\": %d,\n" p.pu_candidates;
+      pr "      \"capped\": %d,\n" p.pu_capped;
+      pr "      \"analyze_ns\": %.0f,\n" p.pu_ns;
+      pr "      \"events_per_sec\": %.0f\n" (per_s p.pu_events p.pu_ns);
+      pr "    }")
+    predict;
+  pr "%s  },\n" (if predict = [] then "" else "\n");
   pr "  \"racedb\": {\n";
   pr "    \"reports\": %d,\n" racedb.rb_reports;
   pr "    \"ingest_ns\": %.0f,\n" racedb.rb_ingest_ns;
@@ -1148,7 +1256,7 @@ let () =
     | Some prev_path -> (
         match
           compare_results ~prev_path ~benchmarks:[] ~synth ~codec:[]
-            ~overload:None
+            ~overload:None ~predict:[]
         with
         | Ok () -> ()
         | Error e ->
@@ -1239,6 +1347,8 @@ let () =
         (ov.ov_burst_ns /. 1e6)
         (overload_accepted_events_s ov)
         ov.ov_spilled ov.ov_caught_up);
+  let predict = predict_records ~max_events:synth_max_events () in
+  print_predict_table predict;
   let racedb = racedb_bench () in
   Fmt.pr "@.## Race database (racedb_ingest / query_top)@.@.";
   Fmt.pr "%d reports ingested in %.2f ms (%.0f reports/s with rollups)@."
@@ -1253,7 +1363,7 @@ let () =
     (racedb.rb_query_ns /. 1e6)
     racedb.rb_distinct;
   write_json ~path:out ~jobs ~benchmarks ~traces ~synth ~codec ~server
-    ~server_journal ~server_ingest ~overload ~racedb;
+    ~server_journal ~server_ingest ~overload ~predict ~racedb;
   Fmt.pr "@.results written to %s (jobs=%d)@." out jobs;
   if Array.exists (String.equal "--stats") Sys.argv then begin
     Fmt.pr "@.## Metrics registry after this run@.@.";
@@ -1262,7 +1372,10 @@ let () =
   match compare_path with
   | None -> ()
   | Some prev_path -> (
-      match compare_results ~prev_path ~benchmarks ~synth ~codec ~overload with
+      match
+        compare_results ~prev_path ~benchmarks ~synth ~codec ~overload
+          ~predict
+      with
       | Ok () -> ()
       | Error e ->
           Fmt.epr "%s@." e;

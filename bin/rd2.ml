@@ -4,6 +4,7 @@
      rd2 specs                 list / print built-in specifications
      rd2 translate FILE        specification -> access point representation
      rd2 check FILE            run detectors over a recorded trace
+     rd2 predict FILE          predictive detection over sound reorderings
      rd2 simulate NAME         run a built-in workload under the analyzer
      rd2 table2                reproduce the paper's Table 2
      rd2 serve                 streaming ingestion service (online RD2)
@@ -281,6 +282,158 @@ let check_cmd =
        $ fasttrack $ atomicity $ verbose $ jobs $ force_parallel
        $ parallel_threshold $ stats_flag $ fingerprints_flag))
 
+
+(* ------------------------------------------------------------------ *)
+(* predict                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let predict_cmd =
+  let trace_file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"TRACE" ~doc:"Trace file to analyze.")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "s"; "spec" ] ~docv:"SPEC"
+          ~doc:
+            "Specification file (same object-name matching as 'rd2 check'); \
+             default: the built-in specifications.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Fan the per-candidate closure checks out over $(docv) domains. \
+             Reports are identical for every $(docv).")
+  in
+  let scan_limit =
+    Arg.(
+      value & opt int 64
+      & info [ "scan-limit" ] ~docv:"N"
+          ~doc:
+            "Prior conflicting calls paired with each access point of each \
+             call (completeness cap; soundness is unaffected).")
+  in
+  let max_attempts =
+    Arg.(
+      value & opt int 8
+      & info [ "max-attempts" ] ~docv:"N"
+          ~doc:
+            "Candidate pairs tried per undecided race fingerprint \
+             (completeness cap; soundness is unaffected).")
+  in
+  let racedb =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "racedb" ] ~docv:"DIR"
+          ~doc:
+            "Publish the verdict into the race database at $(docv) (created \
+             if missing): witnessed races as provenance=witnessed, predicted \
+             ones as provenance=predicted.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print every race.")
+  in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "After the report, dump the process metrics registry in \
+             Prometheus text format.")
+  in
+  let run trace_file spec_file format jobs scan_limit max_attempts racedb
+      verbose stats =
+    let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
+    let* specs =
+      match spec_file with
+      | None -> Ok (Stdspecs.all ())
+      | Some f -> Spec_parser.parse_file f
+    in
+    let spec_for o =
+      let name = Obj_id.name o in
+      let base =
+        match String.index_opt name ':' with
+        | Some i -> String.sub name 0 i
+        | None -> name
+      in
+      List.find_opt (fun s -> String.equal (Spec.name s) base) specs
+    in
+    let* trace = load_trace format trace_file in
+    let* res = Predict.analyze ~jobs ~scan_limit ~max_attempts ~spec_for trace in
+    let distinct rs =
+      List.length
+        (List.sort_uniq Int64.compare (List.map Report.fingerprint rs))
+    in
+    let w = distinct res.Predict.witnessed in
+    Fmt.pr
+      "events %d  calls %d  witnessed %d (%d distinct)  predicted +%d  \
+       candidates %d  closures %d  capped %d@."
+      res.Predict.stats.Predict.events res.Predict.stats.Predict.calls
+      (List.length res.Predict.witnessed)
+      w
+      (List.length res.Predict.predicted)
+      res.Predict.stats.Predict.candidates res.Predict.stats.Predict.closures
+      res.Predict.stats.Predict.capped;
+    if verbose then begin
+      List.iter
+        (fun r -> Fmt.pr "witnessed %a@." Report.pp r)
+        res.Predict.witnessed;
+      List.iter
+        (fun r -> Fmt.pr "predicted %a@." Report.pp r)
+        res.Predict.predicted
+    end;
+    let* () =
+      match racedb with
+      | None -> Ok ()
+      | Some dir -> (
+          match Crd_racedb.Db.open_db dir with
+          | Error e -> Error e
+          | Ok db ->
+              let ts = Unix.gettimeofday () in
+              let spec = match spec_file with None -> "std" | Some _ -> "custom" in
+              let records =
+                List.map
+                  (fun r -> Crd_racedb.Record.make ~ts ~spec r)
+                  res.Predict.witnessed
+                @ List.map
+                    (fun r ->
+                      Crd_racedb.Record.make ~ts
+                        ~provenance:Crd_racedb.Provenance.Predicted ~spec r)
+                    res.Predict.predicted
+              in
+              let out =
+                try
+                  ignore (Crd_racedb.Db.publish db ~nonce:"" records);
+                  Ok ()
+                with
+                | Crd_fault.Injected p -> Error ("fault injected: " ^ p)
+                | Unix.Unix_error (e, fn, _) ->
+                    Error (Printf.sprintf "%s(%s)" (Unix.error_message e) fn)
+              in
+              Crd_racedb.Db.close db;
+              out)
+    in
+    if stats then print_string (Crd_obs.dump ());
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "predict" ~exits
+       ~doc:
+         "Predictively check a recorded trace: report the observed-run RD2 \
+          races plus every non-commuting pair that races in some \
+          sync-preserving reordering of the trace — a superset of \
+          'rd2 check' on the same input.")
+    Term.(
+      ret
+        (const run $ trace_file $ spec_arg $ format_arg $ jobs $ scan_limit
+       $ max_attempts $ racedb $ verbose $ stats_flag))
 
 (* ------------------------------------------------------------------ *)
 (* shared workload runner                                              *)
@@ -1175,20 +1328,37 @@ let query_cmd =
       & info [ "spec" ] ~docv:"NAME"
           ~doc:"Keep races recorded under this specification set.")
   in
+  let provenance =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("any", None);
+               ("witnessed", Some Crd_racedb.Provenance.Witnessed);
+               ("predicted", Some Crd_racedb.Provenance.Predicted);
+             ])
+          None
+      & info [ "provenance" ] ~docv:"PROV"
+          ~doc:
+            "Keep races with this provenance: witnessed (observed in a \
+             recorded interleaving), predicted (so far only realized by a \
+             sound reordering — 'rd2 predict'), or any (default).")
+  in
   let json =
     Arg.(
       value & flag
       & info [ "json" ]
           ~doc:"Machine-readable output: one JSON array of entries.")
   in
-  let run dir top since obj spec json =
+  let run dir top since obj spec provenance json =
     match Crd_racedb.Db.load dir with
     | Error e -> `Error (false, e)
     | Ok view ->
         let now = Unix.gettimeofday () in
         let since = Option.map (fun d -> now -. d) since in
         let entries =
-          Crd_racedb.Db.select ?top ?since ?obj ?spec
+          Crd_racedb.Db.select ?top ?since ?obj ?spec ?provenance
             view.Crd_racedb.Db.v_entries
         in
         if json then begin
@@ -1207,12 +1377,14 @@ let query_cmd =
             let r = e.Crd_racedb.Entry.sample.Crd_racedb.Record.report in
             Printf.sprintf
               "{\"fingerprint\":\"%016Lx\",\"count\":%d,\
+               \"provenance\":\"%s\",\
                \"node_counts\":{%s},\"version\":{%s},\"first_seen\":%.6f,\
                \"last_seen\":%.6f,\"spec\":\"%s\",\"obj\":\"%s\",\
                \"point\":\"%s\",\"conflicting\":\"%s\",\"prior\":%b,\
                \"minutes\":[%s],\"hours\":[%s],\"days\":[%s]}"
               e.Crd_racedb.Entry.fingerprint
               (Crd_racedb.Entry.count e)
+              (Crd_racedb.Provenance.to_string e.Crd_racedb.Entry.provenance)
               (vv_json e.Crd_racedb.Entry.counts)
               (vv_json e.Crd_racedb.Entry.ver)
               e.Crd_racedb.Entry.first_seen e.Crd_racedb.Entry.last_seen
@@ -1233,8 +1405,10 @@ let query_cmd =
           Fmt.pr "%a@." Crd_racedb.Db.pp_stats view.Crd_racedb.Db.v_stats;
           List.iter
             (fun (e : Crd_racedb.Entry.t) ->
-              Fmt.pr "%016Lx  count=%-6d 1h=%-5d 24h=%-5d first=%s  last=%s@."
+              Fmt.pr
+                "%016Lx  %-9s count=%-6d 1h=%-5d 24h=%-5d first=%s  last=%s@."
                 e.Crd_racedb.Entry.fingerprint
+                (Crd_racedb.Provenance.to_string e.Crd_racedb.Entry.provenance)
                 (Crd_racedb.Entry.count e)
                 (Crd_racedb.Rollup.total_since e.Crd_racedb.Entry.minutes
                    (now -. 3600.))
@@ -1253,7 +1427,10 @@ let query_cmd =
          "Query a race database produced by 'rd2 serve --racedb': distinct \
           races with occurrence counts, time-bucketed rollups and a sample \
           report each.")
-    Term.(ret (const run $ racedb_dir_arg $ top $ since $ obj $ spec $ json))
+    Term.(
+      ret
+        (const run $ racedb_dir_arg $ top $ since $ obj $ spec $ provenance
+       $ json))
 
 let db_cmd =
   let compact =
@@ -1445,9 +1622,9 @@ let main =
     (Cmd.info "rd2" ~version:"1.0.0" ~exits
        ~doc:"Dynamic commutativity race detection (PLDI 2014 reproduction).")
     [
-      specs_cmd; translate_cmd; check_cmd; simulate_cmd; record_cmd;
-      synth_cmd; explore_cmd; table2_cmd; serve_cmd; send_cmd; query_cmd;
-      db_cmd; sync_cmd; health_cmd;
+      specs_cmd; translate_cmd; check_cmd; predict_cmd; simulate_cmd;
+      record_cmd; synth_cmd; explore_cmd; table2_cmd; serve_cmd; send_cmd;
+      query_cmd; db_cmd; sync_cmd; health_cmd;
     ]
 
 let () = exit (Cmd.eval main)

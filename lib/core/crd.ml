@@ -17,7 +17,8 @@
     - semantics and validation: {!Model}, {!Models}, {!Soundness};
     - the execution substrate: {!Sched}, {!Monitored};
     - and the end-to-end {!Analyzer}, plus {!Shard}, its multi-domain
-      offline counterpart. *)
+      offline counterpart, and {!Predict}, the offline predictive pass
+      over sync-preserving reorderings. *)
 
 module Value = Crd_base.Value
 module Tid = Crd_base.Tid
@@ -57,5 +58,6 @@ module Soundness = Crd_semantics.Soundness
 module Sched = Crd_runtime.Sched
 module Monitored = Crd_runtime.Monitored
 module Atomicity = Crd_atomicity.Atomicity
+module Predict = Crd_predict.Predict
 module Analyzer = Analyzer
 module Shard = Shard

@@ -1,0 +1,103 @@
+(** Offline predictive commutativity-race detection beyond
+    happens-before.
+
+    RD2 only reports non-commuting pairs that are VC-incomparable in
+    the one interleaving that was recorded; a race hidden by accidental
+    scheduling order is silently missed. This pass predicts races in
+    {e sync-preserving reorderings} of the recorded trace (after Ang,
+    Farzan & Mathur, "Enhanced Data Race Prediction Through Modular
+    Reasoning"): a reordering is {e sound} when it
+
+    - keeps every thread's program order;
+    - keeps lock semantics — critical sections of one lock do not
+      overlap, and acquires of one lock that appear in the reordering
+      keep their observed order;
+    - keeps the observed order of every non-commuting call pair that is
+      happens-before ordered in the recorded run (VC-incomparable
+      conflicting pairs — the races themselves — impose no edge);
+    - runs a thread only after its [Fork], and a [Join] only after the
+      joined thread's recorded events.
+
+    A conflicting call pair [(d, f)] races iff some sound reordering
+    makes both executable next. That holds iff neither event belongs to
+    the {e closure} [C(d, f)]: the least set containing the program-
+    order prefixes of [d] and [f] (and their threads' fork events) that
+    is closed under program order, conflict-HB predecessors of executed
+    members, the release-before-later-acquire lock rule, and fork/join.
+    [d] and [f] are enabled, not executed, so their own conflict
+    predecessors — each other in particular — impose nothing. The closure
+    test is sound {e and} complete for this reordering class — the
+    differential qcheck suite in [test_predict] checks it pairwise
+    against brute-force enumeration of all sound reorderings — and
+    every edge it follows is a happens-before edge, so a witnessed
+    (VC-incomparable) pair always passes: prediction subsumes RD2.
+
+    Reports reuse {!Crd_detector.Report} verbatim — same point
+    descriptions, same symmetric fingerprints — so predicted races dedup
+    against witnessed ones in the race database by fingerprint alone. *)
+
+open Crd_base
+open Crd_spec
+open Crd_trace
+open Crd_detector
+
+type stats = {
+  events : int;
+  calls : int;  (** call events carrying a specification *)
+  candidates : int;  (** conflicting cross-thread pairs examined *)
+  closures : int;  (** closure fixpoints actually computed *)
+  capped : int;  (** candidates dropped by [scan_limit]/[max_attempts] *)
+}
+
+type result = {
+  witnessed : Report.t list;
+      (** the RD2 report list of the observed interleaving, in trace
+          order — byte-identical to what [rd2 check] reports *)
+  predicted : Report.t list;
+      (** one report per predicted race whose fingerprint no witnessed
+          report carries; deterministic order, independent of [jobs] *)
+  stats : stats;
+}
+
+val analyze :
+  ?jobs:int ->
+  ?scan_limit:int ->
+  ?max_attempts:int ->
+  spec_for:(Obj_id.t -> Spec.t option) ->
+  Trace.t ->
+  (result, string) Stdlib.result
+(** [analyze ~spec_for trace] runs the observed-order RD2 pass and the
+    predictive closure pass over [trace].
+
+    [jobs] (default 1) fans the per-candidate closure checks (and the
+    conflict-predecessor precomputation) out over OCaml domains; the
+    result is bit-identical for every [jobs] value. [scan_limit]
+    (default 64) bounds how many prior conflicting calls are paired
+    with each access point of each call; [max_attempts] (default 8)
+    bounds how many candidate pairs are tried per unclaimed
+    fingerprint. Both caps only limit {e completeness} (counted in
+    [stats.capped]) — never soundness: every report returned is a real
+    race of some sound reordering.
+
+    [Error] on specification translation failure or when the
+    [predict_pass] fault point fires. *)
+
+val analyze_stdspecs :
+  ?jobs:int ->
+  ?scan_limit:int ->
+  ?max_attempts:int ->
+  Trace.t ->
+  (result, string) Stdlib.result
+(** {!analyze} with the built-in specification naming convention
+    (object ["name"] or ["name:suffix"] resolves to the [name]
+    standard spec). *)
+
+val racing_pairs :
+  spec_for:(Obj_id.t -> Spec.t option) ->
+  Trace.t ->
+  ((int * int) list, string) Stdlib.result
+(** Exact, uncapped pair-level analysis for the differential property
+    suite: every conflicting cross-thread event-index pair [(d, f)]
+    ([d < f] in observed order) that is concurrent in some sound
+    reordering — witnessed pairs included. Quadratic; use on small
+    traces only. *)

@@ -181,6 +181,7 @@ let read_node dir =
 
 type stats = {
   distinct : int;
+  predicted : int;
   total : int;
   segments : int;
   active_id : int;
@@ -238,6 +239,7 @@ let fold_record ~rollups ~node ~vvtbl tbl (r : Record.t) =
              minutes;
              hours;
              days;
+             provenance = r.provenance;
            })
   | Some cell ->
       let e = !cell in
@@ -254,6 +256,7 @@ let fold_record ~rollups ~node ~vvtbl tbl (r : Record.t) =
           first_seen = min e.Entry.first_seen r.ts;
           last_seen = max e.Entry.last_seen r.ts;
           sample = (if r.ts < e.Entry.first_seen then r else e.Entry.sample);
+          provenance = Provenance.join e.Entry.provenance r.provenance;
         }
 
 (* Fold a replicated entry (an index row or a merged-entry frame):
@@ -277,9 +280,13 @@ let sort_entries es =
 (* Frame payloads are tagged:
      'R' record            one locally-observed record
      'B' session batch     nonce + all records of one session, atomic
-     'M' merged entry      post-merge snapshot of a replicated entry
-     'G' merge batch       all entries changed by one [merge], atomic
-   A batch ('B' or 'G') is a single checksummed frame so session
+     'M' merged entry      post-merge snapshot of a replicated entry (v2,
+                           read-only legacy)
+     'G' merge batch       all v2 entries changed by one [merge] (read-only
+                           legacy, pre-provenance)
+     'H' merge batch       all v3 (provenance-aware) entries changed by one
+                           [merge], atomic — what [merge] writes today
+   A batch ('B', 'G' or 'H') is a single checksummed frame so session
    publication and replica merges are all-or-nothing: a torn tail can
    never leave half a session behind the published-nonce marker it
    carries, nor a prefix of a merge behind a version vector that
@@ -316,23 +323,23 @@ let frame_batch ~nonce records =
     records;
   frame_of_payload (Buffer.contents b)
 
-(* 'M' single-entry frames are only ever read these days (segments
-   written before merges batched into 'G' frames); see [scan_segment]. *)
+(* 'M' single-entry and 'G' batch frames are only ever read these days
+   (segments written before provenance); see [scan_segment]. *)
 let frame_merge_batch es =
   let b = Buffer.create 4096 in
-  Buffer.add_char b 'G';
+  Buffer.add_char b 'H';
   Codec.add_varint b (List.length es);
   List.iter (Entry.encode b) es;
   frame_of_payload (Buffer.contents b)
 
-let decode_merge_batch payload =
-  (* payload.[0] = 'G' already consumed by the dispatcher *)
+let decode_merge_batch ~entry_decode payload =
+  (* the tag at payload.[0] was already consumed by the dispatcher *)
   let n, pos = Codec.get_varint payload 1 in
   if n < 0 || n > 1 lsl 24 then failwith "merge batch: bad entry count";
   let rec go acc n pos =
     if n = 0 then List.rev acc
     else
-      let e, pos = Entry.decode payload pos in
+      let e, pos = entry_decode payload pos in
       go (e :: acc) (n - 1) pos
   in
   go [] n pos
@@ -389,11 +396,15 @@ let scan_segment ~committed bytes ~record ~batch ~entry =
                   | exception Failure _ -> None
                   | nonce, rs -> Some (fun () -> batch ~nonce rs; List.length rs))
               | 'M' -> (
-                  match Entry.decode payload 1 with
+                  match Entry.decode_v2 payload 1 with
                   | exception Failure _ -> None
                   | e, _ -> Some (fun () -> entry e; 1))
               | 'G' -> (
-                  match decode_merge_batch payload with
+                  match decode_merge_batch ~entry_decode:Entry.decode_v2 payload with
+                  | exception Failure _ -> None
+                  | es -> Some (fun () -> List.iter entry es; List.length es))
+              | 'H' -> (
+                  match decode_merge_batch ~entry_decode:Entry.decode payload with
                   | exception Failure _ -> None
                   | es -> Some (fun () -> List.iter entry es; List.length es))
               | _ -> None
@@ -427,7 +438,7 @@ let read_marker dir id =
 (* --- index file ---------------------------------------------------- *)
 
 let index_magic = "CRDX"
-let index_version = 2
+let index_version = 3
 
 (* v1 (pre-replication) index body: watermark, then plain-count entries
    with no published-nonce set and no vectors. Migrate every entry onto
@@ -473,40 +484,47 @@ let encode_index ~folded_up_to ~published es =
 let decode_index ~node s =
   let len = String.length s in
   if len < 9 || String.sub s 0 4 <> index_magic then Error "index: bad magic"
-  else if Char.code s.[4] <> index_version && Char.code s.[4] <> 1 then
-    Error "index: bad version"
-  else if get_u32le s (len - 4) <> crc32 s 5 (len - 9) then
-    Error "index: checksum mismatch"
-  else if Char.code s.[4] = 1 then
-    match decode_index_v1 ~node s with
-    | exception Failure m -> Error m
-    | v -> Ok v
   else
-    match
-      let folded_up_to, pos = Codec.get_varint s 5 in
-      let np, pos = Codec.get_varint s pos in
-      if np < 0 || np > 1 lsl 24 then failwith "index: bad nonce count";
-      let rec nonces acc np pos =
-        if np = 0 then (List.rev acc, pos)
-        else
-          let n, pos = Codec.get_varint s pos in
-          if n < 0 || n > Vv.node_max_bytes + 8 || pos + n > String.length s
-          then failwith "index: bad nonce";
-          nonces (String.sub s pos n :: acc) (np - 1) (pos + n)
+    let version = Char.code s.[4] in
+    if version < 1 || version > index_version then Error "index: bad version"
+    else if get_u32le s (len - 4) <> crc32 s 5 (len - 9) then
+      Error "index: checksum mismatch"
+    else if version = 1 then
+      match decode_index_v1 ~node s with
+      | exception Failure m -> Error m
+      | v -> Ok v
+    else
+      (* v2 entries lack the provenance byte; everything a v2 store held
+         was witnessed, so the migration is Entry.decode_v2 and the next
+         compaction rewrites the file as v3. *)
+      let entry_decode =
+        if version = 2 then Entry.decode_v2 else Entry.decode
       in
-      let published, pos = nonces [] np pos in
-      let n, pos = Codec.get_varint s pos in
-      if n < 0 || n > 1 lsl 24 then failwith "index: bad entry count";
-      let rec go acc n pos =
-        if n = 0 then List.rev acc
-        else
-          let e, pos = Entry.decode s pos in
-          go (e :: acc) (n - 1) pos
-      in
-      (folded_up_to, published, go [] n pos)
-    with
-    | exception Failure m -> Error m
-    | v -> Ok v
+      match
+        let folded_up_to, pos = Codec.get_varint s 5 in
+        let np, pos = Codec.get_varint s pos in
+        if np < 0 || np > 1 lsl 24 then failwith "index: bad nonce count";
+        let rec nonces acc np pos =
+          if np = 0 then (List.rev acc, pos)
+          else
+            let n, pos = Codec.get_varint s pos in
+            if n < 0 || n > Vv.node_max_bytes + 8 || pos + n > String.length s
+            then failwith "index: bad nonce";
+            nonces (String.sub s pos n :: acc) (np - 1) (pos + n)
+        in
+        let published, pos = nonces [] np pos in
+        let n, pos = Codec.get_varint s pos in
+        if n < 0 || n > 1 lsl 24 then failwith "index: bad entry count";
+        let rec go acc n pos =
+          if n = 0 then List.rev acc
+          else
+            let e, pos = entry_decode s pos in
+            go (e :: acc) (n - 1) pos
+        in
+        (folded_up_to, published, go [] n pos)
+      with
+      | exception Failure m -> Error m
+      | v -> Ok v
 
 (* --- the writable handle ------------------------------------------- *)
 
@@ -935,8 +953,19 @@ let du dir =
 let stats_of tbl ~segments ~active_id ~folded_up_to ~data_bytes ~salvaged
     ~truncated_bytes =
   let total = Hashtbl.fold (fun _ cell acc -> acc + Entry.count !cell) tbl 0 in
+  (* Predicted-only entries never inflate the witnessed distinct count:
+     the headline number keeps meaning "races actually observed". *)
+  let predicted =
+    Hashtbl.fold
+      (fun _ cell acc ->
+        match (!cell).Entry.provenance with
+        | Provenance.Predicted -> acc + 1
+        | Provenance.Witnessed -> acc)
+      tbl 0
+  in
   {
-    distinct = Hashtbl.length tbl;
+    distinct = Hashtbl.length tbl - predicted;
+    predicted;
     total;
     segments;
     active_id;
@@ -1000,7 +1029,7 @@ let load dir =
             v_version = vv_of_tbl vvtbl;
           }
 
-let select ?top ?since ?obj ?spec es =
+let select ?top ?since ?obj ?spec ?provenance es =
   let keep (e : Entry.t) =
     (match since with None -> true | Some cut -> e.Entry.last_seen >= cut)
     && (match obj with
@@ -1008,7 +1037,10 @@ let select ?top ?since ?obj ?spec es =
        | Some o ->
            Crd_base.Obj_id.name e.Entry.sample.Record.report.Crd_detector.Report.obj
            = o)
-    && match spec with None -> true | Some s -> e.Entry.sample.Record.spec = s
+    && (match spec with None -> true | Some s -> e.Entry.sample.Record.spec = s)
+    && match provenance with
+       | None -> true
+       | Some p -> Provenance.equal e.Entry.provenance p
   in
   let es = List.filter keep es in
   match top with
@@ -1017,7 +1049,7 @@ let select ?top ?since ?obj ?spec es =
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "@[<v>distinct: %d@,total: %d@,segments: %d (active seg-%08d, folded up \
-     to %d)@,bytes: %d@,salvaged: %d@,truncated: %d@]"
-    s.distinct s.total s.segments s.active_id s.folded_up_to s.data_bytes
-    s.salvaged s.truncated_bytes
+    "@[<v>distinct: %d@,predicted: %d@,total: %d@,segments: %d (active \
+     seg-%08d, folded up to %d)@,bytes: %d@,salvaged: %d@,truncated: %d@]"
+    s.distinct s.predicted s.total s.segments s.active_id s.folded_up_to
+    s.data_bytes s.salvaged s.truncated_bytes

@@ -14,15 +14,19 @@
     frame   ::= varint(len) payload{len} crc32_le(payload)
     payload ::= 'R' record                      one local record
               | 'B' nonce record*               one session, atomic
-              | 'M' entry                       merged replicated entry
-              | 'G' entry*                      one whole merge, atomic
+              | 'M' entry_v2                    merged replicated entry (legacy)
+              | 'G' entry_v2*                   one whole merge, atomic (legacy)
+              | 'H' entry*                      one whole merge, atomic
     v}
 
-    Pre-replication stores are read transparently: a v1 [index.crdx]
-    (plain counts, no vectors) is migrated onto this node's G-counter
-    and version components at open — deterministically, so every open
-    before the first compaction rewrites it as v2 agrees — and bare
-    untagged record frames in old segments still replay.
+    Older stores are read transparently: a v1 [index.crdx] (plain
+    counts, no vectors) is migrated onto this node's G-counter and
+    version components at open — deterministically, so every open
+    before the first compaction rewrites it agrees — a v2 index and
+    'M'/'G' frames decode as provenance-free entries (everything stored
+    before prediction was {!Provenance.Witnessed}), and bare untagged
+    record frames in pre-replication segments still replay. The first
+    compaction rewrites the index as v3.
 
     Appends go to the active (highest-numbered) segment and are folded
     into an in-memory index keyed by {!Report.fingerprint}; [sync]
@@ -53,7 +57,8 @@
 type t
 
 type stats = {
-  distinct : int;
+  distinct : int;  (** distinct witnessed races (predicted excluded) *)
+  predicted : int;  (** distinct predicted-only races *)
   total : int;
   segments : int;  (** live segment files, active included *)
   active_id : int;
@@ -158,10 +163,11 @@ val select :
   ?since:float ->
   ?obj:string ->
   ?spec:string ->
+  ?provenance:Provenance.t ->
   Entry.t list ->
   Entry.t list
-(** Filter ([last_seen >= since], exact object / spec name) and keep
-    the first [top] entries. *)
+(** Filter ([last_seen >= since], exact object / spec name, exact
+    provenance) and keep the first [top] entries. *)
 
 val sort_entries : Entry.t list -> Entry.t list
 (** Most frequent first, ties by fingerprint — the [entries] order. *)

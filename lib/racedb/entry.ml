@@ -10,6 +10,7 @@ type t = {
   minutes : Rollup.t;
   hours : Rollup.t;
   days : Rollup.t;
+  provenance : Provenance.t;
 }
 
 let count e = List.fold_left (fun acc (_, c) -> acc + c) 0 (Vv.to_list e.counts)
@@ -51,6 +52,7 @@ let merge a b =
     minutes;
     hours;
     days;
+    provenance = Provenance.join a.provenance b.provenance;
   }
 
 let equal a b =
@@ -63,6 +65,7 @@ let equal a b =
   && Rollup.equal a.minutes b.minutes
   && Rollup.equal a.hours b.hours
   && Rollup.equal a.days b.days
+  && Provenance.equal a.provenance b.provenance
 
 let add_i64le b v =
   for i = 0 to 7 do
@@ -78,6 +81,11 @@ let get_i64le s pos =
   done;
   !v
 
+(* The v3 (provenance-aware) entry is the v2 layout plus one trailing
+   provenance byte. The container versions the format — index header
+   byte, segment frame tag ('H' vs 'G'/'M'), sync hello version — so
+   both decoders stay exact (entries are self-delimiting and cannot
+   sniff their own tail). *)
 let encode b (e : t) =
   add_i64le b e.fingerprint;
   Vv.encode b e.counts;
@@ -89,9 +97,13 @@ let encode b (e : t) =
   Rollup.encode b e.days;
   let sample = Record.encode e.sample in
   Codec.add_varint b (String.length sample);
-  Buffer.add_string b sample
+  Buffer.add_string b sample;
+  Buffer.add_char b
+    (match e.provenance with
+    | Provenance.Witnessed -> '\x00'
+    | Provenance.Predicted -> '\x01')
 
-let decode s pos =
+let decode_body s pos =
   let fingerprint = get_i64le s pos in
   let pos = pos + 8 in
   let counts, pos = Vv.decode s pos in
@@ -110,8 +122,33 @@ let decode s pos =
     | Ok r -> r
     | Error e -> failwith ("entry: " ^ e)
   in
-  ( { fingerprint; counts; ver; first_seen; last_seen; sample; minutes; hours; days },
+  ( { fingerprint;
+      counts;
+      ver;
+      first_seen;
+      last_seen;
+      sample;
+      minutes;
+      hours;
+      days;
+      provenance = Provenance.Witnessed;
+    },
     pos + n )
+
+let decode s pos =
+  let e, pos = decode_body s pos in
+  if pos >= String.length s then failwith "entry: missing provenance";
+  let provenance =
+    match s.[pos] with
+    | '\x00' -> Provenance.Witnessed
+    | '\x01' -> Provenance.Predicted
+    | _ -> failwith "entry: bad provenance"
+  in
+  ({ e with provenance }, pos + 1)
+
+(* Pre-prediction (index v2, 'M'/'G' frames, sync v1) entries carry no
+   provenance byte: everything stored then was witnessed. *)
+let decode_v2 = decode_body
 
 (* Pre-replication (index v1) entries carry a plain integer count and
    no vectors; migrate both onto [node]'s components — the count as its
@@ -146,9 +183,10 @@ let decode_v1 ~node ~seq s pos =
       minutes;
       hours;
       days;
+      provenance = Provenance.Witnessed;
     },
     pos + n )
 
 let pp ppf e =
-  Fmt.pf ppf "%016Lx n=%d counts=%a ver=%a" e.fingerprint (count e) Vv.pp
-    e.counts Vv.pp e.ver
+  Fmt.pf ppf "%016Lx n=%d prov=%a counts=%a ver=%a" e.fingerprint (count e)
+    Provenance.pp e.provenance Vv.pp e.counts Vv.pp e.ver

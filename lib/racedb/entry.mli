@@ -24,6 +24,10 @@ type t = {
   minutes : Rollup.t;  (** 60 × 1-minute buckets *)
   hours : Rollup.t;  (** 48 × 1-hour buckets *)
   days : Rollup.t;  (** 30 × 1-day buckets *)
+  provenance : Provenance.t;
+      (** join over all folded records and merged replicas; [Witnessed]
+          absorbs, so a prediction later seen live is promoted and never
+          demoted back *)
 }
 
 val count : t -> int
@@ -42,6 +46,13 @@ val encode : Buffer.t -> t -> unit
 
 val decode : string -> int -> t * int
 (** Self-delimiting; returns the next offset.
+    @raise Failure on malformed input. *)
+
+val decode_v2 : string -> int -> t * int
+(** Decode a pre-prediction (index v2 / legacy segment-frame / sync v1)
+    entry — same layout without the trailing provenance byte. Everything
+    stored before prediction existed was witnessed, so the migrated
+    entry carries {!Provenance.Witnessed}.
     @raise Failure on malformed input. *)
 
 val decode_v1 : node:string -> seq:int -> string -> int -> t * int

@@ -1,0 +1,15 @@
+type t = Predicted | Witnessed
+
+let join a b =
+  match (a, b) with Witnessed, _ | _, Witnessed -> Witnessed | _ -> Predicted
+
+let equal (a : t) b = a = b
+let compare (a : t) b = compare a b
+let to_string = function Predicted -> "predicted" | Witnessed -> "witnessed"
+
+let of_string = function
+  | "predicted" -> Some Predicted
+  | "witnessed" -> Some Witnessed
+  | _ -> None
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,28 @@
+(** How a race entered the database.
+
+    [Witnessed] races were observed as VC-incomparable in a recorded
+    execution (the online RD2 detector or [rd2 check]); [Predicted]
+    races were derived by {!Crd_predict} from a sound reordering of a
+    recorded trace — real by the soundness argument, but never seen
+    concurrent in any single observed run.
+
+    The two form a two-point lattice with [Witnessed] on top: once any
+    replica witnesses a race, no amount of gossip may demote it back to
+    a prediction, so CRDT merges {!join} provenances. *)
+
+type t = Predicted | Witnessed
+
+val join : t -> t -> t
+(** Lattice join: [Witnessed] absorbs. Commutative, associative,
+    idempotent — the merge laws [test_predict] pins down. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** [Predicted < Witnessed] (the lattice order). *)
+
+val to_string : t -> string
+(** ["predicted"] / ["witnessed"] — the [rd2 query --provenance] and
+    [--json] vocabulary. *)
+
+val of_string : string -> t option
+val pp : t Fmt.t

@@ -3,13 +3,19 @@ open Crd_trace
 open Crd_detector
 module Codec = Crd_wire.Codec
 
-type t = { ts : float; spec : string; report : Report.t }
+type t = {
+  ts : float;
+  spec : string;
+  report : Report.t;
+  provenance : Provenance.t;
+}
 
 (* Sanity bound for segment-frame scanning: no sane record payload
    approaches this, so a larger length varint means tail corruption. *)
 let max_bytes = 1 lsl 20
 
-let make ?(ts = 0.) ~spec report = { ts; spec; report }
+let make ?(ts = 0.) ?(provenance = Provenance.Witnessed) ~spec report =
+  { ts; spec; report; provenance }
 let fingerprint t = Report.fingerprint t.report
 
 let equal_obj a b = Obj_id.id a = Obj_id.id b && Obj_id.name a = Obj_id.name b
@@ -22,6 +28,7 @@ let equal_action (a : Action.t) (b : Action.t) =
 let equal a b =
   Int64.equal (Int64.bits_of_float a.ts) (Int64.bits_of_float b.ts)
   && a.spec = b.spec
+  && Provenance.equal a.provenance b.provenance
   &&
   let ra = a.report and rb = b.report in
   ra.Report.index = rb.Report.index
@@ -34,9 +41,9 @@ let equal a b =
        ra.prior rb.prior
 
 let pp ppf t =
-  Fmt.pf ppf "@[%s ts=%.3f spec=%s %a@]"
+  Fmt.pf ppf "@[%s ts=%.3f spec=%s prov=%a %a@]"
     (Report.fingerprint_hex t.report)
-    t.ts t.spec Report.pp t.report
+    t.ts t.spec Provenance.pp t.provenance Report.pp t.report
 
 (* ------------------------------------------------------------------ *)
 (* Binary form. Varints/zigzag reuse the Crd_wire helpers; values are
@@ -91,10 +98,17 @@ let encode t =
   add_action b r.action;
   add_str b r.point;
   add_str b r.conflicting;
+  (* The prior tag also carries the provenance (bit 1), so witnessed
+     records — the only kind that existed before prediction — stay
+     byte-identical to the historical encoding and old samples keep
+     electing deterministically. *)
+  let prov_bit =
+    match t.provenance with Provenance.Witnessed -> 0 | Provenance.Predicted -> 2
+  in
   (match r.prior with
-  | None -> Buffer.add_char b '\x00'
+  | None -> Buffer.add_char b (Char.chr prov_bit)
   | Some (tid, a) ->
-      Buffer.add_char b '\x01';
+      Buffer.add_char b (Char.chr (1 lor prov_bit));
       Codec.add_varint b (Tid.to_int tid);
       add_action b a);
   Buffer.contents b
@@ -165,19 +179,23 @@ let decode s =
     let point, pos = get_str s pos in
     let conflicting, pos = get_str s pos in
     if pos >= String.length s then failwith "record: truncated";
+    let tag = Char.code s.[pos] in
+    if tag > 3 then failwith "record: bad prior tag";
+    let provenance =
+      if tag land 2 = 0 then Provenance.Witnessed else Provenance.Predicted
+    in
     let prior, pos =
-      match s.[pos] with
-      | '\x00' -> (None, pos + 1)
-      | '\x01' ->
-          let ptid, pos = Codec.get_varint s (pos + 1) in
-          let pa, pos = get_action s pos in
-          (Some (Tid.of_int ptid, pa), pos)
-      | _ -> failwith "record: bad prior tag"
+      if tag land 1 = 0 then (None, pos + 1)
+      else
+        let ptid, pos = Codec.get_varint s (pos + 1) in
+        let pa, pos = get_action s pos in
+        (Some (Tid.of_int ptid, pa), pos)
     in
     if pos <> String.length s then failwith "record: trailing bytes";
     {
       ts = Int64.float_of_bits bits;
       spec;
+      provenance;
       report =
         {
           Report.index;

@@ -9,13 +9,21 @@
 
 open Crd_detector
 
-type t = { ts : float; spec : string; report : Report.t }
+type t = {
+  ts : float;
+  spec : string;
+  report : Report.t;
+  provenance : Provenance.t;
+      (** how the race was found; witnessed records encode byte-identically
+          to the pre-provenance format *)
+}
 
 val max_bytes : int
 (** Upper bound on a sane encoded record; frames claiming more are
     treated as corruption by the segment scanner. *)
 
-val make : ?ts:float -> spec:string -> Report.t -> t
+val make : ?ts:float -> ?provenance:Provenance.t -> spec:string -> Report.t -> t
+(** [provenance] defaults to {!Provenance.Witnessed}. *)
 
 val fingerprint : t -> int64
 (** [Report.fingerprint] of the payload. *)

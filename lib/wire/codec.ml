@@ -8,7 +8,7 @@ let magic = "CRDW"
    (varint(len) payload) after its own magic; payloads open with a
    frame-kind byte. Crd_sync owns the payload encodings. *)
 let sync_magic = "CRDY"
-let sync_version = 1
+let sync_version = 2
 let sync_hello = 1
 let sync_delta = 2
 let sync_ack = 3

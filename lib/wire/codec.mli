@@ -43,7 +43,8 @@ val sync_magic : string
 (** ["CRDY"]. *)
 
 val sync_version : int
-(** Sync protocol version (currently 1). *)
+(** Sync protocol version (currently 2: delta entries carry the
+    provenance byte). *)
 
 val sync_hello : int
 (** Frame kind: node id + version vector, opens both directions. *)

@@ -150,6 +150,92 @@ let tuple_returns () =
   let m = Option.get (Spec.signature spec "m") in
   Alcotest.(check int) "arity 3" 3 (Signature.arity m)
 
+(* --- the shipped .crd files ---------------------------------------- *)
+
+let spec_file name = Filename.concat "../specs" name
+
+let parse_file_ok name =
+  match Spec_parser.parse_file (spec_file name) with
+  | Ok [ s ] -> s
+  | Ok l -> Alcotest.failf "%s: expected 1 object, got %d" name (List.length l)
+  | Error e -> Alcotest.failf "%s: %s" name e
+
+let shipped_specs_parse () =
+  List.iter
+    (fun name ->
+      let spec = parse_file_ok name in
+      match Repr.of_spec spec with
+      | Ok _ -> ()
+      | Error e ->
+          Alcotest.failf "%s: translation failed: %s" name e)
+    [ "dictionary.crd"; "set.crd"; "queue.crd"; "counter.crd" ]
+
+let queue_spec_semantics () =
+  let spec = parse_file_ok "queue.crd" in
+  Alcotest.(check string) "name" "queue" (Spec.name spec);
+  Alcotest.(check int) "methods" 3 (List.length (Spec.methods spec));
+  Alcotest.(check int) "pairs" 6 (List.length (Spec.pairs spec));
+  let obj = Obj_id.make ~name:"queue:q" 0 in
+  let act meth args rets = Action.make ~obj ~meth ~args ~rets () in
+  let i n = Value.Int n in
+  let enq x = act "enq" [ i x ] [] in
+  let deq x = act "deq" [] [ x ] in
+  let len n = act "len" [] [ i n ] in
+  List.iter
+    (fun (a, b, expected) ->
+      Alcotest.(check bool)
+        (Fmt.str "%a <> %a" Action.pp a Action.pp b)
+        expected (Spec.commute spec a b);
+      Alcotest.(check bool)
+        (Fmt.str "%a <> %a (sym)" Action.pp b Action.pp a)
+        expected (Spec.commute spec b a))
+    [
+      (* enqueue order is observable *)
+      (enq 1, enq 2, false);
+      (* deq hit a non-empty queue and took a different element *)
+      (enq 1, deq (i 2), true);
+      (* deq drained the queue down to the enqueued element itself *)
+      (enq 1, deq (i 1), false);
+      (* deq saw empty: reordering the enq changes its result *)
+      (enq 1, deq Value.Nil, false);
+      (enq 1, len 0, false);
+      (* both deqs observed empty *)
+      (deq Value.Nil, deq Value.Nil, true);
+      (deq (i 1), deq Value.Nil, false);
+      (deq (i 1), deq (i 2), false);
+      (deq Value.Nil, len 0, true);
+      (deq (i 1), len 1, false);
+      (len 0, len 3, true);
+    ]
+
+let counter_spec_semantics () =
+  let spec = parse_file_ok "counter.crd" in
+  Alcotest.(check string) "name" "counter" (Spec.name spec);
+  Alcotest.(check int) "methods" 3 (List.length (Spec.methods spec));
+  Alcotest.(check int) "pairs" 6 (List.length (Spec.pairs spec));
+  let obj = Obj_id.make ~name:"counter:c" 0 in
+  let act meth args rets = Action.make ~obj ~meth ~args ~rets () in
+  let i n = Value.Int n in
+  let add n = act "add" [ i n ] [] in
+  let sub n = act "sub" [ i n ] [] in
+  let read v = act "read" [] [ i v ] in
+  List.iter
+    (fun (a, b, expected) ->
+      Alcotest.(check bool)
+        (Fmt.str "%a <> %a" Action.pp a Action.pp b)
+        expected (Spec.commute spec a b);
+      Alcotest.(check bool)
+        (Fmt.str "%a <> %a (sym)" Action.pp b Action.pp a)
+        expected (Spec.commute spec b a))
+    [
+      (add 1, add 2, true);
+      (add 1, sub 2, true);
+      (sub 1, sub 2, true);
+      (add 1, read 5, false);
+      (sub 1, read 5, false);
+      (read 5, read 7, true);
+    ]
+
 let suite =
   ( "spec-parser",
     [
@@ -163,4 +249,7 @@ let suite =
       Alcotest.test_case "error positions" `Quick error_positions;
       Alcotest.test_case "default clause" `Quick default_clause;
       Alcotest.test_case "tuple returns" `Quick tuple_returns;
+      Alcotest.test_case "shipped spec files parse" `Quick shipped_specs_parse;
+      Alcotest.test_case "queue.crd semantics" `Quick queue_spec_semantics;
+      Alcotest.test_case "counter.crd semantics" `Quick counter_spec_semantics;
     ] )

@@ -10,6 +10,7 @@ module Record = Crd_racedb.Record
 module Entry = Crd_racedb.Entry
 module Rollup = Crd_racedb.Rollup
 module Vv = Crd_racedb.Vv
+module Provenance = Crd_racedb.Provenance
 module Gen = QCheck2.Gen
 
 (* Faulted exchanges race writes against peer closes; that must surface
@@ -89,7 +90,8 @@ let entry_gen =
   let* dt = Gen.map float_of_int (Gen.int_bound 5000) in
   let* key = Gen.oneofl [ "s1"; "s2"; "s3" ] in
   let* minutes = rollup_gen in
-  let sample = Record.make ~ts:t0 ~spec:"std" (mk_report ~key ()) in
+  let* provenance = Gen.oneofl [ Provenance.Predicted; Provenance.Witnessed ] in
+  let sample = Record.make ~ts:t0 ~provenance ~spec:"std" (mk_report ~key ()) in
   Gen.return
     {
       Entry.fingerprint = 7L;
@@ -101,6 +103,7 @@ let entry_gen =
       minutes;
       hours = Rollup.create ~res:3600 ~slots:48;
       days = Rollup.create ~res:86400 ~slots:30;
+      provenance;
     }
 
 (* --- merge laws ----------------------------------------------------- *)
@@ -517,6 +520,7 @@ let oversized_delta_stream_refused () =
         minutes = Rollup.create ~res:60 ~slots:60;
         hours = Rollup.create ~res:3600 ~slots:48;
         days = Rollup.create ~res:86400 ~slots:30;
+        provenance = Provenance.Witnessed;
       }
     in
     let buf = Buffer.create (1 lsl 23) in
